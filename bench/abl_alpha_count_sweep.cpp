@@ -1,0 +1,75 @@
+// Ablation: Alpha-count parameter sweep (K, T) over three canonical error
+// streams — sparse transient, bursty intermittent, permanent — measuring
+// detection latency and misclassification.  Motivates the paper's (Fig. 4)
+// choice of a count-and-threshold oracle: there is a wide parameter region
+// where permanents/intermittents are flagged quickly and sparse transients
+// never are.
+#include <iostream>
+
+#include "detect/alpha_count.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using aft::detect::AlphaCount;
+
+/// Rounds until the verdict latched; 0 when it never did.
+std::uint64_t detection_round(AlphaCount& ac, aft::util::Xoshiro256& rng,
+                              double error_prob, bool bursty, int rounds) {
+  bool in_burst = false;
+  for (int i = 1; i <= rounds; ++i) {
+    bool error;
+    if (bursty) {
+      if (in_burst ? rng.bernoulli(0.2) : rng.bernoulli(0.02)) in_burst = !in_burst;
+      error = in_burst && rng.bernoulli(0.8);
+    } else {
+      error = rng.bernoulli(error_prob);
+    }
+    ac.record(error);
+    if (ac.threshold_crossed()) return static_cast<std::uint64_t>(i);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Ablation: alpha-count (K, T) sweep, 5000 rounds/stream ===\n"
+            << "streams: permanent (error every round), intermittent\n"
+            << "(Gilbert-Elliott bursts), sparse transient (p=0.01)\n\n";
+
+  aft::util::TextTable table;
+  table.header({"K", "T", "perm: detect round", "interm: detect round",
+                "transient: false alarm?"});
+
+  for (const double k : {0.3, 0.5, 0.7, 0.9}) {
+    for (const double t : {2.0, 3.0, 5.0, 8.0}) {
+      AlphaCount perm(AlphaCount::Params{k, t});
+      for (int i = 1; i <= 5000 && !perm.threshold_crossed(); ++i) perm.record(true);
+      std::uint64_t perm_round = perm.rounds();
+
+      aft::util::Xoshiro256 rng_i(42);
+      AlphaCount interm(AlphaCount::Params{k, t});
+      const std::uint64_t interm_round =
+          detection_round(interm, rng_i, 0, true, 5000);
+
+      aft::util::Xoshiro256 rng_t(43);
+      AlphaCount trans(AlphaCount::Params{k, t});
+      const std::uint64_t trans_round =
+          detection_round(trans, rng_t, 0.01, false, 5000);
+
+      table.row({aft::util::fmt(k, 1), aft::util::fmt(t, 1),
+                 std::to_string(perm_round),
+                 interm_round ? std::to_string(interm_round) : "never",
+                 trans_round ? "YES (round " + std::to_string(trans_round) + ")"
+                             : "no"});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "expected shape: permanents detected in ceil(T)+1 rounds for\n"
+               "any K; intermittents detected within a few bursts; sparse\n"
+               "transients must never latch for T >= 3 with K <= 0.7 (the\n"
+               "paper's Fig. 4 operating point).\n";
+  return 0;
+}

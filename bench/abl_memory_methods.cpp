@@ -1,0 +1,98 @@
+// Ablation: raw per-operation cost of the memory access methods M0..M4
+// (google-benchmark), with and without an active fault load.  This is the
+// measured counterpart of the selector's abstract cost function — the
+// ordering must agree (M0 < M1 <= M2 < M3 < M4), which is what makes
+// "cheapest adequate method" a meaningful selection rule.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "hw/fault_injector.hpp"
+#include "hw/memory_chip.hpp"
+#include "mem/method_ecc.hpp"
+#include "mem/method_mirror.hpp"
+#include "mem/method_raw.hpp"
+#include "mem/method_remap.hpp"
+#include "mem/method_tmr.hpp"
+
+namespace {
+
+constexpr std::size_t kWords = 1024;
+
+struct Rig {
+  aft::hw::MemoryChip c0{kWords};
+  aft::hw::MemoryChip c1{kWords};
+  aft::hw::MemoryChip c2{kWords};
+  std::unique_ptr<aft::mem::IMemoryAccessMethod> method;
+
+  explicit Rig(int which) {
+    switch (which) {
+      case 0: method = std::make_unique<aft::mem::RawAccess>(c0); break;
+      case 1: method = std::make_unique<aft::mem::EccScrubAccess>(c0); break;
+      case 2: method = std::make_unique<aft::mem::EccRemapAccess>(c0); break;
+      case 3: method = std::make_unique<aft::mem::SelMirrorAccess>(c0, c1); break;
+      default: method = std::make_unique<aft::mem::TmrEccAccess>(c0, c1, c2); break;
+    }
+    for (std::size_t w = 0; w < method->capacity_words(); ++w) {
+      method->write(w, w * 3);
+    }
+  }
+};
+
+void BM_Read(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  std::size_t addr = 0;
+  const std::size_t n = rig.method->capacity_words();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.method->read(addr));
+    addr = (addr + 1) % n;
+  }
+  state.SetLabel(std::string(rig.method->name()));
+}
+
+void BM_Write(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  std::size_t addr = 0;
+  const std::size_t n = rig.method->capacity_words();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rig.method->write(addr, addr));
+    addr = (addr + 1) % n;
+  }
+  state.SetLabel(std::string(rig.method->name()));
+}
+
+void BM_ReadUnderSeuLoad(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  aft::hw::FaultProfile profile;
+  profile.seu_rate = 0.05;  // heavy upset load: exercise the repair paths
+  aft::hw::FaultInjector inj0(rig.c0, profile, 1);
+  aft::hw::FaultInjector inj1(rig.c1, profile, 2);
+  aft::hw::FaultInjector inj2(rig.c2, profile, 3);
+  std::size_t addr = 0;
+  const std::size_t n = rig.method->capacity_words();
+  for (auto _ : state) {
+    inj0.tick();
+    inj1.tick();
+    inj2.tick();
+    benchmark::DoNotOptimize(rig.method->read(addr));
+    addr = (addr + 1) % n;
+  }
+  state.SetLabel(std::string(rig.method->name()));
+}
+
+void BM_ScrubStep(benchmark::State& state) {
+  Rig rig(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    rig.method->scrub_step();
+  }
+  state.SetLabel(std::string(rig.method->name()));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Read)->DenseRange(0, 4);
+BENCHMARK(BM_Write)->DenseRange(0, 4);
+BENCHMARK(BM_ReadUnderSeuLoad)->DenseRange(0, 4);
+BENCHMARK(BM_ScrubStep)->DenseRange(1, 4);
+
+BENCHMARK_MAIN();

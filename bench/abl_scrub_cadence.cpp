@@ -1,0 +1,84 @@
+// Ablation: patrol-scrub cadence vs uncorrectable-error rate.
+//
+// SEC-DED corrects one flipped bit per word; a second flip in the same word
+// before the patrol visits it is uncorrectable.  The scrub period therefore
+// buys robustness with bandwidth: this sweep quantifies the knee, the
+// number behind M1..M4's `maintenance_cost` entries in the selector's cost
+// model.
+#include <iostream>
+
+#include "hw/fault_injector.hpp"
+#include "hw/memory_chip.hpp"
+#include "mem/method_ecc.hpp"
+#include "mem/scrubber.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Outcome {
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t scrub_passes = 0;
+};
+
+Outcome run(aft::sim::SimTime scrub_period, double seu_rate, std::uint64_t steps) {
+  aft::sim::Simulator sim;
+  aft::hw::MemoryChip chip(256);
+  aft::mem::EccScrubAccess method(chip, /*words_per_scrub_step=*/256);
+  aft::mem::ScrubberDaemon scrubber(sim, method, scrub_period);
+
+  aft::hw::FaultProfile profile;
+  profile.seu_rate = seu_rate;
+  aft::hw::FaultInjector injector(chip, profile, 42);
+
+  for (std::size_t w = 0; w < 256; ++w) method.write(w, w);
+
+  scrubber.start();
+  aft::util::Xoshiro256 rng(7);
+  Outcome out;
+  for (std::uint64_t t = 1; t <= steps; ++t) {
+    sim.run_until(t);
+    injector.tick();
+    // Light demand traffic: one random read per 16 ticks.
+    if (t % 16 == 0) {
+      const auto addr = static_cast<std::size_t>(rng.uniform_int(0, 255));
+      const auto r = method.read(addr);
+      if (r.status == aft::mem::ReadStatus::kUncorrectable) {
+        ++out.uncorrectable;
+        method.write(addr, addr);  // re-seed
+      }
+    }
+  }
+  out.corrected = method.stats().corrected_singles;
+  out.scrub_passes = scrubber.passes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  constexpr std::uint64_t kSteps = 200000;
+  std::cout << "=== Ablation: scrub cadence vs uncorrectable rate ("
+            << kSteps << " ticks, 256-word device) ===\n\n";
+
+  aft::util::TextTable table;
+  table.header({"SEU rate/tick", "scrub period", "scrub passes",
+                "singles corrected", "uncorrectable reads"});
+
+  for (const double seu : {1e-3, 5e-3, 2e-2}) {
+    for (const aft::sim::SimTime period : {10ull, 100ull, 1000ull, 10000ull}) {
+      const Outcome o = run(period, seu, kSteps);
+      table.row({aft::util::fmt(seu, 3), std::to_string(period),
+                 std::to_string(o.scrub_passes), std::to_string(o.corrected),
+                 std::to_string(o.uncorrectable)});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "expected shape: at each SEU rate the uncorrectable count is\n"
+               "~0 for fast patrols and grows superlinearly once the patrol\n"
+               "period approaches the mean per-word double-hit interval —\n"
+               "the latent-error race SEC-DED scrubbing exists to win.\n";
+  return 0;
+}

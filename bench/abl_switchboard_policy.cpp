@@ -1,0 +1,56 @@
+// Ablation: the Reflective Switchboard's two policy knobs on the Fig. 7
+// workload —
+//   * lower_after N (the paper used N = 1000): how long full consensus must
+//     persist before redundancy is shed;
+//   * raise trigger: eager ("any dissent is a disturbance symptom", this
+//     library's default) vs frugal (raise only when dtof is critically low,
+//     i.e. one dissent short of failure).
+// The grid quantifies the safety/occupancy trade-off behind the paper's
+// "no clashes were observed during our experiments" claim.
+#include <iostream>
+
+#include "autonomic/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace aft::autonomic;
+  const std::uint64_t steps = 800000;
+  std::cout << "=== Ablation: switchboard policy grid (" << steps
+            << " steps, Fig. 7 workload) ===\n\n";
+
+  aft::util::TextTable table;
+  table.header({"raise trigger", "lower_after N", "voting failures",
+                "% time at r=3", "mean redundancy", "raises", "lowers"});
+
+  for (const bool eager : {true, false}) {
+    for (const std::uint64_t n : {10ull, 100ull, 1000ull, 10000ull}) {
+      ExperimentConfig config;
+      config.seed = 1234;
+      config.policy.lower_after = n;
+      config.policy.raise_on_any_dissent = eager;
+      config.record_series = false;
+      const auto result = run_adaptation_experiment(config, fig7_script(steps));
+
+      double mean = 0;
+      for (const auto& [degree, count] : result.redundancy.bins()) {
+        mean += static_cast<double>(degree) * static_cast<double>(count);
+      }
+      mean /= static_cast<double>(result.redundancy.total());
+
+      table.row({eager ? "eager (any dissent)" : "frugal (critical only)",
+                 std::to_string(n), std::to_string(result.voting_failures),
+                 aft::util::fmt(result.fraction_at(3) * 100.0, 3) + "%",
+                 aft::util::fmt(mean, 4), std::to_string(result.raises),
+                 std::to_string(result.lowers)});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "expected shape: the eager trigger is failure-free across the whole\n"
+         "N sweep at <0.3% occupancy cost; the frugal trigger lets the farm\n"
+         "sit mid-band (e.g. n=7 with 2 dissenters) through burst peaks and\n"
+         "suffers clashes.  Within the eager column, small N maximises time\n"
+         "at the minimal degree; the paper's N=1000 adds a safety margin\n"
+         "against re-intensifying disturbances at modest cost.\n";
+  return 0;
+}

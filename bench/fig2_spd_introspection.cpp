@@ -1,0 +1,39 @@
+// Fig. 2 reproduction: the `sudo lshw` memory-subsystem dump obtained via
+// SPD introspection — the knowledge source of the Sect. 3.1 strategy —
+// followed by the knowledge-base judgment for every module found.
+//
+// Paper artifact: an lshw excerpt for a Dell Inspiron 6000 (2 DDR DIMMs,
+// 1536 MiB total).  Ours is the synthetic equivalent for the same machine
+// shape plus the satellite OBC used throughout the benches.
+#include <iostream>
+
+#include "hw/machine.hpp"
+#include "mem/knowledge_base.hpp"
+
+int main() {
+  std::cout << "=== Fig. 2: SPD introspection (lshw-style) ===\n\n";
+
+  const aft::mem::KnowledgeBase kb = aft::mem::KnowledgeBase::with_defaults();
+
+  for (const aft::hw::Machine& machine :
+       {aft::hw::machines::laptop(), aft::hw::machines::satellite_obc()}) {
+    std::cout << "--- machine: " << machine.name() << " ---\n"
+              << machine.lshw_memory_dump() << "\n";
+    std::cout << "knowledge-base judgment per module:\n";
+    for (std::size_t i = 0; i < machine.bank_count(); ++i) {
+      const auto& spd = machine.bank(i).spd;
+      const auto hit = kb.lookup(spd);
+      std::cout << "  " << spd.slot << " (" << spd.vendor << " " << spd.model
+                << ", lot " << spd.lot << "): ";
+      if (hit.has_value()) {
+        std::cout << aft::mem::to_string(hit->semantics) << " \""
+                  << aft::mem::statement(hit->semantics) << "\" [" << hit->source
+                  << "]\n";
+      } else {
+        std::cout << "unknown part -> worst-case f4\n";
+      }
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Fig. 6 reproduction: "During a simulated experiment, faults are
+// injected, and consequently distance-to-failure decreases.  This triggers
+// an autonomic adaptation of the degree of redundancy."
+//
+// The harness runs the scripted calm/burst/calm disturbance and prints the
+// decimated time series (disturbance, dtof, redundancy) plus the raise /
+// lower events — the two curves of the paper's figure.
+#include <iostream>
+
+#include "autonomic/experiment.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace aft::autonomic;
+  std::cout << "=== Fig. 6: fault injection -> dtof drop -> redundancy adaptation ===\n\n";
+
+  ExperimentConfig config;
+  config.seed = 2009;
+  config.policy.lower_after = 1000;
+  config.series_sample_every = 250;
+  const auto script = fig6_script();
+  std::cout << "disturbance script: calm 3000 steps, burst 1500 steps "
+               "(p_corrupt=0.25/replica), calm 6000 steps\n\n";
+
+  const ExperimentResult result = run_adaptation_experiment(config, script);
+
+  aft::util::TextTable table;
+  table.header({"step", "replicas", "dtof", "phase"});
+  for (const SeriesPoint& p : result.series) {
+    const char* phase = p.step < 3000 ? "calm" : p.step < 4500 ? "BURST" : "calm";
+    table.row({std::to_string(p.step), std::to_string(p.replicas),
+               std::to_string(p.distance), phase});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout << "summary\n"
+            << "  steps:            " << result.steps << "\n"
+            << "  faults injected:  " << result.faults_injected << "\n"
+            << "  raises:           " << result.raises << "\n"
+            << "  lowers:           " << result.lowers << "\n"
+            << "  voting failures:  " << result.voting_failures << "\n"
+            << "  redundancy occupancy:\n";
+  for (const auto& [degree, count] : result.redundancy.bins()) {
+    std::cout << "    r=" << degree << ": " << count << " steps ("
+              << aft::util::fmt(result.redundancy.fraction(degree) * 100.0, 2)
+              << "%)\n";
+  }
+  std::cout << "\npaper shape: redundancy rises during the disturbance and "
+               "decays back to the minimum afterwards.\n"
+            << "ours       : final replicas = " << result.series.back().replicas
+            << ", max replicas reached = "
+            << result.redundancy.bins().rbegin()->first << "\n";
+  return 0;
+}

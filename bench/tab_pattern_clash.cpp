@@ -1,0 +1,147 @@
+// Sect. 3.2 clash-cost table: the paper's two observations, quantified.
+//
+//   1. "A clash of assumption e1 implies a livelock (endless repetition) as
+//      a result of redoing actions in the face of permanent faults."
+//   2. "A clash of assumption e2 implies an unnecessary expenditure of
+//      resources as a result of applying reconfiguration in the face of
+//      transient faults."
+//
+// Grid: {static redoing, static reconfiguration, adaptive switcher} ×
+// {transient-only, permanent} environments.  Expected shape: the adaptive
+// scheme never livelocks and never burns spares on transients — "always the
+// most appropriate design pattern is used".
+#include <iostream>
+#include <memory>
+
+#include "arch/middleware.hpp"
+#include "ftpat/pattern_switcher.hpp"
+#include "ftpat/reconfiguration.hpp"
+#include "ftpat/redoing.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+struct Outcome {
+  std::uint64_t failed_runs = 0;
+  std::uint64_t wasted_retries = 0;   // retries burnt on permanent faults
+  std::uint64_t budget_exhaustions = 0;  // the bounded-livelock signature
+  std::uint64_t spares_consumed = 0;
+  bool switched = false;
+};
+
+constexpr int kRuns = 2000;
+constexpr int kPermanentOnset = 500;
+
+/// Drives `runs` architecture executions; the environment either produces
+/// sparse transient blips or one permanent fault at kPermanentOnset.
+template <typename RunFn>
+Outcome drive(bool permanent_env, aft::arch::ScriptedComponent& unit,
+              RunFn run_once) {
+  aft::util::Xoshiro256 rng(7);
+  Outcome out;
+  for (int i = 0; i < kRuns; ++i) {
+    if (permanent_env) {
+      if (i == kPermanentOnset) unit.fail_always();
+    } else if (rng.bernoulli(0.02)) {
+      unit.fail_next(1);  // transient blip
+    }
+    if (!run_once(i)) ++out.failed_runs;
+  }
+  return out;
+}
+
+Outcome run_static_redoing(bool permanent_env) {
+  aft::arch::Middleware mw;
+  auto unit = std::make_shared<aft::arch::ScriptedComponent>("unit");
+  auto redo = std::make_shared<aft::ftpat::RedoingComponent>("c", unit, 16);
+  mw.register_component(redo);
+  mw.deploy(aft::arch::DagSnapshot{"D1", {"c"}, {}});
+  Outcome out = drive(permanent_env, *unit,
+                      [&](int i) { return mw.run(i).ok; });
+  out.wasted_retries = redo->retries();
+  out.budget_exhaustions = redo->budget_exhaustions();
+  return out;
+}
+
+Outcome run_static_reconfiguration(bool permanent_env) {
+  aft::arch::Middleware mw;
+  auto primary = std::make_shared<aft::arch::ScriptedComponent>("primary");
+  std::vector<std::shared_ptr<aft::arch::Component>> versions{primary};
+  for (int i = 0; i < 8; ++i) {
+    versions.push_back(std::make_shared<aft::arch::ScriptedComponent>(
+        "spare" + std::to_string(i)));
+  }
+  auto reconf =
+      std::make_shared<aft::ftpat::ReconfigurationComponent>("c", versions);
+  mw.register_component(reconf);
+  mw.deploy(aft::arch::DagSnapshot{"D2", {"c"}, {}});
+  Outcome out = drive(permanent_env, *primary,
+                      [&](int i) { return mw.run(i).ok; });
+  out.spares_consumed = reconf->switchovers();
+  return out;
+}
+
+Outcome run_adaptive(bool permanent_env) {
+  aft::arch::Middleware mw;
+  auto unit = std::make_shared<aft::arch::ScriptedComponent>("unit");
+  auto redo = std::make_shared<aft::ftpat::RedoingComponent>("c", unit, 16);
+  auto spare = std::make_shared<aft::arch::ScriptedComponent>("spare");
+  auto reconf = std::make_shared<aft::ftpat::ReconfigurationComponent>(
+      "cv2", std::vector<std::shared_ptr<aft::arch::Component>>{unit, spare});
+  mw.register_component(redo);
+  mw.register_component(reconf);
+  aft::ftpat::PatternSwitcher switcher(
+      mw, aft::arch::DagSnapshot{"D1", {"c"}, {}},
+      aft::arch::DagSnapshot{"D2", {"cv2"}, {}},
+      aft::ftpat::PatternSwitcher::Config{.monitored_channel = "c"});
+  Outcome out = drive(permanent_env, *unit,
+                      [&](int i) { return switcher.run(i).ok; });
+  out.wasted_retries = redo->retries();
+  out.budget_exhaustions = redo->budget_exhaustions();
+  out.spares_consumed = reconf->switchovers();
+  out.switched = switcher.switched();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Sect. 3.2 clash costs: pattern x environment (" << kRuns
+            << " runs, permanent onset at run " << kPermanentOnset << ") ===\n\n";
+
+  aft::util::TextTable table;
+  table.header({"pattern", "environment", "failed runs", "retries",
+                "livelock (budget exhaustions)", "spares burnt", "switched"});
+
+  struct Row {
+    const char* pattern;
+    bool permanent;
+    Outcome o;
+  };
+  const Row rows[] = {
+      {"static redoing (e1)", false, run_static_redoing(false)},
+      {"static redoing (e1)", true, run_static_redoing(true)},
+      {"static reconfiguration (e2)", false, run_static_reconfiguration(false)},
+      {"static reconfiguration (e2)", true, run_static_reconfiguration(true)},
+      {"adaptive (alpha-count)", false, run_adaptive(false)},
+      {"adaptive (alpha-count)", true, run_adaptive(true)},
+  };
+  for (const Row& r : rows) {
+    table.row({r.pattern, r.permanent ? "permanent" : "transient",
+               std::to_string(r.o.failed_runs), std::to_string(r.o.wasted_retries),
+               std::to_string(r.o.budget_exhaustions),
+               std::to_string(r.o.spares_consumed), r.o.switched ? "yes" : "-"});
+  }
+  std::cout << table.render() << "\n";
+
+  std::cout
+      << "paper's observations, checked:\n"
+      << "  (1) e1 clash: static redoing under permanent faults livelocks\n"
+      << "      (massive futile retries + budget exhaustions above)\n"
+      << "  (2) e2 clash: static reconfiguration under transient faults\n"
+      << "      permanently burns spares on every blip\n"
+      << "  adaptive: no spares burnt under transients, bounded retries under\n"
+      << "  permanents (switches to reconfiguration once judged), recovers.\n";
+  return 0;
+}

@@ -1,0 +1,147 @@
+// Case study replay: the Ariane 5 Flight 501 failure (paper Sect. 2.1).
+//
+// The Inertial Reference System reused Ariane-4 software whose horizontal-
+// bias computation assumed f: "Horizontal velocity can be represented by a
+// short integer" — true for Ariane 4's trajectory, false for Ariane 5's.
+// The assumption was neither stored nor checked (Hidden Intelligence), so
+// the unguarded float->int16 conversion overflowed in BOTH redundant IRS
+// channels (no design diversity) and the launcher self-destructed.
+//
+// This example flies both trajectory profiles through two IRS builds:
+//   - legacy   : unguarded conversion, assumption hardwired & invisible;
+//   - aft      : the same reuse, but the assumption is registered with its
+//                provenance, the conversion is guarded, and the clash is
+//                detected at "qualification" time *before* the flight — and
+//                even in flight the guard degrades gracefully.
+#include <cmath>
+#include <iostream>
+#include <optional>
+
+#include "core/assumption.hpp"
+#include "core/guard.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+/// Simplified launcher trajectory: horizontal velocity over flight time.
+/// Ariane 5's early trajectory had substantially higher horizontal velocity
+/// than Ariane 4's — the environmental change nobody re-checked.
+double horizontal_velocity(double t_seconds, bool ariane5) {
+  const double a = ariane5 ? 1400.0 : 620.0;  // horizontal acceleration-ish
+  return a * t_seconds + 0.5 * t_seconds * t_seconds * (ariane5 ? 8.0 : 3.0);
+}
+
+/// The legacy IRS channel: converts horizontal bias to int16 UNGUARDED.
+/// Returns nullopt on (simulated) operand error — which in the real IRS
+/// raised an unhandled exception and shut the channel down.
+std::optional<std::int16_t> legacy_irs_step(double velocity) {
+  if (velocity > 32767.0 || velocity < -32768.0) {
+    return std::nullopt;  // operand error: channel dead
+  }
+  return static_cast<std::int16_t>(velocity);
+}
+
+}  // namespace
+
+int main() {
+  using namespace aft::core;
+  std::cout << "=== Ariane 5 Flight 501 replay ===\n\n";
+
+  // ---------------------------------------------------------------- legacy --
+  std::cout << "--- legacy IRS (assumption hardwired, both channels identical) ---\n";
+  for (const bool ariane5 : {false, true}) {
+    const char* rocket = ariane5 ? "Ariane 5" : "Ariane 4";
+    bool channel_a = true, channel_b = true;
+    double failure_time = -1;
+    for (double t = 0; t <= 40.0; t += 0.5) {
+      const double v = horizontal_velocity(t, ariane5);
+      if (!legacy_irs_step(v)) {
+        // Hot-standby replica executes the SAME software on the SAME input:
+        // it fails in the same instant (no design diversity, see [6]).
+        channel_a = channel_b = false;
+        failure_time = t;
+        break;
+      }
+    }
+    if (channel_a && channel_b) {
+      std::cout << rocket << ": nominal flight, 40s, no IRS anomaly\n";
+    } else {
+      std::cout << rocket << ": BOTH IRS channels lost at t=" << failure_time
+                << "s (overflow) -> loss of guidance -> self-destruct\n";
+    }
+  }
+
+  // ------------------------------------------------------------------- aft --
+  std::cout << "\n--- aft IRS (assumption explicit, conversion guarded) ---\n";
+  AssumptionRegistry registry;
+  auto& hv_assumption = registry.emplace<std::int64_t>(
+      "sri.bh.representable",
+      "Horizontal velocity can be represented by a short integer",
+      Subject::kPhysicalEnvironment,
+      Provenance{.origin = "Ariane 4 SRI qualification",
+                 .rationale = "max |HV| over all qualified Ariane-4 "
+                              "trajectories is ~21000 < 32767",
+                 .stated_at = BindingTime::kDesign},
+      std::int64_t{32767},
+      [](const Context& ctx) { return ctx.get<std::int64_t>("traj.max-hv"); },
+      [](const std::int64_t& limit, const std::int64_t& observed) {
+        return observed <= limit;
+      });
+  (void)hv_assumption;
+
+  for (const bool ariane5 : {false, true}) {
+    const char* rocket = ariane5 ? "Ariane 5" : "Ariane 4";
+
+    // Re-qualification step: before reuse, the NEW trajectory envelope is
+    // published into the context and every inherited assumption re-checked.
+    Context ctx;
+    double max_hv = 0;
+    for (double t = 0; t <= 40.0; t += 0.5) {
+      max_hv = std::max(max_hv, horizontal_velocity(t, ariane5));
+    }
+    ctx.set("traj.max-hv", static_cast<std::int64_t>(max_hv));
+    const auto clashes = registry.verify_all(ctx);
+    if (!clashes.empty()) {
+      std::cout << rocket << ": PRE-FLIGHT clash on '"
+                << clashes[0].assumption_id << "'\n"
+                << "  assumed: " << clashes[0].statement << "\n"
+                << "  observed envelope: max HV = " << clashes[0].observed << "\n"
+                << "  provenance: "
+                << registry.find("sri.bh.representable")->provenance().origin
+                << " -- the reuse is NOT qualified for this vehicle.\n";
+    }
+
+    // Fly anyway (to show run-time containment): guarded conversion.
+    EnvelopeGuard envelope("horizontal-velocity", -32768, 32767);
+    bool guidance_ok = true;
+    double degraded_since = -1;
+    for (double t = 0; t <= 40.0; t += 0.5) {
+      const double v = horizontal_velocity(t, ariane5);
+      const auto bh = checked_narrow<std::int16_t>(v);
+      if (!bh.ok()) {
+        envelope.admit(v);  // record the excursion
+        if (degraded_since < 0) degraded_since = t;
+        // Graceful degradation: clamp & flag instead of raising an
+        // unhandled operand error.
+        continue;
+      }
+      (void)*bh.value;
+    }
+    if (degraded_since < 0) {
+      std::cout << rocket << ": flight nominal, guard never engaged\n";
+    } else {
+      std::cout << rocket << ": guard engaged at t=" << degraded_since
+                << "s, " << envelope.violations()
+                << " clamped samples, worst excursion "
+                << envelope.worst_excursion()
+                << "; guidance " << (guidance_ok ? "RETAINED" : "lost") << "\n";
+    }
+  }
+
+  std::cout << "\nlesson (Sect. 2.1): the Horning failure was the clash; the\n"
+               "Hidden Intelligence failure was that nothing in the reused\n"
+               "code could even express it.  Registering the assumption with\n"
+               "its provenance turns a catastrophic in-flight surprise into a\n"
+               "pre-flight re-qualification finding.\n";
+  return 0;
+}

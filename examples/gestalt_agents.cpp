@@ -1,0 +1,86 @@
+// The Sect. 5 vision, executable: "a web of cooperating reactive agents
+// serving different software design concerns ... responding to external
+// stimuli and autonomically adjusting their internal state.  Thus a design
+// assumption failure caught by a run-time detector should trigger a request
+// for adaptation at model level, and vice-versa."
+//
+// Four agents — model, compile, deploy, run — share a GestaltBus.  The
+// run-time agent's alpha-count oracle deduces that the environment now
+// exhibits permanent faults; the deduction travels up: the deploy agent
+// re-binds the fault-tolerance pattern variable, the model agent revises
+// the environment model, and the compile agent schedules a re-qualification
+// of the affected configuration.
+#include <iostream>
+
+#include "core/gestalt.hpp"
+#include "core/variable.hpp"
+#include "detect/alpha_count.hpp"
+
+int main() {
+  using namespace aft::core;
+  std::cout << "=== gestalt_agents: cross-layer assumption-failure web ===\n\n";
+
+  GestaltBus bus;
+
+  // Deploy-layer state: the postponed pattern choice.
+  AssumptionVariable<std::string> pattern("ft-pattern", BindingTime::kDesign);
+  pattern.add_alternative({"e1", "redoing", 0.1});
+  pattern.add_alternative({"e2", "reconfiguration", 0.5});
+  pattern.bind("e1", BindingTime::kDeploy, "initial assumption: transients only");
+
+  bus.attach(GestaltAgent("model", BindingTime::kDesign, [&](const GestaltEvent& e) {
+    if (e.kind == GestaltKind::kDeduction && e.topic == "fault-class") {
+      std::cout << "  [model]   revising environment model: fault class is now '"
+                << e.payload << "'\n";
+      bus.publish(GestaltEvent{GestaltKind::kAdaptationRequest,
+                               BindingTime::kDesign, "re-qualify",
+                               "pattern bindings derived from e1"});
+    }
+  }));
+  bus.attach(GestaltAgent("compiler", BindingTime::kCompile,
+                          [&](const GestaltEvent& e) {
+                            if (e.kind == GestaltKind::kAdaptationRequest) {
+                              std::cout << "  [compile] scheduling re-qualification: "
+                                        << e.payload << "\n";
+                            }
+                          }));
+  bus.attach(GestaltAgent("deployer", BindingTime::kDeploy, [&](const GestaltEvent& e) {
+    if (e.kind == GestaltKind::kDeduction && e.topic == "fault-class" &&
+        e.payload == "permanent") {
+      pattern.bind("e2", BindingTime::kRun,
+                   "run-time deduction: permanent faults observed");
+      std::cout << "  [deploy]  re-bound ft-pattern -> '" << pattern.value()
+                << "'\n";
+    }
+  }));
+  bus.attach(GestaltAgent("executive", BindingTime::kRun, [](const GestaltEvent& e) {
+    std::cout << "  [run]     noted " << to_string(e.kind) << " from "
+              << to_string(e.source_layer) << "\n";
+  }));
+
+  // The run-time detector at work: the alpha-count oracle watches a
+  // component that has just developed a permanent fault.
+  aft::detect::AlphaCount oracle;
+  std::cout << "run-time oracle observes a failing component:\n";
+  for (int round = 0; round < 5; ++round) {
+    oracle.record(true);
+    std::cout << "  round " << round << ": alpha=" << oracle.score() << " ("
+              << to_string(oracle.judgment()) << ")\n";
+    if (oracle.threshold_crossed()) break;
+  }
+
+  std::cout << "\noracle verdict crosses the layers:\n";
+  bus.publish(GestaltEvent{GestaltKind::kDeduction, BindingTime::kRun,
+                           "fault-class", "permanent"});
+
+  std::cout << "\nfinal state:\n"
+            << "  pattern variable: " << pattern.value() << " (rebinds: "
+            << pattern.rebind_count() << ")\n"
+            << "  binding history:\n";
+  for (const auto& event : pattern.history()) {
+    std::cout << "    - '" << event.tag << "' at " << to_string(event.when)
+              << ": " << event.reason << "\n";
+  }
+  std::cout << "  bus events: " << bus.history().size() << "\n";
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Case study replay: the Therac-25 accidents (paper Sect. 2.2).
+//
+// The Therac-20's software ran for years over hardware interlocks that shut
+// the machine down whenever a dangerous mode combination arose; its
+// fault-free *appearance* was hidden intelligence.  The Therac-25 removed
+// the interlocks and reused the software: assumption p -- "All exceptions
+// are caught by the hardware ... and result in shutting the machine down"
+// -- clashed with fact ¬p, and the residual race condition (¬f against
+// assumption f: "No residual fault exists") delivered lethal beam doses.
+//
+// The replay models a linac with a mode-setup race condition and runs it on
+// three platforms: Therac-20 (hardware interlocks), Therac-25 (none), and
+// an aft build whose deployment self-test verifies assumption p before
+// operating — the introspection the paper says Boulding-naive systems lack.
+#include <iostream>
+
+#include "core/assumption.hpp"
+#include "core/boulding.hpp"
+#include "core/context.hpp"
+#include "core/registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+enum class BeamMode { kElectron, kXrayWithTarget };
+
+struct Linac {
+  std::string name;
+  bool hardware_interlocks;
+};
+
+/// One treatment session.  The reused software has a race: when the
+/// operator edits the prescription quickly, the turntable/mode state can
+/// be inconsistent for one cycle — high-energy beam without the target in
+/// place.  Returns the delivered overdose events.
+struct SessionOutcome {
+  int treatments = 0;
+  int hardware_shutdowns = 0;
+  int software_aborts = 0;
+  int overdoses = 0;
+};
+
+SessionOutcome run_sessions(const Linac& machine, bool software_interlock,
+                            int sessions, std::uint64_t seed) {
+  aft::util::Xoshiro256 rng(seed);
+  SessionOutcome out;
+  for (int s = 0; s < sessions; ++s) {
+    // The residual design fault (¬f): a fast prescription edit triggers the
+    // race with small probability.
+    const bool race = rng.bernoulli(0.01);
+    const bool inconsistent_state = race;  // high energy, target retracted
+
+    if (inconsistent_state) {
+      if (machine.hardware_interlocks) {
+        ++out.hardware_shutdowns;  // Therac-20: interlock masks the fault
+        continue;
+      }
+      if (software_interlock) {
+        ++out.software_aborts;  // aft build: self-check before beam-on
+        continue;
+      }
+      ++out.overdoses;  // Therac-25: beam fires in the faulty state
+      continue;
+    }
+    ++out.treatments;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  using namespace aft::core;
+  std::cout << "=== Therac-25 replay: interlock assumption p ===\n\n";
+
+  constexpr int kSessions = 5000;
+
+  // --- Therac-20: the interlocks silently mask the race ----------------------
+  const Linac t20{"Therac-20", /*hardware_interlocks=*/true};
+  const auto r20 = run_sessions(t20, false, kSessions, 1);
+  std::cout << t20.name << ":  treatments=" << r20.treatments
+            << "  hardware shutdowns=" << r20.hardware_shutdowns
+            << "  overdoses=" << r20.overdoses << "\n"
+            << "  -> the " << r20.hardware_shutdowns
+            << " shutdowns were never reported to the designers: the\n"
+               "     software looked fault-free (Hidden Intelligence).\n\n";
+
+  // --- Therac-25: same software, interlocks removed ---------------------------
+  const Linac t25{"Therac-25", /*hardware_interlocks=*/false};
+  const auto r25 = run_sessions(t25, false, kSessions, 1);
+  std::cout << t25.name << ":  treatments=" << r25.treatments
+            << "  hardware shutdowns=" << r25.hardware_shutdowns
+            << "  OVERDOSES=" << r25.overdoses << "\n"
+            << "  -> assumption p clashed with ¬p: every masked event is now\n"
+               "     a potential lethal dose (Horning failure on the hardware\n"
+               "     platform as 'environment').\n\n";
+
+  // --- aft build: assumption p is explicit; deployment self-test -------------
+  std::cout << "aft build on Therac-25 hardware:\n";
+  AssumptionRegistry registry;
+  registry.emplace<bool>(
+      "platform.interlocks",
+      "All exceptions are caught by the hardware and the execution "
+      "environment, and result in shutting the machine down",
+      Subject::kHardware,
+      Provenance{.origin = "Therac-6/20 platform family",
+                 .rationale = "interlock relays fitted on all prior models",
+                 .stated_at = BindingTime::kDesign},
+      true, "platform.has-hardware-interlocks");
+
+  // Introspective self-test at deployment: probe the actual platform.
+  Context ctx;
+  ctx.set("platform.has-hardware-interlocks", t25.hardware_interlocks);
+  const auto clashes = registry.verify_all(ctx);
+  bool software_interlock = false;
+  if (!clashes.empty()) {
+    std::cout << "  deployment self-test: CLASH on '" << clashes[0].assumption_id
+              << "' (observed: " << clashes[0].observed << ")\n"
+              << "  treatment: enable compensating software interlock before\n"
+              << "  any beam-on is permitted.\n";
+    software_interlock = true;
+  }
+  const auto raft = run_sessions(t25, software_interlock, kSessions, 1);
+  std::cout << "  treatments=" << raft.treatments
+            << "  software aborts=" << raft.software_aborts
+            << "  overdoses=" << raft.overdoses << "\n\n";
+
+  // --- Boulding classification of the three builds ----------------------------
+  const auto naive = classify(SystemTraits{.reacts_to_inputs = true});
+  const auto aware = classify(SystemTraits{.reacts_to_inputs = true,
+                                           .introspects_platform = true});
+  const auto required =
+      required_category(EnvironmentDemands{.bounded_fluctuations = true});
+  std::cout << "Boulding audit:\n"
+            << "  Therac-25 software: " << to_string(naive) << " vs required "
+            << to_string(required) << " -> clash: "
+            << (boulding_clash(naive, required) ? "YES (sitting duck)" : "no")
+            << "\n"
+            << "  aft build:          " << to_string(aware) << " vs required "
+            << to_string(required) << " -> clash: "
+            << (boulding_clash(aware, required) ? "YES" : "no") << "\n";
+  return 0;
+}

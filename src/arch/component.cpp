@@ -1,0 +1,25 @@
+#include "arch/component.hpp"
+
+namespace aft::arch {
+
+ScriptedComponent::ScriptedComponent(std::string id, Fn fn)
+    : Component(std::move(id)), fn_(std::move(fn)) {}
+
+ScriptedComponent::ScriptedComponent(std::string id)
+    : ScriptedComponent(std::move(id), [](std::int64_t v) { return v; }) {}
+
+Component::Result ScriptedComponent::process(std::int64_t input) {
+  if (permanently_faulty_) return account(Result{false, 0});
+  if (transient_failures_ > 0) {
+    --transient_failures_;
+    return account(Result{false, 0});
+  }
+  std::int64_t out = fn_(input);
+  if (corruptions_ > 0) {
+    --corruptions_;
+    out += corruption_delta_;
+  }
+  return account(Result{true, out});
+}
+
+}  // namespace aft::arch

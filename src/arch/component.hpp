@@ -1,0 +1,100 @@
+// Component model for the ACCADA-like middleware of Sect. 3.2.
+//
+// "We assume the software system to be structured in such a way as to allow
+//  an easy reconfiguration of its components.  Natural choices for this are
+//  service-oriented and/or component-oriented architectures."
+//
+// A component consumes one integer value and produces another; that minimal
+// contract is enough to express the paper's pipelines (Fig. 3's c1..c4)
+// while keeping failures observable and injectable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aft::arch {
+
+class Component {
+ public:
+  struct Result {
+    bool ok = false;
+    std::int64_t value = 0;
+  };
+
+  explicit Component(std::string id) : id_(std::move(id)) {}
+  virtual ~Component() = default;
+
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+
+  /// One processing step.  A failed step returns ok == false; the
+  /// middleware (or an enclosing fault-tolerance pattern) decides what
+  /// happens next.
+  virtual Result process(std::int64_t input) = 0;
+
+  [[nodiscard]] std::uint64_t invocations() const noexcept { return invocations_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+
+ protected:
+  /// Book-keeping helper for subclasses.
+  Result account(Result r) noexcept {
+    ++invocations_;
+    if (!r.ok) ++failures_;
+    return r;
+  }
+
+ private:
+  std::string id_;
+  std::uint64_t invocations_ = 0;
+  std::uint64_t failures_ = 0;
+};
+
+/// A component defined by a plain function, with a scriptable fault load:
+/// the experiment can make it fail the next k invocations, fail forever
+/// (a permanent design fault), or corrupt its output value (for voting
+/// experiments).
+class ScriptedComponent final : public Component {
+ public:
+  using Fn = std::function<std::int64_t(std::int64_t)>;
+
+  ScriptedComponent(std::string id, Fn fn);
+
+  /// Identity-function component (common in structural tests).
+  explicit ScriptedComponent(std::string id);
+
+  Result process(std::int64_t input) override;
+
+  /// The next `n` invocations fail.
+  void fail_next(std::uint64_t n) noexcept { transient_failures_ += n; }
+
+  /// Every invocation from now on fails (permanent fault).
+  void fail_always() noexcept { permanently_faulty_ = true; }
+
+  /// The next `n` invocations succeed but return value+delta (silent data
+  /// corruption — the fault class voting is designed to mask).
+  void corrupt_next(std::uint64_t n, std::int64_t delta = 1) noexcept {
+    corruptions_ += n;
+    corruption_delta_ = delta;
+  }
+
+  /// Repairs the permanent fault (models physical replacement).
+  void repair() noexcept {
+    permanently_faulty_ = false;
+    transient_failures_ = 0;
+    corruptions_ = 0;
+  }
+
+  [[nodiscard]] bool permanently_faulty() const noexcept { return permanently_faulty_; }
+
+ private:
+  Fn fn_;
+  std::uint64_t transient_failures_ = 0;
+  std::uint64_t corruptions_ = 0;
+  std::int64_t corruption_delta_ = 1;
+  bool permanently_faulty_ = false;
+};
+
+}  // namespace aft::arch

@@ -1,0 +1,140 @@
+#include "arch/dag.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace aft::arch {
+namespace {
+
+/// Kahn's algorithm; returns empty when a cycle exists.
+std::vector<std::string> topo_sort(
+    const std::vector<std::string>& nodes,
+    const std::map<std::string, std::vector<std::string>>& out_edges) {
+  std::map<std::string, std::size_t> in_degree;
+  for (const auto& n : nodes) in_degree[n] = 0;
+  for (const auto& [from, tos] : out_edges) {
+    for (const auto& to : tos) ++in_degree[to];
+  }
+  std::vector<std::string> ready;
+  for (const auto& n : nodes) {
+    if (in_degree[n] == 0) ready.push_back(n);
+  }
+  std::vector<std::string> order;
+  while (!ready.empty()) {
+    // Stable: take the earliest-declared ready node.
+    const std::string n = ready.front();
+    ready.erase(ready.begin());
+    order.push_back(n);
+    const auto it = out_edges.find(n);
+    if (it == out_edges.end()) continue;
+    for (const auto& succ : it->second) {
+      if (--in_degree[succ] == 0) {
+        // Insert preserving declaration order.
+        auto pos = std::find_if(ready.begin(), ready.end(), [&](const std::string& r) {
+          const auto ri = std::find(nodes.begin(), nodes.end(), r);
+          const auto si = std::find(nodes.begin(), nodes.end(), succ);
+          return si < ri;
+        });
+        ready.insert(pos, succ);
+      }
+    }
+  }
+  if (order.size() != nodes.size()) return {};
+  return order;
+}
+
+}  // namespace
+
+std::string ReflectiveDag::validate(const DagSnapshot& s) {
+  std::set<std::string> seen;
+  for (const auto& n : s.nodes) {
+    if (!seen.insert(n).second) return "duplicate node '" + n + "'";
+  }
+  std::map<std::string, std::vector<std::string>> out_edges;
+  for (const auto& [from, to] : s.edges) {
+    if (seen.find(from) == seen.end()) return "edge from unknown node '" + from + "'";
+    if (seen.find(to) == seen.end()) return "edge to unknown node '" + to + "'";
+    out_edges[from].push_back(to);
+  }
+  if (topo_sort(s.nodes, out_edges).empty() && !s.nodes.empty()) {
+    return "snapshot contains a cycle";
+  }
+  return "";
+}
+
+void ReflectiveDag::inject(DagSnapshot snapshot) {
+  const std::string error = validate(snapshot);
+  if (!error.empty()) {
+    throw std::invalid_argument("ReflectiveDag: " + error);
+  }
+  name_ = snapshot.name;
+  nodes_ = snapshot.nodes;
+  out_edges_.clear();
+  in_edges_.clear();
+  for (const auto& [from, to] : snapshot.edges) {
+    out_edges_[from].push_back(to);
+    in_edges_[to].push_back(from);
+  }
+  ++version_;
+}
+
+bool ReflectiveDag::has_node(const std::string& id) const {
+  return std::find(nodes_.begin(), nodes_.end(), id) != nodes_.end();
+}
+
+std::vector<std::string> ReflectiveDag::predecessors(const std::string& id) const {
+  const auto it = in_edges_.find(id);
+  return it == in_edges_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> ReflectiveDag::successors(const std::string& id) const {
+  const auto it = out_edges_.find(id);
+  return it == out_edges_.end() ? std::vector<std::string>{} : it->second;
+}
+
+std::vector<std::string> ReflectiveDag::topological_order() const {
+  return topo_sort(nodes_, out_edges_);
+}
+
+std::vector<std::string> ReflectiveDag::sources() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (predecessors(n).empty()) out.push_back(n);
+  }
+  return out;
+}
+
+std::vector<std::string> ReflectiveDag::sinks() const {
+  std::vector<std::string> out;
+  for (const auto& n : nodes_) {
+    if (successors(n).empty()) out.push_back(n);
+  }
+  return out;
+}
+
+std::string ReflectiveDag::diff(const DagSnapshot& from, const DagSnapshot& to) {
+  std::ostringstream out;
+  out << "transition " << from.name << " -> " << to.name << "\n";
+  const std::set<std::string> a(from.nodes.begin(), from.nodes.end());
+  const std::set<std::string> b(to.nodes.begin(), to.nodes.end());
+  for (const auto& n : b) {
+    if (a.find(n) == a.end()) out << "  + node " << n << "\n";
+  }
+  for (const auto& n : a) {
+    if (b.find(n) == b.end()) out << "  - node " << n << "\n";
+  }
+  const std::set<std::pair<std::string, std::string>> ea(from.edges.begin(),
+                                                         from.edges.end());
+  const std::set<std::pair<std::string, std::string>> eb(to.edges.begin(),
+                                                         to.edges.end());
+  for (const auto& e : eb) {
+    if (ea.find(e) == ea.end()) out << "  + edge " << e.first << " -> " << e.second << "\n";
+  }
+  for (const auto& e : ea) {
+    if (eb.find(e) == eb.end()) out << "  - edge " << e.first << " -> " << e.second << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aft::arch

@@ -1,0 +1,70 @@
+// The reflective meta-structure of Sect. 3.2: "the software architecture
+// can be adapted by changing a reflective meta-structure in the form of a
+// directed acyclic graph (DAG)".
+//
+// A DagSnapshot is the paper's D_1 / D_2: a complete architecture
+// description that can be stored, exported, and later *injected* onto the
+// live ReflectiveDag — which "has the effect of reshaping the software
+// architecture as in Fig. 3".
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aft::arch {
+
+/// A serializable architecture description.
+struct DagSnapshot {
+  std::string name;  ///< e.g. "D1" (redoing) or "D2" (reconfiguration)
+  std::vector<std::string> nodes;
+  std::vector<std::pair<std::string, std::string>> edges;  ///< from -> to
+};
+
+class ReflectiveDag {
+ public:
+  /// Installs a snapshot as the live architecture.  Throws
+  /// std::invalid_argument when the snapshot is malformed (edge endpoints
+  /// missing from `nodes`, duplicate nodes, or a cycle).
+  void inject(DagSnapshot snapshot);
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  [[nodiscard]] const std::string& snapshot_name() const noexcept { return name_; }
+  /// Bumped on every successful injection.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  [[nodiscard]] const std::vector<std::string>& nodes() const noexcept {
+    return nodes_;
+  }
+  [[nodiscard]] bool has_node(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> predecessors(const std::string& id) const;
+  [[nodiscard]] std::vector<std::string> successors(const std::string& id) const;
+
+  /// Topological order (stable: ties broken by snapshot node order).
+  [[nodiscard]] std::vector<std::string> topological_order() const;
+
+  /// Nodes with no predecessors / no successors.
+  [[nodiscard]] std::vector<std::string> sources() const;
+  [[nodiscard]] std::vector<std::string> sinks() const;
+
+  /// Human-readable structural diff against another snapshot (added /
+  /// removed nodes and edges) — what an operator sees during a D1→D2
+  /// transition.
+  [[nodiscard]] static std::string diff(const DagSnapshot& from, const DagSnapshot& to);
+
+  /// Validates a snapshot without installing it; returns an error message
+  /// or an empty string when well-formed and acyclic.
+  [[nodiscard]] static std::string validate(const DagSnapshot& snapshot);
+
+ private:
+  std::string name_;
+  std::vector<std::string> nodes_;
+  std::map<std::string, std::vector<std::string>> out_edges_;
+  std::map<std::string, std::vector<std::string>> in_edges_;
+  std::uint64_t version_ = 0;
+};
+
+}  // namespace aft::arch

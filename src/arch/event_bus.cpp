@@ -1,0 +1,53 @@
+#include "arch/event_bus.hpp"
+
+#include <algorithm>
+
+namespace aft::arch {
+
+EventBus::SubscriptionId EventBus::subscribe(const std::string& topic,
+                                             Handler handler) {
+  const SubscriptionId id = next_id_++;
+  by_topic_[topic].push_back(Subscription{id, std::move(handler)});
+  return id;
+}
+
+EventBus::SubscriptionId EventBus::subscribe_all(Handler handler) {
+  const SubscriptionId id = next_id_++;
+  wildcard_.push_back(Subscription{id, std::move(handler)});
+  return id;
+}
+
+void EventBus::unsubscribe(SubscriptionId id) {
+  auto drop = [id](std::vector<Subscription>& subs) {
+    subs.erase(std::remove_if(subs.begin(), subs.end(),
+                              [id](const Subscription& s) { return s.id == id; }),
+               subs.end());
+  };
+  for (auto& [topic, subs] : by_topic_) drop(subs);
+  drop(wildcard_);
+}
+
+std::size_t EventBus::publish(const Message& message) {
+  ++published_;
+  std::size_t delivered = 0;
+  // Snapshot handlers so a handler subscribing/unsubscribing mid-delivery
+  // cannot invalidate the iteration.
+  std::vector<Handler> to_run;
+  if (const auto it = by_topic_.find(message.topic); it != by_topic_.end()) {
+    for (const auto& s : it->second) to_run.push_back(s.handler);
+  }
+  for (const auto& s : wildcard_) to_run.push_back(s.handler);
+  for (const auto& handler : to_run) {
+    handler(message);
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::size_t EventBus::subscriber_count() const noexcept {
+  std::size_t n = wildcard_.size();
+  for (const auto& [topic, subs] : by_topic_) n += subs.size();
+  return n;
+}
+
+}  // namespace aft::arch

@@ -1,0 +1,53 @@
+// Topic-based publish/subscribe — the notification fabric of Sect. 3.2:
+// "Through e.g. publish/subscribe, the supporting middleware component
+//  receives notifications regarding the faults being detected by the main
+//  components of the software system."
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aft::arch {
+
+struct Message {
+  std::string topic;
+  std::string source;   ///< publishing component / subsystem
+  std::string payload;  ///< free-form content
+};
+
+class EventBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using SubscriptionId = std::uint64_t;
+
+  /// Subscribes to an exact topic.  Returns an id usable for unsubscribe().
+  SubscriptionId subscribe(const std::string& topic, Handler handler);
+
+  /// Subscribes to every topic (wildcard observer, e.g. a logger).
+  SubscriptionId subscribe_all(Handler handler);
+
+  void unsubscribe(SubscriptionId id);
+
+  /// Delivers synchronously to topic subscribers then wildcard
+  /// subscribers; returns the number of handlers invoked.
+  std::size_t publish(const Message& message);
+
+  [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
+  [[nodiscard]] std::size_t subscriber_count() const noexcept;
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    Handler handler;
+  };
+
+  std::map<std::string, std::vector<Subscription>> by_topic_;
+  std::vector<Subscription> wildcard_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
+}  // namespace aft::arch

@@ -1,0 +1,72 @@
+#include "arch/middleware.hpp"
+
+#include <stdexcept>
+
+namespace aft::arch {
+
+void Middleware::register_component(std::shared_ptr<Component> component) {
+  if (!component) throw std::invalid_argument("Middleware: null component");
+  const std::string id = component->id();
+  if (components_.find(id) != components_.end()) {
+    throw std::invalid_argument("Middleware: duplicate component '" + id + "'");
+  }
+  components_[id] = std::move(component);
+}
+
+std::shared_ptr<Component> Middleware::lookup(const std::string& id) const {
+  const auto it = components_.find(id);
+  return it == components_.end() ? nullptr : it->second;
+}
+
+void Middleware::deploy(DagSnapshot snapshot) {
+  for (const auto& node : snapshot.nodes) {
+    if (components_.find(node) == components_.end()) {
+      throw std::invalid_argument("Middleware: snapshot node '" + node +
+                                  "' has no registered component");
+    }
+  }
+  dag_.inject(std::move(snapshot));
+}
+
+Middleware::RunResult Middleware::run(std::int64_t input, FailurePolicy policy) {
+  ++runs_;
+  RunResult result;
+  if (dag_.empty()) {
+    ++failed_runs_;
+    return result;
+  }
+
+  std::map<std::string, std::int64_t> outputs;
+  for (const std::string& node : dag_.topological_order()) {
+    std::int64_t in = 0;
+    const auto preds = dag_.predecessors(node);
+    if (preds.empty()) {
+      in = input;
+    } else {
+      for (const auto& p : preds) in += outputs[p];
+    }
+    const Component::Result r = components_[node]->process(in);
+    if (!r.ok) {
+      ++result.component_failures;
+      bus_.publish(Message{kFaultTopic, node, "component failure"});
+      if (policy == FailurePolicy::kFailStop) {
+        ++failed_runs_;
+        return result;  // fail-stop pipeline semantics
+      }
+      // Degraded continuation: the node contributes its input unchanged —
+      // visibly marked, never silently.
+      result.degraded = true;
+      outputs[node] = in;
+      result.trace.emplace_back(node + " [degraded]", in);
+      continue;
+    }
+    outputs[node] = r.value;
+    result.trace.emplace_back(node, r.value);
+  }
+
+  result.ok = true;
+  for (const auto& sink : dag_.sinks()) result.value += outputs[sink];
+  return result;
+}
+
+}  // namespace aft::arch

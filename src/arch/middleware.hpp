@@ -1,0 +1,75 @@
+// The ACCADA-like supporting middleware [19]: a service registry, a
+// reflective DAG, and an event bus, glued into an executable architecture.
+//
+// Executing the architecture walks the DAG in topological order; each
+// node's input is the sum of its predecessors' outputs (sources receive the
+// pipeline input).  A component failure is published on the bus under topic
+// "fault" (one notification per failing component per run) — the very
+// notifications the alpha-count oracle of Sect. 3.2 consumes — and makes
+// the run fail unless an enclosing fault-tolerance pattern masked it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/component.hpp"
+#include "arch/dag.hpp"
+#include "arch/event_bus.hpp"
+
+namespace aft::arch {
+
+/// Topic on which component failures are announced.
+inline constexpr const char* kFaultTopic = "fault";
+
+class Middleware {
+ public:
+  /// Registers a component implementation under its id.
+  void register_component(std::shared_ptr<Component> component);
+
+  [[nodiscard]] std::shared_ptr<Component> lookup(const std::string& id) const;
+  [[nodiscard]] std::size_t component_count() const noexcept {
+    return components_.size();
+  }
+
+  /// Installs an architecture; every snapshot node must have a registered
+  /// component.  Throws std::invalid_argument otherwise.
+  void deploy(DagSnapshot snapshot);
+
+  [[nodiscard]] const ReflectiveDag& dag() const noexcept { return dag_; }
+  [[nodiscard]] EventBus& bus() noexcept { return bus_; }
+
+  /// What a component failure does to the run.
+  enum class FailurePolicy : std::uint8_t {
+    kFailStop,        ///< abort the run on the first failure (default)
+    kDegradedValue,   ///< substitute the node's input (pass-through) and go on
+  };
+
+  struct RunResult {
+    bool ok = false;
+    std::int64_t value = 0;          ///< sum of sink outputs when ok
+    std::uint64_t component_failures = 0;
+    bool degraded = false;           ///< completed only via substitutions
+    /// Nodes executed, in order, with their outputs (the run trace).
+    std::vector<std::pair<std::string, std::int64_t>> trace;
+  };
+
+  /// Executes the deployed architecture once.
+  RunResult run(std::int64_t input, FailurePolicy policy = FailurePolicy::kFailStop);
+
+  [[nodiscard]] std::uint64_t runs() const noexcept { return runs_; }
+  [[nodiscard]] std::uint64_t failed_runs() const noexcept { return failed_runs_; }
+
+ private:
+  std::map<std::string, std::shared_ptr<Component>> components_;
+  ReflectiveDag dag_;
+  EventBus bus_;
+  std::uint64_t runs_ = 0;
+  std::uint64_t failed_runs_ = 0;
+};
+
+}  // namespace aft::arch

@@ -1,0 +1,28 @@
+#include "arch/stateful.hpp"
+
+namespace aft::arch {
+
+ScriptedStatefulComponent::ScriptedStatefulComponent(std::string id, Fn fn,
+                                                     std::int64_t initial_state)
+    : StatefulComponent(std::move(id)), fn_(std::move(fn)), state_(initial_state) {}
+
+ScriptedStatefulComponent::ScriptedStatefulComponent(std::string id)
+    : ScriptedStatefulComponent(
+          std::move(id),
+          [](std::int64_t state, std::int64_t input) { return state + input; }) {}
+
+Component::Result ScriptedStatefulComponent::process(std::int64_t input) {
+  if (crash_corruptions_ > 0) {
+    --crash_corruptions_;
+    state_ += corruption_delta_;  // half-done update, then the crash
+    return account(Result{false, 0});
+  }
+  state_ = fn_(state_, input);
+  if (silent_corruptions_ > 0) {
+    --silent_corruptions_;
+    state_ += corruption_delta_;
+  }
+  return account(Result{true, state_});
+}
+
+}  // namespace aft::arch

@@ -1,0 +1,68 @@
+// Stateful components: processing steps that carry internal state across
+// invocations, with a snapshot/restore surface.  This is the substrate
+// backward-recovery patterns (checkpoint/rollback) need: you cannot roll
+// back what you cannot capture.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "arch/component.hpp"
+
+namespace aft::arch {
+
+class StatefulComponent : public Component {
+ public:
+  using Component::Component;
+
+  /// Captures the full internal state (this library's components carry a
+  /// 64-bit accumulator; real systems would serialize richer state behind
+  /// the same interface).
+  [[nodiscard]] virtual std::int64_t snapshot_state() const = 0;
+
+  /// Restores a previously captured state.
+  virtual void restore_state(std::int64_t state) = 0;
+};
+
+/// A scriptable stateful component: state' = f(state, input), output =
+/// state'.  Fault injection mirrors ScriptedComponent, with one addition —
+/// state corruption, the failure mode that makes plain retry insufficient
+/// (re-running from a corrupted state repeats the wrong answer; rollback
+/// re-runs from a known-good one).
+class ScriptedStatefulComponent final : public StatefulComponent {
+ public:
+  using Fn = std::function<std::int64_t(std::int64_t state, std::int64_t input)>;
+
+  ScriptedStatefulComponent(std::string id, Fn fn, std::int64_t initial_state = 0);
+
+  /// Accumulator by default: state += input.
+  explicit ScriptedStatefulComponent(std::string id);
+
+  Result process(std::int64_t input) override;
+
+  [[nodiscard]] std::int64_t snapshot_state() const override { return state_; }
+  void restore_state(std::int64_t state) override { state_ = state; }
+
+  /// The next `n` invocations fail AND corrupt the state by `delta` — the
+  /// partially-executed-then-crashed signature rollback exists for.
+  void crash_corrupting_next(std::uint64_t n, std::int64_t delta = 999) noexcept {
+    crash_corruptions_ += n;
+    corruption_delta_ = delta;
+  }
+
+  /// The next `n` invocations succeed but leave a corrupted state behind
+  /// (silent state corruption; detectable only via acceptance tests).
+  void corrupt_state_next(std::uint64_t n, std::int64_t delta = 999) noexcept {
+    silent_corruptions_ += n;
+    corruption_delta_ = delta;
+  }
+
+ private:
+  Fn fn_;
+  std::int64_t state_;
+  std::uint64_t crash_corruptions_ = 0;
+  std::uint64_t silent_corruptions_ = 0;
+  std::int64_t corruption_delta_ = 999;
+};
+
+}  // namespace aft::arch

@@ -1,0 +1,27 @@
+#include "autonomic/estimator.hpp"
+
+#include <stdexcept>
+
+namespace aft::autonomic {
+
+DisturbanceEstimator::DisturbanceEstimator(Params params, core::Context* context)
+    : params_(params), context_(context) {
+  if (params_.alpha <= 0.0 || params_.alpha > 1.0) {
+    throw std::invalid_argument("DisturbanceEstimator: alpha in (0,1]");
+  }
+}
+
+void DisturbanceEstimator::observe(const vote::RoundReport& report) {
+  ++rounds_;
+  const double max_distance = static_cast<double>(vote::dtof_max(report.n));
+  const double instantaneous =
+      report.success && max_distance > 0.0
+          ? 1.0 - static_cast<double>(report.distance) / max_distance
+          : 1.0;
+  level_ += params_.alpha * (instantaneous - level_);
+  if (context_ != nullptr) {
+    context_->set(params_.context_key, level_);
+  }
+}
+
+}  // namespace aft::autonomic

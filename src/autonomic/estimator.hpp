@@ -1,0 +1,52 @@
+// Disturbance estimation: the Reflective Switchboards middleware "deducts
+// and publishes a measure of the current environmental disturbances"
+// (Sect. 3.3).  dtof is the per-round raw signal; the estimator smooths it
+// into a normalized disturbance level and publishes it as a context fact,
+// where assumption monitors, gestalt agents, and other subsystems can
+// consume it — the knowledge-sharing fabric of the paper's Sect. 5.
+#pragma once
+
+#include <string>
+
+#include "core/context.hpp"
+#include "vote/dtof.hpp"
+#include "vote/voting_farm.hpp"
+
+namespace aft::autonomic {
+
+class DisturbanceEstimator {
+ public:
+  struct Params {
+    /// EWMA smoothing factor in (0,1]; 1 = no smoothing.
+    double alpha = 0.05;
+    /// Context key the estimate is published under.
+    std::string context_key = "env.disturbance";
+  };
+
+  /// `context` may be nullptr (estimate-only mode, nothing published).
+  explicit DisturbanceEstimator(Params params, core::Context* context = nullptr);
+  DisturbanceEstimator() : DisturbanceEstimator(Params{}) {}
+
+  /// Folds one voting round in.  The instantaneous disturbance of a round
+  /// is the normalized *closeness* to failure: 1 - distance/dtof_max(n)
+  /// (a failed round counts as 1).  Publishes the smoothed value.
+  void observe(const vote::RoundReport& report);
+
+  /// Smoothed disturbance level in [0,1].
+  [[nodiscard]] double level() const noexcept { return level_; }
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  void reset() noexcept {
+    level_ = 0.0;
+    rounds_ = 0;
+  }
+
+ private:
+  Params params_;
+  core::Context* context_;
+  double level_ = 0.0;
+  std::uint64_t rounds_ = 0;
+};
+
+}  // namespace aft::autonomic

@@ -1,0 +1,38 @@
+#include "autonomic/secure_message.hpp"
+
+#include "util/rng.hpp"
+
+namespace aft::autonomic {
+
+std::uint64_t ResizeSigner::mac_of(std::uint64_t key,
+                                   const ResizeCommand& cmd) noexcept {
+  util::SplitMix64 mixer(key ^ 0x5bd1e995u);
+  std::uint64_t acc = mixer.next();
+  acc ^= util::SplitMix64(acc ^ cmd.target_replicas).next();
+  acc ^= util::SplitMix64(acc ^ cmd.nonce).next();
+  return acc;
+}
+
+SignedResize ResizeSigner::sign(std::size_t target_replicas) {
+  SignedResize msg;
+  msg.command.target_replicas = target_replicas;
+  msg.command.nonce = next_nonce_++;
+  msg.mac = mac_of(key_, msg.command);
+  return msg;
+}
+
+std::optional<ResizeCommand> SecureChannel::accept(const SignedResize& message) {
+  if (ResizeSigner::mac_of(key_, message.command) != message.mac) {
+    ++rejected_mac_;
+    return std::nullopt;
+  }
+  if (message.command.nonce <= last_nonce_) {
+    ++rejected_replay_;
+    return std::nullopt;
+  }
+  last_nonce_ = message.command.nonce;
+  ++accepted_;
+  return message.command;
+}
+
+}  // namespace aft::autonomic

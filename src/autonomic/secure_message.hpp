@@ -1,0 +1,73 @@
+// Authenticated control messages for redundancy revision:
+//
+// "Revisions are triggered by secure messages that ask to raise or lower
+//  the current number of replicas." (Sect. 3.3)
+//
+// A resize command carries a monotonically increasing nonce and a MAC over
+// (key, payload).  The receiving channel rejects forged MACs and replayed
+// nonces — an unauthenticated resize knob would itself be an assumption
+// ("only the switchboard resizes the farm") left unverified.
+//
+// The MAC is a keyed SplitMix64 mix — adequate for a simulation substrate,
+// NOT a cryptographic primitive; a production deployment would swap in
+// HMAC-SHA256 behind the same interface.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+namespace aft::autonomic {
+
+struct ResizeCommand {
+  std::size_t target_replicas = 0;
+  std::uint64_t nonce = 0;
+
+  friend bool operator==(const ResizeCommand&, const ResizeCommand&) = default;
+};
+
+struct SignedResize {
+  ResizeCommand command;
+  std::uint64_t mac = 0;
+};
+
+/// Sender side: signs commands with a shared key and auto-increments the
+/// nonce.
+class ResizeSigner {
+ public:
+  explicit ResizeSigner(std::uint64_t key) : key_(key) {}
+
+  [[nodiscard]] SignedResize sign(std::size_t target_replicas);
+
+  /// MAC over a command with this signer's key (exposed for verification
+  /// and for tests forging messages).
+  [[nodiscard]] static std::uint64_t mac_of(std::uint64_t key,
+                                            const ResizeCommand& cmd) noexcept;
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t next_nonce_ = 1;
+};
+
+/// Receiver side: verifies MAC and strict nonce monotonicity.
+class SecureChannel {
+ public:
+  explicit SecureChannel(std::uint64_t key) : key_(key) {}
+
+  /// Returns the command when authentic and fresh; nullopt otherwise.
+  [[nodiscard]] std::optional<ResizeCommand> accept(const SignedResize& message);
+
+  [[nodiscard]] std::uint64_t accepted() const noexcept { return accepted_; }
+  [[nodiscard]] std::uint64_t rejected_mac() const noexcept { return rejected_mac_; }
+  [[nodiscard]] std::uint64_t rejected_replay() const noexcept {
+    return rejected_replay_;
+  }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t last_nonce_ = 0;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_mac_ = 0;
+  std::uint64_t rejected_replay_ = 0;
+};
+
+}  // namespace aft::autonomic

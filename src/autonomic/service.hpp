@@ -1,0 +1,108 @@
+// AutonomicReplicationService — the Sect. 3.3 stack as one facade:
+//
+//   VotingFarm (restoring organ)
+//     + ReflectiveSwitchboard (dtof-driven redundancy revision)
+//     + DisturbanceEstimator (smoothed environment deduction, published
+//       into a Context for other subsystems / gestalt agents)
+//     + the dimensioning assumption as a first-class Assumption variable
+//       that is *rebound* on every resize — "context-aware, autonomically
+//       changing Horning Assumptions".
+//
+// A caller supplies the replicated task and invokes call(); everything else
+// is autonomic.  This is the API a downstream user of the library would
+// actually program against.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "autonomic/estimator.hpp"
+#include "autonomic/switchboard.hpp"
+#include "core/assumption.hpp"
+#include "core/context.hpp"
+#include "vote/health.hpp"
+#include "vote/voting_farm.hpp"
+
+namespace aft::autonomic {
+
+class AutonomicReplicationService {
+ public:
+  struct Options {
+    std::size_t initial_replicas = 3;
+    ReflectiveSwitchboard::Policy policy{};
+    DisturbanceEstimator::Params estimator{};
+    std::uint64_t shared_key = 0xA47;  ///< switchboard<->farm channel key
+    std::string assumption_id = "dim.redundancy";
+    /// When true, per-slot dissent is tracked by an alpha-count oracle and
+    /// a slot judged permanently/intermittently faulty has its physical
+    /// unit REPLACED (the next spare unit id is mapped in) — Sect. 3.2's
+    /// "replace on failure" decision, taken inside the Sect. 3.3 organ,
+    /// only when the oracle has discriminated the fault as non-transient.
+    bool retire_faulty_units = false;
+    detect::AlphaCount::Params health{};
+  };
+
+  /// The replicated method.  The second argument is a *unit id*: the
+  /// identity of the physical/logical unit executing this replica slot.
+  /// Without retirement it equals the slot index; with retirement, a slot
+  /// whose unit was judged faulty gets a fresh unit id (modelling the
+  /// engagement of a spare).
+  using Task = std::function<vote::Ballot(vote::Ballot input, std::size_t unit)>;
+
+  /// `context` may be nullptr; when given, the disturbance level and the
+  /// current redundancy degree are published into it.
+  AutonomicReplicationService(Task task, Options options,
+                              core::Context* context = nullptr);
+
+  /// One replicated invocation: replicate, vote, observe, maybe resize.
+  /// Returns the voted value, or nullopt when no majority existed (an
+  /// assumption failure the caller must handle — it is also counted).
+  std::optional<vote::Ballot> call(vote::Ballot input);
+
+  [[nodiscard]] std::size_t replicas() const noexcept { return farm_.replicas(); }
+  [[nodiscard]] double disturbance_level() const noexcept {
+    return estimator_.level();
+  }
+  [[nodiscard]] std::uint64_t calls() const noexcept { return farm_.rounds(); }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return farm_.failures(); }
+  [[nodiscard]] const ReflectiveSwitchboard& switchboard() const noexcept {
+    return board_;
+  }
+  /// The live dimensioning assumption a(r): "Degree of employed redundancy
+  /// is r" (the Fig. 7 caption's assumption variable).
+  [[nodiscard]] const core::Assumption<std::int64_t>& dimensioning_assumption()
+      const noexcept {
+    return assumption_;
+  }
+  [[nodiscard]] const vote::RoundReport& last_report() const noexcept {
+    return last_report_;
+  }
+
+  /// Faulty units replaced so far (0 unless retire_faulty_units).
+  [[nodiscard]] std::uint64_t units_replaced() const noexcept {
+    return units_replaced_;
+  }
+  /// Unit currently serving a replica slot.
+  [[nodiscard]] std::size_t unit_of_slot(std::size_t slot) const;
+
+ private:
+  void ensure_slot_units(std::size_t n);
+
+  core::Context* context_;
+  Options options_;
+  Task task_;
+  std::vector<std::size_t> unit_of_slot_;
+  std::size_t next_unit_ = 0;
+  std::uint64_t units_replaced_ = 0;
+  vote::VotingFarm farm_;
+  ReflectiveSwitchboard board_;
+  DisturbanceEstimator estimator_;
+  vote::ReplicaHealthTracker health_;
+  core::Assumption<std::int64_t> assumption_;
+  vote::RoundReport last_report_{};
+  std::string replicas_key_;
+};
+
+}  // namespace aft::autonomic

@@ -1,0 +1,64 @@
+#include "autonomic/switchboard.hpp"
+
+#include <stdexcept>
+
+#include "vote/dtof.hpp"
+
+namespace aft::autonomic {
+
+ReflectiveSwitchboard::ReflectiveSwitchboard(vote::VotingFarm& farm, Policy policy,
+                                             std::uint64_t shared_key)
+    : farm_(farm), policy_(policy), signer_(shared_key), channel_(shared_key) {
+  if (policy_.min_replicas < 1 || policy_.max_replicas < policy_.min_replicas) {
+    throw std::invalid_argument("ReflectiveSwitchboard: bad replica bounds");
+  }
+  if (policy_.step == 0 || policy_.step % 2 != 0) {
+    throw std::invalid_argument(
+        "ReflectiveSwitchboard: step must be even to preserve odd arity");
+  }
+}
+
+void ReflectiveSwitchboard::request_resize(std::size_t target, bool raised) {
+  // The resize request travels as an authenticated message; only commands
+  // that survive MAC + freshness checks reach the farm.
+  const SignedResize msg = signer_.sign(target);
+  if (const auto cmd = channel_.accept(msg)) {
+    farm_.resize(cmd->target_replicas);
+    if (raised) {
+      ++raises_;
+    } else {
+      ++lowers_;
+    }
+    if (hook_) hook_(farm_.replicas(), raised);
+  }
+}
+
+void ReflectiveSwitchboard::observe(const vote::RoundReport& report) {
+  ++rounds_;
+  occupancy_.add(static_cast<std::int64_t>(report.n));
+
+  const std::int64_t max_distance = vote::dtof_max(report.n);
+  const bool dissent_observed = report.distance < max_distance;
+  if (report.distance <= policy_.critical_dtof ||
+      (policy_.raise_on_any_dissent && dissent_observed)) {
+    // Disturbance symptom: grow, immediately.
+    consecutive_high_ = 0;
+    if (report.n < policy_.max_replicas) {
+      request_resize(report.n + policy_.step, /*raised=*/true);
+    }
+    return;
+  }
+  if (report.distance >= max_distance - policy_.high_margin) {
+    ++consecutive_high_;
+    if (consecutive_high_ >= policy_.lower_after && report.n > policy_.min_replicas) {
+      request_resize(report.n - policy_.step, /*raised=*/false);
+      consecutive_high_ = 0;
+    }
+    return;
+  }
+  // Mid-band dissent: neither comfortable nor critical; restart the
+  // high-streak so we do not shed redundancy while disturbance lingers.
+  consecutive_high_ = 0;
+}
+
+}  // namespace aft::autonomic

@@ -1,0 +1,85 @@
+// The Reflective Switchboards middleware of Sect. 3.3 [27]: an autonomic
+// controller that "deducts and publishes a measure of the current
+// environmental disturbances" (dtof) and revises the farm's redundancy:
+//
+//   - "When dtof is critically low, the Reflective Switchboards request the
+//      replication system to increase the number of redundant replicas."
+//   - "When dtof is high for a certain amount of consecutive runs — 1000
+//      runs in our experiments — a request to lower the number of replicas
+//      is issued."
+//
+// Resizes travel as authenticated messages (secure_message.hpp).  The
+// controller keeps the occupancy histogram (Fig. 7) and counters that the
+// benches report.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "autonomic/secure_message.hpp"
+#include "util/histogram.hpp"
+#include "vote/voting_farm.hpp"
+
+namespace aft::autonomic {
+
+class ReflectiveSwitchboard {
+ public:
+  struct Policy {
+    std::size_t min_replicas = 3;
+    std::size_t max_replicas = 9;
+    std::size_t step = 2;           ///< resize increment (keeps arity odd)
+    std::int64_t critical_dtof = 1; ///< always raise when distance <= this
+    /// When true (default), any dissent at all triggers a raise: "a large
+    /// dissent ... is interpreted as a symptom that the current amount of
+    /// redundancy employed is not large enough" — and the cheapest moment
+    /// to grow is before the dissent grows.  When false, only distances at
+    /// or below critical_dtof raise (a more frugal but riskier controller;
+    /// abl_switchboard_policy quantifies the difference).
+    bool raise_on_any_dissent = true;
+    std::int64_t high_margin = 0;   ///< "high" = within this of dtof_max
+    std::uint64_t lower_after = 1000;  ///< consecutive high rounds before lowering
+  };
+
+  /// Observer invoked on every resize actually performed:
+  /// (new_replicas, raised).
+  using ResizeHook = std::function<void(std::size_t, bool)>;
+
+  ReflectiveSwitchboard(vote::VotingFarm& farm, Policy policy,
+                        std::uint64_t shared_key);
+
+  /// Post-voting hook: call with every completed round's report.
+  void observe(const vote::RoundReport& report);
+
+  void set_resize_hook(ResizeHook hook) { hook_ = std::move(hook); }
+
+  [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+  [[nodiscard]] std::uint64_t raises() const noexcept { return raises_; }
+  [[nodiscard]] std::uint64_t lowers() const noexcept { return lowers_; }
+  [[nodiscard]] std::uint64_t rounds_observed() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t consecutive_high() const noexcept {
+    return consecutive_high_;
+  }
+
+  /// Time steps spent at each redundancy degree — the Fig. 7 data.
+  [[nodiscard]] const util::Histogram& redundancy_histogram() const noexcept {
+    return occupancy_;
+  }
+
+  [[nodiscard]] const SecureChannel& channel() const noexcept { return channel_; }
+
+ private:
+  void request_resize(std::size_t target, bool raised);
+
+  vote::VotingFarm& farm_;
+  Policy policy_;
+  ResizeSigner signer_;
+  SecureChannel channel_;
+  ResizeHook hook_;
+  std::uint64_t consecutive_high_ = 0;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t raises_ = 0;
+  std::uint64_t lowers_ = 0;
+  util::Histogram occupancy_;
+};
+
+}  // namespace aft::autonomic

@@ -1,0 +1,137 @@
+#include "contract/clause.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <variant>
+
+namespace aft::contract {
+namespace {
+
+/// Numeric view of a context value, when it has one.
+std::optional<double> as_number(const core::ContextValue& v) {
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return static_cast<double>(*i);
+  if (const auto* d = std::get_if<double>(&v)) return *d;
+  return std::nullopt;
+}
+
+bool compare(double lhs, Op op, double rhs) {
+  switch (op) {
+    case Op::kEq: return lhs == rhs;
+    case Op::kNe: return lhs != rhs;
+    case Op::kLt: return lhs < rhs;
+    case Op::kLe: return lhs <= rhs;
+    case Op::kGt: return lhs > rhs;
+    case Op::kGe: return lhs >= rhs;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string to_string(Op op) {
+  switch (op) {
+    case Op::kEq: return "==";
+    case Op::kNe: return "!=";
+    case Op::kLt: return "<";
+    case Op::kLe: return "<=";
+    case Op::kGt: return ">";
+    case Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::optional<Op> parse_op(const std::string& text) {
+  if (text == "==") return Op::kEq;
+  if (text == "!=") return Op::kNe;
+  if (text == "<") return Op::kLt;
+  if (text == "<=") return Op::kLe;
+  if (text == ">") return Op::kGt;
+  if (text == ">=") return Op::kGe;
+  return std::nullopt;
+}
+
+std::string to_string(const core::ContextValue& v) {
+  if (const auto* b = std::get_if<bool>(&v)) return *b ? "true" : "false";
+  if (const auto* i = std::get_if<std::int64_t>(&v)) return std::to_string(*i);
+  if (const auto* d = std::get_if<double>(&v)) {
+    std::ostringstream out;
+    out << *d;
+    std::string s = out.str();
+    // Keep the double-ness visible so serialize/parse round-trips preserve
+    // the type: "32767" would re-parse as an integer.
+    if (s.find('.') == std::string::npos && s.find('e') == std::string::npos &&
+        s.find("inf") == std::string::npos && s.find("nan") == std::string::npos) {
+      s += ".0";
+    }
+    return s;
+  }
+  return std::get<std::string>(v);
+}
+
+std::optional<bool> Clause::evaluate(const core::Context& ctx) const {
+  const auto it = ctx.facts().find(key);
+  if (it == ctx.facts().end()) return std::nullopt;
+  const core::ContextValue& observed = it->second;
+
+  // Numeric comparison whenever both sides are numeric.
+  const auto lhs = as_number(observed);
+  const auto rhs = as_number(bound);
+  if (lhs.has_value() && rhs.has_value()) {
+    return compare(*lhs, op, *rhs);
+  }
+  // Otherwise only (in)equality on identical alternatives is meaningful.
+  if (op == Op::kEq) return observed == bound;
+  if (op == Op::kNe) return !(observed == bound);
+  return false;  // ordered comparison on non-numeric values: unsatisfied
+}
+
+bool Clause::implies(const Clause& weaker) const {
+  if (key != weaker.key) return false;
+  const auto a = as_number(bound);
+  const auto b = as_number(weaker.bound);
+
+  // Equality implies anything the equal value satisfies.
+  if (op == Op::kEq) {
+    core::Context ctx;
+    ctx.set(key, bound);
+    return weaker.evaluate(ctx).value_or(false);
+  }
+  if (!a.has_value() || !b.has_value()) {
+    return op == weaker.op && bound == weaker.bound;  // identical clause
+  }
+
+  // Interval reasoning for numeric bounds.
+  switch (weaker.op) {
+    case Op::kLe:
+      return (op == Op::kLe && *a <= *b) || (op == Op::kLt && *a <= *b);
+    case Op::kLt:
+      return (op == Op::kLt && *a <= *b) || (op == Op::kLe && *a < *b);
+    case Op::kGe:
+      return (op == Op::kGe && *a >= *b) || (op == Op::kGt && *a >= *b);
+    case Op::kGt:
+      return (op == Op::kGt && *a >= *b) || (op == Op::kGe && *a > *b);
+    case Op::kNe:
+      // x < b implies x != b; x > b implies x != b.
+      return (op == Op::kLt && *a <= *b) || (op == Op::kGt && *a >= *b);
+    case Op::kEq:
+      return false;  // no inequality pins a single value
+  }
+  return false;
+}
+
+std::string Clause::to_string() const {
+  return key + " " + contract::to_string(op) + " " + contract::to_string(bound);
+}
+
+Clause clause_eq(std::string key, core::ContextValue v) {
+  return Clause{std::move(key), Op::kEq, std::move(v)};
+}
+Clause clause_le(std::string key, double v) { return Clause{std::move(key), Op::kLe, v}; }
+Clause clause_ge(std::string key, double v) { return Clause{std::move(key), Op::kGe, v}; }
+Clause clause_lt(std::string key, double v) { return Clause{std::move(key), Op::kLt, v}; }
+Clause clause_gt(std::string key, double v) { return Clause{std::move(key), Op::kGt, v}; }
+Clause clause_ne(std::string key, core::ContextValue v) {
+  return Clause{std::move(key), Op::kNe, std::move(v)};
+}
+
+}  // namespace aft::contract

@@ -1,0 +1,61 @@
+// Declarative contract clauses — the WS-Policy-style machine-checkable
+// counterpart of Design by Contract (paper Sect. 4):
+//
+//   "WS-Policy implements a sort of XML-based run-time version of Design by
+//    Contract: using WS-Policy web service suppliers can advertise their
+//    pre-conditions (expected requirements ...), post-conditions (expected
+//    state evolutions), and invariants (expected stable states)."
+//
+// A Clause constrains one context fact (e.g. `latency.ms <= 10`).  Clauses
+// support two operations: evaluation against a live Context, and
+// *implication* between clauses on the same key — the reasoning primitive
+// behind contract matching ("does the supplier's advertised guarantee imply
+// what the client requires?").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "core/context.hpp"
+
+namespace aft::contract {
+
+enum class Op : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+[[nodiscard]] std::string to_string(Op op);
+
+/// Parses "==", "!=", "<", "<=", ">", ">="; nullopt otherwise.
+[[nodiscard]] std::optional<Op> parse_op(const std::string& text);
+
+/// Renders a context value ("true", "42", "3.5", or the raw string).
+[[nodiscard]] std::string to_string(const core::ContextValue& value);
+
+struct Clause {
+  std::string key;               ///< context fact the clause constrains
+  Op op = Op::kEq;
+  core::ContextValue bound{};    ///< comparison operand
+
+  /// Evaluates against a context.  Unobservable (missing key) is distinct
+  /// from false: nullopt.
+  [[nodiscard]] std::optional<bool> evaluate(const core::Context& ctx) const;
+
+  /// True when every world satisfying *this* also satisfies `weaker`
+  /// (sound but deliberately incomplete: clauses on different keys never
+  /// imply each other, and only numeric/equality reasoning is performed).
+  [[nodiscard]] bool implies(const Clause& weaker) const;
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Clause&, const Clause&) = default;
+};
+
+/// Convenience constructors.
+[[nodiscard]] Clause clause_eq(std::string key, core::ContextValue v);
+[[nodiscard]] Clause clause_le(std::string key, double v);
+[[nodiscard]] Clause clause_ge(std::string key, double v);
+[[nodiscard]] Clause clause_lt(std::string key, double v);
+[[nodiscard]] Clause clause_gt(std::string key, double v);
+[[nodiscard]] Clause clause_ne(std::string key, core::ContextValue v);
+
+}  // namespace aft::contract

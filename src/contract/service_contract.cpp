@@ -1,0 +1,44 @@
+#include "contract/service_contract.hpp"
+
+namespace aft::contract {
+
+MatchReport match(const ServiceContract& client, const ServiceContract& supplier) {
+  MatchReport report;
+  report.log.push_back("matching client '" + client.service + "' against supplier '" +
+                       supplier.service + "'");
+  for (const Clause& required : client.requirements) {
+    bool satisfied = false;
+    for (const Clause& offered : supplier.guarantees) {
+      if (offered.implies(required)) {
+        report.log.push_back("  " + required.to_string() + "  <=  " +
+                             offered.to_string());
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied) {
+      report.log.push_back("  " + required.to_string() + "  UNMATCHED");
+      report.unmatched.push_back(required);
+    }
+  }
+  report.compatible = report.unmatched.empty();
+  report.log.push_back(report.compatible ? "compatible"
+                                         : "INCOMPATIBLE: binding refused");
+  return report;
+}
+
+VerificationReport verify_guarantees(const ServiceContract& contract,
+                                     const core::Context& ctx) {
+  VerificationReport report;
+  for (const Clause& guarantee : contract.guarantees) {
+    const std::optional<bool> verdict = guarantee.evaluate(ctx);
+    if (!verdict.has_value()) {
+      report.unobservable.push_back(guarantee);
+    } else if (!*verdict) {
+      report.violated.push_back(guarantee);
+    }
+  }
+  return report;
+}
+
+}  // namespace aft::contract

@@ -1,0 +1,53 @@
+// Service contracts and contract matching — the deployment-time treatment
+// of third-party-software assumptions (the second bullet of the paper's
+// introduction: "third-party software (e.g. the reliability of an
+// open-source software library we make use of)").
+//
+// A supplier *advertises* guarantees; a client *requires* properties.  The
+// binder checks, before wiring them together, that every requirement is
+// implied by some advertised guarantee.  An unmatched requirement is an
+// assumption failure caught at binding time instead of production time —
+// WS-Policy semantics over the library's Clause algebra.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "contract/clause.hpp"
+
+namespace aft::contract {
+
+struct ServiceContract {
+  std::string service;              ///< service / component name
+  std::vector<Clause> guarantees;   ///< what the supplier promises (postconditions)
+  std::vector<Clause> requirements; ///< what this party needs from its peer
+};
+
+/// Result of matching a client against a supplier.
+struct MatchReport {
+  bool compatible = false;
+  /// Client requirements no supplier guarantee implies.
+  std::vector<Clause> unmatched;
+  /// Human-readable trace of the matching decisions.
+  std::vector<std::string> log;
+};
+
+/// Checks that every clause in `client.requirements` is implied by at least
+/// one clause in `supplier.guarantees`.
+[[nodiscard]] MatchReport match(const ServiceContract& client,
+                                const ServiceContract& supplier);
+
+/// Run-time verification: evaluates a contract's guarantees against a live
+/// context (the supplier's *actual* behaviour, as measured).  Returns the
+/// violated clauses — guarantees whose advertised truth clashes with
+/// observation.  Unobservable clauses are skipped (and listed separately).
+struct VerificationReport {
+  std::vector<Clause> violated;
+  std::vector<Clause> unobservable;
+  [[nodiscard]] bool ok() const noexcept { return violated.empty(); }
+};
+
+[[nodiscard]] VerificationReport verify_guarantees(const ServiceContract& contract,
+                                                   const core::Context& ctx);
+
+}  // namespace aft::contract

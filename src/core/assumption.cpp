@@ -1,0 +1,43 @@
+#include "core/assumption.hpp"
+
+namespace aft::core {
+
+std::string to_string(Subject s) {
+  switch (s) {
+    case Subject::kHardware: return "hardware";
+    case Subject::kThirdPartySoftware: return "third-party-software";
+    case Subject::kExecutionEnvironment: return "execution-environment";
+    case Subject::kPhysicalEnvironment: return "physical-environment";
+  }
+  return "unknown";
+}
+
+const char* to_string(AssumptionState s) noexcept {
+  switch (s) {
+    case AssumptionState::kUnverified: return "unverified";
+    case AssumptionState::kHolds: return "holds";
+    case AssumptionState::kViolated: return "violated";
+  }
+  return "unknown";
+}
+
+AssumptionBase::AssumptionBase(std::string id, std::string statement,
+                               Subject subject, Provenance provenance)
+    : id_(std::move(id)),
+      statement_(std::move(statement)),
+      subject_(subject),
+      provenance_(std::move(provenance)) {}
+
+std::optional<Clash> AssumptionBase::verify(const Context& ctx) {
+  ++verifications_;
+  const Outcome outcome = evaluate(ctx);
+  state_ = outcome.state;
+  if (state_ != AssumptionState::kViolated) return std::nullopt;
+  return Clash{.assumption_id = id_,
+               .statement = statement_,
+               .observed = outcome.observed,
+               .subject = subject_,
+               .context_revision = ctx.revision()};
+}
+
+}  // namespace aft::core

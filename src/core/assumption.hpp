@@ -1,0 +1,158 @@
+// Assumptions as first-class, inspectable objects.
+//
+// The paper's notation: a lowercase italic letter denotes an assumption
+// (e.g. f: "Horizontal velocity can be represented by a short integer");
+// the same letter in bold denotes the *true value* observed in the current
+// context.  A clash between the two is an assumption failure.
+//
+// Making the assumption an explicit object — with provenance, a subject
+// class, and a machine-checkable predicate — is the antidote to the
+// Hidden-Intelligence syndrome: the hypothesis can no longer be "sifted off
+// or hardwired in the executable code" where nobody can inspect it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/binding.hpp"
+#include "core/context.hpp"
+
+namespace aft::core {
+
+/// What the assumption is about — the four classes the paper's introduction
+/// enumerates as lacking systematic expression/verification support.
+enum class Subject : std::uint8_t {
+  kHardware,              ///< e.g. failure semantics of memory modules
+  kThirdPartySoftware,    ///< e.g. reliability of a reused library
+  kExecutionEnvironment,  ///< e.g. provisions of the JVM / browser / OS
+  kPhysicalEnvironment,   ///< e.g. flight-trajectory parameter ranges
+};
+
+[[nodiscard]] std::string to_string(Subject s);
+
+/// Where the assumption came from: the record that must travel with reused
+/// code (its loss is exactly what doomed the Ariane-4 software on Ariane 5).
+struct Provenance {
+  std::string origin;        ///< project/component that formulated it, e.g. "Ariane 4 SRI"
+  std::string rationale;     ///< why it was believed true
+  BindingTime stated_at = BindingTime::kDesign;
+};
+
+enum class AssumptionState : std::uint8_t {
+  kUnverified,  ///< never checked, or not observable in the current context
+  kHolds,       ///< last verification matched
+  kViolated,    ///< last verification clashed
+};
+
+[[nodiscard]] const char* to_string(AssumptionState s) noexcept;
+
+/// An observed assumption failure: "assumption-versus-context clash".
+struct Clash {
+  std::string assumption_id;
+  std::string statement;      ///< the assumed hypothesis (italic letter)
+  std::string observed;       ///< the contextual truth (bold letter)
+  Subject subject = Subject::kPhysicalEnvironment;
+  std::uint64_t context_revision = 0;
+};
+
+/// Type-erased base so heterogeneous assumptions live in one registry.
+class AssumptionBase {
+ public:
+  AssumptionBase(std::string id, std::string statement, Subject subject,
+                 Provenance provenance);
+  virtual ~AssumptionBase() = default;
+
+  AssumptionBase(const AssumptionBase&) = delete;
+  AssumptionBase& operator=(const AssumptionBase&) = delete;
+
+  [[nodiscard]] const std::string& id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& statement() const noexcept { return statement_; }
+  [[nodiscard]] Subject subject() const noexcept { return subject_; }
+  [[nodiscard]] const Provenance& provenance() const noexcept { return provenance_; }
+  [[nodiscard]] AssumptionState state() const noexcept { return state_; }
+  [[nodiscard]] std::uint64_t verifications() const noexcept { return verifications_; }
+
+  /// Matches the hypothesis against the context.  Returns a Clash when the
+  /// truth contradicts the assumption; nullopt when it holds or cannot be
+  /// observed (state() distinguishes the two).
+  std::optional<Clash> verify(const Context& ctx);
+
+ protected:
+  /// Verification outcome as seen by the concrete assumption type.
+  struct Outcome {
+    AssumptionState state = AssumptionState::kUnverified;
+    std::string observed;  ///< human-readable truth, for the Clash record
+  };
+  [[nodiscard]] virtual Outcome evaluate(const Context& ctx) const = 0;
+
+ private:
+  std::string id_;
+  std::string statement_;
+  Subject subject_;
+  Provenance provenance_;
+  AssumptionState state_ = AssumptionState::kUnverified;
+  std::uint64_t verifications_ = 0;
+};
+
+/// A typed assumption: an assumed value, a probe that observes the truth in
+/// the context, and a predicate that decides whether truth matches belief.
+template <typename T>
+class Assumption final : public AssumptionBase {
+ public:
+  using Probe = std::function<std::optional<T>(const Context&)>;
+  using Check = std::function<bool(const T& assumed, const T& observed)>;
+
+  Assumption(std::string id, std::string statement, Subject subject,
+             Provenance provenance, T assumed, Probe probe, Check check)
+      : AssumptionBase(std::move(id), std::move(statement), subject,
+                       std::move(provenance)),
+        assumed_(std::move(assumed)),
+        probe_(std::move(probe)),
+        check_(std::move(check)) {}
+
+  /// Convenience: probe a context key directly, compare with ==.
+  Assumption(std::string id, std::string statement, Subject subject,
+             Provenance provenance, T assumed, std::string context_key)
+      : Assumption(
+            std::move(id), std::move(statement), subject, std::move(provenance),
+            std::move(assumed),
+            [key = std::move(context_key)](const Context& ctx) {
+              return ctx.get<T>(key);
+            },
+            [](const T& a, const T& o) { return a == o; }) {}
+
+  [[nodiscard]] const T& assumed() const noexcept { return assumed_; }
+
+  /// Run-time re-binding: revises the hypothesis itself (the Sect. 3.3
+  /// pattern of "context-aware, autonomically changing Horning
+  /// Assumptions").
+  void rebind(T new_value) { assumed_ = std::move(new_value); }
+
+ protected:
+  [[nodiscard]] Outcome evaluate(const Context& ctx) const override {
+    const std::optional<T> observed = probe_(ctx);
+    if (!observed.has_value()) return Outcome{AssumptionState::kUnverified, ""};
+    if (check_(assumed_, *observed)) return Outcome{AssumptionState::kHolds, ""};
+    return Outcome{AssumptionState::kViolated, describe(*observed)};
+  }
+
+ private:
+  [[nodiscard]] static std::string describe(const T& value) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return value;
+    } else if constexpr (std::is_same_v<T, bool>) {
+      return value ? "true" : "false";
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  T assumed_;
+  Probe probe_;
+  Check check_;
+};
+
+}  // namespace aft::core

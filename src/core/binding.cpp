@@ -1,0 +1,15 @@
+#include "core/binding.hpp"
+
+namespace aft::core {
+
+std::string to_string(BindingTime t) {
+  switch (t) {
+    case BindingTime::kDesign: return "design-time";
+    case BindingTime::kCompile: return "compile-time";
+    case BindingTime::kDeploy: return "deployment-time";
+    case BindingTime::kRun: return "run-time";
+  }
+  return "unknown";
+}
+
+}  // namespace aft::core

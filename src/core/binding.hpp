@@ -1,0 +1,29 @@
+// Binding times — the "time stages" of software development the paper
+// enumerates (Sect. 4/6): design, compile, deployment, run time.  The key
+// idea of Sect. 3 is to let the designer formulate *dynamic* assumptions
+// whose binding is postponed to the latest stage at which the truth can
+// actually be known.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aft::core {
+
+enum class BindingTime : std::uint8_t {
+  kDesign = 0,
+  kCompile = 1,
+  kDeploy = 2,
+  kRun = 3,
+};
+
+[[nodiscard]] std::string to_string(BindingTime t);
+
+/// True when binding at `actual` is a legal postponement of a decision
+/// formulated at `declared` (one can only bind later, never earlier).
+[[nodiscard]] constexpr bool is_postponement(BindingTime declared,
+                                             BindingTime actual) noexcept {
+  return static_cast<std::uint8_t>(actual) >= static_cast<std::uint8_t>(declared);
+}
+
+}  // namespace aft::core

@@ -1,0 +1,38 @@
+#include "core/boulding.hpp"
+
+namespace aft::core {
+
+std::string to_string(BouldingCategory c) {
+  switch (c) {
+    case BouldingCategory::kFramework: return "Framework";
+    case BouldingCategory::kClockwork: return "Clockwork";
+    case BouldingCategory::kThermostat: return "Thermostat";
+    case BouldingCategory::kCell: return "Cell";
+    case BouldingCategory::kPlant: return "Plant";
+    case BouldingCategory::kAnimal: return "Animal";
+    case BouldingCategory::kBeing: return "Being";
+  }
+  return "unknown";
+}
+
+BouldingCategory classify(const SystemTraits& t) noexcept {
+  if (t.revises_own_assumptions && t.revises_own_structure) {
+    return BouldingCategory::kPlant;
+  }
+  if (t.revises_own_structure || t.revises_own_assumptions) {
+    return BouldingCategory::kCell;
+  }
+  if (t.feedback_control || t.introspects_platform) {
+    return BouldingCategory::kThermostat;
+  }
+  if (t.reacts_to_inputs) return BouldingCategory::kClockwork;
+  return BouldingCategory::kFramework;
+}
+
+BouldingCategory required_category(const EnvironmentDemands& env) noexcept {
+  if (env.unanticipated_change) return BouldingCategory::kCell;
+  if (env.bounded_fluctuations) return BouldingCategory::kThermostat;
+  return BouldingCategory::kClockwork;
+}
+
+}  // namespace aft::core

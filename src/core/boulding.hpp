@@ -1,0 +1,60 @@
+// Boulding's hierarchy of system complexity (General Systems Theory, 1956)
+// as used by the paper to classify software systems' context-awareness.
+//
+// "Such systems are among the naivest classes of systems in Kenneth
+//  Boulding's famous classification ... categories of 'Clockworks' ... and
+//  'Thermostats' ... The resulting system complies to Boulding's categories
+//  of 'Cells' and 'Plants', i.e. open software systems with a
+//  self-maintaining structure" — and ultimately "Beings".
+//
+// A Boulding *clash* — the Boulding syndrome — occurs when a system's
+// category is below what its operational environment demands.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aft::core {
+
+/// Boulding's levels (the paper uses 1-4 plus "Beings" for 7+).
+enum class BouldingCategory : std::uint8_t {
+  kFramework = 1,   ///< static structure
+  kClockwork = 2,   ///< "simple dynamic system with predetermined, necessary motions"
+  kThermostat = 3,  ///< "control mechanisms ... maintenance of any given equilibrium, within limits"
+  kCell = 4,        ///< open, self-maintaining structure
+  kPlant = 5,       ///< open, self-maintaining, differentiated subsystems
+  kAnimal = 6,      ///< mobility, teleological behaviour, self-awareness precursors
+  kBeing = 7,       ///< self-aware, fully autonomically resilient (paper's target)
+};
+
+[[nodiscard]] std::string to_string(BouldingCategory c);
+
+/// Structural traits from which a system's category is derived.
+struct SystemTraits {
+  bool reacts_to_inputs = false;       ///< any dynamic behaviour at all
+  bool feedback_control = false;       ///< maintains setpoints within limits
+  bool introspects_platform = false;   ///< self-tests / verifies its substrate
+  bool revises_own_structure = false;  ///< autonomically reshapes (e.g. DAG injection)
+  bool revises_own_assumptions = false;///< re-binds assumption variables at run time
+};
+
+/// Classifies a system by the strongest trait it exhibits.
+[[nodiscard]] BouldingCategory classify(const SystemTraits& traits) noexcept;
+
+/// Environment demands, from which the *required* category is derived.
+struct EnvironmentDemands {
+  bool static_environment = true;      ///< nothing ever changes
+  bool bounded_fluctuations = false;   ///< drifts within anticipated limits
+  bool unanticipated_change = false;   ///< Horning's "something the designer never anticipated"
+};
+
+[[nodiscard]] BouldingCategory required_category(const EnvironmentDemands& env) noexcept;
+
+/// The Boulding syndrome test: true when the system is too naive for its
+/// environment.
+[[nodiscard]] constexpr bool boulding_clash(BouldingCategory system,
+                                            BouldingCategory required) noexcept {
+  return static_cast<std::uint8_t>(system) < static_cast<std::uint8_t>(required);
+}
+
+}  // namespace aft::core

@@ -1,0 +1,25 @@
+#include "core/context.hpp"
+
+namespace aft::core {
+
+void Context::set(const std::string& key, ContextValue value) {
+  facts_[key] = std::move(value);
+  ++revision_;
+}
+
+bool Context::contains(const std::string& key) const {
+  return facts_.find(key) != facts_.end();
+}
+
+void Context::erase(const std::string& key) {
+  if (facts_.erase(key) > 0) ++revision_;
+}
+
+void Context::merge(const Context& other) {
+  for (const auto& [key, value] : other.facts_) {
+    facts_[key] = value;
+  }
+  if (!other.facts_.empty()) ++revision_;
+}
+
+}  // namespace aft::core

@@ -1,0 +1,55 @@
+// The context blackboard: "endogenous knowledge deducted from the
+// processing subsystems as well as exogenous knowledge derived from their
+// execution and physical environments" (Sect. 1).
+//
+// Probes (hardware introspection, environment sensors, middleware
+// telemetry) publish typed facts here; assumptions verify themselves
+// against it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+
+namespace aft::core {
+
+using ContextValue = std::variant<bool, std::int64_t, double, std::string>;
+
+class Context {
+ public:
+  void set(const std::string& key, ContextValue value);
+
+  /// Typed read; nullopt when the key is absent or holds another type.
+  template <typename T>
+  [[nodiscard]] std::optional<T> get(const std::string& key) const {
+    const auto it = facts_.find(key);
+    if (it == facts_.end()) return std::nullopt;
+    if (const T* v = std::get_if<T>(&it->second)) return *v;
+    return std::nullopt;
+  }
+
+  [[nodiscard]] bool contains(const std::string& key) const;
+  void erase(const std::string& key);
+
+  /// Imports every fact from `other` (overwriting same-keyed facts): the
+  /// way a deployment toolchain combines knowledge from multiple probes
+  /// (SPD introspection, platform self-test, measured telemetry).
+  void merge(const Context& other);
+  [[nodiscard]] std::size_t size() const noexcept { return facts_.size(); }
+
+  /// Monotonically increasing revision, bumped on every mutation, so
+  /// monitors can skip re-verification when nothing changed.
+  [[nodiscard]] std::uint64_t revision() const noexcept { return revision_; }
+
+  [[nodiscard]] const std::map<std::string, ContextValue>& facts() const noexcept {
+    return facts_;
+  }
+
+ private:
+  std::map<std::string, ContextValue> facts_;
+  std::uint64_t revision_ = 0;
+};
+
+}  // namespace aft::core

@@ -1,0 +1,57 @@
+#include "core/executive.hpp"
+
+namespace aft::core {
+
+Executive::Executive(AssumptionRegistry& registry) {
+  registry.on_clash([this](const Clash& clash, const Diagnosis& diagnosis) {
+    dispatch(clash, diagnosis);
+  });
+}
+
+void Executive::on_clash_of(const std::string& assumption_id, Treatment treatment) {
+  by_id_[assumption_id] = std::move(treatment);
+}
+
+void Executive::on_subject(Subject subject, Treatment treatment) {
+  by_subject_[subject] = std::move(treatment);
+}
+
+void Executive::set_default(Treatment treatment) {
+  default_ = std::move(treatment);
+}
+
+const char* Executive::to_string(Tier t) noexcept {
+  switch (t) {
+    case Tier::kById: return "by-id";
+    case Tier::kBySubject: return "by-subject";
+    case Tier::kDefault: return "default";
+    case Tier::kNone: return "UNTREATED";
+  }
+  return "unknown";
+}
+
+void Executive::dispatch(const Clash& clash, const Diagnosis& diagnosis) {
+  if (const auto it = by_id_.find(clash.assumption_id); it != by_id_.end()) {
+    it->second(clash, diagnosis);
+    ++treated_;
+    log_.emplace_back(clash.assumption_id, Tier::kById);
+    return;
+  }
+  if (const auto it = by_subject_.find(clash.subject); it != by_subject_.end()) {
+    it->second(clash, diagnosis);
+    ++treated_;
+    log_.emplace_back(clash.assumption_id, Tier::kBySubject);
+    return;
+  }
+  if (default_) {
+    default_(clash, diagnosis);
+    ++treated_;
+    log_.emplace_back(clash.assumption_id, Tier::kDefault);
+    return;
+  }
+  ++untreated_;
+  untreated_clashes_.push_back(clash);
+  log_.emplace_back(clash.assumption_id, Tier::kNone);
+}
+
+}  // namespace aft::core

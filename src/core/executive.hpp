@@ -1,0 +1,70 @@
+// The treatment executive: "truly resilient software systems demand special
+// care to assumption failures detection, avoidance, and recovery" (Sect. 1).
+//
+// The registry *detects* clashes; the executive *treats* them: designers
+// register treatment actions — re-bind a variable, escalate a memory
+// method, inject a DAG snapshot, refuse an operation — and the executive
+// dispatches each clash to the most specific applicable treatment:
+//
+//     per-assumption-id  >  per-subject  >  default.
+//
+// Untreated clashes are counted and kept; an assumption failure with no
+// registered treatment is itself a finding (the design said nothing about
+// this contingency).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/registry.hpp"
+
+namespace aft::core {
+
+class Executive {
+ public:
+  using Treatment = std::function<void(const Clash&, const Diagnosis&)>;
+
+  /// Subscribes to the registry's clash stream immediately.
+  explicit Executive(AssumptionRegistry& registry);
+
+  /// Registers a treatment for one assumption id (most specific).
+  void on_clash_of(const std::string& assumption_id, Treatment treatment);
+
+  /// Registers a treatment for every clash on a subject class.
+  void on_subject(Subject subject, Treatment treatment);
+
+  /// Registers the catch-all treatment.
+  void set_default(Treatment treatment);
+
+  [[nodiscard]] std::uint64_t treated() const noexcept { return treated_; }
+  [[nodiscard]] std::uint64_t untreated() const noexcept { return untreated_; }
+
+  /// Clashes that fell through every registration, oldest first.
+  [[nodiscard]] const std::vector<Clash>& untreated_clashes() const noexcept {
+    return untreated_clashes_;
+  }
+
+  /// Dispatch log: (assumption id, which tier treated it).
+  enum class Tier : std::uint8_t { kById, kBySubject, kDefault, kNone };
+  [[nodiscard]] static const char* to_string(Tier t) noexcept;
+  [[nodiscard]] const std::vector<std::pair<std::string, Tier>>& log()
+      const noexcept {
+    return log_;
+  }
+
+ private:
+  void dispatch(const Clash& clash, const Diagnosis& diagnosis);
+
+  std::map<std::string, Treatment> by_id_;
+  std::map<Subject, Treatment> by_subject_;
+  Treatment default_;
+  std::uint64_t treated_ = 0;
+  std::uint64_t untreated_ = 0;
+  std::vector<Clash> untreated_clashes_;
+  std::vector<std::pair<std::string, Tier>> log_;
+};
+
+}  // namespace aft::core

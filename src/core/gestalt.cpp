@@ -1,0 +1,35 @@
+#include "core/gestalt.hpp"
+
+namespace aft::core {
+
+const char* to_string(GestaltKind k) noexcept {
+  switch (k) {
+    case GestaltKind::kAssumptionFailure: return "assumption-failure";
+    case GestaltKind::kDeduction: return "deduction";
+    case GestaltKind::kAdaptationRequest: return "adaptation-request";
+  }
+  return "unknown";
+}
+
+std::size_t GestaltBus::attach(GestaltAgent agent) {
+  agents_.push_back(std::move(agent));
+  return agents_.size() - 1;
+}
+
+std::size_t GestaltBus::publish(const GestaltEvent& event) {
+  history_.push_back(event);
+  std::size_t delivered = 0;
+  for (const GestaltAgent& agent : agents_) {
+    if (agent.layer() == event.source_layer) continue;
+    agent.deliver(event);
+    ++deliveries_[agent.layer()];
+    ++delivered;
+  }
+  return delivered;
+}
+
+std::map<BindingTime, std::uint64_t> GestaltBus::deliveries_by_layer() const {
+  return deliveries_;
+}
+
+}  // namespace aft::core

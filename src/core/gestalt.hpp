@@ -1,0 +1,84 @@
+// The holistic cross-layer vision of Sect. 5:
+//
+//   "We envision a general systems theory of software development in which
+//    the model, compile-, deployment-, and run-time layers feed one another
+//    with deductions and control 'knobs'. ... a web of cooperating reactive
+//    agents serving different software design concerns ... a design
+//    assumption failure caught by a run-time detector should trigger a
+//    request for adaptation at model level, and vice-versa."
+//
+// GestaltBus is a minimal realisation: one agent per development-stage
+// layer, exchanging assumption-failure notifications and adaptation
+// requests, so that "knowledge slipping from one layer [is] still caught in
+// another".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/binding.hpp"
+
+namespace aft::core {
+
+/// What one layer tells the others.
+enum class GestaltKind : std::uint8_t {
+  kAssumptionFailure,  ///< a clash was observed at this layer
+  kDeduction,          ///< new knowledge (e.g. "environment exhibits permanent faults")
+  kAdaptationRequest,  ///< ask another layer to revise an artifact
+};
+
+[[nodiscard]] const char* to_string(GestaltKind k) noexcept;
+
+struct GestaltEvent {
+  GestaltKind kind = GestaltKind::kDeduction;
+  BindingTime source_layer = BindingTime::kRun;
+  std::string topic;    ///< e.g. "fault-class", "memory-semantics"
+  std::string payload;  ///< free-form content
+};
+
+/// A reactive agent bound to one layer.  Its handler runs for every event
+/// originating at *another* layer (a layer never reacts to itself — the
+/// point is cross-layer propagation).
+class GestaltAgent {
+ public:
+  using Handler = std::function<void(const GestaltEvent&)>;
+
+  GestaltAgent(std::string name, BindingTime layer, Handler handler)
+      : name_(std::move(name)), layer_(layer), handler_(std::move(handler)) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] BindingTime layer() const noexcept { return layer_; }
+  void deliver(const GestaltEvent& event) const { handler_(event); }
+
+ private:
+  std::string name_;
+  BindingTime layer_;
+  Handler handler_;
+};
+
+class GestaltBus {
+ public:
+  /// Registers an agent; returns its index.
+  std::size_t attach(GestaltAgent agent);
+
+  /// Publishes an event to every agent on a *different* layer.
+  /// Returns the number of agents that received it.
+  std::size_t publish(const GestaltEvent& event);
+
+  [[nodiscard]] std::size_t agent_count() const noexcept { return agents_.size(); }
+  [[nodiscard]] const std::vector<GestaltEvent>& history() const noexcept {
+    return history_;
+  }
+  /// Events delivered per layer (diagnostics).
+  [[nodiscard]] std::map<BindingTime, std::uint64_t> deliveries_by_layer() const;
+
+ private:
+  std::vector<GestaltAgent> agents_;
+  std::vector<GestaltEvent> history_;
+  std::map<BindingTime, std::uint64_t> deliveries_;
+};
+
+}  // namespace aft::core

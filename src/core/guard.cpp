@@ -1,0 +1,16 @@
+#include "core/guard.hpp"
+
+#include <algorithm>
+
+namespace aft::core {
+
+bool EnvelopeGuard::admit(double observed) {
+  if (observed >= lo_ && observed <= hi_) return true;
+  ++violations_;
+  const double excursion =
+      observed < lo_ ? lo_ - observed : observed - hi_;
+  worst_excursion_ = std::max(worst_excursion_, excursion);
+  return false;
+}
+
+}  // namespace aft::core

@@ -1,0 +1,95 @@
+// Assumption guards: executable checks placed at the exact code sites where
+// a design assumption is consumed.
+//
+// The Ariane 5 failure was, at the code level, an unguarded 64-bit-float →
+// 16-bit-integer conversion whose representability assumption had been
+// *proven* for Ariane 4's trajectory envelope and silently reused outside
+// it.  `checked_narrow` is that conversion with the assumption made
+// explicit, observable, and recoverable.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <type_traits>
+
+namespace aft::core {
+
+/// Outcome of a guarded operation.
+template <typename T>
+struct GuardResult {
+  std::optional<T> value;       ///< engaged iff the assumption held
+  bool assumption_held = false;
+  std::string violation;        ///< description when it did not
+
+  [[nodiscard]] bool ok() const noexcept { return assumption_held; }
+};
+
+/// Narrowing conversion guarded by a representability check — the guard the
+/// Ariane-4 SRI code lacked.  Never traps, never wraps: a violation is
+/// reported, not executed.
+template <typename Narrow, typename Wide>
+[[nodiscard]] GuardResult<Narrow> checked_narrow(Wide value) {
+  static_assert(std::is_arithmetic_v<Narrow> && std::is_arithmetic_v<Wide>);
+  GuardResult<Narrow> result;
+  const auto lo = static_cast<Wide>(std::numeric_limits<Narrow>::lowest());
+  const auto hi = static_cast<Wide>(std::numeric_limits<Narrow>::max());
+  if (value < lo || value > hi) {
+    result.assumption_held = false;
+    result.violation = "value " + std::to_string(value) +
+                       " not representable in target type [" +
+                       std::to_string(lo) + ", " + std::to_string(hi) + "]";
+    return result;
+  }
+  result.assumption_held = true;
+  result.value = static_cast<Narrow>(value);
+  return result;
+}
+
+/// Runs `operation` only when `precondition` holds; otherwise reports the
+/// violation and runs `fallback` (which must produce a safe value).  This is
+/// the general shape of Design-by-Contract-style assumption treatment at a
+/// call site.
+template <typename T>
+[[nodiscard]] GuardResult<T> guarded(const std::function<bool()>& precondition,
+                                     const std::function<T()>& operation,
+                                     const std::function<T()>& fallback,
+                                     std::string violation_message = "precondition violated") {
+  GuardResult<T> result;
+  if (precondition()) {
+    result.assumption_held = true;
+    result.value = operation();
+  } else {
+    result.assumption_held = false;
+    result.violation = std::move(violation_message);
+    result.value = fallback();
+  }
+  return result;
+}
+
+/// Envelope guard: asserts a physical quantity stays inside the range the
+/// design was qualified for.  Returns true while inside.
+class EnvelopeGuard {
+ public:
+  EnvelopeGuard(std::string quantity, double lo, double hi)
+      : quantity_(std::move(quantity)), lo_(lo), hi_(hi) {}
+
+  /// Checks one observation; counts and remembers the worst excursion.
+  bool admit(double observed);
+
+  [[nodiscard]] const std::string& quantity() const noexcept { return quantity_; }
+  [[nodiscard]] std::uint64_t violations() const noexcept { return violations_; }
+  [[nodiscard]] double worst_excursion() const noexcept { return worst_excursion_; }
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+
+ private:
+  std::string quantity_;
+  double lo_;
+  double hi_;
+  std::uint64_t violations_ = 0;
+  double worst_excursion_ = 0.0;  ///< distance beyond the nearest bound
+};
+
+}  // namespace aft::core

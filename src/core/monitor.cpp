@@ -1,0 +1,31 @@
+#include "core/monitor.hpp"
+
+#include <stdexcept>
+
+namespace aft::core {
+
+ContextMonitor::ContextMonitor(sim::Simulator& sim, AssumptionRegistry& registry,
+                               const Context& context, sim::SimTime period)
+    : sim_(sim), registry_(registry), context_(context), period_(period) {
+  if (period == 0) throw std::invalid_argument("ContextMonitor: period must be > 0");
+}
+
+void ContextMonitor::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule_in(period_, [this] { cycle(); });
+}
+
+void ContextMonitor::cycle() {
+  if (!running_) return;
+  ++cycles_;
+  if (context_.revision() == last_revision_seen_) {
+    ++skipped_;
+  } else {
+    last_revision_seen_ = context_.revision();
+    clashes_ += registry_.verify_all(context_).size();
+  }
+  sim_.schedule_in(period_, [this] { cycle(); });
+}
+
+}  // namespace aft::core

@@ -1,0 +1,49 @@
+// The autonomic run-time executive of the paper's vision (Sect. 1):
+// "novel autonomic run-time executives that continuously verify those
+//  hypotheses and assumptions by matching them with endogenous knowledge
+//  deducted from the processing subsystems as well as exogenous knowledge
+//  derived from their execution and physical environments."
+//
+// ContextMonitor periodically re-verifies a registry against a context on a
+// simulation kernel, skipping work when the context revision is unchanged.
+#pragma once
+
+#include <cstdint>
+
+#include "core/context.hpp"
+#include "core/registry.hpp"
+#include "sim/simulator.hpp"
+
+namespace aft::core {
+
+class ContextMonitor {
+ public:
+  /// `period` is the verification cadence in simulation ticks.
+  ContextMonitor(sim::Simulator& sim, AssumptionRegistry& registry,
+                 const Context& context, sim::SimTime period);
+
+  /// Schedules the periodic verification; call once.
+  void start();
+
+  /// Stops re-scheduling after the current cycle completes.
+  void stop() noexcept { running_ = false; }
+
+  [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+  [[nodiscard]] std::uint64_t skipped_cycles() const noexcept { return skipped_; }
+  [[nodiscard]] std::uint64_t clashes_seen() const noexcept { return clashes_; }
+
+ private:
+  void cycle();
+
+  sim::Simulator& sim_;
+  AssumptionRegistry& registry_;
+  const Context& context_;
+  sim::SimTime period_;
+  bool running_ = false;
+  std::uint64_t last_revision_seen_ = ~std::uint64_t{0};
+  std::uint64_t cycles_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::uint64_t clashes_ = 0;
+};
+
+}  // namespace aft::core

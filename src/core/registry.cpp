@@ -1,0 +1,73 @@
+#include "core/registry.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aft::core {
+
+AssumptionBase& AssumptionRegistry::add(std::unique_ptr<AssumptionBase> assumption) {
+  if (!assumption) throw std::invalid_argument("AssumptionRegistry: null assumption");
+  if (find(assumption->id()) != nullptr) {
+    throw std::invalid_argument("AssumptionRegistry: duplicate id '" +
+                                assumption->id() + "'");
+  }
+  assumptions_.push_back(std::move(assumption));
+  return *assumptions_.back();
+}
+
+AssumptionBase* AssumptionRegistry::find(const std::string& id) {
+  for (auto& a : assumptions_) {
+    if (a->id() == id) return a.get();
+  }
+  return nullptr;
+}
+
+const AssumptionBase* AssumptionRegistry::find(const std::string& id) const {
+  for (const auto& a : assumptions_) {
+    if (a->id() == id) return a.get();
+  }
+  return nullptr;
+}
+
+std::vector<Clash> AssumptionRegistry::verify_all(const Context& ctx) {
+  std::vector<Clash> clashes;
+  for (auto& a : assumptions_) {
+    if (std::optional<Clash> clash = a->verify(ctx)) {
+      ++total_clashes_;
+      const Diagnosis d = diagnose_clash(*clash);
+      for (const ClashHandler& handler : handlers_) handler(*clash, d);
+      clashes.push_back(std::move(*clash));
+    }
+  }
+  return clashes;
+}
+
+void AssumptionRegistry::on_clash(ClashHandler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+std::vector<std::string> AssumptionRegistry::audit() const {
+  std::vector<std::string> flagged;
+  for (const auto& a : assumptions_) {
+    if (audit_hidden_intelligence(*a)) flagged.push_back(a->id());
+  }
+  return flagged;
+}
+
+std::string AssumptionRegistry::report() const {
+  std::ostringstream out;
+  out << "Assumption inventory (" << assumptions_.size() << " entries)\n";
+  for (const auto& a : assumptions_) {
+    out << "  [" << a->id() << "] \"" << a->statement() << "\"\n"
+        << "      subject: " << to_string(a->subject())
+        << "  state: " << to_string(a->state())
+        << "  verifications: " << a->verifications() << "\n"
+        << "      origin: "
+        << (a->provenance().origin.empty() ? "<MISSING - hidden intelligence>"
+                                           : a->provenance().origin)
+        << "  stated at: " << to_string(a->provenance().stated_at) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aft::core

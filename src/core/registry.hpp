@@ -1,0 +1,61 @@
+// The assumption registry: the system-wide, inspectable catalogue of every
+// hypothesis the software depends on — across all four subject classes and
+// all binding times.  "Those removed or concealed hypotheses cannot be
+// easily inspected, verified, or maintained" (Sect. 1); the registry is the
+// mechanism that keeps them inspectable, verifiable, and maintained.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/assumption.hpp"
+#include "core/syndrome.hpp"
+
+namespace aft::core {
+
+class AssumptionRegistry {
+ public:
+  using ClashHandler = std::function<void(const Clash&, const Diagnosis&)>;
+
+  /// Registers an assumption; ids must be unique.
+  /// Returns a reference usable for typed access.
+  AssumptionBase& add(std::unique_ptr<AssumptionBase> assumption);
+
+  /// Typed emplace convenience.
+  template <typename T, typename... Args>
+  Assumption<T>& emplace(Args&&... args) {
+    auto owned = std::make_unique<Assumption<T>>(std::forward<Args>(args)...);
+    Assumption<T>& ref = *owned;
+    add(std::move(owned));
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return assumptions_.size(); }
+  [[nodiscard]] AssumptionBase* find(const std::string& id);
+  [[nodiscard]] const AssumptionBase* find(const std::string& id) const;
+
+  /// Verifies every assumption against the context; fires handlers for
+  /// every clash; returns the clashes.
+  std::vector<Clash> verify_all(const Context& ctx);
+
+  /// Subscribes to clash notifications.
+  void on_clash(ClashHandler handler);
+
+  /// Hidden-intelligence audit: ids of assumptions lacking provenance.
+  [[nodiscard]] std::vector<std::string> audit() const;
+
+  /// Human-readable inventory (statement, subject, provenance, state) —
+  /// the artifact a re-qualification review would read.
+  [[nodiscard]] std::string report() const;
+
+  [[nodiscard]] std::uint64_t total_clashes() const noexcept { return total_clashes_; }
+
+ private:
+  std::vector<std::unique_ptr<AssumptionBase>> assumptions_;
+  std::vector<ClashHandler> handlers_;
+  std::uint64_t total_clashes_ = 0;
+};
+
+}  // namespace aft::core

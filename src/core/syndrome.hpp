@@ -1,0 +1,52 @@
+// The three hazards of software development (Sect. 2):
+//
+//   Horning syndrome (S_H):  "mistakenly not considering that the physical
+//     environment may change and produce unprecedented or unanticipated
+//     conditions";
+//   Hidden Intelligence syndrome (S_HI): "mistakenly concealing or
+//     discarding important knowledge for the sake of hiding complexity";
+//   Boulding syndrome (S_B): "mistakenly designing a system with
+//     insufficient context-awareness with respect to the current
+//     environments".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/assumption.hpp"
+#include "core/boulding.hpp"
+
+namespace aft::core {
+
+enum class Syndrome : std::uint8_t {
+  kHorning,
+  kHiddenIntelligence,
+  kBoulding,
+};
+
+[[nodiscard]] std::string to_string(Syndrome s);
+
+/// Diagnosis attached to an observed clash or design audit finding.
+struct Diagnosis {
+  Syndrome syndrome = Syndrome::kHorning;
+  std::string explanation;
+};
+
+/// Classifies an observed clash.  Environment- and hardware-subject clashes
+/// are Horning failures (the context did something the design did not
+/// anticipate — the Therac case shows "Horning's environment" can be the
+/// hardware platform itself); clashes on assumptions whose provenance was
+/// lost in reuse are *additionally* Hidden-Intelligence failures, but that
+/// property is structural, so it is audited separately (see
+/// `audit_hidden_intelligence`).
+[[nodiscard]] Diagnosis diagnose_clash(const Clash& clash);
+
+/// Structural audit: an assumption with no recorded origin or rationale is
+/// hidden intelligence waiting to strike — the Ariane-4 reuse scenario.
+[[nodiscard]] bool audit_hidden_intelligence(const AssumptionBase& assumption);
+
+/// Structural audit: Boulding clash between a system and its environment.
+[[nodiscard]] Diagnosis diagnose_boulding(BouldingCategory system,
+                                          BouldingCategory required);
+
+}  // namespace aft::core

@@ -1,0 +1,116 @@
+// Assumption variables with postponed binding — the paper's key strategy:
+//
+//   "The key idea is to provide the designer with the ability to formulate
+//    dynamic assumptions (assumption variables) whose boundings get
+//    postponed at a later, more appropriate, time: at compile time ... at
+//    deployment time ... and at run-time." (Sect. 6)
+//
+// At design time the designer enumerates the *alternatives* (e.g. f0..f4
+// with their matching methods M0..M4, or e1/e2 with their design patterns);
+// the variable is bound — and may later be re-bound — when enough context
+// knowledge exists to pick the alternative with "the highest chance to
+// match reality".
+#pragma once
+
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/binding.hpp"
+
+namespace aft::core {
+
+/// One design-time alternative, tagged and costed so binders can rank them.
+template <typename T>
+struct Alternative {
+  std::string tag;      ///< e.g. "f3" or "reconfiguration"
+  T value;
+  double cost = 0.0;    ///< resource expenditure when this alternative is used
+};
+
+/// A record of every (re)binding — the audit trail.
+struct BindingEvent {
+  std::string tag;
+  BindingTime when;
+  std::string reason;
+};
+
+template <typename T>
+class AssumptionVariable {
+ public:
+  AssumptionVariable(std::string name, BindingTime declared_at)
+      : name_(std::move(name)), declared_at_(declared_at) {}
+
+  /// Declares one more design-time alternative.  Only legal before the
+  /// first binding (the alternative set is a design artifact).
+  void add_alternative(Alternative<T> alt) {
+    if (bound_index_.has_value()) {
+      throw std::logic_error("AssumptionVariable: alternatives are fixed after binding");
+    }
+    alternatives_.push_back(std::move(alt));
+  }
+
+  /// Binds (or re-binds) to the alternative `tag`, recording stage and
+  /// rationale.  Binding earlier than the declared stage is a design error.
+  void bind(const std::string& tag, BindingTime when, std::string reason) {
+    if (!is_postponement(declared_at_, when)) {
+      throw std::logic_error("AssumptionVariable: cannot bind before declaration stage");
+    }
+    for (std::size_t i = 0; i < alternatives_.size(); ++i) {
+      if (alternatives_[i].tag == tag) {
+        bound_index_ = i;
+        history_.push_back(BindingEvent{tag, when, std::move(reason)});
+        return;
+      }
+    }
+    throw std::invalid_argument("AssumptionVariable: unknown alternative '" + tag + "'");
+  }
+
+  [[nodiscard]] bool bound() const noexcept { return bound_index_.has_value(); }
+
+  [[nodiscard]] const T& value() const {
+    if (!bound_index_.has_value()) {
+      // An unbound variable that gets *used* is exactly a hidden assumption:
+      // fail loudly instead of silently defaulting.
+      throw std::logic_error("AssumptionVariable '" + name_ + "' used before binding");
+    }
+    return alternatives_[*bound_index_].value;
+  }
+
+  [[nodiscard]] const std::string& bound_tag() const {
+    if (!bound_index_.has_value()) {
+      throw std::logic_error("AssumptionVariable '" + name_ + "' not bound");
+    }
+    return alternatives_[*bound_index_].tag;
+  }
+
+  [[nodiscard]] double bound_cost() const {
+    if (!bound_index_.has_value()) {
+      throw std::logic_error("AssumptionVariable '" + name_ + "' not bound");
+    }
+    return alternatives_[*bound_index_].cost;
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] BindingTime declared_at() const noexcept { return declared_at_; }
+  [[nodiscard]] const std::vector<Alternative<T>>& alternatives() const noexcept {
+    return alternatives_;
+  }
+  [[nodiscard]] const std::vector<BindingEvent>& history() const noexcept {
+    return history_;
+  }
+  /// Number of re-bindings after the first (0 = bound once or never).
+  [[nodiscard]] std::size_t rebind_count() const noexcept {
+    return history_.empty() ? 0 : history_.size() - 1;
+  }
+
+ private:
+  std::string name_;
+  BindingTime declared_at_;
+  std::vector<Alternative<T>> alternatives_;
+  std::optional<std::size_t> bound_index_;
+  std::vector<BindingEvent> history_;
+};
+
+}  // namespace aft::core

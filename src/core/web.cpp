@@ -1,0 +1,96 @@
+#include "core/web.hpp"
+
+#include <stdexcept>
+
+namespace aft::core {
+
+void AssumptionWeb::add(const std::string& id) {
+  dependents_.try_emplace(id);
+  premises_.try_emplace(id);
+}
+
+bool AssumptionWeb::contains(const std::string& id) const {
+  return dependents_.find(id) != dependents_.end();
+}
+
+bool AssumptionWeb::reachable(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  std::set<std::string> seen;
+  std::vector<std::string> stack{from};
+  while (!stack.empty()) {
+    const std::string current = stack.back();
+    stack.pop_back();
+    if (!seen.insert(current).second) continue;
+    const auto it = dependents_.find(current);
+    if (it == dependents_.end()) continue;
+    for (const std::string& next : it->second) {
+      if (next == to) return true;
+      stack.push_back(next);
+    }
+  }
+  return false;
+}
+
+void AssumptionWeb::add_dependency(const std::string& premise,
+                                   const std::string& dependent) {
+  if (premise == dependent) {
+    throw std::invalid_argument("AssumptionWeb: self-dependency on '" + premise + "'");
+  }
+  add(premise);
+  add(dependent);
+  if (reachable(dependent, premise)) {
+    throw std::invalid_argument("AssumptionWeb: dependency " + premise + " -> " +
+                                dependent + " would create a cycle");
+  }
+  dependents_[premise].insert(dependent);
+  premises_[dependent].insert(premise);
+}
+
+std::vector<std::string> AssumptionWeb::dependents_of(const std::string& id) const {
+  const auto it = dependents_.find(id);
+  if (it == dependents_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> AssumptionWeb::premises_of(const std::string& id) const {
+  const auto it = premises_.find(id);
+  if (it == premises_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+std::vector<std::string> AssumptionWeb::suspects_of(const std::string& clashed) const {
+  std::set<std::string> suspects;
+  std::vector<std::string> stack{clashed};
+  while (!stack.empty()) {
+    const std::string current = stack.back();
+    stack.pop_back();
+    const auto it = dependents_.find(current);
+    if (it == dependents_.end()) continue;
+    for (const std::string& next : it->second) {
+      if (suspects.insert(next).second) stack.push_back(next);
+    }
+  }
+  suspects.erase(clashed);
+  return {suspects.begin(), suspects.end()};
+}
+
+std::vector<std::string> AssumptionWeb::isolated() const {
+  std::vector<std::string> out;
+  for (const auto& [id, deps] : dependents_) {
+    const auto pit = premises_.find(id);
+    if (deps.empty() && (pit == premises_.end() || pit->second.empty())) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> AssumptionWeb::roots() const {
+  std::vector<std::string> out;
+  for (const auto& [id, prems] : premises_) {
+    if (prems.empty()) out.push_back(id);
+  }
+  return out;
+}
+
+}  // namespace aft::core

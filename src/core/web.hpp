@@ -1,0 +1,59 @@
+// The assumption web: "Across the system layers, a complex and at times
+// obscure web of assumptions determines the quality of the match of our
+// software with its deployment platforms" (Abstract).
+//
+// The web makes the obscurity explicit: assumptions are nodes, and a
+// directed edge a -> b records that b was *derived under* a (b's validity
+// argument assumes a holds).  When a clashes, everything reachable from it
+// is no longer justified — it may still be true, but its justification is
+// gone.  The web computes that transitive "suspect" set, turning one
+// detected clash into a full re-qualification work-list instead of a
+// one-line bug fix.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aft::core {
+
+class AssumptionWeb {
+ public:
+  /// Declares an assumption node (idempotent).
+  void add(const std::string& id);
+
+  /// Records that `dependent`'s justification assumes `premise` holds.
+  /// Both nodes are created if absent.  Cycles are rejected (a circular
+  /// justification justifies nothing).
+  void add_dependency(const std::string& premise, const std::string& dependent);
+
+  [[nodiscard]] bool contains(const std::string& id) const;
+  [[nodiscard]] std::size_t size() const noexcept { return dependents_.size(); }
+
+  /// Direct dependents of `id`.
+  [[nodiscard]] std::vector<std::string> dependents_of(const std::string& id) const;
+  /// Direct premises of `id`.
+  [[nodiscard]] std::vector<std::string> premises_of(const std::string& id) const;
+
+  /// Everything whose justification is (transitively) built on `clashed`,
+  /// excluding `clashed` itself, in deterministic (sorted) order.
+  [[nodiscard]] std::vector<std::string> suspects_of(const std::string& clashed) const;
+
+  /// Assumptions nothing depends on and that depend on nothing — isolated
+  /// hypotheses that likely SHOULD be linked (audit aid: an unconnected web
+  /// is usually an incompletely documented one).
+  [[nodiscard]] std::vector<std::string> isolated() const;
+
+  /// Roots: assumptions with no premises (the axioms of the design).
+  [[nodiscard]] std::vector<std::string> roots() const;
+
+ private:
+  [[nodiscard]] bool reachable(const std::string& from, const std::string& to) const;
+
+  std::map<std::string, std::set<std::string>> dependents_;  // premise -> dependents
+  std::map<std::string, std::set<std::string>> premises_;    // dependent -> premises
+};
+
+}  // namespace aft::core

@@ -1,0 +1,48 @@
+#include "detect/alpha_count.hpp"
+
+namespace aft::detect {
+
+const char* to_string(FaultJudgment j) noexcept {
+  switch (j) {
+    case FaultJudgment::kNoEvidence: return "no-evidence";
+    case FaultJudgment::kTransient: return "transient";
+    case FaultJudgment::kPermanentOrIntermittent: return "permanent or intermittent";
+  }
+  return "unknown";
+}
+
+AlphaCount::AlphaCount() : AlphaCount(Params{}) {}
+
+AlphaCount::AlphaCount(Params params) : params_(params) {
+  if (params_.decay <= 0.0 || params_.decay >= 1.0) {
+    throw std::invalid_argument("AlphaCount: decay K must lie in (0,1)");
+  }
+  if (params_.threshold <= 0.0) {
+    throw std::invalid_argument("AlphaCount: threshold must be positive");
+  }
+}
+
+double AlphaCount::record(bool error) {
+  ++rounds_;
+  if (error) {
+    ++errors_;
+    score_ += 1.0;
+    if (score_ > params_.threshold) latched_ = true;
+  } else {
+    score_ *= params_.decay;
+  }
+  return score_;
+}
+
+FaultJudgment AlphaCount::judgment() const noexcept {
+  if (latched_) return FaultJudgment::kPermanentOrIntermittent;
+  if (errors_ > 0) return FaultJudgment::kTransient;
+  return FaultJudgment::kNoEvidence;
+}
+
+void AlphaCount::reset() noexcept {
+  score_ = 0.0;
+  latched_ = false;
+}
+
+}  // namespace aft::detect

@@ -1,0 +1,63 @@
+// The Alpha-count filter: the "count-and-threshold mechanism to
+// discriminate between different types of faults" of Bondavalli,
+// Chiaradonna, Di Giandomenico and Grandoni ([20],[21]) that Sect. 3.2
+// uses as its oracle.
+//
+// One score alpha per monitored channel:
+//   - on an error signal:      alpha <- alpha + 1
+//   - on an error-free round:  alpha <- alpha * K,   0 < K < 1
+// When alpha exceeds the threshold T the fault affecting the channel is
+// judged *permanent or intermittent* (exactly the label of the paper's
+// Fig. 4, which uses T = 3.0); as long as it stays below, observed errors
+// are compatible with *transient* faults.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace aft::detect {
+
+enum class FaultJudgment : std::uint8_t {
+  kNoEvidence,               ///< no error ever recorded
+  kTransient,                ///< errors seen, score below threshold
+  kPermanentOrIntermittent,  ///< score crossed the threshold
+};
+
+[[nodiscard]] const char* to_string(FaultJudgment j) noexcept;
+
+class AlphaCount {
+ public:
+  struct Params {
+    double decay = 0.7;      ///< K, in (0,1)
+    double threshold = 3.0;  ///< T, the Fig. 4 value
+  };
+
+  /// Default-constructs with the Fig. 4 parameters (K = 0.7, T = 3.0).
+  AlphaCount();
+  explicit AlphaCount(Params params);
+
+  /// Records one judgment round; returns the updated score.
+  /// The permanent/intermittent verdict latches: once crossed, it persists
+  /// until reset() (the physical defect does not heal by itself).
+  double record(bool error);
+
+  [[nodiscard]] double score() const noexcept { return score_; }
+  [[nodiscard]] FaultJudgment judgment() const noexcept;
+  [[nodiscard]] bool threshold_crossed() const noexcept { return latched_; }
+
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Clears score and verdict (e.g. after the faulty unit was replaced).
+  void reset() noexcept;
+
+ private:
+  Params params_;
+  double score_ = 0.0;
+  bool latched_ = false;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t errors_ = 0;
+};
+
+}  // namespace aft::detect

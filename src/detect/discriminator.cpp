@@ -1,0 +1,40 @@
+#include "detect/discriminator.hpp"
+
+namespace aft::detect {
+
+FaultDiscriminator::FaultDiscriminator(AlphaCount::Params params)
+    : params_(params) {}
+
+void FaultDiscriminator::record(const std::string& channel, bool error) {
+  auto [it, inserted] = channels_.try_emplace(channel, params_);
+  if (inserted) last_judgment_[channel] = FaultJudgment::kNoEvidence;
+  it->second.record(error);
+  const FaultJudgment now = it->second.judgment();
+  if (now != last_judgment_[channel]) {
+    last_judgment_[channel] = now;
+    for (const auto& handler : handlers_) handler(channel, now);
+  }
+}
+
+void FaultDiscriminator::reset_channel(const std::string& channel) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end()) return;
+  it->second.reset();
+  last_judgment_[channel] = it->second.judgment();
+}
+
+FaultJudgment FaultDiscriminator::judgment(const std::string& channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? FaultJudgment::kNoEvidence : it->second.judgment();
+}
+
+double FaultDiscriminator::score(const std::string& channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0.0 : it->second.score();
+}
+
+void FaultDiscriminator::on_verdict_change(VerdictHandler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+}  // namespace aft::detect

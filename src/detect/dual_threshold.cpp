@@ -1,0 +1,39 @@
+#include "detect/dual_threshold.hpp"
+
+namespace aft::detect {
+
+DualThresholdAlphaCount::DualThresholdAlphaCount()
+    : DualThresholdAlphaCount(Params{}) {}
+
+DualThresholdAlphaCount::DualThresholdAlphaCount(Params params) : params_(params) {
+  if (params_.decay <= 0.0 || params_.decay >= 1.0) {
+    throw std::invalid_argument("DualThresholdAlphaCount: decay K in (0,1)");
+  }
+  if (params_.high <= 0.0 || params_.low < 0.0 || params_.low >= params_.high) {
+    throw std::invalid_argument(
+        "DualThresholdAlphaCount: need 0 <= low < high, high > 0");
+  }
+}
+
+double DualThresholdAlphaCount::record(bool error) {
+  if (error) {
+    score_ += 1.0;
+  } else {
+    score_ *= params_.decay;
+  }
+  if (!suspended_ && score_ > params_.high) {
+    suspended_ = true;
+    ++suspensions_;
+  } else if (suspended_ && score_ < params_.low) {
+    suspended_ = false;
+    ++reintegrations_;
+  }
+  return score_;
+}
+
+void DualThresholdAlphaCount::reset() noexcept {
+  score_ = 0.0;
+  suspended_ = false;
+}
+
+}  // namespace aft::detect

@@ -1,0 +1,56 @@
+// Dual-threshold alpha-count: the hysteresis variant of the Bondavalli
+// count-and-threshold family ([20],[21]) for systems that can REINTEGRATE
+// a repaired or recovered unit.
+//
+// The single-threshold filter (alpha_count.hpp) latches its verdict — right
+// for deciding to *replace* a unit.  When the treatment is instead to
+// *suspend* the unit (stop scheduling it, ignore its votes) and readmit it
+// if it proves itself, one threshold is unstable: a score hovering at T
+// would flap in and out.  Two thresholds give hysteresis:
+//
+//   score > T_high  ->  suspended (judged permanent/intermittent)
+//   score < T_low   ->  reintegrated (the evidence has decayed away)
+//
+// with T_low < T_high, so a unit must behave for a sustained stretch before
+// it is trusted again.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace aft::detect {
+
+class DualThresholdAlphaCount {
+ public:
+  struct Params {
+    double decay = 0.7;        ///< K, in (0,1)
+    double high = 3.0;         ///< suspension threshold
+    double low = 0.5;          ///< reintegration threshold (< high)
+  };
+
+  DualThresholdAlphaCount();
+  explicit DualThresholdAlphaCount(Params params);
+
+  /// Records one judgment round; returns the updated score.
+  double record(bool error);
+
+  /// True while the unit is judged faulty (between crossings).
+  [[nodiscard]] bool suspended() const noexcept { return suspended_; }
+  [[nodiscard]] double score() const noexcept { return score_; }
+  [[nodiscard]] std::uint64_t suspensions() const noexcept { return suspensions_; }
+  [[nodiscard]] std::uint64_t reintegrations() const noexcept {
+    return reintegrations_;
+  }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  void reset() noexcept;
+
+ private:
+  Params params_;
+  double score_ = 0.0;
+  bool suspended_ = false;
+  std::uint64_t suspensions_ = 0;
+  std::uint64_t reintegrations_ = 0;
+};
+
+}  // namespace aft::detect

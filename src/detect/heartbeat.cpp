@@ -1,0 +1,66 @@
+#include "detect/heartbeat.hpp"
+
+#include <stdexcept>
+
+namespace aft::detect {
+
+HeartbeatMonitor::HeartbeatMonitor(sim::Simulator& sim,
+                                   FaultDiscriminator& discriminator)
+    : sim_(sim), discriminator_(discriminator) {}
+
+void HeartbeatMonitor::watch(const std::string& channel, sim::SimTime deadline) {
+  if (deadline == 0) {
+    throw std::invalid_argument("HeartbeatMonitor: deadline must be > 0");
+  }
+  auto [it, inserted] = channels_.try_emplace(channel);
+  if (!inserted && it->second.active) {
+    throw std::invalid_argument("HeartbeatMonitor: channel '" + channel +
+                                "' already watched");
+  }
+  it->second = Channel{deadline, false, true, 0};
+  sim_.schedule_in(deadline, [this, channel] { check(channel); });
+}
+
+void HeartbeatMonitor::beat(const std::string& channel) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end() || !it->second.active) {
+    throw std::invalid_argument("HeartbeatMonitor: beat on unknown channel '" +
+                                channel + "'");
+  }
+  it->second.beaten = true;
+}
+
+void HeartbeatMonitor::unwatch(const std::string& channel) {
+  const auto it = channels_.find(channel);
+  if (it != channels_.end()) it->second.active = false;
+}
+
+bool HeartbeatMonitor::watching(const std::string& channel) const {
+  const auto it = channels_.find(channel);
+  return it != channels_.end() && it->second.active;
+}
+
+std::uint64_t HeartbeatMonitor::consecutive_misses(const std::string& channel) const {
+  const auto it = channels_.find(channel);
+  return it == channels_.end() ? 0 : it->second.consecutive_misses;
+}
+
+void HeartbeatMonitor::check(const std::string& channel) {
+  const auto it = channels_.find(channel);
+  if (it == channels_.end() || !it->second.active) return;
+  Channel& ch = it->second;
+  const bool missed = !ch.beaten;
+  ch.beaten = false;
+  if (missed) {
+    ++total_misses_;
+    ++ch.consecutive_misses;
+    if (on_missed_) on_missed_(channel, ch.consecutive_misses);
+  } else {
+    ch.consecutive_misses = 0;
+  }
+  // Every window is one alpha-count judgment round for this channel.
+  discriminator_.record(channel, missed);
+  sim_.schedule_in(ch.deadline, [this, channel] { check(channel); });
+}
+
+}  // namespace aft::detect

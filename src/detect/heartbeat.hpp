@@ -1,0 +1,59 @@
+// Multi-channel heartbeat monitoring: N components emit periodic liveness
+// beats; the monitor checks per-channel deadlines on the simulation kernel
+// and feeds misses into a FaultDiscriminator, so each channel's fault class
+// (transient glitch vs wedged) is judged independently by the alpha-count
+// oracle — the many-component generalization of the Fig. 4 watchdog.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "detect/discriminator.hpp"
+#include "sim/simulator.hpp"
+
+namespace aft::detect {
+
+class HeartbeatMonitor {
+ public:
+  /// `on_missed(channel, consecutive_misses)` fires on every missed window.
+  using MissHandler = std::function<void(const std::string&, std::uint64_t)>;
+
+  HeartbeatMonitor(sim::Simulator& sim, FaultDiscriminator& discriminator);
+
+  /// Registers a channel with its own deadline; starts its window checks.
+  /// Duplicate registration throws.
+  void watch(const std::string& channel, sim::SimTime deadline);
+
+  /// Liveness beat from a component.  Unknown channels throw.
+  void beat(const std::string& channel);
+
+  /// Stops checking a channel (e.g. after decommissioning the component).
+  void unwatch(const std::string& channel);
+
+  void set_miss_handler(MissHandler handler) { on_missed_ = std::move(handler); }
+
+  [[nodiscard]] bool watching(const std::string& channel) const;
+  [[nodiscard]] std::size_t channel_count() const noexcept { return channels_.size(); }
+  [[nodiscard]] std::uint64_t total_misses() const noexcept { return total_misses_; }
+  [[nodiscard]] std::uint64_t consecutive_misses(const std::string& channel) const;
+
+ private:
+  struct Channel {
+    sim::SimTime deadline = 0;
+    bool beaten = false;
+    bool active = false;
+    std::uint64_t consecutive_misses = 0;
+  };
+
+  void check(const std::string& channel);
+
+  sim::Simulator& sim_;
+  FaultDiscriminator& discriminator_;
+  std::map<std::string, Channel> channels_;
+  MissHandler on_missed_;
+  std::uint64_t total_misses_ = 0;
+};
+
+}  // namespace aft::detect

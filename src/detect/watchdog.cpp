@@ -1,0 +1,56 @@
+#include "detect/watchdog.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aft::detect {
+
+Watchdog::Watchdog(sim::Simulator& sim, sim::SimTime deadline,
+                   std::function<void(sim::SimTime)> on_fire)
+    : sim_(sim), deadline_(deadline), on_fire_(std::move(on_fire)) {
+  if (deadline == 0) throw std::invalid_argument("Watchdog: deadline must be > 0");
+}
+
+void Watchdog::start() {
+  if (running_) return;
+  running_ = true;
+  kicked_ = false;
+  sim_.schedule_in(deadline_, [this] { check_window(); });
+}
+
+void Watchdog::check_window() {
+  if (!running_) return;
+  ++windows_;
+  if (!kicked_) {
+    ++firings_;
+    on_fire_(sim_.now());
+  }
+  kicked_ = false;
+  sim_.schedule_in(deadline_, [this] { check_window(); });
+}
+
+WatchedTask::WatchedTask(sim::Simulator& sim, Watchdog& dog, sim::SimTime period)
+    : sim_(sim), dog_(dog), period_(period) {
+  if (period == 0) throw std::invalid_argument("WatchedTask: period must be > 0");
+}
+
+void WatchedTask::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule_in(period_, [this] { tick(); });
+}
+
+void WatchedTask::tick() {
+  if (!running_) return;
+  if (permanently_faulty_) {
+    // The task is wedged: no kick, ever again.
+  } else if (transient_misses_ > 0) {
+    --transient_misses_;
+  } else {
+    dog_.kick();
+    ++kicks_;
+  }
+  sim_.schedule_in(period_, [this] { tick(); });
+}
+
+}  // namespace aft::detect

@@ -1,0 +1,69 @@
+#include "env/platform.hpp"
+
+namespace aft::env {
+
+bool PlatformUnderTest::enter_dangerous_state() {
+  if (actual_.hardware_interlocks) {
+    ++trips_;
+    return true;
+  }
+  return false;
+}
+
+bool PlatformUnderTest::raise_fault() {
+  if (actual_.exception_trapping) {
+    ++traps_;
+    return true;
+  }
+  return false;
+}
+
+bool PlatformUnderTest::starve_watchdog() {
+  if (actual_.watchdog_timer) {
+    ++resets_;
+    return true;
+  }
+  return false;
+}
+
+bool PlatformUnderTest::plant_memory_error() { return actual_.ecc_reporting; }
+
+std::vector<ProbeResult> SelfTestReport::broken_promises() const {
+  std::vector<ProbeResult> out;
+  for (const ProbeResult& r : results) {
+    if (r.broken_promise()) out.push_back(r);
+  }
+  return out;
+}
+
+bool SelfTestReport::safe_to_operate() const { return broken_promises().empty(); }
+
+std::string context_key_for(const std::string& feature) {
+  return "platform." + feature;
+}
+
+SelfTestReport run_self_test(PlatformUnderTest& platform, core::Context* context) {
+  SelfTestReport report;
+  const PlatformFeatures& spec = platform.advertised();
+
+  report.results.push_back(ProbeResult{"hardware-interlocks",
+                                       spec.hardware_interlocks,
+                                       platform.enter_dangerous_state()});
+  report.results.push_back(
+      ProbeResult{"exception-trapping", spec.exception_trapping,
+                  platform.raise_fault()});
+  report.results.push_back(ProbeResult{"watchdog-timer", spec.watchdog_timer,
+                                       platform.starve_watchdog()});
+  report.results.push_back(ProbeResult{"ecc-reporting", spec.ecc_reporting,
+                                       platform.plant_memory_error()});
+
+  if (context != nullptr) {
+    for (const ProbeResult& r : report.results) {
+      // Publish what was PROBED, never what was promised.
+      context->set(context_key_for(r.feature), r.probed);
+    }
+  }
+  return report;
+}
+
+}  // namespace aft::env

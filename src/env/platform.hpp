@@ -1,0 +1,108 @@
+// Execution-environment introspection: behavioural platform self-tests.
+//
+// The Therac-25 analysis (Sect. 2.2) faults the machines for "missing
+// introspection mechanisms (for instance, self-tests) able to verify
+// whether the target platform did include the expected mechanisms and
+// behaviors".  The operative word is *behaviors*: reading a capability flag
+// only verifies the spec sheet; the Therac-25's spec sheet was effectively
+// its Therac-20 heritage, and it lied.
+//
+// This module models a platform that ADVERTISES a feature set and ACTUALLY
+// implements a (possibly different) one, plus behavioural probes that
+// exercise each mechanism for real — trigger a fault and check it traps,
+// starve the watchdog and check it bites.  A divergence between advertised
+// and probed is an execution-environment assumption failure caught at
+// deployment time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+
+namespace aft::env {
+
+/// Safety-relevant platform mechanisms (the Therac-class inventory).
+struct PlatformFeatures {
+  bool hardware_interlocks = false;  ///< dangerous states trip a relay
+  bool exception_trapping = false;   ///< faults halt the machine
+  bool watchdog_timer = false;       ///< starvation forces a reset
+  bool ecc_reporting = false;        ///< memory errors are surfaced, not swallowed
+
+  friend bool operator==(const PlatformFeatures&, const PlatformFeatures&) = default;
+};
+
+/// A platform with an advertised spec and an actual implementation.
+/// The behavioural surface (trigger_*) acts per the ACTUAL features;
+/// `advertised()` reports the spec — the two need not agree.
+class PlatformUnderTest {
+ public:
+  PlatformUnderTest(std::string name, PlatformFeatures advertised,
+                    PlatformFeatures actual)
+      : name_(std::move(name)), advertised_(advertised), actual_(actual) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const PlatformFeatures& advertised() const noexcept {
+    return advertised_;
+  }
+
+  // --- Behavioural surface (what a probe can actually exercise) ----------
+
+  /// Drives the platform into a dangerous mode combination; returns true
+  /// when an interlock tripped (i.e. the hazard was blocked).
+  bool enter_dangerous_state();
+
+  /// Raises a synthetic fault; returns true when it trapped (halted).
+  bool raise_fault();
+
+  /// Withholds watchdog service for one deadline; true when a reset fired.
+  bool starve_watchdog();
+
+  /// Plants a memory error and reads it back; true when the platform
+  /// *reported* the error (rather than returning silently corrupt data).
+  bool plant_memory_error();
+
+  [[nodiscard]] std::uint64_t interlock_trips() const noexcept { return trips_; }
+  [[nodiscard]] std::uint64_t traps() const noexcept { return traps_; }
+  [[nodiscard]] std::uint64_t resets() const noexcept { return resets_; }
+
+ private:
+  std::string name_;
+  PlatformFeatures advertised_;
+  PlatformFeatures actual_;
+  std::uint64_t trips_ = 0;
+  std::uint64_t traps_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// One probe's finding.
+struct ProbeResult {
+  std::string feature;
+  bool advertised = false;
+  bool probed = false;
+
+  /// The dangerous case: promised but not delivered.
+  [[nodiscard]] bool broken_promise() const noexcept { return advertised && !probed; }
+  /// The merely odd case: delivered but not promised (undocumented safety).
+  [[nodiscard]] bool undocumented() const noexcept { return !advertised && probed; }
+};
+
+/// Deployment-time self-test: behaviourally probes every feature, compares
+/// with the advertisement, and publishes the *probed* truth into a context
+/// (so downstream assumptions verify against reality, not the spec sheet).
+struct SelfTestReport {
+  std::vector<ProbeResult> results;
+
+  [[nodiscard]] std::vector<ProbeResult> broken_promises() const;
+  /// Overall fitness: no safety-relevant promise may be broken.
+  [[nodiscard]] bool safe_to_operate() const;
+};
+
+[[nodiscard]] SelfTestReport run_self_test(PlatformUnderTest& platform,
+                                           core::Context* context = nullptr);
+
+/// Context keys the self-test publishes under ("platform.<feature>").
+[[nodiscard]] std::string context_key_for(const std::string& feature);
+
+}  // namespace aft::env

@@ -1,0 +1,35 @@
+#include "ftpat/checkpoint.hpp"
+
+#include <stdexcept>
+
+namespace aft::ftpat {
+
+CheckpointRollbackComponent::CheckpointRollbackComponent(
+    std::string id, std::shared_ptr<arch::StatefulComponent> inner,
+    std::uint64_t max_retries, AcceptanceTest accept)
+    : Component(std::move(id)),
+      inner_(std::move(inner)),
+      max_retries_(max_retries),
+      accept_(std::move(accept)) {
+  if (!inner_) {
+    throw std::invalid_argument("CheckpointRollbackComponent: null inner");
+  }
+}
+
+arch::Component::Result CheckpointRollbackComponent::process(std::int64_t input) {
+  for (std::uint64_t attempt = 0; attempt <= max_retries_; ++attempt) {
+    const std::int64_t checkpoint = inner_->snapshot_state();
+    const Result r = inner_->process(input);
+    if (r.ok && (!accept_ || accept_(input, r.value))) {
+      return account(r);
+    }
+    if (r.ok) ++rejections_;  // acceptance test refused the output
+    // Backward recovery: undo whatever the failed/rejected step left behind.
+    inner_->restore_state(checkpoint);
+    ++rollbacks_;
+  }
+  ++exhaustions_;
+  return account(Result{false, 0});
+}
+
+}  // namespace aft::ftpat

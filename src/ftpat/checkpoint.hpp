@@ -1,0 +1,41 @@
+// Checkpoint/rollback (backward recovery): snapshot the component's state
+// before each step; on failure or rejected output, restore the snapshot and
+// re-execute.  Where Redoing assumes the step left no trace, rollback
+// handles steps that crash *midway* or silently corrupt their state —
+// re-running from a corrupted state would only repeat the damage.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "arch/stateful.hpp"
+
+namespace aft::ftpat {
+
+class CheckpointRollbackComponent final : public arch::Component {
+ public:
+  /// Optional acceptance test over (input, output); rejected outputs roll
+  /// back exactly like failures.  Null accepts everything.
+  using AcceptanceTest = std::function<bool(std::int64_t, std::int64_t)>;
+
+  CheckpointRollbackComponent(std::string id,
+                              std::shared_ptr<arch::StatefulComponent> inner,
+                              std::uint64_t max_retries = 8,
+                              AcceptanceTest accept = nullptr);
+
+  Result process(std::int64_t input) override;
+
+  [[nodiscard]] std::uint64_t rollbacks() const noexcept { return rollbacks_; }
+  [[nodiscard]] std::uint64_t rejections() const noexcept { return rejections_; }
+  [[nodiscard]] std::uint64_t exhaustions() const noexcept { return exhaustions_; }
+
+ private:
+  std::shared_ptr<arch::StatefulComponent> inner_;
+  std::uint64_t max_retries_;
+  AcceptanceTest accept_;
+  std::uint64_t rollbacks_ = 0;
+  std::uint64_t rejections_ = 0;
+  std::uint64_t exhaustions_ = 0;
+};
+
+}  // namespace aft::ftpat

@@ -1,0 +1,42 @@
+#include "ftpat/nversion.hpp"
+
+#include <stdexcept>
+
+namespace aft::ftpat {
+
+NVersionComponent::NVersionComponent(
+    std::string id, std::vector<std::shared_ptr<arch::Component>> versions)
+    : Component(std::move(id)), versions_(std::move(versions)) {
+  if (versions_.empty()) {
+    throw std::invalid_argument("NVersionComponent: needs versions");
+  }
+  for (const auto& v : versions_) {
+    if (!v) throw std::invalid_argument("NVersionComponent: null version");
+  }
+}
+
+arch::Component::Result NVersionComponent::process(std::int64_t input) {
+  std::vector<vote::Ballot> ballots;
+  ballots.reserve(versions_.size());
+  std::size_t failed_versions = 0;
+  for (const auto& v : versions_) {
+    const Result r = v->process(input);
+    if (r.ok) {
+      ballots.push_back(r.value);
+    } else {
+      ++failed_versions;
+    }
+  }
+  const vote::VoteOutcome outcome = vote::majority_vote(ballots);
+  // Strict majority must be over ALL versions: failed versions dissent.
+  const bool majority =
+      outcome.agreeing * 2 > versions_.size() && !ballots.empty();
+  if (!majority) {
+    ++vote_failures_;
+    return account(Result{false, 0});
+  }
+  if (outcome.dissent > 0 || failed_versions > 0) ++masked_divergences_;
+  return account(Result{true, outcome.winner});
+}
+
+}  // namespace aft::ftpat

@@ -1,0 +1,39 @@
+// N-Version Programming (Avizienis [6]): N design-diverse versions execute
+// on every input and a majority voter masks the divergent ones.  The
+// design-diversity scheme the Sect. 3.3 footnote names for tolerating
+// *design* faults that plain replication cannot.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/component.hpp"
+#include "vote/voter.hpp"
+
+namespace aft::ftpat {
+
+class NVersionComponent final : public arch::Component {
+ public:
+  /// `versions` should be odd-sized for a clean majority; even sizes are
+  /// accepted (a tie simply yields no majority, hence failure).
+  NVersionComponent(std::string id,
+                    std::vector<std::shared_ptr<arch::Component>> versions);
+
+  /// Runs every version; succeeds when a strict majority of *all* versions
+  /// (failed ones count as dissent) agree on a value.
+  Result process(std::int64_t input) override;
+
+  /// Rounds in which at least one version diverged but voting masked it.
+  [[nodiscard]] std::uint64_t masked_divergences() const noexcept {
+    return masked_divergences_;
+  }
+  /// Rounds in which no majority could be formed.
+  [[nodiscard]] std::uint64_t vote_failures() const noexcept { return vote_failures_; }
+
+ private:
+  std::vector<std::shared_ptr<arch::Component>> versions_;
+  std::uint64_t masked_divergences_ = 0;
+  std::uint64_t vote_failures_ = 0;
+};
+
+}  // namespace aft::ftpat

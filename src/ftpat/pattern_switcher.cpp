@@ -1,0 +1,41 @@
+#include "ftpat/pattern_switcher.hpp"
+
+namespace aft::ftpat {
+
+PatternSwitcher::PatternSwitcher(arch::Middleware& middleware,
+                                 arch::DagSnapshot d1, arch::DagSnapshot d2,
+                                 Config config)
+    : middleware_(middleware),
+      d1_(std::move(d1)),
+      d2_(std::move(d2)),
+      config_(std::move(config)),
+      alpha_(config_.alpha),
+      subscription_(0) {
+  middleware_.deploy(d1_);
+  subscription_ = middleware_.bus().subscribe(
+      arch::kFaultTopic, [this](const arch::Message& m) {
+        if (m.source == config_.monitored_channel) error_this_run_ = true;
+      });
+}
+
+PatternSwitcher::~PatternSwitcher() {
+  middleware_.bus().unsubscribe(subscription_);
+}
+
+arch::Middleware::RunResult PatternSwitcher::run(std::int64_t input) {
+  error_this_run_ = false;
+  const arch::Middleware::RunResult result = middleware_.run(input);
+  score_trace_.push_back(alpha_.record(error_this_run_));
+  if (!switched_ &&
+      alpha_.judgment() == detect::FaultJudgment::kPermanentOrIntermittent) {
+    middleware_.deploy(d2_);
+    switched_ = true;
+  }
+  return result;
+}
+
+const std::string& PatternSwitcher::active_snapshot() const noexcept {
+  return middleware_.dag().snapshot_name();
+}
+
+}  // namespace aft::ftpat

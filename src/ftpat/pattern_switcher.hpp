@@ -1,0 +1,69 @@
+// The run-time strategy of Sect. 3.2, assembled:
+//
+//   fault notifications (EventBus) -> Alpha-count oracle -> DAG injection.
+//
+// "Depending on the assessment of the Alpha-count oracle, either D1 or D2
+//  are injected on the reflective DAG.  This has the effect of reshaping
+//  the software architecture as in Fig. 3.  Under the hypothesis of a
+//  correct oracle, such scheme avoids clashes: always the most appropriate
+//  design pattern is used in the face of certain classes of faults."
+//
+// The designer hands the switcher both architecture snapshots (D1 built on
+// redoing for transient faults, D2 built on reconfiguration for permanent
+// faults) and the channel to monitor; the binding of the actual
+// fault-tolerance design pattern is thereby postponed to run time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/middleware.hpp"
+#include "detect/alpha_count.hpp"
+
+namespace aft::ftpat {
+
+class PatternSwitcher {
+ public:
+  struct Config {
+    std::string monitored_channel;  ///< component id whose faults are judged
+    detect::AlphaCount::Params alpha{};  ///< the Fig. 4 oracle parameters
+  };
+
+  /// Deploys `d1` immediately and arms the oracle.
+  PatternSwitcher(arch::Middleware& middleware, arch::DagSnapshot d1,
+                  arch::DagSnapshot d2, Config config);
+
+  ~PatternSwitcher();
+  PatternSwitcher(const PatternSwitcher&) = delete;
+  PatternSwitcher& operator=(const PatternSwitcher&) = delete;
+
+  /// Executes one architecture run and feeds the oracle with this round's
+  /// error evidence for the monitored channel; switches D1 -> D2 when the
+  /// oracle's judgment turns permanent/intermittent.
+  arch::Middleware::RunResult run(std::int64_t input);
+
+  [[nodiscard]] const std::string& active_snapshot() const noexcept;
+  [[nodiscard]] bool switched() const noexcept { return switched_; }
+  [[nodiscard]] double alpha_score() const noexcept { return alpha_.score(); }
+  [[nodiscard]] detect::FaultJudgment judgment() const noexcept {
+    return alpha_.judgment();
+  }
+  /// Score trace, one sample per run (the Fig. 4 curve).
+  [[nodiscard]] const std::vector<double>& score_trace() const noexcept {
+    return score_trace_;
+  }
+
+ private:
+  arch::Middleware& middleware_;
+  arch::DagSnapshot d1_;
+  arch::DagSnapshot d2_;
+  Config config_;
+  detect::AlphaCount alpha_;
+  arch::EventBus::SubscriptionId subscription_;
+  bool error_this_run_ = false;
+  bool switched_ = false;
+  std::vector<double> score_trace_;
+};
+
+}  // namespace aft::ftpat

@@ -1,0 +1,28 @@
+#include "ftpat/reconfiguration.hpp"
+
+#include <stdexcept>
+
+namespace aft::ftpat {
+
+ReconfigurationComponent::ReconfigurationComponent(
+    std::string id, std::vector<std::shared_ptr<arch::Component>> versions)
+    : Component(std::move(id)), versions_(std::move(versions)) {
+  if (versions_.empty()) {
+    throw std::invalid_argument("ReconfigurationComponent: needs at least one version");
+  }
+  for (const auto& v : versions_) {
+    if (!v) throw std::invalid_argument("ReconfigurationComponent: null version");
+  }
+}
+
+arch::Component::Result ReconfigurationComponent::process(std::int64_t input) {
+  Result r = versions_[active_]->process(input);
+  while (!r.ok && active_ + 1 < versions_.size()) {
+    ++active_;  // replace on failure: engage the next spare, permanently
+    ++switchovers_;
+    r = versions_[active_]->process(input);
+  }
+  return account(r);
+}
+
+}  // namespace aft::ftpat

@@ -1,0 +1,43 @@
+// The "reconfiguration" design pattern of Sect. 3.2 — "replace on failure".
+// It embodies assumption e2: "The physical environment shall exhibit
+// permanent faults".
+//
+// Fig. 3's D2 is the 2-version instance: "a primary component (c3.1) is
+// taken over by a secondary one (c3.2) in case of permanent faults."
+//
+// "A clash of assumption e2 implies an unnecessary expenditure of resources
+//  as a result of applying reconfiguration in the face of transient
+//  faults" — each switchover permanently consumes a spare, so
+// `switchovers()` on a transient-only workload is the clash-cost metric.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arch/component.hpp"
+
+namespace aft::ftpat {
+
+class ReconfigurationComponent final : public arch::Component {
+ public:
+  /// `versions[0]` is the primary; the rest are cold spares, engaged in
+  /// order.  A failure of the active version permanently advances to the
+  /// next spare (no fail-back: the failed unit is presumed broken).
+  ReconfigurationComponent(std::string id,
+                           std::vector<std::shared_ptr<arch::Component>> versions);
+
+  Result process(std::int64_t input) override;
+
+  [[nodiscard]] std::size_t active_index() const noexcept { return active_; }
+  [[nodiscard]] std::size_t spares_remaining() const noexcept {
+    return versions_.size() - 1 - active_;
+  }
+  [[nodiscard]] std::uint64_t switchovers() const noexcept { return switchovers_; }
+
+ private:
+  std::vector<std::shared_ptr<arch::Component>> versions_;
+  std::size_t active_ = 0;
+  std::uint64_t switchovers_ = 0;
+};
+
+}  // namespace aft::ftpat

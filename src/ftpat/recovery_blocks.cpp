@@ -1,0 +1,37 @@
+#include "ftpat/recovery_blocks.hpp"
+
+#include <stdexcept>
+
+namespace aft::ftpat {
+
+RecoveryBlocksComponent::RecoveryBlocksComponent(
+    std::string id, std::vector<std::shared_ptr<arch::Component>> alternates,
+    AcceptanceTest accept)
+    : Component(std::move(id)),
+      alternates_(std::move(alternates)),
+      accept_(std::move(accept)) {
+  if (alternates_.empty()) {
+    throw std::invalid_argument("RecoveryBlocksComponent: needs alternates");
+  }
+  for (const auto& a : alternates_) {
+    if (!a) throw std::invalid_argument("RecoveryBlocksComponent: null alternate");
+  }
+  if (!accept_) {
+    throw std::invalid_argument("RecoveryBlocksComponent: null acceptance test");
+  }
+}
+
+arch::Component::Result RecoveryBlocksComponent::process(std::int64_t input) {
+  for (std::size_t i = 0; i < alternates_.size(); ++i) {
+    const Result r = alternates_[i]->process(input);
+    if (r.ok && accept_(input, r.value)) {
+      if (i > 0) ++fallbacks_;
+      return account(r);
+    }
+    if (r.ok) ++rejections_;  // computed but failed the acceptance test
+  }
+  ++exhaustions_;
+  return account(Result{false, 0});
+}
+
+}  // namespace aft::ftpat

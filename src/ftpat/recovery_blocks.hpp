@@ -1,0 +1,42 @@
+// Recovery Blocks (Randell): design-diverse alternates tried in order, each
+// result screened by an acceptance test.  Included because Sect. 3.3's
+// footnote stresses that "simple replication would not suffice to tolerate
+// design faults, in which case a design diversity scheme ... would be
+// required" — recovery blocks and NVP are the two classic such schemes.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "arch/component.hpp"
+
+namespace aft::ftpat {
+
+class RecoveryBlocksComponent final : public arch::Component {
+ public:
+  /// Decides whether `output` is acceptable for `input`.
+  using AcceptanceTest = std::function<bool(std::int64_t input, std::int64_t output)>;
+
+  RecoveryBlocksComponent(std::string id,
+                          std::vector<std::shared_ptr<arch::Component>> alternates,
+                          AcceptanceTest accept);
+
+  Result process(std::int64_t input) override;
+
+  /// Times the primary's result was rejected and an alternate engaged.
+  [[nodiscard]] std::uint64_t fallbacks() const noexcept { return fallbacks_; }
+  /// Times every alternate failed or was rejected.
+  [[nodiscard]] std::uint64_t exhaustions() const noexcept { return exhaustions_; }
+  /// Results rejected by the acceptance test (across all alternates).
+  [[nodiscard]] std::uint64_t rejections() const noexcept { return rejections_; }
+
+ private:
+  std::vector<std::shared_ptr<arch::Component>> alternates_;
+  AcceptanceTest accept_;
+  std::uint64_t fallbacks_ = 0;
+  std::uint64_t exhaustions_ = 0;
+  std::uint64_t rejections_ = 0;
+};
+
+}  // namespace aft::ftpat

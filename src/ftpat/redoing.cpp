@@ -1,0 +1,26 @@
+#include "ftpat/redoing.hpp"
+
+#include <stdexcept>
+
+namespace aft::ftpat {
+
+RedoingComponent::RedoingComponent(std::string id,
+                                   std::shared_ptr<arch::Component> inner,
+                                   std::uint64_t max_retries)
+    : Component(std::move(id)), inner_(std::move(inner)), max_retries_(max_retries) {
+  if (!inner_) throw std::invalid_argument("RedoingComponent: null inner component");
+}
+
+arch::Component::Result RedoingComponent::process(std::int64_t input) {
+  Result r = inner_->process(input);
+  std::uint64_t attempts = 0;
+  while (!r.ok && attempts < max_retries_) {
+    ++attempts;
+    ++retries_;
+    r = inner_->process(input);
+  }
+  if (!r.ok) ++budget_exhaustions_;
+  return account(r);
+}
+
+}  // namespace aft::ftpat

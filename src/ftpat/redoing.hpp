@@ -1,0 +1,41 @@
+// The "redoing" design pattern of Sect. 3.2 — "repeat on failure" (FTAG's
+// redoing [18]).  It embodies assumption e1: "The physical environment
+// shall exhibit transient faults".
+//
+// "A clash of assumption e1 implies a livelock (endless repetition) as a
+//  result of redoing actions in the face of permanent faults."  A real
+// implementation must bound the repetition; the retry budget is that bound,
+// and exhausting it is the observable signature of the e1 clash (the
+// livelock the pattern would otherwise enter).  `budget_exhaustions()` and
+// `retries()` are the clash-cost metrics tab_pattern_clash reports.
+#pragma once
+
+#include <memory>
+
+#include "arch/component.hpp"
+
+namespace aft::ftpat {
+
+class RedoingComponent final : public arch::Component {
+ public:
+  /// Wraps `inner`; a failed invocation is redone up to `max_retries`
+  /// additional times.
+  RedoingComponent(std::string id, std::shared_ptr<arch::Component> inner,
+                   std::uint64_t max_retries = 16);
+
+  Result process(std::int64_t input) override;
+
+  [[nodiscard]] std::uint64_t retries() const noexcept { return retries_; }
+  [[nodiscard]] std::uint64_t budget_exhaustions() const noexcept {
+    return budget_exhaustions_;
+  }
+  [[nodiscard]] const arch::Component& inner() const noexcept { return *inner_; }
+
+ private:
+  std::shared_ptr<arch::Component> inner_;
+  std::uint64_t max_retries_;
+  std::uint64_t retries_ = 0;
+  std::uint64_t budget_exhaustions_ = 0;
+};
+
+}  // namespace aft::ftpat

@@ -1,0 +1,49 @@
+#include "ftpat/time_redundancy.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace aft::ftpat {
+
+TimeRedundancyComponent::TimeRedundancyComponent(
+    std::string id, std::shared_ptr<arch::Component> inner,
+    std::size_t executions, std::uint64_t max_round_retries)
+    : Component(std::move(id)),
+      inner_(std::move(inner)),
+      executions_(executions),
+      max_round_retries_(max_round_retries) {
+  if (!inner_) throw std::invalid_argument("TimeRedundancyComponent: null inner");
+  if (executions < 2) {
+    throw std::invalid_argument("TimeRedundancyComponent: needs >= 2 executions");
+  }
+}
+
+arch::Component::Result TimeRedundancyComponent::round(std::int64_t input) {
+  std::vector<vote::Ballot> ballots;
+  ballots.reserve(executions_);
+  for (std::size_t i = 0; i < executions_; ++i) {
+    const Result r = inner_->process(input);
+    if (!r.ok) return Result{false, 0};  // signalled failure: re-run the round
+    ballots.push_back(r.value);
+  }
+  const vote::VoteOutcome outcome = vote::majority_vote(ballots);
+  if (outcome.dissent > 0) ++disagreements_;
+  if (!outcome.has_majority) return Result{false, 0};
+  // With N = 2 a strict majority means both agreed; with N >= 3 a minority
+  // corruption was just outvoted.
+  return Result{true, outcome.winner};
+}
+
+arch::Component::Result TimeRedundancyComponent::process(std::int64_t input) {
+  Result r = round(input);
+  std::uint64_t retries = 0;
+  while (!r.ok && retries < max_round_retries_) {
+    ++retries;
+    ++round_retries_;
+    r = round(input);
+  }
+  if (!r.ok) ++round_failures_;
+  return account(r);
+}
+
+}  // namespace aft::ftpat

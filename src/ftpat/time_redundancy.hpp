@@ -1,0 +1,53 @@
+// Time redundancy — the fourth member of the paper's redundancy taxonomy
+// ("time-, physical-, information-, or design-redundancy", Sect. 3.3):
+// execute the same computation N times on the same unit and compare.
+//
+//   N = 2: detects a transient computation corruption (mismatch -> retry
+//          the whole pair, up to a budget);
+//   N >= 3: corrects by majority vote over the executions.
+//
+// Unlike Redoing (which only reacts to *signalled* failures), time
+// redundancy catches silent data corruption — a transiently flipped result
+// that reports ok.  Its blind spot is the permanent fault: a stuck unit
+// produces N identical wrong answers, which is exactly the e1-style
+// assumption ("faults are transient") this pattern encodes.
+#pragma once
+
+#include <memory>
+
+#include "arch/component.hpp"
+#include "vote/voter.hpp"
+
+namespace aft::ftpat {
+
+class TimeRedundancyComponent final : public arch::Component {
+ public:
+  /// `executions` >= 2; `max_round_retries` bounds the re-runs when a round
+  /// of executions fails to agree.
+  TimeRedundancyComponent(std::string id, std::shared_ptr<arch::Component> inner,
+                          std::size_t executions = 2,
+                          std::uint64_t max_round_retries = 4);
+
+  Result process(std::int64_t input) override;
+
+  /// Rounds in which a disagreement was observed (corruption caught).
+  [[nodiscard]] std::uint64_t disagreements() const noexcept { return disagreements_; }
+  /// Rounds re-run after a disagreement or inner failure.
+  [[nodiscard]] std::uint64_t round_retries() const noexcept { return round_retries_; }
+  /// Rounds abandoned after the retry budget.
+  [[nodiscard]] std::uint64_t round_failures() const noexcept { return round_failures_; }
+  [[nodiscard]] std::size_t executions() const noexcept { return executions_; }
+
+ private:
+  /// One round of N executions: ok iff a strict majority agrees.
+  Result round(std::int64_t input);
+
+  std::shared_ptr<arch::Component> inner_;
+  std::size_t executions_;
+  std::uint64_t max_round_retries_;
+  std::uint64_t disagreements_ = 0;
+  std::uint64_t round_retries_ = 0;
+  std::uint64_t round_failures_ = 0;
+};
+
+}  // namespace aft::ftpat

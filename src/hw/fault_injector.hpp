@@ -1,0 +1,94 @@
+// Stochastic fault injection campaigns against MemoryChip devices.
+//
+// A FaultProfile encodes the per-tick event rates of a device technology /
+// manufacturing lot; the paper's reference [10] notes that "even from lot to
+// lot error and failure rates can vary more than one order of magnitude",
+// which is why profiles are looked up per (vendor, model, lot) in the
+// knowledge base (mem/knowledge_base.hpp) rather than fixed per technology.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/memory_chip.hpp"
+#include "util/rng.hpp"
+
+namespace aft::hw {
+
+/// Per-tick fault event rates for one memory device.
+struct FaultProfile {
+  double seu_rate = 0.0;        ///< P(one stored-bit flip somewhere) per tick
+  double multi_bit_fraction = 0.0;  ///< fraction of SEUs hitting 2 adjacent bits
+  double sel_rate = 0.0;        ///< P(single-event latch-up) per tick
+  double sefi_rate = 0.0;       ///< P(single-event functional interrupt) per tick
+  double stuck_rate = 0.0;      ///< P(new permanent stuck-at defect) per tick
+
+  /// A profile is benign when it can never produce a fault.
+  [[nodiscard]] bool benign() const noexcept {
+    return seu_rate <= 0 && sel_rate <= 0 && sefi_rate <= 0 && stuck_rate <= 0;
+  }
+};
+
+/// Canonical profiles for the technologies discussed in Sect. 3.1.
+/// Rates are per simulated tick and deliberately exaggerated relative to
+/// real per-second rates so that experiments of 10^5..10^7 ticks exercise
+/// every failure mode (the substitution is documented in DESIGN.md).
+namespace profiles {
+/// Stable memory: the f0 world.  Nothing ever fails.
+[[nodiscard]] FaultProfile stable();
+/// CMOS-like: rare independent single-bit soft errors only (f1).
+[[nodiscard]] FaultProfile cmos();
+/// CMOS plus permanent stuck-at defects (f2).
+[[nodiscard]] FaultProfile cmos_aging();
+/// SDRAM-like including SEL (f3).
+[[nodiscard]] FaultProfile sdram_sel();
+/// SDRAM-like including SEL and heavy SEU, plus SEFI (f4).
+[[nodiscard]] FaultProfile sdram_sel_seu();
+}  // namespace profiles
+
+/// Uniformly scales every event rate — the lot-to-lot variability knob:
+/// "even from lot to lot error and failure rates can vary more than one
+/// order of magnitude" [10].  factor 10 models a bad lot, 0.1 a golden one.
+[[nodiscard]] FaultProfile scaled(FaultProfile profile, double factor) noexcept;
+
+/// Tally of fault events actually injected during a campaign.
+struct InjectionLog {
+  std::uint64_t seu = 0;
+  std::uint64_t multi_bit = 0;
+  std::uint64_t sel = 0;
+  std::uint64_t sefi = 0;
+  std::uint64_t stuck = 0;
+
+  [[nodiscard]] std::uint64_t total() const noexcept {
+    return seu + multi_bit + sel + sefi + stuck;
+  }
+};
+
+/// Drives one chip with one profile.  Call tick() once per simulated time
+/// step; every fault decision flows through the seeded RNG, so campaigns
+/// are reproducible.
+class FaultInjector {
+ public:
+  FaultInjector(MemoryChip& chip, FaultProfile profile, std::uint64_t seed);
+
+  /// Advances one tick, possibly injecting faults.  Returns true when at
+  /// least one fault was injected this tick.
+  bool tick();
+
+  /// Runs `n` ticks back to back (no per-tick observers).
+  void run(std::uint64_t n);
+
+  [[nodiscard]] const InjectionLog& log() const noexcept { return log_; }
+  [[nodiscard]] const FaultProfile& profile() const noexcept { return profile_; }
+  void set_profile(const FaultProfile& p) noexcept { profile_ = p; }
+
+ private:
+  void inject_seu();
+
+  MemoryChip& chip_;
+  FaultProfile profile_;
+  util::Xoshiro256 rng_;
+  InjectionLog log_;
+};
+
+}  // namespace aft::hw

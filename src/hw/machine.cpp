@@ -1,0 +1,99 @@
+#include "hw/machine.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace aft::hw {
+
+MemoryBank& Machine::add_bank(SpdRecord spd, std::size_t words) {
+  banks_.push_back(MemoryBank{std::move(spd), std::make_unique<MemoryChip>(words)});
+  return banks_.back();
+}
+
+MemoryBank& Machine::bank(std::size_t i) {
+  if (i >= banks_.size()) throw std::out_of_range("Machine bank index");
+  return banks_[i];
+}
+
+const MemoryBank& Machine::bank(std::size_t i) const {
+  if (i >= banks_.size()) throw std::out_of_range("Machine bank index");
+  return banks_[i];
+}
+
+std::uint64_t Machine::total_mib() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& b : banks_) total += b.spd.size_mib;
+  return total;
+}
+
+std::string Machine::lshw_memory_dump() const {
+  std::ostringstream out;
+  out << "  *-memory\n"
+      << "       description: System Memory\n"
+      << "       physical id: 1000\n"
+      << "       slot: System board or motherboard\n"
+      << "       size: " << total_mib() << "MiB\n";
+  for (std::size_t i = 0; i < banks_.size(); ++i) {
+    out << banks_[i].spd.lshw_stanza(static_cast<int>(i));
+  }
+  return out.str();
+}
+
+std::size_t Machine::reset_unavailable_banks() {
+  std::size_t reset = 0;
+  for (auto& b : banks_) {
+    if (b.chip->state() != ChipState::kOperational) {
+      b.chip->power_cycle();
+      ++reset;
+    }
+  }
+  return reset;
+}
+
+namespace machines {
+
+Machine laptop(std::size_t words_per_bank) {
+  Machine m("dell-inspiron-6000");
+  m.add_bank(SpdRecord{.vendor = "CE00000000000000",
+                       .model = "DDR-533-1G",
+                       .serial = "F504F679",
+                       .lot = "L2004-17",
+                       .size_mib = 1024,
+                       .width_bits = 64,
+                       .clock_mhz = 533,
+                       .technology = MemoryTechnology::kDdrSdram,
+                       .slot = "DIMM_A"},
+             words_per_bank);
+  m.add_bank(SpdRecord{.vendor = "CE00000000000000",
+                       .model = "DDR-667-512M",
+                       .serial = "F33DD2FD",
+                       .lot = "L2004-22",
+                       .size_mib = 512,
+                       .width_bits = 64,
+                       .clock_mhz = 667,
+                       .technology = MemoryTechnology::kDdrSdram,
+                       .slot = "DIMM_B"},
+             words_per_bank);
+  return m;
+}
+
+Machine satellite_obc(std::size_t words_per_bank) {
+  Machine m("leo-obc-1");
+  for (int i = 0; i < 4; ++i) {
+    m.add_bank(SpdRecord{.vendor = "RADPART",
+                         .model = "SDR-100-256M",
+                         .serial = "OBC" + std::to_string(1000 + i),
+                         .lot = "L2008-03",
+                         .size_mib = 256,
+                         .width_bits = 72,
+                         .clock_mhz = 100,
+                         .technology = MemoryTechnology::kSdram,
+                         .slot = "BANK_" + std::to_string(i)},
+               words_per_bank);
+  }
+  return m;
+}
+
+}  // namespace machines
+
+}  // namespace aft::hw

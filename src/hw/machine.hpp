@@ -1,0 +1,65 @@
+// A deployable target platform: the machine the software is compiled for /
+// deployed on.  This is the substitution for the paper's real hardware: the
+// introspection path (SPD -> lshw -> knowledge base) reads these records
+// instead of EEPROMs, but the selector logic downstream is unchanged.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/memory_chip.hpp"
+#include "hw/spd.hpp"
+
+namespace aft::hw {
+
+/// One populated DIMM slot: SPD identity plus the simulated device itself.
+struct MemoryBank {
+  SpdRecord spd;
+  std::unique_ptr<MemoryChip> chip;
+};
+
+class Machine {
+ public:
+  explicit Machine(std::string name) : name_(std::move(name)) {}
+
+  Machine(Machine&&) noexcept = default;
+  Machine& operator=(Machine&&) noexcept = default;
+
+  /// Populates a DIMM slot.  `words` sizes the simulated device (kept far
+  /// smaller than spd.size_mib implies; the SPD size is identity metadata).
+  MemoryBank& add_bank(SpdRecord spd, std::size_t words);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t bank_count() const noexcept { return banks_.size(); }
+  [[nodiscard]] MemoryBank& bank(std::size_t i);
+  [[nodiscard]] const MemoryBank& bank(std::size_t i) const;
+
+  /// Total installed memory per the SPD records.
+  [[nodiscard]] std::uint64_t total_mib() const noexcept;
+
+  /// Platform introspection: renders the machine's memory subsystem in the
+  /// style of the paper's Fig. 2 (`sudo lshw` output).
+  [[nodiscard]] std::string lshw_memory_dump() const;
+
+  /// Power-cycles every bank whose device is latched up or halted; returns
+  /// the number of banks reset.  This is the recovery action SEL/SEFI
+  /// require ([12],[15]).
+  std::size_t reset_unavailable_banks();
+
+ private:
+  std::string name_;
+  std::vector<MemoryBank> banks_;
+};
+
+/// Factory for the two reference platforms used across tests and benches.
+namespace machines {
+/// A Fig. 2-style laptop: two DDR DIMMs, benign fault environment.
+[[nodiscard]] Machine laptop(std::size_t words_per_bank = 4096);
+/// A spaceborne on-board computer: SDRAM parts subject to single-event
+/// effects — the environment where f3/f4 assumptions are the right ones.
+[[nodiscard]] Machine satellite_obc(std::size_t words_per_bank = 4096);
+}  // namespace machines
+
+}  // namespace aft::hw

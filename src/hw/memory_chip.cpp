@@ -1,0 +1,92 @@
+#include "hw/memory_chip.hpp"
+
+#include <stdexcept>
+
+namespace aft::hw {
+
+bool get_bit(const Word72& w, unsigned bit) noexcept {
+  if (bit < 64) return ((w.data >> bit) & 1u) != 0;
+  return ((w.check >> (bit - 64)) & 1u) != 0;
+}
+
+void set_bit(Word72& w, unsigned bit, bool value) noexcept {
+  if (bit < 64) {
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    w.data = value ? (w.data | mask) : (w.data & ~mask);
+  } else {
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit - 64));
+    w.check = value ? static_cast<std::uint8_t>(w.check | mask)
+                    : static_cast<std::uint8_t>(w.check & ~mask);
+  }
+}
+
+void flip_bit(Word72& w, unsigned bit) noexcept {
+  set_bit(w, bit, !get_bit(w, bit));
+}
+
+const char* to_string(ChipState s) noexcept {
+  switch (s) {
+    case ChipState::kOperational: return "operational";
+    case ChipState::kLatchedUp: return "latched-up (SEL)";
+    case ChipState::kSefiHalt: return "halted (SEFI)";
+  }
+  return "unknown";
+}
+
+MemoryChip::MemoryChip(std::size_t words) : cells_(words) {
+  if (words == 0) throw std::invalid_argument("MemoryChip: zero size");
+}
+
+void MemoryChip::check_addr(std::size_t addr) const {
+  if (addr >= cells_.size()) throw std::out_of_range("MemoryChip address");
+}
+
+Word72 MemoryChip::apply_stuck(std::size_t addr, Word72 w) const {
+  for (const auto& [key, value] : stuck_) {
+    if (key.addr == addr) set_bit(w, key.bit, value);
+  }
+  return w;
+}
+
+DeviceRead MemoryChip::read(std::size_t addr) const {
+  check_addr(addr);
+  ++reads_;
+  if (state_ != ChipState::kOperational) return DeviceRead{false, Word72{}};
+  return DeviceRead{true, apply_stuck(addr, cells_[addr])};
+}
+
+void MemoryChip::write(std::size_t addr, Word72 w) {
+  check_addr(addr);
+  ++writes_;
+  if (state_ != ChipState::kOperational) return;
+  cells_[addr] = w;
+}
+
+void MemoryChip::inject_bit_flip(std::size_t addr, unsigned bit) {
+  check_addr(addr);
+  if (bit >= kBitsPerWord) throw std::out_of_range("MemoryChip bit index");
+  if (state_ != ChipState::kOperational) return;
+  flip_bit(cells_[addr], bit);
+}
+
+void MemoryChip::inject_stuck_at(std::size_t addr, unsigned bit, bool stuck_value) {
+  check_addr(addr);
+  if (bit >= kBitsPerWord) throw std::out_of_range("MemoryChip bit index");
+  stuck_[StuckKey{addr, bit}] = stuck_value;
+}
+
+void MemoryChip::inject_latch_up() noexcept {
+  state_ = ChipState::kLatchedUp;
+  // "SEL ... can bring to the loss of all data stored on chip" [12].
+  for (auto& cell : cells_) cell = Word72{};
+}
+
+void MemoryChip::inject_sefi() noexcept { state_ = ChipState::kSefiHalt; }
+
+void MemoryChip::power_cycle() {
+  ++power_cycles_;
+  state_ = ChipState::kOperational;
+  for (auto& cell : cells_) cell = Word72{};
+}
+
+}  // namespace aft::hw

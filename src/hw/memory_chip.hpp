@@ -1,0 +1,117 @@
+// Simulated memory device with the failure semantics catalogued in
+// Sect. 3.1 of the paper:
+//
+//   - soft errors / SEU: stored bits flip spontaneously [13,14];
+//   - permanent stuck-at defects: a physical cell is forced to 0 or 1;
+//   - single-event latch-up (SEL): "loss of all data stored on chip" [12],
+//     the device must be power-cycled;
+//   - single-event functional interrupt (SEFI): device enters a halt /
+//     undefined state and "requires a power reset to recover" [15].
+//
+// The chip stores 72-bit words (64 data + 8 check bits) so that ECC-based
+// access methods (M1..M4 of Sect. 3.1) have physical room for their code
+// bits, exactly like a x72 ECC DIMM.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace aft::hw {
+
+/// A 72-bit storage word: bits 0..63 live in `data`, bits 64..71 in `check`.
+struct Word72 {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+
+  friend bool operator==(const Word72&, const Word72&) = default;
+};
+
+/// Bit manipulation helpers over the 72-bit word space.
+[[nodiscard]] bool get_bit(const Word72& w, unsigned bit) noexcept;
+void set_bit(Word72& w, unsigned bit, bool value) noexcept;
+void flip_bit(Word72& w, unsigned bit) noexcept;
+
+/// Device-level health state.
+enum class ChipState : std::uint8_t {
+  kOperational,
+  kLatchedUp,   ///< SEL: stored data lost, reads unavailable until power cycle
+  kSefiHalt,    ///< SEFI: device halted/undefined, unavailable until power cycle
+};
+
+[[nodiscard]] const char* to_string(ChipState s) noexcept;
+
+/// Result of a device read: when the chip is latched up or halted the read
+/// does not complete and `available` is false.
+struct DeviceRead {
+  bool available = false;
+  Word72 word{};
+};
+
+class MemoryChip {
+ public:
+  static constexpr unsigned kBitsPerWord = 72;
+
+  explicit MemoryChip(std::size_t words);
+
+  [[nodiscard]] std::size_t size_words() const noexcept { return cells_.size(); }
+  [[nodiscard]] ChipState state() const noexcept { return state_; }
+
+  /// Reads the stored word, with stuck-at defects applied on the fly (a
+  /// stuck cell returns the forced value regardless of what was written).
+  [[nodiscard]] DeviceRead read(std::size_t addr) const;
+
+  /// Writes a word; silently absorbed when the device is unavailable
+  /// (matching a real bus write to a hung part).  Stuck bits ignore writes.
+  void write(std::size_t addr, Word72 w);
+
+  // --- Fault-injection surface (driven by hw::FaultInjector) -------------
+
+  /// Flips a stored bit (SEU / soft error).  No effect while unavailable.
+  void inject_bit_flip(std::size_t addr, unsigned bit);
+
+  /// Declares a permanent stuck-at defect at (addr, bit).
+  void inject_stuck_at(std::size_t addr, unsigned bit, bool stuck_value);
+
+  /// Single-event latch-up: device unavailable, stored data destroyed.
+  void inject_latch_up() noexcept;
+
+  /// Single-event functional interrupt: device halts (data retained but
+  /// unreachable; after the mandated power reset it is lost anyway).
+  void inject_sefi() noexcept;
+
+  /// Power reset: restores availability, clears volatile contents to zero.
+  /// Physical stuck-at defects survive the cycle.
+  void power_cycle();
+
+  // --- Accounting ---------------------------------------------------------
+
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t power_cycles() const noexcept { return power_cycles_; }
+  [[nodiscard]] std::size_t stuck_bit_count() const noexcept { return stuck_.size(); }
+
+ private:
+  struct StuckKey {
+    std::size_t addr;
+    unsigned bit;
+    friend bool operator==(const StuckKey&, const StuckKey&) = default;
+  };
+  struct StuckKeyHash {
+    std::size_t operator()(const StuckKey& k) const noexcept {
+      return std::hash<std::size_t>{}(k.addr * 73 + k.bit);
+    }
+  };
+
+  void check_addr(std::size_t addr) const;
+  [[nodiscard]] Word72 apply_stuck(std::size_t addr, Word72 w) const;
+
+  std::vector<Word72> cells_;
+  std::unordered_map<StuckKey, bool, StuckKeyHash> stuck_;
+  ChipState state_ = ChipState::kOperational;
+  mutable std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t power_cycles_ = 0;
+};
+
+}  // namespace aft::hw

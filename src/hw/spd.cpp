@@ -1,0 +1,32 @@
+#include "hw/spd.hpp"
+
+#include <sstream>
+
+namespace aft::hw {
+
+std::string to_string(MemoryTechnology tech) {
+  switch (tech) {
+    case MemoryTechnology::kCmosSram: return "CMOS SRAM";
+    case MemoryTechnology::kSdram: return "SDRAM Synchronous";
+    case MemoryTechnology::kDdrSdram: return "DDR Synchronous";
+  }
+  return "unknown";
+}
+
+std::string SpdRecord::lshw_stanza(int bank_index) const {
+  std::ostringstream out;
+  const double ns = clock_mhz > 0 ? 1000.0 / clock_mhz : 0.0;
+  out << "     *-bank:" << bank_index << "\n"
+      << "          description: DIMM " << to_string(technology) << " "
+      << clock_mhz << " MHz (" << ns << " ns)\n"
+      << "          vendor: " << vendor << "\n"
+      << "          physical id: " << bank_index << "\n"
+      << "          serial: " << serial << "\n"
+      << "          slot: " << slot << "\n"
+      << "          size: " << size_mib << "MiB\n"
+      << "          width: " << width_bits << " bits\n"
+      << "          clock: " << clock_mhz << "MHz\n";
+  return out.str();
+}
+
+}  // namespace aft::hw

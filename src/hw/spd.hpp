@@ -1,0 +1,44 @@
+// Serial Presence Detect (SPD) — the introspection substrate of Sect. 3.1.
+//
+// The paper (Figs. 1 and 2) relies on the SPD EEPROM present on every DIMM,
+// surfaced on Linux via `lshw`, to let an Autoconf-like toolset discover
+// which memory modules a target machine carries and look their failure
+// behaviour up in a knowledge base.  We model the same record: vendor,
+// model, serial, lot, size, width and clock, plus the memory technology
+// (the property the failure-semantics assumptions f0..f4 hinge on).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aft::hw {
+
+/// Memory device technology, the coarse driver of failure semantics:
+/// CMOS-era SRAM mostly exhibits independent single-bit soft errors [11],
+/// while SDRAM parts add single-event effects (SEL, SEU, SEFI) [10,12-15].
+enum class MemoryTechnology : std::uint8_t {
+  kCmosSram,   ///< radiation-hardened CMOS static RAM (e.g. legacy spaceborne)
+  kSdram,      ///< single-data-rate SDRAM
+  kDdrSdram,   ///< DDR SDRAM (the Fig. 2 laptop modules)
+};
+
+[[nodiscard]] std::string to_string(MemoryTechnology tech);
+
+/// One DIMM's SPD record, as read through platform introspection.
+struct SpdRecord {
+  std::string vendor;        ///< e.g. "CE00000000000000" (Fig. 2)
+  std::string model;         ///< device/part designation
+  std::string serial;        ///< e.g. "F504F679"
+  std::string lot;           ///< manufacturing lot code ([10]: behaviour varies per lot)
+  std::uint32_t size_mib = 0;
+  std::uint32_t width_bits = 64;
+  std::uint32_t clock_mhz = 0;
+  MemoryTechnology technology = MemoryTechnology::kDdrSdram;
+  std::string slot;          ///< e.g. "DIMM_A"
+
+  /// Renders one `*-bank` stanza in the style of the paper's Fig. 2
+  /// (`sudo lshw` output).
+  [[nodiscard]] std::string lshw_stanza(int bank_index) const;
+};
+
+}  // namespace aft::hw

@@ -1,0 +1,37 @@
+#include "manifest/deployment.hpp"
+
+namespace aft::manifest {
+
+DeploymentReport qualify_deployment(const Manifest& manifest,
+                                    const hw::Machine& machine,
+                                    const mem::MethodSelector& selector,
+                                    env::PlatformUnderTest* platform) {
+  DeploymentReport report;
+
+  // Source 1: memory-subsystem introspection (the Sect. 3.1 pipeline).
+  const mem::SelectionReport selection = selector.analyze(machine);
+  report.memory_behaviour = selection.required_label;
+  report.context.set("platform.memory.semantics", selection.required_label);
+  report.context.set("platform.memory.banks",
+                     static_cast<std::int64_t>(machine.bank_count()));
+  report.context.set("platform.memory.total-mib",
+                     static_cast<std::int64_t>(machine.total_mib()));
+  report.context.set("platform.memory.method-available", selection.selected());
+  if (selection.selected()) {
+    report.context.set("platform.memory.method", selection.chosen);
+  }
+
+  // Source 2: behavioural platform self-test (never trust the spec sheet).
+  if (platform != nullptr) {
+    const env::SelfTestReport self_test =
+        env::run_self_test(*platform, &report.context);
+    report.platform_safe = self_test.safe_to_operate();
+  }
+
+  // The gate: the artifact's own recorded hypotheses against all of it.
+  report.clashes = manifest.requalify(report.context);
+  report.hidden = manifest.audit_provenance();
+  return report;
+}
+
+}  // namespace aft::manifest

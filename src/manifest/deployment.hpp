@@ -1,0 +1,42 @@
+// The deployment gate: every introspection source the library offers,
+// combined into one context, and the artifact's manifest re-qualified
+// against it — the paper's "re-qualification ... prescribed each time a
+// system is relocated" as a single call a deployment toolchain can gate on.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/context.hpp"
+#include "env/platform.hpp"
+#include "hw/machine.hpp"
+#include "manifest/manifest.hpp"
+#include "mem/selector.hpp"
+
+namespace aft::manifest {
+
+struct DeploymentReport {
+  core::Context context;               ///< everything the probes learned
+  std::vector<core::Clash> clashes;    ///< manifest records that failed
+  std::vector<std::string> hidden;     ///< records lacking provenance
+  bool platform_safe = true;           ///< behavioural self-test verdict
+  std::string memory_behaviour;        ///< introspected f label, e.g. "f3"
+
+  /// The gate: deploy only when nothing clashed, nothing important was
+  /// hidden, and the platform's promises held up under probing.
+  [[nodiscard]] bool approved() const noexcept {
+    return clashes.empty() && platform_safe;
+  }
+};
+
+/// Probes `machine` (SPD -> knowledge base -> behaviour label, published as
+/// "platform.memory.semantics" plus per-bank facts) and, when given,
+/// behaviourally self-tests `platform`; then re-qualifies `manifest`
+/// against the combined truth.
+[[nodiscard]] DeploymentReport qualify_deployment(
+    const Manifest& manifest, const hw::Machine& machine,
+    const mem::MethodSelector& selector,
+    env::PlatformUnderTest* platform = nullptr);
+
+}  // namespace aft::manifest

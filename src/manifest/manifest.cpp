@@ -1,0 +1,239 @@
+#include "manifest/manifest.hpp"
+
+#include <sstream>
+
+namespace aft::manifest {
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string subject_to_text(core::Subject s) { return core::to_string(s); }
+
+core::Subject subject_from_text(std::size_t line, const std::string& text) {
+  if (text == "hardware") return core::Subject::kHardware;
+  if (text == "third-party-software") return core::Subject::kThirdPartySoftware;
+  if (text == "execution-environment") return core::Subject::kExecutionEnvironment;
+  if (text == "physical-environment") return core::Subject::kPhysicalEnvironment;
+  throw ManifestError(line, "unknown subject '" + text + "'");
+}
+
+std::string binding_to_text(core::BindingTime t) { return core::to_string(t); }
+
+core::BindingTime binding_from_text(std::size_t line, const std::string& text) {
+  if (text == "design-time") return core::BindingTime::kDesign;
+  if (text == "compile-time") return core::BindingTime::kCompile;
+  if (text == "deployment-time") return core::BindingTime::kDeploy;
+  if (text == "run-time") return core::BindingTime::kRun;
+  throw ManifestError(line, "unknown binding time '" + text + "'");
+}
+
+/// Typed value parse: bool, then integer, then double, else raw string.
+core::ContextValue parse_value(const std::string& text) {
+  if (text == "true") return true;
+  if (text == "false") return false;
+  try {
+    std::size_t used = 0;
+    const long long i = std::stoll(text, &used);
+    if (used == text.size()) return static_cast<std::int64_t>(i);
+  } catch (...) {  // NOLINT(bugprone-empty-catch): fall through to double
+  }
+  try {
+    std::size_t used = 0;
+    const double d = std::stod(text, &used);
+    if (used == text.size()) return d;
+  } catch (...) {  // NOLINT(bugprone-empty-catch): fall through to string
+  }
+  return text;
+}
+
+}  // namespace
+
+ClauseAssumption::ClauseAssumption(const AssumptionRecord& record)
+    : AssumptionBase(record.id, record.statement, record.subject,
+                     core::Provenance{.origin = record.origin,
+                                      .rationale = record.rationale,
+                                      .stated_at = record.stated_at}),
+      clause_(record.expectation) {}
+
+core::AssumptionBase::Outcome ClauseAssumption::evaluate(
+    const core::Context& ctx) const {
+  const std::optional<bool> verdict = clause_.evaluate(ctx);
+  if (!verdict.has_value()) {
+    return Outcome{core::AssumptionState::kUnverified, ""};
+  }
+  if (*verdict) return Outcome{core::AssumptionState::kHolds, ""};
+  const auto it = ctx.facts().find(clause_.key);
+  return Outcome{core::AssumptionState::kViolated,
+                 clause_.key + " = " + contract::to_string(it->second) +
+                     " (expected " + clause_.to_string() + ")"};
+}
+
+std::string Manifest::serialize() const {
+  std::ostringstream out;
+  out << "# aft deployment manifest\n";
+  out << "[meta]\n";
+  out << "name = " << name << "\n";
+  out << "version = " << version << "\n";
+  for (const AssumptionRecord& a : assumptions) {
+    out << "\n[assumption]\n"
+        << "id = " << a.id << "\n"
+        << "statement = " << a.statement << "\n"
+        << "subject = " << subject_to_text(a.subject) << "\n"
+        << "origin = " << a.origin << "\n"
+        << "rationale = " << a.rationale << "\n"
+        << "stated_at = " << binding_to_text(a.stated_at) << "\n"
+        << "expect_key = " << a.expectation.key << "\n"
+        << "expect_op = " << contract::to_string(a.expectation.op) << "\n"
+        << "expect_value = " << contract::to_string(a.expectation.bound) << "\n";
+  }
+  for (const arch::DagSnapshot& d : architectures) {
+    out << "\n[architecture]\n"
+        << "name = " << d.name << "\n";
+    for (const auto& node : d.nodes) out << "node = " << node << "\n";
+    for (const auto& [from, to] : d.edges) {
+      out << "edge = " << from << " -> " << to << "\n";
+    }
+  }
+  return out.str();
+}
+
+Manifest Manifest::parse(const std::string& text) {
+  Manifest manifest;
+  enum class Section { kNone, kMeta, kAssumption, kArchitecture };
+  Section section = Section::kNone;
+  AssumptionRecord current_assumption;
+  arch::DagSnapshot current_arch;
+  bool have_assumption = false, have_arch = false;
+
+  auto flush = [&](std::size_t line) {
+    if (have_assumption) {
+      if (current_assumption.id.empty()) {
+        throw ManifestError(line, "[assumption] section without id");
+      }
+      if (current_assumption.expectation.key.empty()) {
+        throw ManifestError(line, "[assumption] '" + current_assumption.id +
+                                      "' has no expect_key");
+      }
+      manifest.assumptions.push_back(current_assumption);
+      current_assumption = AssumptionRecord{};
+      have_assumption = false;
+    }
+    if (have_arch) {
+      const std::string error = arch::ReflectiveDag::validate(current_arch);
+      if (!error.empty()) {
+        throw ManifestError(line, "[architecture] '" + current_arch.name +
+                                      "': " + error);
+      }
+      manifest.architectures.push_back(current_arch);
+      current_arch = arch::DagSnapshot{};
+      have_arch = false;
+    }
+  };
+
+  std::istringstream in(text);
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const std::string line = trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.front() == '[') {
+      flush(line_no);
+      if (line == "[meta]") {
+        section = Section::kMeta;
+      } else if (line == "[assumption]") {
+        section = Section::kAssumption;
+        have_assumption = true;
+      } else if (line == "[architecture]") {
+        section = Section::kArchitecture;
+        have_arch = true;
+      } else {
+        throw ManifestError(line_no, "unknown section " + line);
+      }
+      continue;
+    }
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      throw ManifestError(line_no, "expected 'key = value', got '" + line + "'");
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+
+    switch (section) {
+      case Section::kNone:
+        throw ManifestError(line_no, "key/value outside any section");
+      case Section::kMeta:
+        if (key == "name") manifest.name = value;
+        else if (key == "version") manifest.version = value;
+        else throw ManifestError(line_no, "unknown [meta] key '" + key + "'");
+        break;
+      case Section::kAssumption:
+        if (key == "id") current_assumption.id = value;
+        else if (key == "statement") current_assumption.statement = value;
+        else if (key == "subject")
+          current_assumption.subject = subject_from_text(line_no, value);
+        else if (key == "origin") current_assumption.origin = value;
+        else if (key == "rationale") current_assumption.rationale = value;
+        else if (key == "stated_at")
+          current_assumption.stated_at = binding_from_text(line_no, value);
+        else if (key == "expect_key") current_assumption.expectation.key = value;
+        else if (key == "expect_op") {
+          const auto op = contract::parse_op(value);
+          if (!op.has_value()) throw ManifestError(line_no, "bad op '" + value + "'");
+          current_assumption.expectation.op = *op;
+        } else if (key == "expect_value") {
+          current_assumption.expectation.bound = parse_value(value);
+        } else {
+          throw ManifestError(line_no, "unknown [assumption] key '" + key + "'");
+        }
+        break;
+      case Section::kArchitecture:
+        if (key == "name") current_arch.name = value;
+        else if (key == "node") current_arch.nodes.push_back(value);
+        else if (key == "edge") {
+          const auto arrow = value.find("->");
+          if (arrow == std::string::npos) {
+            throw ManifestError(line_no, "edge must be 'from -> to'");
+          }
+          current_arch.edges.emplace_back(trim(value.substr(0, arrow)),
+                                          trim(value.substr(arrow + 2)));
+        } else {
+          throw ManifestError(line_no, "unknown [architecture] key '" + key + "'");
+        }
+        break;
+    }
+  }
+  flush(line_no + 1);
+  return manifest;
+}
+
+void Manifest::populate(core::AssumptionRegistry& registry) const {
+  for (const AssumptionRecord& record : assumptions) {
+    registry.add(std::make_unique<ClauseAssumption>(record));
+  }
+}
+
+std::vector<core::Clash> Manifest::requalify(const core::Context& ctx) const {
+  core::AssumptionRegistry registry;
+  populate(registry);
+  return registry.verify_all(ctx);
+}
+
+std::vector<std::string> Manifest::audit_provenance() const {
+  std::vector<std::string> flagged;
+  for (const AssumptionRecord& record : assumptions) {
+    if (record.origin.empty() || record.rationale.empty()) {
+      flagged.push_back(record.id);
+    }
+  }
+  return flagged;
+}
+
+}  // namespace aft::manifest

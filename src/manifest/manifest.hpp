@@ -1,0 +1,93 @@
+// Deployment manifests: assumptions that travel WITH the artifact.
+//
+// The Ariane-4 reuse failed because "the software code that implemented the
+// Ariane 4 design did not include any mechanism to store, inspect, or
+// validate" its design assumptions — "this vital piece of information was
+// simply lost" (Sect. 2.1).  The paper's Sect. 4 discusses XML deployment
+// descriptors as a partial remedy, noting their "semantic gap".
+//
+// A Manifest is this library's descriptor: a human-readable, line-oriented
+// document bundling the component's assumption records (with provenance and
+// a machine-checkable expectation clause) and its architecture snapshots.
+// Re-qualification — the activity "prescribed each time a system is
+// relocated" — becomes `manifest.requalify(context)`.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "arch/dag.hpp"
+#include "contract/clause.hpp"
+#include "core/assumption.hpp"
+#include "core/registry.hpp"
+
+namespace aft::manifest {
+
+/// One serializable assumption: metadata + a checkable expectation.
+struct AssumptionRecord {
+  std::string id;
+  std::string statement;
+  core::Subject subject = core::Subject::kPhysicalEnvironment;
+  std::string origin;
+  std::string rationale;
+  core::BindingTime stated_at = core::BindingTime::kDesign;
+  contract::Clause expectation;  ///< verified against the deployment context
+
+  friend bool operator==(const AssumptionRecord&, const AssumptionRecord&) = default;
+};
+
+/// Parse failure with location information.
+class ManifestError : public std::runtime_error {
+ public:
+  ManifestError(std::size_t line, const std::string& message)
+      : std::runtime_error("manifest line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct Manifest {
+  std::string name;
+  std::string version = "1";
+  std::vector<AssumptionRecord> assumptions;
+  std::vector<arch::DagSnapshot> architectures;
+
+  /// Renders the manifest document.  serialize/parse round-trip exactly.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses a manifest document; throws ManifestError on malformed input.
+  [[nodiscard]] static Manifest parse(const std::string& text);
+
+  /// Installs every assumption record into a registry (as clause-backed
+  /// assumptions verifiable against a Context).
+  void populate(core::AssumptionRegistry& registry) const;
+
+  /// Re-qualification against a target context: verifies every record and
+  /// returns the clashes.  An empty result means the artifact's recorded
+  /// hypotheses hold on this platform.
+  [[nodiscard]] std::vector<core::Clash> requalify(const core::Context& ctx) const;
+
+  /// Records lacking provenance — hidden intelligence that would have been
+  /// lost silently without the manifest.
+  [[nodiscard]] std::vector<std::string> audit_provenance() const;
+};
+
+/// An AssumptionBase whose truth is a contract clause over the context —
+/// the bridge between the declarative manifest and the live registry.
+class ClauseAssumption final : public core::AssumptionBase {
+ public:
+  ClauseAssumption(const AssumptionRecord& record);
+
+  [[nodiscard]] const contract::Clause& clause() const noexcept { return clause_; }
+
+ protected:
+  [[nodiscard]] Outcome evaluate(const core::Context& ctx) const override;
+
+ private:
+  contract::Clause clause_;
+};
+
+}  // namespace aft::manifest

@@ -1,0 +1,16 @@
+#include "mem/access_method.hpp"
+
+namespace aft::mem {
+
+const char* to_string(ReadStatus s) noexcept {
+  switch (s) {
+    case ReadStatus::kOk: return "ok";
+    case ReadStatus::kCorrected: return "corrected";
+    case ReadStatus::kRecovered: return "recovered";
+    case ReadStatus::kUncorrectable: return "uncorrectable";
+    case ReadStatus::kUnavailable: return "unavailable";
+  }
+  return "unknown";
+}
+
+}  // namespace aft::mem

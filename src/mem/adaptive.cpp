@@ -1,0 +1,170 @@
+#include "mem/adaptive.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <stdexcept>
+
+namespace aft::mem {
+namespace {
+
+FaultModes unite(const FaultModes& a, const FaultModes& b) {
+  return FaultModes{.transient = a.transient || b.transient,
+                    .stuck_at = a.stuck_at || b.stuck_at,
+                    .sel = a.sel || b.sel,
+                    .heavy_seu = a.heavy_seu || b.heavy_seu};
+}
+
+bool exceeds(const FaultModes& observed, const FaultModes& assumed) {
+  return (observed.transient && !assumed.transient) ||
+         (observed.stuck_at && !assumed.stuck_at) ||
+         (observed.sel && !assumed.sel) ||
+         (observed.heavy_seu && !assumed.heavy_seu);
+}
+
+}  // namespace
+
+AdaptiveMemoryManager::AdaptiveMemoryManager(hw::Machine& machine,
+                                             MethodSelector selector)
+    : AdaptiveMemoryManager(machine, std::move(selector), Config{}) {}
+
+AdaptiveMemoryManager::AdaptiveMemoryManager(hw::Machine& machine,
+                                             MethodSelector selector,
+                                             Config config)
+    : machine_(machine),
+      selector_(std::move(selector)),
+      config_(config),
+      initial_report_(selector_.analyze(machine)) {
+  if (!initial_report_.selected()) {
+    throw std::runtime_error(
+        "AdaptiveMemoryManager: no adequate method for the initial judgment");
+  }
+  method_ = selector_.instantiate(machine_, initial_report_);
+  assumed_ = initial_report_.required;
+}
+
+FaultModes AdaptiveMemoryManager::observe() {
+  FaultModes observed{};
+  const MethodStats& stats = method_->stats();
+
+  // Single-bit corrections or detections: transient activity.
+  if (stats.corrected_singles > last_stats_.corrected_singles ||
+      stats.double_detected > last_stats_.double_detected) {
+    observed.transient = true;
+  }
+  // Retirements: permanent stuck-at cells.
+  if (stats.remaps > last_stats_.remaps) observed.stuck_at = true;
+
+  // Device-level unavailability now or recoveries since last look: SEL/SEFI
+  // territory.  Bank states are inspected directly — the manager is the
+  // introspective "current sensor" a Boulding-aware system carries.
+  for (std::size_t i = 0; i < machine_.bank_count(); ++i) {
+    if (machine_.bank(i).chip->state() != hw::ChipState::kOperational) {
+      observed.sel = true;
+    }
+  }
+  if (stats.power_cycles > last_stats_.power_cycles ||
+      stats.rebuilds > last_stats_.rebuilds) {
+    observed.sel = true;
+  }
+  // Unavailability reported by a method that cannot recover devices (M0..M2
+  // lose reads when their single chip halts) is equally a SEL signature.
+  if (stats.data_losses > last_stats_.data_losses) {
+    for (std::size_t i = 0; i < machine_.bank_count(); ++i) {
+      if (machine_.bank(i).chip->state() != hw::ChipState::kOperational) {
+        observed.sel = true;
+      }
+    }
+  }
+
+  // Sustained double-error rate: heavy SEU.
+  const std::uint64_t reads = stats.reads - last_stats_.reads;
+  const std::uint64_t doubles = stats.double_detected - last_stats_.double_detected;
+  if (reads >= config_.min_reads_for_rate &&
+      static_cast<double>(doubles) >
+          config_.heavy_seu_rate_threshold * static_cast<double>(reads)) {
+    observed.heavy_seu = true;
+  }
+
+  last_stats_ = stats;
+  return observed;
+}
+
+void AdaptiveMemoryManager::escalate(const MethodDescriptor& target,
+                                     const FaultModes& observed) {
+  Escalation record;
+  record.from = current_method();
+  record.to = target.name;
+  record.observed_label = label_of(observed);
+
+  // Read the survivors out through the OLD method first — BEFORE any power
+  // reset: its remap tables / mirrors know where the data actually lives,
+  // and a latched device must report its words as lost rather than hand
+  // over the zeroed cells a reset would leave behind (which decode as
+  // perfectly valid zero codewords — a silent-corruption trap).
+  const std::size_t old_capacity = method_->capacity_words();
+  std::vector<std::pair<std::size_t, std::uint64_t>> survivors;
+  survivors.reserve(old_capacity);
+  for (std::size_t addr = 0; addr < old_capacity; ++addr) {
+    const ReadResult r = method_->read(addr);
+    if (r.ok()) {
+      survivors.emplace_back(addr, r.value);
+    } else {
+      ++record.words_lost;
+    }
+  }
+
+  // Now bring every device back to life: SEL recovery demands the power
+  // reset anyway, and a dead device cannot receive its copy.
+  machine_.reset_unavailable_banks();
+
+  // Build the successor over the machine's banks.
+  std::vector<hw::MemoryChip*> devices;
+  for (std::size_t i = 0; i < target.devices_required; ++i) {
+    devices.push_back(machine_.bank(i).chip.get());
+  }
+
+  auto successor = target.build(devices);
+  const std::size_t new_capacity = successor->capacity_words();
+  for (const auto& [addr, value] : survivors) {
+    if (addr >= new_capacity) {
+      ++record.words_lost;
+      continue;
+    }
+    successor->write(addr, value);
+    ++record.words_migrated;
+  }
+
+  method_ = std::move(successor);
+  last_stats_ = method_->stats();
+  history_.push_back(std::move(record));
+}
+
+bool AdaptiveMemoryManager::step() {
+  const FaultModes observed = observe();
+  if (!exceeds(observed, assumed_)) return false;
+
+  const FaultModes required = unite(assumed_, observed);
+  std::optional<MethodDescriptor> found;
+  for (MethodDescriptor& d : standard_catalog()) {
+    if (!d.tolerance.masks(required)) continue;
+    if (d.devices_required > machine_.bank_count()) continue;
+    if (!found.has_value() || d.cost.total() < found->cost.total()) {
+      found = std::move(d);
+    }
+  }
+  if (!found.has_value()) {
+    exhausted_ = true;
+    assumed_ = required;  // record the hard-learned truth even if untreatable
+    return false;
+  }
+  if (found->name == current_method()) {
+    // Already running the adequate method; just widen the assumption.
+    assumed_ = required;
+    return false;
+  }
+  escalate(*found, observed);
+  assumed_ = required;
+  return true;
+}
+
+}  // namespace aft::mem

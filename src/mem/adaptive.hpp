@@ -1,0 +1,89 @@
+// Run-time revision of the Sect. 3.1 binding — the paper's cross-layer
+// vision (Sect. 5) applied to memory semantics:
+//
+//   "a design assumption failure caught by a run-time detector should
+//    trigger a request for adaptation at model level, and vice-versa."
+//
+// The compile/deploy-time selector binds the cheapest method adequate for
+// the knowledge base's judgment **f**.  But the knowledge base can be wrong
+// (a mischaracterized lot, a harsher orbit).  AdaptiveMemoryManager watches
+// the *observed* fault modes — correction counters, double-error rates,
+// device latch-ups — and, when observation contradicts the bound
+// assumption, escalates to the cheapest method adequate for the union of
+// assumed and observed modes, migrating the surviving data.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/machine.hpp"
+#include "mem/selector.hpp"
+
+namespace aft::mem {
+
+class AdaptiveMemoryManager {
+ public:
+  struct Config {
+    /// double-detections per read above which the SEU load is judged
+    /// "heavy" (the f4 signature) rather than occasional.
+    double heavy_seu_rate_threshold = 1e-3;
+    /// minimum reads before the rate judgment is attempted.
+    std::uint64_t min_reads_for_rate = 500;
+  };
+
+  /// Record of one escalation event.
+  struct Escalation {
+    std::string from;
+    std::string to;
+    std::string observed_label;  ///< mode-union label that forced it, e.g. "f3"
+    std::size_t words_migrated = 0;
+    std::size_t words_lost = 0;  ///< unreadable during migration
+  };
+
+  /// Performs the initial (deployment-time) binding immediately.
+  /// Throws std::runtime_error when not even the initial selection works.
+  AdaptiveMemoryManager(hw::Machine& machine, MethodSelector selector);
+  AdaptiveMemoryManager(hw::Machine& machine, MethodSelector selector,
+                        Config config);
+
+  [[nodiscard]] IMemoryAccessMethod& method() { return *method_; }
+  [[nodiscard]] const SelectionReport& initial_report() const noexcept {
+    return initial_report_;
+  }
+  [[nodiscard]] std::string current_method() const {
+    return std::string(method_->name());
+  }
+  /// Mode union the current binding is claimed to mask.
+  [[nodiscard]] const FaultModes& assumed_modes() const noexcept { return assumed_; }
+
+  /// Inspects device health and counter deltas since the last call and
+  /// returns the fault modes observed in that window.
+  [[nodiscard]] FaultModes observe();
+
+  /// observe() + escalate when the observation exceeds the assumed modes.
+  /// Returns true when an escalation happened.  When no adequate method
+  /// exists for the union, records the fact (exhausted()) and keeps the
+  /// current binding — degraded, but explicit.
+  bool step();
+
+  [[nodiscard]] const std::vector<Escalation>& history() const noexcept {
+    return history_;
+  }
+  [[nodiscard]] bool exhausted() const noexcept { return exhausted_; }
+
+ private:
+  void escalate(const MethodDescriptor& target, const FaultModes& observed);
+
+  hw::Machine& machine_;
+  MethodSelector selector_;
+  Config config_;
+  SelectionReport initial_report_;
+  std::unique_ptr<IMemoryAccessMethod> method_;
+  FaultModes assumed_{};
+  MethodStats last_stats_{};
+  std::vector<Escalation> history_;
+  bool exhausted_ = false;
+};
+
+}  // namespace aft::mem

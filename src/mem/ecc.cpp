@@ -1,0 +1,102 @@
+#include "mem/ecc.hpp"
+
+#include <array>
+
+namespace aft::mem {
+namespace {
+
+constexpr unsigned kPositions = 71;  // Hamming positions 1..71 at bit idx 0..70
+constexpr unsigned kOverallParityBit = 71;
+
+constexpr bool is_parity_position(unsigned p) noexcept {
+  return (p & (p - 1)) == 0;  // powers of two
+}
+
+/// Bit indices (0..70) of the 64 data positions, in increasing order.
+constexpr std::array<unsigned, 64> data_bit_indices() noexcept {
+  std::array<unsigned, 64> out{};
+  unsigned n = 0;
+  for (unsigned p = 1; p <= kPositions; ++p) {
+    if (!is_parity_position(p)) out[n++] = p - 1;
+  }
+  return out;
+}
+
+constexpr std::array<unsigned, 64> kDataBits = data_bit_indices();
+constexpr std::array<unsigned, 7> kParityPositions = {1, 2, 4, 8, 16, 32, 64};
+
+/// XOR of the Hamming positions (1-based) of all set bits in indices 0..70.
+unsigned syndrome_of(const hw::Word72& w) noexcept {
+  unsigned s = 0;
+  for (unsigned p = 1; p <= kPositions; ++p) {
+    if (hw::get_bit(w, p - 1)) s ^= p;
+  }
+  return s;
+}
+
+bool overall_parity(const hw::Word72& w) noexcept {
+  bool parity = false;
+  for (unsigned b = 0; b <= kOverallParityBit; ++b) {
+    parity ^= hw::get_bit(w, b);
+  }
+  return parity;
+}
+
+}  // namespace
+
+hw::Word72 ecc_encode(std::uint64_t data) noexcept {
+  hw::Word72 w{};
+  for (unsigned i = 0; i < 64; ++i) {
+    hw::set_bit(w, kDataBits[i], ((data >> i) & 1u) != 0);
+  }
+  // Each parity bit makes the XOR over its covered positions zero.
+  for (unsigned p : kParityPositions) {
+    bool parity = false;
+    for (unsigned q = 1; q <= kPositions; ++q) {
+      if (q != p && (q & p) != 0 && hw::get_bit(w, q - 1)) parity = !parity;
+    }
+    hw::set_bit(w, p - 1, parity);
+  }
+  // Overall even parity across all 72 bits.
+  hw::set_bit(w, kOverallParityBit, false);
+  hw::set_bit(w, kOverallParityBit, overall_parity(w));
+  return w;
+}
+
+EccDecode ecc_decode(hw::Word72 word) noexcept {
+  const unsigned s = syndrome_of(word);
+  const bool odd_overall = overall_parity(word);
+
+  EccDecode out;
+  if (s == 0 && !odd_overall) {
+    out.status = EccStatus::kClean;
+    out.repaired = word;
+  } else if (odd_overall) {
+    // Odd number of flipped bits; under the SEC-DED fault hypothesis this is
+    // a single-bit error at position s (or in the overall parity bit when
+    // s == 0).
+    if (s == 0) {
+      hw::flip_bit(word, kOverallParityBit);
+    } else if (s <= kPositions) {
+      hw::flip_bit(word, s - 1);
+    } else {
+      out.status = EccStatus::kDetectedDouble;
+      return out;
+    }
+    out.status = EccStatus::kCorrectedSingle;
+    out.repaired = word;
+  } else {
+    // Even number of errors (>= 2): detectable, not correctable.
+    out.status = EccStatus::kDetectedDouble;
+    return out;
+  }
+
+  std::uint64_t data = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    if (hw::get_bit(word, kDataBits[i])) data |= std::uint64_t{1} << i;
+  }
+  out.data = data;
+  return out;
+}
+
+}  // namespace aft::mem

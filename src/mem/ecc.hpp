@@ -1,0 +1,38 @@
+// Hamming SEC-DED (72,64) code: Single Error Correction, Double Error
+// Detection — the classic x72 ECC DIMM code.  The fault-tolerant access
+// methods M1..M4 of Sect. 3.1 build on this primitive.
+//
+// Layout: the 72-bit codeword occupies hw::Word72 bit indices 0..71.
+// Indices 0..70 map to Hamming positions 1..71; parity bits sit at the
+// power-of-two positions {1,2,4,8,16,32,64}; the remaining 64 positions
+// carry data.  Bit index 71 holds the overall (even) parity used to tell
+// single from double errors.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/memory_chip.hpp"
+
+namespace aft::mem {
+
+enum class EccStatus : std::uint8_t {
+  kClean,             ///< no error
+  kCorrectedSingle,   ///< one bit flipped, corrected
+  kDetectedDouble,    ///< two-bit (or detectable multi-bit) error, NOT corrected
+};
+
+struct EccDecode {
+  EccStatus status = EccStatus::kClean;
+  std::uint64_t data = 0;
+  /// For kCorrectedSingle: the codeword with the erroneous bit repaired,
+  /// suitable for write-back (scrubbing).
+  hw::Word72 repaired{};
+};
+
+/// Encodes 64 data bits into a 72-bit SEC-DED codeword.
+[[nodiscard]] hw::Word72 ecc_encode(std::uint64_t data) noexcept;
+
+/// Decodes a possibly corrupted codeword.
+[[nodiscard]] EccDecode ecc_decode(hw::Word72 word) noexcept;
+
+}  // namespace aft::mem

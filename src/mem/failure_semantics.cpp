@@ -1,0 +1,58 @@
+#include "mem/failure_semantics.hpp"
+
+namespace aft::mem {
+
+FaultModes modes_of(FailureSemantics f) noexcept {
+  switch (f) {
+    case FailureSemantics::kF0Stable:
+      return FaultModes{};
+    case FailureSemantics::kF1TransientCmos:
+      return FaultModes{.transient = true};
+    case FailureSemantics::kF2StuckAtCmos:
+      return FaultModes{.transient = true, .stuck_at = true};
+    case FailureSemantics::kF3SdramSel:
+      return FaultModes{.transient = true, .sel = true};
+    case FailureSemantics::kF4SdramSelSeu:
+      return FaultModes{.transient = true, .sel = true, .heavy_seu = true};
+  }
+  return FaultModes{};
+}
+
+std::string to_string(FailureSemantics f) {
+  switch (f) {
+    case FailureSemantics::kF0Stable: return "f0";
+    case FailureSemantics::kF1TransientCmos: return "f1";
+    case FailureSemantics::kF2StuckAtCmos: return "f2";
+    case FailureSemantics::kF3SdramSel: return "f3";
+    case FailureSemantics::kF4SdramSelSeu: return "f4";
+  }
+  return "f?";
+}
+
+std::string statement(FailureSemantics f) {
+  switch (f) {
+    case FailureSemantics::kF0Stable:
+      return "Memory is stable and unaffected by failures";
+    case FailureSemantics::kF1TransientCmos:
+      return "Memory is affected by transient faults and CMOS-like failure behaviors";
+    case FailureSemantics::kF2StuckAtCmos:
+      return "Memory is affected by permanent stuck-at faults and CMOS-like "
+             "failure behaviors";
+    case FailureSemantics::kF3SdramSel:
+      return "Memory is affected by transient faults and SDRAM-like failure "
+             "behaviors, including SEL";
+    case FailureSemantics::kF4SdramSelSeu:
+      return "Memory is affected by transient faults and SDRAM-like failure "
+             "behaviors, including SEL and SEU";
+  }
+  return "unknown";
+}
+
+bool covers(FailureSemantics stronger, FailureSemantics weaker) noexcept {
+  const FaultModes a = modes_of(stronger);
+  const FaultModes b = modes_of(weaker);
+  return (a.transient || !b.transient) && (a.stuck_at || !b.stuck_at) &&
+         (a.sel || !b.sel) && (a.heavy_seu || !b.heavy_seu);
+}
+
+}  // namespace aft::mem

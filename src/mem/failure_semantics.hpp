@@ -1,0 +1,54 @@
+// The design-time failure-semantics assumptions f0..f4 of Sect. 3.1.
+//
+//   f0: "Memory is stable and unaffected by failures."
+//   f1: "Memory is affected by transient faults and CMOS-like failure
+//        behaviors."
+//   f2: "Memory is affected by permanent stuck-at faults and CMOS-like
+//        failure behaviors."
+//   f3: "Memory is affected by transient faults and SDRAM-like failure
+//        behaviors, including SEL."
+//   f4: "Memory is affected by transient faults and SDRAM-like failure
+//        behaviors, including SEL and SEU."
+//
+// Each assumption names the *worst* behaviour the software must survive;
+// the access methods M0..M4 (mem/methods.hpp) are designed one-per-
+// assumption, and the selector (mem/selector.hpp) binds the choice at
+// compile/deployment time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace aft::mem {
+
+enum class FailureSemantics : std::uint8_t {
+  kF0Stable = 0,
+  kF1TransientCmos = 1,
+  kF2StuckAtCmos = 2,
+  kF3SdramSel = 3,
+  kF4SdramSelSeu = 4,
+};
+
+/// The individual fault modes an assumption admits.  Tolerance checks are
+/// done mode-wise: a method is adequate for semantics f iff it tolerates
+/// every mode f admits.
+struct FaultModes {
+  bool transient = false;   ///< occasional independent single-bit soft errors
+  bool stuck_at = false;    ///< permanent stuck-at cell defects
+  bool sel = false;         ///< single-event latch-up (whole-chip data loss)
+  bool heavy_seu = false;   ///< frequent upsets, incl. multi-bit, and SEFI
+};
+
+/// Decomposes an assumption into the fault modes it admits.
+[[nodiscard]] FaultModes modes_of(FailureSemantics f) noexcept;
+
+[[nodiscard]] std::string to_string(FailureSemantics f);
+
+/// The paper's assumption statement, verbatim.
+[[nodiscard]] std::string statement(FailureSemantics f);
+
+/// Severity partial order: a >= b iff a admits every mode b admits.
+/// (f2 and f3 are incomparable: stuck-at vs. SEL.)
+[[nodiscard]] bool covers(FailureSemantics stronger, FailureSemantics weaker) noexcept;
+
+}  // namespace aft::mem

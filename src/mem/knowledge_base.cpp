@@ -1,0 +1,94 @@
+#include "mem/knowledge_base.hpp"
+
+namespace aft::mem {
+namespace {
+
+std::string lot_key(const std::string& vendor, const std::string& model,
+                    const std::string& lot) {
+  return vendor + "|" + model + "|" + lot;
+}
+
+std::string model_key(const std::string& vendor, const std::string& model) {
+  return vendor + "|" + model;
+}
+
+}  // namespace
+
+void KnowledgeBase::add_lot_entry(const std::string& vendor, const std::string& model,
+                                  const std::string& lot, KnownBehavior behavior) {
+  behavior.source = "lot:" + lot_key(vendor, model, lot);
+  by_lot_[lot_key(vendor, model, lot)] = std::move(behavior);
+}
+
+void KnowledgeBase::add_model_entry(const std::string& vendor,
+                                    const std::string& model,
+                                    KnownBehavior behavior) {
+  behavior.source = "model:" + model_key(vendor, model);
+  by_model_[model_key(vendor, model)] = std::move(behavior);
+}
+
+void KnowledgeBase::set_technology_default(hw::MemoryTechnology tech,
+                                           KnownBehavior behavior) {
+  behavior.source = "technology-default:" + hw::to_string(tech);
+  by_technology_[tech] = std::move(behavior);
+}
+
+std::optional<KnownBehavior> KnowledgeBase::lookup(const hw::SpdRecord& spd) const {
+  if (const auto it = by_lot_.find(lot_key(spd.vendor, spd.model, spd.lot));
+      it != by_lot_.end()) {
+    return it->second;
+  }
+  if (const auto it = by_model_.find(model_key(spd.vendor, spd.model));
+      it != by_model_.end()) {
+    return it->second;
+  }
+  if (const auto it = by_technology_.find(spd.technology);
+      it != by_technology_.end()) {
+    return it->second;
+  }
+  return std::nullopt;
+}
+
+std::size_t KnowledgeBase::entry_count() const noexcept {
+  return by_lot_.size() + by_model_.size() + by_technology_.size();
+}
+
+KnowledgeBase KnowledgeBase::with_defaults() {
+  KnowledgeBase kb;
+  kb.set_technology_default(
+      hw::MemoryTechnology::kCmosSram,
+      KnownBehavior{FailureSemantics::kF1TransientCmos, hw::profiles::cmos(), {}});
+  kb.set_technology_default(
+      hw::MemoryTechnology::kSdram,
+      KnownBehavior{FailureSemantics::kF4SdramSelSeu,
+                    hw::profiles::sdram_sel_seu(), {}});
+  kb.set_technology_default(
+      hw::MemoryTechnology::kDdrSdram,
+      KnownBehavior{FailureSemantics::kF1TransientCmos, hw::profiles::cmos(), {}});
+
+  // The Fig. 2 laptop DIMMs: terrestrial DDR, benign single-bit regime.
+  kb.add_model_entry("CE00000000000000", "DDR-533-1G",
+                     KnownBehavior{FailureSemantics::kF1TransientCmos,
+                                   hw::profiles::cmos(), {}});
+  kb.add_model_entry("CE00000000000000", "DDR-667-512M",
+                     KnownBehavior{FailureSemantics::kF1TransientCmos,
+                                   hw::profiles::cmos(), {}});
+
+  // The satellite OBC SDRAM, with a per-lot record: this particular lot is
+  // known to latch up but shows tolerable SEU rates (an f3 world) — whereas
+  // the model default for SDRAM in orbit would be f4.
+  kb.add_model_entry("RADPART", "SDR-100-256M",
+                     KnownBehavior{FailureSemantics::kF4SdramSelSeu,
+                                   hw::profiles::sdram_sel_seu(), {}});
+  kb.add_lot_entry("RADPART", "SDR-100-256M", "L2008-03",
+                   KnownBehavior{FailureSemantics::kF3SdramSel,
+                                 hw::profiles::sdram_sel(), {}});
+
+  // An aging CMOS part whose cells develop stuck-at defects (f2 world).
+  kb.add_model_entry("LEGACYCM", "CM-16-4M",
+                     KnownBehavior{FailureSemantics::kF2StuckAtCmos,
+                                   hw::profiles::cmos_aging(), {}});
+  return kb;
+}
+
+}  // namespace aft::mem

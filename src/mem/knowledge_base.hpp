@@ -1,0 +1,60 @@
+// The "local or remote, shared databases reporting known failure behaviors
+// for models and even specific lots thereof" of Sect. 3.1.
+//
+// Lookup resolution order mirrors how such a database would be consulted:
+//   1. exact (vendor, model, lot) — per-lot data, since failure rates "can
+//      vary more than one order of magnitude" from lot to lot [10];
+//   2. (vendor, model) — per-part data;
+//   3. technology default — the coarse CMOS-vs-SDRAM distinction.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "hw/fault_injector.hpp"
+#include "hw/spd.hpp"
+#include "mem/failure_semantics.hpp"
+
+namespace aft::mem {
+
+/// What the database knows about one part: the failure-semantics assumption
+/// that fits it, and the quantitative fault profile behind that judgment.
+struct KnownBehavior {
+  FailureSemantics semantics = FailureSemantics::kF1TransientCmos;
+  hw::FaultProfile profile{};
+  std::string source = "technology-default";  ///< provenance of the entry
+};
+
+class KnowledgeBase {
+ public:
+  /// Registers per-lot knowledge (highest priority).
+  void add_lot_entry(const std::string& vendor, const std::string& model,
+                     const std::string& lot, KnownBehavior behavior);
+
+  /// Registers per-model knowledge.
+  void add_model_entry(const std::string& vendor, const std::string& model,
+                       KnownBehavior behavior);
+
+  /// Registers the fallback for a whole technology.
+  void set_technology_default(hw::MemoryTechnology tech, KnownBehavior behavior);
+
+  /// Resolves the most probable behaviour **f** for a module (the paper's
+  /// "once the most probable memory behavior f is retrieved").  Returns
+  /// nullopt only when not even a technology default exists.
+  [[nodiscard]] std::optional<KnownBehavior> lookup(const hw::SpdRecord& spd) const;
+
+  [[nodiscard]] std::size_t entry_count() const noexcept;
+
+  /// A knowledge base pre-loaded with this repository's reference parts
+  /// (the Fig. 2 laptop DIMMs, the satellite OBC SDRAM lot) and sensible
+  /// technology defaults.
+  [[nodiscard]] static KnowledgeBase with_defaults();
+
+ private:
+  std::map<std::string, KnownBehavior> by_lot_;    // key: vendor|model|lot
+  std::map<std::string, KnownBehavior> by_model_;  // key: vendor|model
+  std::map<hw::MemoryTechnology, KnownBehavior> by_technology_;
+};
+
+}  // namespace aft::mem

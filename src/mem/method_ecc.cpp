@@ -1,0 +1,53 @@
+#include "mem/method_ecc.hpp"
+
+namespace aft::mem {
+
+EccScrubAccess::EccScrubAccess(hw::MemoryChip& chip, std::size_t words_per_scrub_step)
+    : chip_(chip), words_per_scrub_step_(words_per_scrub_step) {}
+
+ReadResult EccScrubAccess::read(std::size_t addr) {
+  ++stats_.reads;
+  const hw::DeviceRead dev = chip_.read(addr);
+  if (!dev.available) {
+    ++stats_.data_losses;
+    return ReadResult{ReadStatus::kUnavailable, 0};
+  }
+  const EccDecode dec = ecc_decode(dev.word);
+  switch (dec.status) {
+    case EccStatus::kClean:
+      return ReadResult{ReadStatus::kOk, dec.data};
+    case EccStatus::kCorrectedSingle:
+      ++stats_.corrected_singles;
+      chip_.write(addr, dec.repaired);  // demand scrub
+      return ReadResult{ReadStatus::kCorrected, dec.data};
+    case EccStatus::kDetectedDouble:
+      ++stats_.double_detected;
+      ++stats_.data_losses;
+      return ReadResult{ReadStatus::kUncorrectable, 0};
+  }
+  return ReadResult{ReadStatus::kUncorrectable, 0};
+}
+
+bool EccScrubAccess::write(std::size_t addr, std::uint64_t value) {
+  ++stats_.writes;
+  if (chip_.state() != hw::ChipState::kOperational) return false;
+  chip_.write(addr, ecc_encode(value));
+  return true;
+}
+
+void EccScrubAccess::scrub_step() {
+  if (chip_.state() != hw::ChipState::kOperational) return;
+  for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
+    const std::size_t addr = scrub_cursor_;
+    scrub_cursor_ = (scrub_cursor_ + 1) % chip_.size_words();
+    const hw::DeviceRead dev = chip_.read(addr);
+    if (!dev.available) return;
+    const EccDecode dec = ecc_decode(dev.word);
+    if (dec.status == EccStatus::kCorrectedSingle) {
+      ++stats_.corrected_singles;
+      chip_.write(addr, dec.repaired);
+    }
+  }
+}
+
+}  // namespace aft::mem

@@ -1,0 +1,22 @@
+#include "mem/method_raw.hpp"
+
+namespace aft::mem {
+
+ReadResult RawAccess::read(std::size_t addr) {
+  ++stats_.reads;
+  const hw::DeviceRead dev = chip_.read(addr);
+  if (!dev.available) {
+    ++stats_.data_losses;
+    return ReadResult{ReadStatus::kUnavailable, 0};
+  }
+  return ReadResult{ReadStatus::kOk, dev.word.data};
+}
+
+bool RawAccess::write(std::size_t addr, std::uint64_t value) {
+  ++stats_.writes;
+  if (chip_.state() != hw::ChipState::kOperational) return false;
+  chip_.write(addr, hw::Word72{value, 0});
+  return true;
+}
+
+}  // namespace aft::mem

@@ -1,0 +1,40 @@
+// M0 — raw access, designed for assumption f0 ("memory is stable").
+//
+// No detection, no correction: a flipped or stuck bit is silently returned
+// as valid data, and an unavailable device is the only failure it can even
+// observe.  Cheapest possible method; adequate only when f0 truly holds —
+// using it under any other semantics is precisely the Hidden-Intelligence
+// hazard the paper warns about.
+#pragma once
+
+#include "hw/memory_chip.hpp"
+#include "mem/access_method.hpp"
+
+namespace aft::mem {
+
+class RawAccess final : public IMemoryAccessMethod {
+ public:
+  explicit RawAccess(hw::MemoryChip& chip) : chip_(chip) {}
+
+  [[nodiscard]] std::string_view name() const noexcept override { return "M0-raw"; }
+  [[nodiscard]] MethodCost cost() const noexcept override {
+    return MethodCost{.storage_factor = 1.0, .read_cost = 1.0, .write_cost = 1.0};
+  }
+  [[nodiscard]] bool tolerates(FailureSemantics f) const noexcept override {
+    return f == FailureSemantics::kF0Stable;
+  }
+  [[nodiscard]] std::size_t capacity_words() const noexcept override {
+    return chip_.size_words();
+  }
+
+  ReadResult read(std::size_t addr) override;
+  bool write(std::size_t addr, std::uint64_t value) override;
+
+  [[nodiscard]] const MethodStats& stats() const noexcept override { return stats_; }
+
+ private:
+  hw::MemoryChip& chip_;
+  MethodStats stats_;
+};
+
+}  // namespace aft::mem

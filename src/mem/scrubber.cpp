@@ -1,0 +1,31 @@
+#include "mem/scrubber.hpp"
+
+#include <stdexcept>
+
+namespace aft::mem {
+
+ScrubberDaemon::ScrubberDaemon(sim::Simulator& sim, IMemoryAccessMethod& method,
+                               sim::SimTime period)
+    : sim_(sim), method_(method), period_(period) {
+  if (period == 0) throw std::invalid_argument("ScrubberDaemon: period must be > 0");
+}
+
+void ScrubberDaemon::start() {
+  if (running_) return;
+  running_ = true;
+  sim_.schedule_in(period_, [this] { pass(); });
+}
+
+void ScrubberDaemon::set_period(sim::SimTime period) {
+  if (period == 0) throw std::invalid_argument("ScrubberDaemon: period must be > 0");
+  period_ = period;
+}
+
+void ScrubberDaemon::pass() {
+  if (!running_) return;
+  ++passes_;
+  method_.scrub_step();
+  sim_.schedule_in(period_, [this] { pass(); });
+}
+
+}  // namespace aft::mem

@@ -1,0 +1,37 @@
+#include "sim/processes.hpp"
+
+#include <cmath>
+
+namespace aft::sim {
+
+PoissonProcess::PoissonProcess(double lambda, std::uint64_t seed)
+    : lambda_(lambda), rng_(seed) {}
+
+std::uint64_t PoissonProcess::next_gap() {
+  if (lambda_ <= 0.0) return std::uint64_t{1} << 63;
+  const double u = rng_.uniform01();
+  const double gap = -std::log(1.0 - u) / lambda_;
+  const double clamped = std::max(gap, 1.0);
+  if (clamped >= 9.2e18) return std::uint64_t{1} << 63;
+  return static_cast<std::uint64_t>(clamped);
+}
+
+bool PoissonProcess::fires_this_tick() {
+  if (lambda_ <= 0.0) return false;
+  // P(at least one arrival in a unit interval) = 1 - e^-lambda.
+  return rng_.bernoulli(1.0 - std::exp(-lambda_));
+}
+
+GilbertElliott::GilbertElliott(Params params, std::uint64_t seed)
+    : params_(params), rng_(seed) {}
+
+bool GilbertElliott::tick() {
+  if (bad_) {
+    if (rng_.bernoulli(params_.b2g)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(params_.g2b)) bad_ = true;
+  }
+  return rng_.bernoulli(bad_ ? params_.p_bad : params_.p_good);
+}
+
+}  // namespace aft::sim

@@ -1,0 +1,70 @@
+// Stochastic arrival processes used to model physical-environment
+// disturbances: the Poisson process for independent transient events (SEU,
+// cosmic-ray strikes) and a Gilbert-Elliott two-state chain for bursty /
+// intermittent phenomena (the paper's intermittent fault class and the
+// "environmental disturbance" phases of Fig. 6).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace aft::sim {
+
+/// Memoryless arrival process with rate `lambda` events per tick.
+/// next_gap() draws an exponential inter-arrival time, rounded up to at
+/// least one tick so arrivals always make progress.
+class PoissonProcess {
+ public:
+  PoissonProcess(double lambda, std::uint64_t seed);
+
+  /// Ticks until the next arrival (>= 1).  With lambda <= 0 the process is
+  /// silent and next_gap() reports "effectively never" (2^63).
+  [[nodiscard]] std::uint64_t next_gap();
+
+  /// Per-tick Bernoulli approximation: true when an event occurs this tick.
+  [[nodiscard]] bool fires_this_tick();
+
+  [[nodiscard]] double lambda() const noexcept { return lambda_; }
+  void set_lambda(double lambda) noexcept { lambda_ = lambda; }
+
+ private:
+  double lambda_;
+  util::Xoshiro256 rng_;
+};
+
+/// Two-state (Good/Bad) Markov-modulated Bernoulli process.  In the Good
+/// state events occur with probability `p_good` per tick, in the Bad state
+/// with `p_bad` (typically orders of magnitude higher).  Transitions happen
+/// with probabilities g2b and b2g per tick.  This reproduces the bursty
+/// signature that distinguishes *intermittent* faults from independent
+/// transients — the very distinction the alpha-count filter (Sect. 3.2) is
+/// designed to make.
+class GilbertElliott {
+ public:
+  struct Params {
+    double p_good = 0.0;   ///< event probability per tick, Good state
+    double p_bad = 0.5;    ///< event probability per tick, Bad state
+    double g2b = 1e-4;     ///< P(Good -> Bad) per tick
+    double b2g = 1e-2;     ///< P(Bad -> Good) per tick
+  };
+
+  GilbertElliott(Params params, std::uint64_t seed);
+
+  /// Advances one tick; returns true when an event occurs.
+  bool tick();
+
+  [[nodiscard]] bool in_bad_state() const noexcept { return bad_; }
+  [[nodiscard]] const Params& params() const noexcept { return params_; }
+
+  /// Forces the chain into the given state (used by benches to script the
+  /// disturbance phases of Fig. 6).
+  void force_state(bool bad) noexcept { bad_ = bad; }
+
+ private:
+  Params params_;
+  util::Xoshiro256 rng_;
+  bool bad_ = false;
+};
+
+}  // namespace aft::sim

@@ -1,0 +1,52 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace aft::sim {
+
+void Simulator::schedule_at(SimTime when, Action action) {
+  if (when < now_) throw std::invalid_argument("Simulator: event in the past");
+  queue_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+void Simulator::schedule_in(SimTime delay, Action action) {
+  schedule_at(now_ + delay, std::move(action));
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the handle then pop.  Actions are small (std::function).
+  Entry e = queue_.top();
+  queue_.pop();
+  now_ = e.when;
+  e.action();
+  return true;
+}
+
+std::uint64_t Simulator::run_until(SimTime until) {
+  std::uint64_t ran = 0;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    step();
+    ++ran;
+  }
+  if (now_ < until) now_ = until;
+  return ran;
+}
+
+std::uint64_t Simulator::run_all() {
+  std::uint64_t ran = 0;
+  while (step()) ++ran;
+  return ran;
+}
+
+void Simulator::advance_to(SimTime when) {
+  if (when < now_) throw std::invalid_argument("Simulator: cannot move clock backwards");
+  if (!queue_.empty() && queue_.top().when < when) {
+    throw std::logic_error("Simulator: advancing past pending events");
+  }
+  now_ = when;
+}
+
+}  // namespace aft::sim

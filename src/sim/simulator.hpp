@@ -1,0 +1,70 @@
+// Deterministic discrete-event simulation kernel.
+//
+// Every run-time experiment in this repository (fault injection campaigns,
+// the Fig. 6 adaptation trace, the Fig. 7 long run) executes on this kernel:
+// a logical clock plus an ordered event queue.  Determinism rule: two events
+// scheduled for the same tick fire in scheduling order (FIFO tie-break via a
+// monotonically increasing sequence number), so a given seed always produces
+// the same trace.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace aft::sim {
+
+/// Logical simulation time in abstract ticks.
+using SimTime = std::uint64_t;
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  /// Current logical time.  Starts at 0.
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedules `action` to fire at absolute time `when`.
+  /// `when` must not lie in the past.
+  void schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` to fire `delay` ticks from now.
+  void schedule_in(SimTime delay, Action action);
+
+  /// Runs events until the queue is empty or `until` is reached (events at
+  /// exactly `until` are still executed).  Returns the number of events run.
+  std::uint64_t run_until(SimTime until);
+
+  /// Runs all pending events.  Returns the number of events run.
+  std::uint64_t run_all();
+
+  /// Executes the single next event, if any.  Returns true when one ran.
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+  /// Advances the clock without executing anything (for driving the kernel
+  /// from an external loop, as the long-run benches do).
+  void advance_to(SimTime when);
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+};
+
+}  // namespace aft::sim

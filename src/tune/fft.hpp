@@ -1,0 +1,88 @@
+// Performance-directed postponed binding — the paper's own comparison case:
+//
+//   "there exist strategies that postpone the choice of the design pattern
+//    to execution time, though ... only with the design goal of achieving
+//    performance improvements.  A noteworthy example is FFTW, a code
+//    generator for Fast Fourier Transforms that defines and assembles
+//    blocks of C code that optimally solve FFT sub-problems on a given
+//    machine.  Our strategy is clearly different in that it focuses on
+//    dependability." (Sect. 3.2)
+//
+// This module is that comparison made executable: a working FFT with three
+// interchangeable algorithms and an FFTW-style planner that *measures* each
+// candidate on the deployment machine and binds the fastest — the same
+// postponed-binding machinery as mem::MethodSelector, with a performance
+// cost function where the selector uses a dependability-adequacy one.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace aft::tune {
+
+using Complex = std::complex<double>;
+using Signal = std::vector<Complex>;
+
+/// Reference O(n^2) DFT — the always-correct baseline every candidate is
+/// validated against.
+[[nodiscard]] Signal naive_dft(const Signal& input);
+
+/// Recursive radix-2 Cooley-Tukey; `input.size()` must be a power of two.
+[[nodiscard]] Signal fft_recursive(const Signal& input);
+
+/// Iterative radix-2 (bit-reversal permutation + butterflies); power of two.
+[[nodiscard]] Signal fft_iterative(const Signal& input);
+
+enum class PlanKind : std::uint8_t { kNaive, kRecursive, kIterative };
+
+[[nodiscard]] const char* to_string(PlanKind k) noexcept;
+
+struct Plan {
+  PlanKind kind = PlanKind::kNaive;
+  double measured_ns_per_point = 0.0;  ///< from the planning measurement
+};
+
+/// FFTW-style planner: on the first request for a size, times every
+/// applicable candidate on this machine and caches the winner.
+class FftPlanner {
+ public:
+  /// `trials` measurement repetitions per candidate (more = less noise).
+  explicit FftPlanner(int trials = 3) : trials_(trials) {}
+
+  /// Returns the cached or freshly measured plan for size `n`
+  /// (non-power-of-two sizes always plan kNaive — the only general
+  /// candidate).  n must be >= 1.
+  [[nodiscard]] Plan plan_for(std::size_t n);
+
+  /// Executes the plan; the plan must have been produced for input.size().
+  [[nodiscard]] Signal execute(const Plan& plan, const Signal& input) const;
+
+  /// Convenience: plan (or reuse the cache) and execute.
+  [[nodiscard]] Signal transform(const Signal& input);
+
+  [[nodiscard]] std::size_t cached_plans() const noexcept { return cache_.size(); }
+  [[nodiscard]] std::uint64_t plannings() const noexcept { return plannings_; }
+
+  /// FFTW-style "wisdom": exports the plan cache as text so a later run (or
+  /// another process on the same machine) skips the measurements.
+  [[nodiscard]] std::string export_wisdom() const;
+
+  /// Imports wisdom produced by export_wisdom(); malformed lines throw
+  /// std::invalid_argument and leave the cache unchanged.
+  void import_wisdom(const std::string& wisdom);
+
+ private:
+  int trials_;
+  std::map<std::size_t, Plan> cache_;
+  std::uint64_t plannings_ = 0;
+};
+
+/// True when n is a power of two (and nonzero).
+[[nodiscard]] constexpr bool is_pow2(std::size_t n) noexcept {
+  return n != 0 && (n & (n - 1)) == 0;
+}
+
+}  // namespace aft::tune

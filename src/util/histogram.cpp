@@ -1,0 +1,54 @@
+#include "util/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace aft::util {
+
+void Histogram::add(std::int64_t key, std::uint64_t weight) {
+  bins_[key] += weight;
+  total_ += weight;
+}
+
+std::uint64_t Histogram::count(std::int64_t key) const {
+  const auto it = bins_.find(key);
+  return it == bins_.end() ? 0 : it->second;
+}
+
+double Histogram::fraction(std::int64_t key) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(count(key)) / static_cast<double>(total_);
+}
+
+std::int64_t Histogram::mode() const {
+  std::int64_t best_key = 0;
+  std::uint64_t best_count = 0;
+  for (const auto& [key, n] : bins_) {
+    if (n > best_count) {
+      best_count = n;
+      best_key = key;
+    }
+  }
+  return best_key;
+}
+
+std::string Histogram::render_log_scale(int max_width) const {
+  std::ostringstream out;
+  double max_log = 0.0;
+  for (const auto& [key, n] : bins_) {
+    if (n > 0) max_log = std::max(max_log, std::log10(static_cast<double>(n)));
+  }
+  for (const auto& [key, n] : bins_) {
+    const double log_n = n > 0 ? std::log10(static_cast<double>(n)) : 0.0;
+    const int bar =
+        max_log > 0.0
+            ? static_cast<int>(std::lround(log_n / max_log * max_width))
+            : 0;
+    out << key << "\t| " << std::string(static_cast<std::size_t>(bar), '#')
+        << "  " << n << " (" << fraction(key) * 100.0 << "%)\n";
+  }
+  return out.str();
+}
+
+}  // namespace aft::util

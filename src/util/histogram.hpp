@@ -1,0 +1,48 @@
+// Integer-keyed histogram with logarithmic text rendering.
+//
+// Used to regenerate Figure 7 of the paper: "Histogram of the employed
+// redundancy during an experiment ... A logarithmic scale is used for time
+// steps."
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace aft::util {
+
+/// Counts occurrences of integer keys (e.g. redundancy degrees) and renders
+/// them as a log-scale ASCII bar chart comparable to the paper's Fig. 7.
+class Histogram {
+ public:
+  /// Adds `weight` observations of `key`.
+  void add(std::int64_t key, std::uint64_t weight = 1);
+
+  /// Total number of observations across all keys.
+  [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+
+  /// Observations recorded for `key` (0 when never seen).
+  [[nodiscard]] std::uint64_t count(std::int64_t key) const;
+
+  /// Fraction of all observations that carry `key`, in [0,1].
+  /// Returns 0 when the histogram is empty.
+  [[nodiscard]] double fraction(std::int64_t key) const;
+
+  /// Key with the largest count; 0 when empty.
+  [[nodiscard]] std::int64_t mode() const;
+
+  [[nodiscard]] bool empty() const noexcept { return total_ == 0; }
+  [[nodiscard]] const std::map<std::int64_t, std::uint64_t>& bins() const noexcept {
+    return bins_;
+  }
+
+  /// Renders an ASCII bar chart; bar length is proportional to
+  /// log10(count), mirroring the paper's log-scale y axis.
+  [[nodiscard]] std::string render_log_scale(int max_width = 60) const;
+
+ private:
+  std::map<std::int64_t, std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace aft::util

@@ -1,0 +1,56 @@
+// Fixed-capacity circular buffer.
+//
+// Used by detectors that reason over a sliding window of recent
+// observations (e.g. the consecutive-consensus counter of the Reflective
+// Switchboard and the watchdog's recent-deadline record).
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace aft::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : capacity_(capacity), data_(capacity) {
+    if (capacity == 0) throw std::invalid_argument("RingBuffer capacity must be > 0");
+  }
+
+  /// Appends a value, evicting the oldest when full.
+  void push(const T& value) {
+    data_[head_] = value;
+    head_ = (head_ + 1) % capacity_;
+    if (size_ < capacity_) ++size_;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] bool full() const noexcept { return size_ == capacity_; }
+
+  /// Element `i` positions back from the newest (0 = newest).
+  [[nodiscard]] const T& recent(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("RingBuffer::recent");
+    const std::size_t idx = (head_ + capacity_ - 1 - i) % capacity_;
+    return data_[idx];
+  }
+
+  /// Oldest retained element.
+  [[nodiscard]] const T& oldest() const { return recent(size_ - 1); }
+
+  void clear() noexcept {
+    size_ = 0;
+    head_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::vector<T> data_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace aft::util

@@ -1,0 +1,124 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic behaviour in the library (fault injection, disturbance
+// processes, workload generation) flows through these generators so that a
+// single 64-bit seed reproduces an entire experiment bit-for-bit.  This is a
+// prerequisite for regenerating the paper's figures: the *shape* of every
+// plot must be stable across runs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace aft::util {
+
+/// SplitMix64 (Steele, Lea, Flood 2014).  Used to seed larger-state
+/// generators and as a cheap standalone stream.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman, Vigna 2018).  The library's workhorse
+/// generator: 256-bit state, period 2^256-1, passes BigCrush.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a 64-bit seed via SplitMix64, as
+  /// recommended by the xoshiro authors.
+  explicit constexpr Xoshiro256(std::uint64_t seed) noexcept : state_{} {
+    SplitMix64 sm(seed);
+    for (auto& word : state_) word = sm.next();
+  }
+
+  constexpr std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  constexpr std::uint64_t operator()() noexcept { return next(); }
+
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of entropy.
+  constexpr double uniform01() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).  Uses Lemire-style rejection
+  /// only implicitly via modulo; bias is negligible for the small ranges the
+  /// library uses, but we debias anyway for correctness.
+  constexpr std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+    const std::uint64_t span = hi - lo + 1;
+    if (span == 0) return next();  // full 64-bit range requested
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = next();
+    while (draw >= limit) draw = next();
+    return lo + draw % span;
+  }
+
+  /// Bernoulli trial with success probability p.
+  constexpr bool bernoulli(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform01() < p;
+  }
+
+  /// Jump function: advances the stream by 2^128 draws, for carving
+  /// independent sub-streams out of one seed.
+  constexpr void jump() noexcept {
+    constexpr std::array<std::uint64_t, 4> kJump = {
+        0x180ec6d33cfd0abaULL, 0xd5a61266f0c9392cULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::array<std::uint64_t, 4> acc{};
+    for (std::uint64_t word : kJump) {
+      for (int bit = 0; bit < 64; ++bit) {
+        if ((word & (std::uint64_t{1} << bit)) != 0) {
+          for (std::size_t i = 0; i < acc.size(); ++i) acc[i] ^= state_[i];
+        }
+        next();
+      }
+    }
+    state_ = acc;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace aft::util

@@ -1,0 +1,61 @@
+#include "util/series.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace aft::util {
+
+SeriesLogger::SeriesLogger(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  if (columns_.empty()) {
+    throw std::invalid_argument("SeriesLogger: needs at least one column");
+  }
+}
+
+void SeriesLogger::append(std::vector<double> row) {
+  if (row.size() != columns_.size()) {
+    throw std::invalid_argument("SeriesLogger: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+const std::vector<double>& SeriesLogger::row(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range("SeriesLogger::row");
+  return rows_[i];
+}
+
+std::vector<double> SeriesLogger::column(const std::string& name) const {
+  std::size_t index = columns_.size();
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    if (columns_[c] == name) {
+      index = c;
+      break;
+    }
+  }
+  if (index == columns_.size()) {
+    throw std::invalid_argument("SeriesLogger: unknown column '" + name + "'");
+  }
+  std::vector<double> out;
+  out.reserve(rows_.size());
+  for (const auto& r : rows_) out.push_back(r[index]);
+  return out;
+}
+
+std::string SeriesLogger::render_csv(int precision) const {
+  std::ostringstream out;
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    out << (c == 0 ? "" : ",") << columns_[c];
+  }
+  out << '\n';
+  out << std::setprecision(precision);
+  for (const auto& r : rows_) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out << (c == 0 ? "" : ",") << r[c];
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace aft::util

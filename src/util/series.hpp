@@ -1,0 +1,34 @@
+// Time-series capture with CSV export: the benches print figure-shaped
+// text, but regenerating the paper's plots in an external tool needs the
+// raw series.  Columns are fixed at construction; rows append; render_csv()
+// emits a header plus one line per row.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aft::util {
+
+class SeriesLogger {
+ public:
+  explicit SeriesLogger(std::vector<std::string> columns);
+
+  /// Appends one row; must match the column count.
+  void append(std::vector<double> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const noexcept { return columns_.size(); }
+  [[nodiscard]] const std::vector<double>& row(std::size_t i) const;
+
+  /// Column values as one vector (for post-processing in tests/benches).
+  [[nodiscard]] std::vector<double> column(const std::string& name) const;
+
+  [[nodiscard]] std::string render_csv(int precision = 6) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace aft::util

@@ -1,0 +1,55 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace aft::util {
+
+void TextTable::header(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::row(std::vector<std::string> cells) {
+  if (!header_.empty() && cells.size() != header_.size()) {
+    throw std::invalid_argument("TextTable row width mismatch");
+  }
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    if (widths.size() < cells.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      out << std::left << std::setw(static_cast<int>(widths[i]) + 2) << cells[i];
+    }
+    out << '\n';
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t w : widths) rule += w + 2;
+    out << std::string(rule, '-') << '\n';
+  }
+  for (const auto& r : rows_) emit(r);
+  return out.str();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << value;
+  return out.str();
+}
+
+}  // namespace aft::util

@@ -1,0 +1,31 @@
+// Minimal fixed-width text table writer used by the benchmark harness to
+// print figure/table reproductions in a stable, diff-friendly format.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aft::util {
+
+class TextTable {
+ public:
+  /// Sets the header row; column count is fixed from here on.
+  void header(std::vector<std::string> cells);
+
+  /// Appends a data row; must match the header's column count.
+  void row(std::vector<std::string> cells);
+
+  /// Renders with per-column padding and a rule under the header.
+  [[nodiscard]] std::string render() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with fixed precision (benches need stable widths).
+[[nodiscard]] std::string fmt(double value, int precision = 3);
+
+}  // namespace aft::util

@@ -1,0 +1,38 @@
+// Distance-to-failure, the Sect. 3.3 disturbance estimator:
+//
+//     dtof(n, m) = ceil(n/2) - m,
+//
+// "where n is the current number of replicas and m is the amount of votes
+//  that differ from the majority, if any such majority exists.  If no
+//  majority can be found dtof returns 0. ... dtof returns an integer in
+//  [0, ceil(n/2)] that represents how close we were to failure at the end
+//  of the last voting round."  (Fig. 5 tabulates the n = 7 cases.)
+#pragma once
+
+#include <cstdint>
+
+#include "vote/voter.hpp"
+
+namespace aft::vote {
+
+/// dtof for a round with `n` replicas and `m` dissenting votes, assuming a
+/// majority existed.  Callers handling the no-majority case should use
+/// dtof_of_outcome.
+[[nodiscard]] constexpr std::int64_t dtof(std::size_t n, std::size_t m) noexcept {
+  const auto half_up = static_cast<std::int64_t>((n + 1) / 2);  // ceil(n/2)
+  const auto distance = half_up - static_cast<std::int64_t>(m);
+  return distance > 0 ? distance : 0;
+}
+
+/// Largest possible distance for n replicas (full consensus).
+[[nodiscard]] constexpr std::int64_t dtof_max(std::size_t n) noexcept {
+  return static_cast<std::int64_t>((n + 1) / 2);
+}
+
+/// dtof of a completed voting round: 0 when no majority was found.
+[[nodiscard]] constexpr std::int64_t dtof_of_outcome(const VoteOutcome& o) noexcept {
+  if (!o.has_majority) return 0;
+  return dtof(o.n, o.dissent);
+}
+
+}  // namespace aft::vote

@@ -1,0 +1,42 @@
+#include "vote/health.hpp"
+
+#include <algorithm>
+
+namespace aft::vote {
+
+ReplicaHealthTracker::ReplicaHealthTracker(detect::AlphaCount::Params params)
+    : discriminator_(params) {}
+
+std::string ReplicaHealthTracker::channel_of(std::size_t replica) {
+  return "replica-" + std::to_string(replica);
+}
+
+void ReplicaHealthTracker::observe(const VotingFarm& farm,
+                                   const RoundReport& report) {
+  if (!report.success) return;  // no ground truth this round
+  const std::vector<Ballot>& ballots = farm.last_ballots();
+  slots_seen_ = std::max(slots_seen_, ballots.size());
+  for (std::size_t r = 0; r < ballots.size(); ++r) {
+    discriminator_.record(channel_of(r), ballots[r] != report.value);
+  }
+}
+
+detect::FaultJudgment ReplicaHealthTracker::judgment(std::size_t replica) const {
+  return discriminator_.judgment(channel_of(replica));
+}
+
+std::vector<std::size_t> ReplicaHealthTracker::retirable() const {
+  std::vector<std::size_t> out;
+  for (std::size_t r = 0; r < slots_seen_; ++r) {
+    if (judgment(r) == detect::FaultJudgment::kPermanentOrIntermittent) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void ReplicaHealthTracker::mark_repaired(std::size_t replica) {
+  discriminator_.reset_channel(channel_of(replica));
+}
+
+}  // namespace aft::vote

@@ -1,0 +1,48 @@
+// Replica health tracking: dissent attribution + the alpha-count oracle,
+// per replica slot.
+//
+// Voting masks a faulty replica; it does not *identify* one.  The tracker
+// closes that gap: after each round it scores every replica slot on
+// whether its ballot agreed with the voted value, feeding one alpha-count
+// channel per slot — so a slot whose unit is permanently broken is judged
+// "permanent or intermittent" and can be retired/repaired, while slots
+// with occasional upsets stay in service.  This is the Sect. 3.2
+// discrimination machinery applied inside the Sect. 3.3 restoring organ.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "detect/discriminator.hpp"
+#include "vote/voting_farm.hpp"
+
+namespace aft::vote {
+
+class ReplicaHealthTracker {
+ public:
+  explicit ReplicaHealthTracker(
+      detect::AlphaCount::Params params = detect::AlphaCount::Params{});
+
+  /// Scores one completed round: each replica slot errs iff its ballot
+  /// differs from the voted value.  Rounds with no majority score nobody
+  /// (there is no ground truth to attribute dissent against).
+  void observe(const VotingFarm& farm, const RoundReport& report);
+
+  [[nodiscard]] detect::FaultJudgment judgment(std::size_t replica) const;
+
+  /// Slots currently judged permanently/intermittently faulty.
+  [[nodiscard]] std::vector<std::size_t> retirable() const;
+
+  /// Marks a slot repaired/replaced: its history restarts.
+  void mark_repaired(std::size_t replica);
+
+  [[nodiscard]] std::size_t slots_seen() const noexcept { return slots_seen_; }
+
+ private:
+  [[nodiscard]] static std::string channel_of(std::size_t replica);
+
+  detect::FaultDiscriminator discriminator_;
+  std::size_t slots_seen_ = 0;
+};
+
+}  // namespace aft::vote

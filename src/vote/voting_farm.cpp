@@ -1,0 +1,47 @@
+#include "vote/voting_farm.hpp"
+
+namespace aft::vote {
+namespace {
+
+std::size_t round_up_to_odd(std::size_t n) noexcept {
+  if (n == 0) return 1;
+  return n % 2 == 0 ? n + 1 : n;
+}
+
+}  // namespace
+
+VotingFarm::VotingFarm(std::size_t replicas, Task task)
+    : replicas_(round_up_to_odd(replicas)), task_(std::move(task)) {
+  if (!task_) throw std::invalid_argument("VotingFarm: null task");
+}
+
+RoundReport VotingFarm::invoke(Ballot input) {
+  ++rounds_;
+  ballots_.clear();
+  ballots_.reserve(replicas_);
+  for (std::size_t r = 0; r < replicas_; ++r) {
+    ballots_.push_back(task_(input, r));
+    ++replica_invocations_;
+  }
+  scratch_ = ballots_;
+  const VoteOutcome outcome = majority_vote_inplace(scratch_);
+  last_winner_ = outcome.winner;
+
+  RoundReport report;
+  report.n = replicas_;
+  report.dissent = outcome.dissent;
+  report.success = outcome.has_majority;
+  report.value = outcome.winner;
+  report.distance = dtof_of_outcome(outcome);
+  if (!report.success) ++failures_;
+  return report;
+}
+
+void VotingFarm::resize(std::size_t replicas) {
+  const std::size_t target = round_up_to_odd(replicas);
+  if (target == replicas_) return;
+  replicas_ = target;
+  ++resizes_;
+}
+
+}  // namespace aft::vote

@@ -1,0 +1,78 @@
+// The Voting Farm — the replication-and-voting service of Sect. 3.3:
+//
+// "the replication-and-voting service is available through an interface
+//  similar to the one of the Voting Farm [25].  Such service sets up a
+//  so-called 'restoring organ' [26] after the user supplied the number of
+//  replicas and the method to replicate."
+//
+// The number of replicas "is not the result of a fixed assumption but
+// rather an initial value possibly subjected to revisions" — resize() is
+// the control knob the Reflective Switchboard actuates (via authenticated
+// messages; see autonomic/secure_message.hpp).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "vote/dtof.hpp"
+#include "vote/voter.hpp"
+
+namespace aft::vote {
+
+/// One completed round, as reported to observers (e.g. the switchboard).
+struct RoundReport {
+  bool success = false;     ///< a majority existed
+  Ballot value = 0;         ///< the voted output (meaningful when success)
+  std::size_t n = 0;        ///< replicas used this round
+  std::size_t dissent = 0;  ///< m
+  std::int64_t distance = 0;///< dtof(n, m), 0 on failure
+};
+
+class VotingFarm {
+ public:
+  /// The replicated method: computes the result for `replica` (0..n-1).
+  /// A correct, undisturbed replica must return the same value for every
+  /// index; disturbances injected by the experiment make replicas diverge.
+  using Task = std::function<Ballot(Ballot input, std::size_t replica)>;
+
+  VotingFarm(std::size_t replicas, Task task);
+
+  /// Runs one replicate-and-vote round.
+  RoundReport invoke(Ballot input);
+
+  /// Per-replica ballots of the most recent round, indexed by replica id —
+  /// the input replica-health tracking needs to attribute dissent.
+  [[nodiscard]] const std::vector<Ballot>& last_ballots() const noexcept {
+    return ballots_;
+  }
+  [[nodiscard]] Ballot last_winner() const noexcept { return last_winner_; }
+
+  /// Revises the degree of redundancy.  Enforces odd arity >= 1 (an even
+  /// farm can deadlock in a tie, so the farm rounds up to the next odd).
+  void resize(std::size_t replicas);
+
+  [[nodiscard]] std::size_t replicas() const noexcept { return replicas_; }
+
+  // --- Accounting ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint64_t failures() const noexcept { return failures_; }
+  [[nodiscard]] std::uint64_t replica_invocations() const noexcept {
+    return replica_invocations_;
+  }
+  [[nodiscard]] std::uint64_t resizes() const noexcept { return resizes_; }
+
+ private:
+  std::size_t replicas_;
+  Task task_;
+  std::uint64_t rounds_ = 0;
+  std::uint64_t failures_ = 0;
+  std::uint64_t replica_invocations_ = 0;
+  std::uint64_t resizes_ = 0;
+  std::vector<Ballot> ballots_;  ///< last round, replica order
+  std::vector<Ballot> scratch_;  ///< voting workspace (sorted in place)
+  Ballot last_winner_ = 0;
+};
+
+}  // namespace aft::vote

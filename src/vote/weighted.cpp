@@ -1,0 +1,70 @@
+#include "vote/weighted.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace aft::vote {
+
+VoteOutcome weighted_majority_vote(std::span<const Ballot> ballots,
+                                   std::span<const double> weights) {
+  if (ballots.size() != weights.size()) {
+    throw std::invalid_argument("weighted_majority_vote: size mismatch");
+  }
+  VoteOutcome out;
+  out.n = ballots.size();
+  if (ballots.empty()) return out;
+
+  std::map<Ballot, double> weight_of;
+  double total = 0.0;
+  for (std::size_t i = 0; i < ballots.size(); ++i) {
+    const double w = std::max(weights[i], 0.0);
+    weight_of[ballots[i]] += w;
+    total += w;
+  }
+  Ballot best = 0;
+  double best_weight = -1.0;
+  for (const auto& [value, w] : weight_of) {
+    if (w > best_weight) {
+      best = value;
+      best_weight = w;
+    }
+  }
+  out.winner = best;
+  // Count agreement/dissent in ballots (not weight) for dtof compatibility.
+  for (const Ballot b : ballots) {
+    if (b == best) ++out.agreeing;
+  }
+  out.dissent = ballots.size() - out.agreeing;
+  out.has_majority = total > 0.0 && best_weight * 2.0 > total;
+  return out;
+}
+
+InexactOutcome epsilon_vote(std::span<const double> ballots, double epsilon) {
+  if (epsilon < 0.0) throw std::invalid_argument("epsilon_vote: negative epsilon");
+  InexactOutcome out;
+  out.n = ballots.size();
+  if (ballots.empty()) return out;
+
+  std::vector<double> sorted(ballots.begin(), ballots.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  // Sliding window over the sorted ballots: the largest set whose spread is
+  // <= epsilon is the best cluster (clusters of an epsilon-chain are
+  // contiguous in sorted order).
+  std::size_t best_begin = 0, best_len = 1;
+  std::size_t begin = 0;
+  for (std::size_t end = 0; end < sorted.size(); ++end) {
+    while (sorted[end] - sorted[begin] > epsilon) ++begin;
+    if (end - begin + 1 > best_len) {
+      best_len = end - begin + 1;
+      best_begin = begin;
+    }
+  }
+  out.cluster_size = best_len;
+  out.value = sorted[best_begin + (best_len - 1) / 2];  // cluster median
+  out.has_majority = best_len * 2 > sorted.size();
+  return out;
+}
+
+}  // namespace aft::vote

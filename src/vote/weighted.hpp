@@ -1,0 +1,35 @@
+// Weighted and inexact voters — the generalizations a restoring organ
+// needs when replicas are not equally trustworthy (weights) or compute
+// over noisy physical quantities where bit-exact agreement is the wrong
+// notion (epsilon clustering).  Johnson [26] catalogues both families.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "vote/voter.hpp"
+
+namespace aft::vote {
+
+/// Weighted exact-agreement majority: the winning value's weight must
+/// exceed half of the total weight.  `ballots` and `weights` must have the
+/// same size; non-positive weights make a replica a pure observer.
+[[nodiscard]] VoteOutcome weighted_majority_vote(std::span<const Ballot> ballots,
+                                                 std::span<const double> weights);
+
+/// Inexact (epsilon) agreement for numeric ballots: ballots within
+/// `epsilon` of each other form a cluster; the largest cluster wins when it
+/// holds a strict majority, and the voted value is the cluster's median.
+/// This masks small analog divergence that would defeat exact voting.
+struct InexactOutcome {
+  bool has_majority = false;
+  double value = 0.0;          ///< representative (median) of the winning cluster
+  std::size_t cluster_size = 0;
+  std::size_t n = 0;
+};
+
+[[nodiscard]] InexactOutcome epsilon_vote(std::span<const double> ballots,
+                                          double epsilon);
+
+}  // namespace aft::vote

@@ -1,0 +1,294 @@
+// Tests for the Sect. 3.3 machinery: authenticated resize messages, the
+// Reflective Switchboard policy, and the scripted adaptation experiments
+// behind Figs. 6 and 7.
+#include <gtest/gtest.h>
+
+#include "autonomic/experiment.hpp"
+#include "autonomic/secure_message.hpp"
+#include "autonomic/switchboard.hpp"
+#include "vote/dtof.hpp"
+#include "vote/voting_farm.hpp"
+
+namespace {
+
+using namespace aft::autonomic;
+using aft::vote::RoundReport;
+using aft::vote::VotingFarm;
+
+// --- Secure messages -------------------------------------------------------------
+
+TEST(SecureMessageTest, SignedMessageAccepted) {
+  ResizeSigner signer(0xABCDEF12u);
+  SecureChannel channel(0xABCDEF12u);
+  const SignedResize msg = signer.sign(5);
+  const auto cmd = channel.accept(msg);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(cmd->target_replicas, 5u);
+  EXPECT_EQ(channel.accepted(), 1u);
+}
+
+TEST(SecureMessageTest, ForgedMacRejected) {
+  ResizeSigner signer(111);
+  SecureChannel channel(111);
+  SignedResize msg = signer.sign(5);
+  msg.command.target_replicas = 99;  // tampered payload
+  EXPECT_FALSE(channel.accept(msg).has_value());
+  EXPECT_EQ(channel.rejected_mac(), 1u);
+}
+
+TEST(SecureMessageTest, WrongKeyRejected) {
+  ResizeSigner signer(111);
+  SecureChannel channel(222);
+  EXPECT_FALSE(channel.accept(signer.sign(5)).has_value());
+  EXPECT_EQ(channel.rejected_mac(), 1u);
+}
+
+TEST(SecureMessageTest, ReplayRejected) {
+  ResizeSigner signer(7);
+  SecureChannel channel(7);
+  const SignedResize msg = signer.sign(5);
+  EXPECT_TRUE(channel.accept(msg).has_value());
+  EXPECT_FALSE(channel.accept(msg).has_value());  // same nonce again
+  EXPECT_EQ(channel.rejected_replay(), 1u);
+}
+
+TEST(SecureMessageTest, NoncesIncreaseAcrossMessages) {
+  ResizeSigner signer(7);
+  SecureChannel channel(7);
+  EXPECT_TRUE(channel.accept(signer.sign(5)).has_value());
+  EXPECT_TRUE(channel.accept(signer.sign(7)).has_value());
+  EXPECT_TRUE(channel.accept(signer.sign(3)).has_value());
+  EXPECT_EQ(channel.accepted(), 3u);
+}
+
+// --- ReflectiveSwitchboard ---------------------------------------------------------
+
+VotingFarm healthy_farm(std::size_t n) {
+  return VotingFarm(n, [](aft::vote::Ballot in, std::size_t) { return in; });
+}
+
+RoundReport report_of(std::size_t n, std::size_t dissent, bool success = true) {
+  RoundReport r;
+  r.n = n;
+  r.dissent = dissent;
+  r.success = success;
+  r.distance = success ? aft::vote::dtof(n, dissent) : 0;
+  return r;
+}
+
+TEST(SwitchboardTest, PolicyValidation) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard::Policy bad;
+  bad.min_replicas = 9;
+  bad.max_replicas = 3;
+  EXPECT_THROW(ReflectiveSwitchboard(farm, bad, 1), std::invalid_argument);
+  ReflectiveSwitchboard::Policy odd_step;
+  odd_step.step = 1;
+  EXPECT_THROW(ReflectiveSwitchboard(farm, odd_step, 1), std::invalid_argument);
+}
+
+TEST(SwitchboardTest, CriticalDtofRaisesImmediately) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard board(farm, ReflectiveSwitchboard::Policy{}, 42);
+  board.observe(report_of(3, 1));  // dtof(3,1) = 1 <= critical
+  EXPECT_EQ(farm.replicas(), 5u);
+  EXPECT_EQ(board.raises(), 1u);
+}
+
+TEST(SwitchboardTest, VotingFailureRaisesImmediately) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard board(farm, ReflectiveSwitchboard::Policy{}, 42);
+  board.observe(report_of(3, 2, /*success=*/false));  // distance 0
+  EXPECT_EQ(farm.replicas(), 5u);
+}
+
+TEST(SwitchboardTest, RespectsMaxReplicas) {
+  VotingFarm farm = healthy_farm(9);
+  ReflectiveSwitchboard board(farm, ReflectiveSwitchboard::Policy{}, 42);
+  for (int i = 0; i < 10; ++i) board.observe(report_of(9, 4));  // critical
+  EXPECT_EQ(farm.replicas(), 9u);  // capped
+  EXPECT_EQ(board.raises(), 0u);
+}
+
+TEST(SwitchboardTest, LowersOnlyAfterConsecutiveHighRounds) {
+  VotingFarm farm = healthy_farm(5);
+  ReflectiveSwitchboard::Policy policy;
+  policy.lower_after = 100;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  for (int i = 0; i < 99; ++i) board.observe(report_of(5, 0));
+  EXPECT_EQ(farm.replicas(), 5u);  // not yet
+  board.observe(report_of(5, 0));  // 100th consecutive consensus
+  EXPECT_EQ(farm.replicas(), 3u);
+  EXPECT_EQ(board.lowers(), 1u);
+}
+
+TEST(SwitchboardTest, MidBandDissentResetsTheHighStreak) {
+  VotingFarm farm = healthy_farm(9);
+  ReflectiveSwitchboard::Policy policy;
+  policy.lower_after = 10;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  for (int i = 0; i < 9; ++i) board.observe(report_of(9, 0));
+  board.observe(report_of(9, 2));  // dtof(9,2)=3: mid-band (not critical, not max)
+  EXPECT_EQ(board.consecutive_high(), 0u);
+  for (int i = 0; i < 9; ++i) board.observe(report_of(9, 0));
+  EXPECT_EQ(farm.replicas(), 9u);  // streak restarted, still no lower
+  board.observe(report_of(9, 0));
+  EXPECT_EQ(farm.replicas(), 7u);
+}
+
+TEST(SwitchboardTest, RespectsMinReplicas) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard::Policy policy;
+  policy.lower_after = 5;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  for (int i = 0; i < 50; ++i) board.observe(report_of(3, 0));
+  EXPECT_EQ(farm.replicas(), 3u);
+  EXPECT_EQ(board.lowers(), 0u);
+}
+
+TEST(SwitchboardTest, OccupancyHistogramTracksEveryRound) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard::Policy policy;
+  policy.lower_after = 1000;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  for (int i = 0; i < 10; ++i) board.observe(report_of(3, 0));
+  board.observe(report_of(3, 1));  // raise
+  for (int i = 0; i < 5; ++i) board.observe(report_of(5, 0));
+  const auto& h = board.redundancy_histogram();
+  EXPECT_EQ(h.count(3), 11u);
+  EXPECT_EQ(h.count(5), 5u);
+  EXPECT_EQ(h.total(), 16u);
+}
+
+TEST(SwitchboardTest, ResizeHookObservesTransitions) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard::Policy policy;
+  policy.lower_after = 2;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  std::vector<std::pair<std::size_t, bool>> events;
+  board.set_resize_hook([&](std::size_t n, bool raised) {
+    events.emplace_back(n, raised);
+  });
+  board.observe(report_of(3, 1));          // raise -> 5
+  board.observe(report_of(5, 0));
+  board.observe(report_of(5, 0));          // lower -> 3
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<std::size_t, bool>{5, true}));
+  EXPECT_EQ(events[1], (std::pair<std::size_t, bool>{3, false}));
+}
+
+TEST(SwitchboardTest, AllResizesWereAuthenticated) {
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard::Policy policy;
+  policy.lower_after = 3;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  for (int i = 0; i < 20; ++i) board.observe(report_of(farm.replicas(), i % 7 == 0 ? 1 : 0));
+  EXPECT_EQ(board.channel().accepted(), board.raises() + board.lowers());
+  EXPECT_EQ(board.channel().rejected_mac(), 0u);
+  EXPECT_EQ(board.channel().rejected_replay(), 0u);
+}
+
+// --- Adaptation experiments (Figs. 6 and 7) -------------------------------------------
+
+TEST(ExperimentTest, CalmEnvironmentStaysAtMinimumForever) {
+  ExperimentConfig config;
+  config.policy.lower_after = 100;
+  config.record_series = false;
+  const auto result = run_adaptation_experiment(
+      config, {DisturbancePhase{.duration = 50000, .corruption_prob = 0.0}});
+  EXPECT_EQ(result.steps, 50000u);
+  EXPECT_EQ(result.voting_failures, 0u);
+  EXPECT_EQ(result.raises, 0u);
+  EXPECT_DOUBLE_EQ(result.fraction_at(3), 1.0);
+}
+
+TEST(ExperimentTest, Fig6ShapeRaiseThenDecay) {
+  ExperimentConfig config;
+  config.policy.lower_after = 1000;
+  config.series_sample_every = 10;
+  const auto result = run_adaptation_experiment(config, fig6_script());
+
+  // During the burst the controller must have raised redundancy...
+  EXPECT_GT(result.raises, 0u);
+  EXPECT_GT(result.redundancy.count(5), 0u);
+  // ...and after the burst it must have come back down.
+  EXPECT_GT(result.lowers, 0u);
+  ASSERT_FALSE(result.series.empty());
+  EXPECT_EQ(result.series.back().replicas, 3u);
+
+  // Shape check on the series: max redundancy is reached inside/after the
+  // burst window, not before it.
+  std::size_t max_replicas = 0;
+  std::uint64_t argmax = 0;
+  for (const auto& p : result.series) {
+    if (p.replicas > max_replicas) {
+      max_replicas = p.replicas;
+      argmax = p.step;
+    }
+  }
+  EXPECT_GE(max_replicas, 5u);
+  EXPECT_GE(argmax, 3000u);   // burst starts at t=3000
+  EXPECT_LE(argmax, 4500u + 1000u);  // and adaptation tracks it closely
+}
+
+TEST(ExperimentTest, HeavierDisturbanceUsesMoreRedundancy) {
+  ExperimentConfig config;
+  config.policy.lower_after = 200;
+  config.record_series = false;
+  const auto mild = run_adaptation_experiment(
+      config, {DisturbancePhase{20000, 0.001}});
+  const auto harsh = run_adaptation_experiment(
+      config, {DisturbancePhase{20000, 0.30}});
+  // The eager controller climbs in both worlds; the sustained occupancy is
+  // what tracks the disturbance level.
+  auto mean_redundancy = [](const ExperimentResult& r) {
+    double mean = 0;
+    for (const auto& [degree, count] : r.redundancy.bins()) {
+      mean += static_cast<double>(degree) * static_cast<double>(count);
+    }
+    return mean / static_cast<double>(r.redundancy.total());
+  };
+  EXPECT_GT(mean_redundancy(harsh), mean_redundancy(mild));
+  EXPECT_LT(harsh.fraction_at(3), mild.fraction_at(3));
+  EXPECT_GT(harsh.faults_injected, mild.faults_injected);
+}
+
+TEST(ExperimentTest, DeterministicUnderSameSeed) {
+  ExperimentConfig config;
+  config.seed = 777;
+  config.record_series = false;
+  const auto a = run_adaptation_experiment(config, fig6_script());
+  const auto b = run_adaptation_experiment(config, fig6_script());
+  EXPECT_EQ(a.raises, b.raises);
+  EXPECT_EQ(a.lowers, b.lowers);
+  EXPECT_EQ(a.faults_injected, b.faults_injected);
+  EXPECT_EQ(a.redundancy.count(3), b.redundancy.count(3));
+}
+
+TEST(ExperimentTest, Fig7MiniatureNoFailuresAndHeavyMassAtMinimum) {
+  // A scaled-down Fig. 7: despite periodic bursts, the adaptive scheme must
+  // (a) avoid every voting failure and (b) spend the overwhelming majority
+  // of its life at r = 3.
+  ExperimentConfig config;
+  config.policy.lower_after = 1000;
+  config.record_series = false;
+  const std::uint64_t steps = 400000;
+  const auto result = run_adaptation_experiment(config, fig7_script(steps));
+  EXPECT_EQ(result.steps, steps);
+  EXPECT_EQ(result.voting_failures, 0u);
+  EXPECT_GT(result.faults_injected, 0u);
+  EXPECT_GT(result.fraction_at(3), 0.9);
+  // Only the configured degrees appear.
+  for (const auto& [degree, count] : result.redundancy.bins()) {
+    EXPECT_TRUE(degree == 3 || degree == 5 || degree == 7 || degree == 9);
+  }
+}
+
+TEST(ExperimentTest, Fig7ScriptCoversRequestedSteps) {
+  const auto script = fig7_script(1000000);
+  std::uint64_t total = 0;
+  for (const auto& phase : script) total += phase.duration;
+  EXPECT_EQ(total, 1000000u);
+}
+
+}  // namespace

@@ -1,0 +1,166 @@
+// Tests for stateful components, checkpoint/rollback, and replica health
+// tracking (retirement).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "arch/stateful.hpp"
+#include "ftpat/checkpoint.hpp"
+#include "vote/health.hpp"
+
+namespace {
+
+using aft::arch::ScriptedStatefulComponent;
+using aft::ftpat::CheckpointRollbackComponent;
+
+// --- ScriptedStatefulComponent ------------------------------------------------------
+
+TEST(StatefulComponentTest, AccumulatesByDefault) {
+  ScriptedStatefulComponent acc("acc");
+  EXPECT_EQ(acc.process(5).value, 5);
+  EXPECT_EQ(acc.process(3).value, 8);
+  EXPECT_EQ(acc.snapshot_state(), 8);
+  acc.restore_state(100);
+  EXPECT_EQ(acc.process(1).value, 101);
+}
+
+TEST(StatefulComponentTest, CrashCorruptsState) {
+  ScriptedStatefulComponent acc("acc");
+  acc.process(10);
+  acc.crash_corrupting_next(1, 7);
+  EXPECT_FALSE(acc.process(5).ok);
+  EXPECT_EQ(acc.snapshot_state(), 17);  // 10 + the half-done 7
+}
+
+TEST(StatefulComponentTest, SilentStateCorruption) {
+  ScriptedStatefulComponent acc("acc");
+  acc.corrupt_state_next(1, 1000);
+  const auto r = acc.process(1);
+  EXPECT_TRUE(r.ok);                      // reports success...
+  EXPECT_EQ(acc.snapshot_state(), 1001);  // ...but the state is poisoned
+}
+
+// --- CheckpointRollbackComponent ------------------------------------------------------
+
+TEST(CheckpointTest, NullInnerRejected) {
+  EXPECT_THROW(CheckpointRollbackComponent("c", nullptr), std::invalid_argument);
+}
+
+TEST(CheckpointTest, CleanPathNoRollbacks) {
+  auto acc = std::make_shared<ScriptedStatefulComponent>("acc");
+  CheckpointRollbackComponent cr("cr", acc);
+  EXPECT_EQ(cr.process(5).value, 5);
+  EXPECT_EQ(cr.process(5).value, 10);
+  EXPECT_EQ(cr.rollbacks(), 0u);
+}
+
+TEST(CheckpointTest, CrashMidStepIsRolledBackAndRedone) {
+  auto acc = std::make_shared<ScriptedStatefulComponent>("acc");
+  CheckpointRollbackComponent cr("cr", acc);
+  cr.process(10);
+  acc->crash_corrupting_next(1, 999);
+  const auto r = cr.process(5);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 15);  // the corrupted partial update never survived
+  EXPECT_EQ(cr.rollbacks(), 1u);
+  EXPECT_EQ(acc->snapshot_state(), 15);
+}
+
+TEST(CheckpointTest, PlainRedoWouldHaveCompoundedTheCorruption) {
+  // Control experiment: WITHOUT rollback, retrying a crash that corrupted
+  // state produces a wrong final result — the reason this pattern exists.
+  auto acc = std::make_shared<ScriptedStatefulComponent>("acc");
+  acc->process(10);
+  acc->crash_corrupting_next(1, 999);
+  (void)acc->process(5);      // crash, state now 1009
+  const auto r = acc->process(5);  // naive redo on corrupted state
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 1014);   // ok-looking, silently wrong (should be 15)
+}
+
+TEST(CheckpointTest, AcceptanceTestTriggersRollback) {
+  auto acc = std::make_shared<ScriptedStatefulComponent>("acc");
+  CheckpointRollbackComponent cr(
+      "cr", acc, 8,
+      [](std::int64_t, std::int64_t out) { return out < 100; });
+  acc->corrupt_state_next(1, 1000);  // silent corruption -> output 1001
+  const auto r = cr.process(1);
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 1);  // redone cleanly after the rejected attempt
+  EXPECT_EQ(cr.rejections(), 1u);
+  EXPECT_EQ(cr.rollbacks(), 1u);
+}
+
+TEST(CheckpointTest, ExhaustionRestoresLastGoodState) {
+  auto acc = std::make_shared<ScriptedStatefulComponent>("acc");
+  CheckpointRollbackComponent cr("cr", acc, 3);
+  cr.process(10);
+  acc->crash_corrupting_next(100, 999);  // fails far beyond the budget
+  EXPECT_FALSE(cr.process(5).ok);
+  EXPECT_EQ(cr.exhaustions(), 1u);
+  EXPECT_EQ(cr.rollbacks(), 4u);          // initial try + 3 retries, all undone
+  EXPECT_EQ(acc->snapshot_state(), 10);   // state is still the checkpoint
+}
+
+// --- ReplicaHealthTracker ---------------------------------------------------------------
+
+TEST(ReplicaHealthTest, HealthyFarmNobodyRetirable) {
+  aft::vote::VotingFarm farm(5, [](aft::vote::Ballot in, std::size_t) { return in; });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 0; i < 100; ++i) {
+    const auto report = farm.invoke(i);
+    tracker.observe(farm, report);
+  }
+  EXPECT_TRUE(tracker.retirable().empty());
+  EXPECT_EQ(tracker.slots_seen(), 5u);
+}
+
+TEST(ReplicaHealthTest, StuckReplicaIsIdentified) {
+  aft::vote::VotingFarm farm(5, [](aft::vote::Ballot in, std::size_t replica) {
+    return replica == 2 ? 0 : in + 1;  // slot 2 is wedged at 0
+  });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 1; i < 20; ++i) tracker.observe(farm, farm.invoke(i));
+  const auto retirable = tracker.retirable();
+  ASSERT_EQ(retirable.size(), 1u);
+  EXPECT_EQ(retirable[0], 2u);
+  EXPECT_EQ(tracker.judgment(0), aft::detect::FaultJudgment::kNoEvidence);
+}
+
+TEST(ReplicaHealthTest, OccasionalUpsetStaysInService) {
+  aft::vote::VotingFarm farm(5, [](aft::vote::Ballot in, std::size_t replica) {
+    // Slot 4 diverges once every 50 rounds.
+    return (replica == 4 && in % 50 == 0) ? in + 100 : in;
+  });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 0; i < 500; ++i) tracker.observe(farm, farm.invoke(i));
+  EXPECT_TRUE(tracker.retirable().empty());
+  EXPECT_EQ(tracker.judgment(4), aft::detect::FaultJudgment::kTransient);
+}
+
+TEST(ReplicaHealthTest, FailedRoundsAttributeNothing) {
+  // Every replica answers differently: no majority, no attribution.
+  aft::vote::VotingFarm farm(3, [](aft::vote::Ballot in, std::size_t replica) {
+    return in + static_cast<aft::vote::Ballot>(replica);
+  });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 0; i < 50; ++i) tracker.observe(farm, farm.invoke(i));
+  EXPECT_EQ(tracker.slots_seen(), 0u);
+  EXPECT_TRUE(tracker.retirable().empty());
+}
+
+TEST(ReplicaHealthTest, RepairRestartsHistory) {
+  bool broken = true;
+  aft::vote::VotingFarm farm(3, [&](aft::vote::Ballot in, std::size_t replica) {
+    return (replica == 0 && broken) ? -1 : in;
+  });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 1; i < 10; ++i) tracker.observe(farm, farm.invoke(i));
+  ASSERT_EQ(tracker.retirable(), std::vector<std::size_t>{0});
+  broken = false;  // physical replacement
+  tracker.mark_repaired(0);
+  for (int i = 1; i < 10; ++i) tracker.observe(farm, farm.invoke(i));
+  EXPECT_TRUE(tracker.retirable().empty());
+}
+
+}  // namespace

@@ -1,0 +1,274 @@
+// Tests for the detection substrate: the Alpha-count filter ([20],[21]),
+// the per-channel fault discriminator, and the watchdog/watched-task pair
+// of the paper's Fig. 4.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "detect/alpha_count.hpp"
+#include "detect/discriminator.hpp"
+#include "detect/watchdog.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using namespace aft::detect;
+using aft::sim::Simulator;
+
+// --- AlphaCount ----------------------------------------------------------------
+
+TEST(AlphaCountTest, ParameterValidation) {
+  EXPECT_THROW(AlphaCount(AlphaCount::Params{.decay = 0.0, .threshold = 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AlphaCount(AlphaCount::Params{.decay = 1.0, .threshold = 3.0}),
+               std::invalid_argument);
+  EXPECT_THROW(AlphaCount(AlphaCount::Params{.decay = 0.5, .threshold = 0.0}),
+               std::invalid_argument);
+}
+
+TEST(AlphaCountTest, DefaultsAreTheFig4Parameters) {
+  AlphaCount ac;
+  EXPECT_DOUBLE_EQ(ac.params().threshold, 3.0);
+  EXPECT_DOUBLE_EQ(ac.params().decay, 0.7);
+}
+
+TEST(AlphaCountTest, NoErrorsNoEvidence) {
+  AlphaCount ac;
+  for (int i = 0; i < 100; ++i) ac.record(false);
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kNoEvidence);
+  EXPECT_DOUBLE_EQ(ac.score(), 0.0);
+}
+
+TEST(AlphaCountTest, ScoreArithmetic) {
+  AlphaCount ac(AlphaCount::Params{.decay = 0.5, .threshold = 10.0});
+  EXPECT_DOUBLE_EQ(ac.record(true), 1.0);
+  EXPECT_DOUBLE_EQ(ac.record(true), 2.0);
+  EXPECT_DOUBLE_EQ(ac.record(false), 1.0);   // * 0.5
+  EXPECT_DOUBLE_EQ(ac.record(false), 0.5);
+  EXPECT_DOUBLE_EQ(ac.record(true), 1.5);
+  EXPECT_EQ(ac.rounds(), 5u);
+  EXPECT_EQ(ac.errors(), 3u);
+}
+
+TEST(AlphaCountTest, IsolatedTransientsStayBelowThreshold) {
+  // One error every 20 rounds with K=0.7 decays far below T=3.
+  AlphaCount ac;
+  for (int i = 0; i < 2000; ++i) ac.record(i % 20 == 0);
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kTransient);
+  EXPECT_FALSE(ac.threshold_crossed());
+}
+
+TEST(AlphaCountTest, PermanentFaultCrossesAtDeterministicRound) {
+  // Errors every round: alpha = n, crosses T=3.0 strictly after round 4
+  // (alpha=4 > 3).
+  AlphaCount ac;
+  ac.record(true);  // 1
+  ac.record(true);  // 2
+  ac.record(true);  // 3 (not > 3)
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kTransient);
+  ac.record(true);  // 4 > 3 -> crossed
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kPermanentOrIntermittent);
+}
+
+TEST(AlphaCountTest, IntermittentBurstsAlsoCross) {
+  // Bursty errors (3 on, 2 off) accumulate past the threshold even though
+  // no single burst does: the intermittent signature.
+  AlphaCount ac;
+  bool crossed = false;
+  for (int i = 0; i < 50 && !crossed; ++i) {
+    crossed = ac.record(i % 5 < 3) > 3.0 || ac.threshold_crossed();
+  }
+  EXPECT_TRUE(ac.threshold_crossed());
+}
+
+TEST(AlphaCountTest, VerdictLatchesAcrossQuietPeriods) {
+  AlphaCount ac;
+  for (int i = 0; i < 5; ++i) ac.record(true);
+  ASSERT_TRUE(ac.threshold_crossed());
+  for (int i = 0; i < 1000; ++i) ac.record(false);
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kPermanentOrIntermittent);
+  EXPECT_LT(ac.score(), 1e-6);  // score decayed, verdict did not
+}
+
+TEST(AlphaCountTest, ResetClearsVerdictAndScore) {
+  AlphaCount ac;
+  for (int i = 0; i < 5; ++i) ac.record(true);
+  ac.reset();
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kTransient);  // errors() retained
+  EXPECT_DOUBLE_EQ(ac.score(), 0.0);
+  EXPECT_FALSE(ac.threshold_crossed());
+}
+
+/// Discrimination property over a parameter sweep: a permanent fault must
+/// always cross; a sparse transient must never cross.
+struct AlphaSweep {
+  double decay;
+  double threshold;
+};
+
+class AlphaCountSweepTest : public ::testing::TestWithParam<AlphaSweep> {};
+
+TEST_P(AlphaCountSweepTest, DiscriminatesPermanentFromSparseTransient) {
+  const auto [decay, threshold] = GetParam();
+  AlphaCount permanent(AlphaCount::Params{decay, threshold});
+  AlphaCount transient(AlphaCount::Params{decay, threshold});
+  for (int i = 0; i < 500; ++i) {
+    permanent.record(true);
+    transient.record(i % 50 == 0);  // sparse: decays fully between errors
+  }
+  EXPECT_TRUE(permanent.threshold_crossed());
+  EXPECT_FALSE(transient.threshold_crossed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, AlphaCountSweepTest,
+    ::testing::Values(AlphaSweep{0.3, 2.0}, AlphaSweep{0.5, 3.0},
+                      AlphaSweep{0.7, 3.0}, AlphaSweep{0.7, 5.0},
+                      AlphaSweep{0.9, 6.0}),
+    [](const ::testing::TestParamInfo<AlphaSweep>& param_info) {
+      return "K" + std::to_string(static_cast<int>(param_info.param.decay * 10)) +
+             "_T" + std::to_string(static_cast<int>(param_info.param.threshold));
+    });
+
+// --- FaultDiscriminator -----------------------------------------------------------
+
+TEST(DiscriminatorTest, PerChannelIsolation) {
+  FaultDiscriminator d;
+  for (int i = 0; i < 10; ++i) {
+    d.record("healthy", false);
+    d.record("broken", true);
+  }
+  EXPECT_EQ(d.judgment("healthy"), FaultJudgment::kNoEvidence);
+  EXPECT_EQ(d.judgment("broken"), FaultJudgment::kPermanentOrIntermittent);
+  EXPECT_EQ(d.judgment("never-seen"), FaultJudgment::kNoEvidence);
+  EXPECT_EQ(d.channel_count(), 2u);
+}
+
+TEST(DiscriminatorTest, VerdictChangeHandlerFiresOnTransitionsOnly) {
+  FaultDiscriminator d;
+  std::vector<std::pair<std::string, FaultJudgment>> events;
+  d.on_verdict_change([&](const std::string& ch, FaultJudgment j) {
+    events.emplace_back(ch, j);
+  });
+  for (int i = 0; i < 10; ++i) d.record("c", true);
+  // Two transitions: NoEvidence->Transient (first error),
+  // Transient->PermanentOrIntermittent (threshold crossing).
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].second, FaultJudgment::kTransient);
+  EXPECT_EQ(events[1].second, FaultJudgment::kPermanentOrIntermittent);
+}
+
+TEST(DiscriminatorTest, ResetChannelAfterReplacement) {
+  FaultDiscriminator d;
+  for (int i = 0; i < 10; ++i) d.record("c", true);
+  ASSERT_EQ(d.judgment("c"), FaultJudgment::kPermanentOrIntermittent);
+  d.reset_channel("c");
+  EXPECT_NE(d.judgment("c"), FaultJudgment::kPermanentOrIntermittent);
+  EXPECT_DOUBLE_EQ(d.score("c"), 0.0);
+  d.reset_channel("unknown");  // harmless no-op
+}
+
+// --- Watchdog / WatchedTask ---------------------------------------------------------
+
+TEST(WatchdogTest, ZeroDeadlineRejected) {
+  Simulator sim;
+  EXPECT_THROW(Watchdog(sim, 0, [](aft::sim::SimTime) {}), std::invalid_argument);
+}
+
+TEST(WatchdogTest, HealthyTaskNeverFiresTheDog) {
+  Simulator sim;
+  Watchdog dog(sim, 10, [](aft::sim::SimTime) {});
+  WatchedTask task(sim, dog, 5);  // kicks twice per window
+  dog.start();
+  task.start();
+  sim.run_until(1000);
+  EXPECT_EQ(dog.firings(), 0u);
+  EXPECT_EQ(dog.windows(), 100u);
+  EXPECT_EQ(task.kicks_delivered(), 200u);
+}
+
+TEST(WatchdogTest, PermanentFaultFiresEveryWindow) {
+  Simulator sim;
+  std::vector<aft::sim::SimTime> firings;
+  Watchdog dog(sim, 10, [&](aft::sim::SimTime t) { firings.push_back(t); });
+  WatchedTask task(sim, dog, 5);
+  dog.start();
+  task.start();
+  sim.run_until(100);
+  EXPECT_TRUE(firings.empty());
+  task.inject_permanent_fault();
+  sim.run_until(200);
+  // Every window after the injection misses: ~10 firings.
+  EXPECT_GE(firings.size(), 9u);
+  EXPECT_TRUE(task.faulty());
+}
+
+TEST(WatchdogTest, TransientFaultFiresBriefly) {
+  Simulator sim;
+  Watchdog dog(sim, 10, [](aft::sim::SimTime) {});
+  WatchedTask task(sim, dog, 10);
+  dog.start();
+  task.start();
+  task.inject_transient_fault(3);  // miss 3 kicks then recover
+  sim.run_until(500);
+  EXPECT_GE(dog.firings(), 1u);
+  EXPECT_LE(dog.firings(), 4u);
+  EXPECT_FALSE(task.faulty());
+}
+
+TEST(WatchdogTest, RepairStopsTheFirings) {
+  Simulator sim;
+  Watchdog dog(sim, 10, [](aft::sim::SimTime) {});
+  WatchedTask task(sim, dog, 5);
+  dog.start();
+  task.start();
+  task.inject_permanent_fault();
+  sim.run_until(100);
+  const auto before = dog.firings();
+  ASSERT_GT(before, 0u);
+  task.repair();
+  sim.run_until(300);
+  EXPECT_LE(dog.firings(), before + 1);  // at most one boundary window
+}
+
+TEST(WatchdogTest, StopDisarms) {
+  Simulator sim;
+  Watchdog dog(sim, 10, [](aft::sim::SimTime) {});
+  WatchedTask task(sim, dog, 5);
+  dog.start();
+  task.start();
+  task.inject_permanent_fault();
+  sim.run_until(50);
+  dog.stop();
+  const auto frozen = dog.firings();
+  sim.run_until(500);
+  EXPECT_EQ(dog.firings(), frozen);
+}
+
+// --- The Fig. 4 scenario end-to-end --------------------------------------------------
+
+TEST(Fig4ScenarioTest, WatchdogFeedsAlphaCountUntilPermanentLabel) {
+  // "A permanent design fault is repeatedly injected in the watched task.
+  //  As a consequence, the watchdog fires and an alpha-count variable is
+  //  updated.  The value of that variable increases until it overcomes a
+  //  threshold (3.0) and correspondingly the fault is labeled as
+  //  'permanent or intermittent'."
+  Simulator sim;
+  AlphaCount alpha;  // K=0.7, T=3.0
+  Watchdog dog(sim, 10, [&](aft::sim::SimTime) { alpha.record(true); });
+  WatchedTask task(sim, dog, 5);
+  dog.start();
+  task.start();
+
+  sim.run_until(200);  // healthy phase: no firings, no score
+  EXPECT_DOUBLE_EQ(alpha.score(), 0.0);
+
+  task.inject_permanent_fault();
+  // The kick delivered at t=200 still satisfies the t=210 window; the four
+  // windows after that (220..250) all miss, driving alpha to 4 > 3.
+  sim.run_until(200 + 60);
+  EXPECT_EQ(alpha.judgment(), FaultJudgment::kPermanentOrIntermittent);
+  EXPECT_GT(alpha.score(), 3.0);
+}
+
+}  // namespace

@@ -1,0 +1,165 @@
+// Tests for behavioural platform self-tests (the Therac introspection
+// treatment) and the assumption web.
+#include <gtest/gtest.h>
+
+#include "core/web.hpp"
+#include "env/platform.hpp"
+
+namespace {
+
+using namespace aft::env;
+
+PlatformFeatures all_features() {
+  return PlatformFeatures{.hardware_interlocks = true,
+                          .exception_trapping = true,
+                          .watchdog_timer = true,
+                          .ecc_reporting = true};
+}
+
+// --- PlatformUnderTest / run_self_test ---------------------------------------------
+
+TEST(SelfTestTest, HonestFullPlatformIsSafe) {
+  PlatformUnderTest p("therac-20", all_features(), all_features());
+  const SelfTestReport report = run_self_test(p);
+  EXPECT_TRUE(report.safe_to_operate());
+  EXPECT_EQ(report.results.size(), 4u);
+  for (const ProbeResult& r : report.results) {
+    EXPECT_TRUE(r.probed);
+    EXPECT_FALSE(r.broken_promise());
+  }
+  EXPECT_EQ(p.interlock_trips(), 1u);  // the probe really exercised the relay
+}
+
+TEST(SelfTestTest, TheracTwentyFiveLieIsCaught) {
+  // The Therac-25 scenario: the spec (inherited expectations) advertises
+  // interlocks and trapping; the actual hardware dropped them.
+  PlatformFeatures advertised = all_features();
+  PlatformFeatures actual = all_features();
+  actual.hardware_interlocks = false;
+  actual.exception_trapping = false;
+  PlatformUnderTest p("therac-25", advertised, actual);
+
+  const SelfTestReport report = run_self_test(p);
+  EXPECT_FALSE(report.safe_to_operate());
+  const auto broken = report.broken_promises();
+  ASSERT_EQ(broken.size(), 2u);
+  EXPECT_EQ(broken[0].feature, "hardware-interlocks");
+  EXPECT_EQ(broken[1].feature, "exception-trapping");
+}
+
+TEST(SelfTestTest, UndocumentedFeatureIsNotABlocker) {
+  PlatformFeatures advertised{};  // promises nothing
+  PlatformUnderTest p("modest", advertised, all_features());
+  const SelfTestReport report = run_self_test(p);
+  EXPECT_TRUE(report.safe_to_operate());
+  int undocumented = 0;
+  for (const ProbeResult& r : report.results) {
+    if (r.undocumented()) ++undocumented;
+  }
+  EXPECT_EQ(undocumented, 4);
+}
+
+TEST(SelfTestTest, PublishesProbedTruthNotTheSpec) {
+  PlatformFeatures advertised = all_features();
+  PlatformFeatures actual{};  // delivers nothing
+  PlatformUnderTest p("vaporware", advertised, actual);
+  aft::core::Context ctx;
+  const SelfTestReport report = run_self_test(p, &ctx);
+  EXPECT_FALSE(report.safe_to_operate());
+  // Downstream assumptions see the probed reality.
+  EXPECT_EQ(ctx.get<bool>("platform.hardware-interlocks"), false);
+  EXPECT_EQ(ctx.get<bool>("platform.exception-trapping"), false);
+  EXPECT_EQ(ctx.get<bool>("platform.watchdog-timer"), false);
+  EXPECT_EQ(ctx.get<bool>("platform.ecc-reporting"), false);
+}
+
+TEST(SelfTestTest, BehaviouralCountersAccumulate) {
+  PlatformUnderTest p("p", all_features(), all_features());
+  (void)run_self_test(p);
+  (void)run_self_test(p);
+  EXPECT_EQ(p.interlock_trips(), 2u);
+  EXPECT_EQ(p.traps(), 2u);
+  EXPECT_EQ(p.resets(), 2u);
+}
+
+// --- AssumptionWeb ---------------------------------------------------------------
+
+using aft::core::AssumptionWeb;
+
+TEST(WebTest, BasicStructure) {
+  AssumptionWeb web;
+  web.add_dependency("hw.memory.f1", "mem.method.M1-adequate");
+  web.add_dependency("mem.method.M1-adequate", "app.telemetry-durable");
+  web.add_dependency("env.transients-only", "ftpat.redoing-adequate");
+  EXPECT_EQ(web.size(), 5u);
+  EXPECT_TRUE(web.contains("app.telemetry-durable"));
+  EXPECT_EQ(web.dependents_of("hw.memory.f1"),
+            std::vector<std::string>{"mem.method.M1-adequate"});
+  EXPECT_EQ(web.premises_of("mem.method.M1-adequate"),
+            std::vector<std::string>{"hw.memory.f1"});
+}
+
+TEST(WebTest, SuspectsAreTransitive) {
+  AssumptionWeb web;
+  web.add_dependency("a", "b");
+  web.add_dependency("b", "c");
+  web.add_dependency("b", "d");
+  web.add_dependency("x", "d");  // d has a second, independent premise
+  const auto suspects = web.suspects_of("a");
+  EXPECT_EQ(suspects, (std::vector<std::string>{"b", "c", "d"}));
+  EXPECT_EQ(web.suspects_of("x"), std::vector<std::string>{"d"});
+  EXPECT_TRUE(web.suspects_of("c").empty());
+}
+
+TEST(WebTest, SelfAndCyclicDependenciesRejected) {
+  AssumptionWeb web;
+  EXPECT_THROW(web.add_dependency("a", "a"), std::invalid_argument);
+  web.add_dependency("a", "b");
+  web.add_dependency("b", "c");
+  EXPECT_THROW(web.add_dependency("c", "a"), std::invalid_argument);
+  // The failed insertion must not have corrupted the web.
+  EXPECT_TRUE(web.premises_of("a").empty());
+}
+
+TEST(WebTest, RootsAndIsolated) {
+  AssumptionWeb web;
+  web.add_dependency("a", "b");
+  web.add("loner");
+  const auto roots = web.roots();
+  EXPECT_EQ(roots, (std::vector<std::string>{"a", "loner"}));
+  EXPECT_EQ(web.isolated(), std::vector<std::string>{"loner"});
+}
+
+TEST(WebTest, UnknownNodesAreHarmless) {
+  AssumptionWeb web;
+  EXPECT_FALSE(web.contains("ghost"));
+  EXPECT_TRUE(web.dependents_of("ghost").empty());
+  EXPECT_TRUE(web.suspects_of("ghost").empty());
+}
+
+TEST(WebTest, DiamondSuspectsCountedOnce) {
+  AssumptionWeb web;
+  web.add_dependency("root", "l");
+  web.add_dependency("root", "r");
+  web.add_dependency("l", "sink");
+  web.add_dependency("r", "sink");
+  const auto suspects = web.suspects_of("root");
+  EXPECT_EQ(suspects, (std::vector<std::string>{"l", "r", "sink"}));
+}
+
+TEST(WebTest, TheAriane4Web) {
+  // The web the Ariane-4 software never wrote down: the OBC safety case
+  // rested, transitively, on a trajectory envelope.
+  AssumptionWeb web;
+  web.add_dependency("traj.hv-below-32767", "sri.bh-conversion-safe");
+  web.add_dependency("sri.bh-conversion-safe", "sri.no-operand-error");
+  web.add_dependency("sri.no-operand-error", "irs.channel-availability");
+  web.add_dependency("irs.channel-availability", "vehicle.guidance-available");
+  const auto suspects = web.suspects_of("traj.hv-below-32767");
+  EXPECT_EQ(suspects.size(), 4u);  // everything up to guidance is suspect
+  EXPECT_NE(std::find(suspects.begin(), suspects.end(),
+                      "vehicle.guidance-available"),
+            suspects.end());
+}
+
+}  // namespace

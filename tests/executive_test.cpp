@@ -1,0 +1,129 @@
+// Tests for the treatment Executive (detection -> treatment dispatch) and
+// the generated Autoconf-style configuration header.
+#include <gtest/gtest.h>
+
+#include "core/executive.hpp"
+#include "hw/machine.hpp"
+#include "mem/selector.hpp"
+
+namespace {
+
+using namespace aft::core;
+
+Provenance prov() {
+  return Provenance{.origin = "test", .rationale = "test",
+                    .stated_at = BindingTime::kDesign};
+}
+
+struct Fixture {
+  AssumptionRegistry registry;
+  Context ctx;
+  Executive executive{registry};
+
+  Fixture() {
+    registry.emplace<std::int64_t>("hw.a", "a is 1", Subject::kHardware, prov(),
+                                   std::int64_t{1}, "a");
+    registry.emplace<std::int64_t>("hw.b", "b is 1", Subject::kHardware, prov(),
+                                   std::int64_t{1}, "b");
+    registry.emplace<std::int64_t>("env.c", "c is 1",
+                                   Subject::kPhysicalEnvironment, prov(),
+                                   std::int64_t{1}, "c");
+    ctx.set("a", std::int64_t{1});
+    ctx.set("b", std::int64_t{1});
+    ctx.set("c", std::int64_t{1});
+  }
+};
+
+TEST(ExecutiveTest, NoClashesNothingDispatched) {
+  Fixture f;
+  f.registry.verify_all(f.ctx);
+  EXPECT_EQ(f.executive.treated(), 0u);
+  EXPECT_EQ(f.executive.untreated(), 0u);
+}
+
+TEST(ExecutiveTest, DispatchPrecedenceIdOverSubjectOverDefault) {
+  Fixture f;
+  std::vector<std::string> calls;
+  f.executive.on_clash_of("hw.a", [&](const Clash&, const Diagnosis&) {
+    calls.push_back("id:hw.a");
+  });
+  f.executive.on_subject(Subject::kHardware, [&](const Clash& c, const Diagnosis&) {
+    calls.push_back("subject:" + c.assumption_id);
+  });
+  f.executive.set_default([&](const Clash& c, const Diagnosis&) {
+    calls.push_back("default:" + c.assumption_id);
+  });
+
+  f.ctx.set("a", std::int64_t{9});  // hw.a -> by-id
+  f.ctx.set("b", std::int64_t{9});  // hw.b -> by-subject
+  f.ctx.set("c", std::int64_t{9});  // env.c -> default
+  f.registry.verify_all(f.ctx);
+
+  EXPECT_EQ(calls, (std::vector<std::string>{"id:hw.a", "subject:hw.b",
+                                             "default:env.c"}));
+  EXPECT_EQ(f.executive.treated(), 3u);
+  EXPECT_EQ(f.executive.untreated(), 0u);
+  ASSERT_EQ(f.executive.log().size(), 3u);
+  EXPECT_EQ(f.executive.log()[0].second, Executive::Tier::kById);
+  EXPECT_EQ(f.executive.log()[1].second, Executive::Tier::kBySubject);
+  EXPECT_EQ(f.executive.log()[2].second, Executive::Tier::kDefault);
+}
+
+TEST(ExecutiveTest, UntreatedClashesAreKeptAndCounted) {
+  Fixture f;
+  f.executive.on_clash_of("hw.a", [](const Clash&, const Diagnosis&) {});
+  f.ctx.set("a", std::int64_t{9});
+  f.ctx.set("c", std::int64_t{9});  // nothing registered for this one
+  f.registry.verify_all(f.ctx);
+  EXPECT_EQ(f.executive.treated(), 1u);
+  EXPECT_EQ(f.executive.untreated(), 1u);
+  ASSERT_EQ(f.executive.untreated_clashes().size(), 1u);
+  EXPECT_EQ(f.executive.untreated_clashes()[0].assumption_id, "env.c");
+}
+
+TEST(ExecutiveTest, TreatmentCanActuallyTreat) {
+  // The canonical loop: the treatment re-binds the hypothesis so the next
+  // verification passes — detection, treatment, recovery.
+  Fixture f;
+  auto* assumption =
+      dynamic_cast<Assumption<std::int64_t>*>(f.registry.find("hw.a"));
+  ASSERT_NE(assumption, nullptr);
+  f.executive.on_clash_of("hw.a", [&](const Clash& clash, const Diagnosis&) {
+    assumption->rebind(std::stoll(clash.observed));
+  });
+  f.ctx.set("a", std::int64_t{42});
+  EXPECT_EQ(f.registry.verify_all(f.ctx).size(), 1u);  // clash -> treated
+  EXPECT_TRUE(f.registry.verify_all(f.ctx).empty());   // now it holds
+  EXPECT_EQ(assumption->assumed(), 42);
+}
+
+TEST(ExecutiveTest, TierNames) {
+  EXPECT_STREQ(Executive::to_string(Executive::Tier::kById), "by-id");
+  EXPECT_STREQ(Executive::to_string(Executive::Tier::kNone), "UNTREATED");
+}
+
+// --- generate_config_header -------------------------------------------------------
+
+TEST(ConfigHeaderTest, RefusedDeploymentThrows) {
+  aft::mem::SelectionReport refused;
+  EXPECT_THROW((void)aft::mem::generate_config_header(refused),
+               std::invalid_argument);
+}
+
+TEST(ConfigHeaderTest, HeaderCarriesDecisionAndAuditTrail) {
+  aft::hw::Machine obc = aft::hw::machines::satellite_obc(64);
+  aft::mem::MethodSelector selector;
+  const auto report = selector.analyze(obc);
+  const std::string header = aft::mem::generate_config_header(report);
+  EXPECT_NE(header.find("#pragma once"), std::string::npos);
+  EXPECT_NE(header.find("#define AFT_MEMORY_BEHAVIOUR \"f3\""), std::string::npos);
+  EXPECT_NE(header.find("#define AFT_MEMORY_METHOD \"M3-sel-mirror\""),
+            std::string::npos);
+  EXPECT_NE(header.find("#define AFT_MEMORY_METHOD_M3_SEL_MIRROR 1"),
+            std::string::npos);
+  // The audit trail rides along as comments.
+  EXPECT_NE(header.find("// "), std::string::npos);
+  EXPECT_NE(header.find("lot:"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,113 @@
+// Tests for the Sect. 5 vision substrate: the GestaltBus of cooperating
+// cross-layer agents, and its integration with the assumption registry
+// ("a design assumption failure caught by a run-time detector should
+// trigger a request for adaptation at model level, and vice-versa").
+#include <gtest/gtest.h>
+
+#include "core/context.hpp"
+#include "core/gestalt.hpp"
+#include "core/registry.hpp"
+
+namespace {
+
+using namespace aft::core;
+
+TEST(GestaltBusTest, EventsReachEveryOtherLayer) {
+  GestaltBus bus;
+  int model_hits = 0, deploy_hits = 0, run_hits = 0;
+  bus.attach(GestaltAgent("model", BindingTime::kDesign,
+                          [&](const GestaltEvent&) { ++model_hits; }));
+  bus.attach(GestaltAgent("deployer", BindingTime::kDeploy,
+                          [&](const GestaltEvent&) { ++deploy_hits; }));
+  bus.attach(GestaltAgent("executive", BindingTime::kRun,
+                          [&](const GestaltEvent&) { ++run_hits; }));
+
+  const std::size_t delivered = bus.publish(GestaltEvent{
+      GestaltKind::kAssumptionFailure, BindingTime::kRun, "fault-class",
+      "permanent"});
+  EXPECT_EQ(delivered, 2u);
+  EXPECT_EQ(model_hits, 1);
+  EXPECT_EQ(deploy_hits, 1);
+  EXPECT_EQ(run_hits, 0) << "a layer must not react to its own events";
+}
+
+TEST(GestaltBusTest, SameLayerAgentsAreSkipped) {
+  GestaltBus bus;
+  int hits = 0;
+  bus.attach(GestaltAgent("run-a", BindingTime::kRun,
+                          [&](const GestaltEvent&) { ++hits; }));
+  bus.attach(GestaltAgent("run-b", BindingTime::kRun,
+                          [&](const GestaltEvent&) { ++hits; }));
+  bus.publish(GestaltEvent{GestaltKind::kDeduction, BindingTime::kRun, "t", ""});
+  EXPECT_EQ(hits, 0);
+  bus.publish(GestaltEvent{GestaltKind::kDeduction, BindingTime::kDesign, "t", ""});
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(GestaltBusTest, HistoryAndDeliveryAccounting) {
+  GestaltBus bus;
+  bus.attach(GestaltAgent("m", BindingTime::kDesign, [](const GestaltEvent&) {}));
+  bus.attach(GestaltAgent("r", BindingTime::kRun, [](const GestaltEvent&) {}));
+  bus.publish(GestaltEvent{GestaltKind::kDeduction, BindingTime::kRun, "a", "1"});
+  bus.publish(GestaltEvent{GestaltKind::kAdaptationRequest, BindingTime::kDesign,
+                           "b", "2"});
+  EXPECT_EQ(bus.history().size(), 2u);
+  const auto by_layer = bus.deliveries_by_layer();
+  EXPECT_EQ(by_layer.at(BindingTime::kDesign), 1u);
+  EXPECT_EQ(by_layer.at(BindingTime::kRun), 1u);
+}
+
+TEST(GestaltIntegrationTest, RunTimeClashPropagatesAcrossLayers) {
+  // The paper's closing loop: a run-time detector catches an assumption
+  // failure; the model layer receives an adaptation request; the deploy
+  // layer re-binds its assumption variable; knowledge flows back down as a
+  // deduction.
+  GestaltBus bus;
+  Context ctx;
+  AssumptionRegistry registry;
+  registry.emplace<std::string>(
+      "env.fault-class", "environment exhibits transient faults",
+      Subject::kPhysicalEnvironment,
+      Provenance{.origin = "design review", .rationale = "historic data",
+                 .stated_at = BindingTime::kDesign},
+      std::string("transient"), "observed.fault-class");
+
+  std::vector<std::string> model_log;
+  bool deploy_rebound = false;
+
+  bus.attach(GestaltAgent("model", BindingTime::kDesign,
+                          [&](const GestaltEvent& e) {
+                            if (e.kind == GestaltKind::kAssumptionFailure) {
+                              model_log.push_back("revise model: " + e.payload);
+                            }
+                          }));
+  bus.attach(GestaltAgent("deployer", BindingTime::kDeploy,
+                          [&](const GestaltEvent& e) {
+                            if (e.kind == GestaltKind::kAssumptionFailure) {
+                              deploy_rebound = true;
+                            }
+                          }));
+
+  // Wire the registry's clash handler into the bus as the run-time agent.
+  registry.on_clash([&](const Clash& clash, const Diagnosis&) {
+    bus.publish(GestaltEvent{GestaltKind::kAssumptionFailure, BindingTime::kRun,
+                             clash.assumption_id, clash.observed});
+  });
+
+  // The run-time detector (e.g. the alpha-count oracle) publishes its
+  // deduction into the context; verification clashes; the bus fans out.
+  ctx.set("observed.fault-class", std::string("permanent"));
+  const auto clashes = registry.verify_all(ctx);
+  ASSERT_EQ(clashes.size(), 1u);
+  ASSERT_EQ(model_log.size(), 1u);
+  EXPECT_EQ(model_log[0], "revise model: permanent");
+  EXPECT_TRUE(deploy_rebound);
+}
+
+TEST(GestaltKindTest, Names) {
+  EXPECT_STREQ(to_string(GestaltKind::kAssumptionFailure), "assumption-failure");
+  EXPECT_STREQ(to_string(GestaltKind::kDeduction), "deduction");
+  EXPECT_STREQ(to_string(GestaltKind::kAdaptationRequest), "adaptation-request");
+}
+
+}  // namespace

@@ -1,0 +1,267 @@
+// Unit tests for the simulated hardware platform: Word72 bit surgery,
+// memory chips with SEU/SEL/SEFI/stuck-at failure semantics, fault
+// injectors, SPD records and machine introspection.
+#include <gtest/gtest.h>
+
+#include "hw/fault_injector.hpp"
+#include "hw/machine.hpp"
+#include "hw/memory_chip.hpp"
+#include "hw/spd.hpp"
+
+namespace {
+
+using namespace aft::hw;
+
+// --- Word72 -----------------------------------------------------------------
+
+TEST(Word72Test, BitOpsAcrossDataAndCheck) {
+  Word72 w{};
+  for (unsigned b : {0u, 5u, 63u, 64u, 71u}) {
+    EXPECT_FALSE(get_bit(w, b));
+    set_bit(w, b, true);
+    EXPECT_TRUE(get_bit(w, b));
+  }
+  EXPECT_EQ(w.data, (std::uint64_t{1} | (std::uint64_t{1} << 5) | (std::uint64_t{1} << 63)));
+  EXPECT_EQ(w.check, 0x81);
+  flip_bit(w, 5);
+  EXPECT_FALSE(get_bit(w, 5));
+  flip_bit(w, 71);
+  EXPECT_FALSE(get_bit(w, 71));
+}
+
+TEST(Word72Test, FlipIsInvolution) {
+  Word72 w{0xDEADBEEFCAFEBABEULL, 0x5A};
+  const Word72 original = w;
+  for (unsigned b = 0; b < 72; ++b) {
+    flip_bit(w, b);
+    flip_bit(w, b);
+  }
+  EXPECT_EQ(w, original);
+}
+
+// --- MemoryChip ---------------------------------------------------------------
+
+TEST(MemoryChipTest, ZeroSizeRejected) {
+  EXPECT_THROW(MemoryChip(0), std::invalid_argument);
+}
+
+TEST(MemoryChipTest, ReadWriteRoundTrip) {
+  MemoryChip chip(16);
+  chip.write(3, Word72{0x1234, 0x7});
+  const DeviceRead r = chip.read(3);
+  ASSERT_TRUE(r.available);
+  EXPECT_EQ(r.word, (Word72{0x1234, 0x7}));
+}
+
+TEST(MemoryChipTest, OutOfRangeThrows) {
+  MemoryChip chip(4);
+  EXPECT_THROW((void)chip.read(4), std::out_of_range);
+  EXPECT_THROW(chip.write(4, Word72{}), std::out_of_range);
+  EXPECT_THROW(chip.inject_bit_flip(0, 72), std::out_of_range);
+}
+
+TEST(MemoryChipTest, BitFlipChangesStoredWord) {
+  MemoryChip chip(4);
+  chip.write(0, Word72{0, 0});
+  chip.inject_bit_flip(0, 10);
+  EXPECT_EQ(chip.read(0).word.data, std::uint64_t{1} << 10);
+}
+
+TEST(MemoryChipTest, StuckAtOverridesWrites) {
+  MemoryChip chip(4);
+  chip.inject_stuck_at(1, 0, true);
+  chip.write(1, Word72{0, 0});
+  EXPECT_EQ(chip.read(1).word.data & 1u, 1u);
+  chip.inject_stuck_at(1, 1, false);
+  chip.write(1, Word72{0xFF, 0});
+  const auto word = chip.read(1).word;
+  EXPECT_EQ(word.data & 0b11, 0b01u);  // bit0 stuck 1, bit1 stuck 0
+  EXPECT_EQ(chip.stuck_bit_count(), 2u);
+}
+
+TEST(MemoryChipTest, LatchUpDestroysDataAndAvailability) {
+  MemoryChip chip(8);
+  chip.write(2, Word72{42, 0});
+  chip.inject_latch_up();
+  EXPECT_EQ(chip.state(), ChipState::kLatchedUp);
+  EXPECT_FALSE(chip.read(2).available);
+  chip.power_cycle();
+  EXPECT_EQ(chip.state(), ChipState::kOperational);
+  EXPECT_EQ(chip.read(2).word, Word72{});  // data lost
+}
+
+TEST(MemoryChipTest, SefiHaltsUntilPowerCycle) {
+  MemoryChip chip(8);
+  chip.inject_sefi();
+  EXPECT_EQ(chip.state(), ChipState::kSefiHalt);
+  EXPECT_FALSE(chip.read(0).available);
+  chip.write(0, Word72{7, 0});  // absorbed
+  chip.power_cycle();
+  EXPECT_TRUE(chip.read(0).available);
+  EXPECT_EQ(chip.power_cycles(), 1u);
+}
+
+TEST(MemoryChipTest, StuckAtSurvivesPowerCycle) {
+  MemoryChip chip(4);
+  chip.inject_stuck_at(0, 3, true);
+  chip.inject_latch_up();
+  chip.power_cycle();
+  chip.write(0, Word72{0, 0});
+  EXPECT_TRUE(get_bit(chip.read(0).word, 3));
+}
+
+TEST(MemoryChipTest, WritesWhileUnavailableAreAbsorbed) {
+  MemoryChip chip(4);
+  chip.inject_latch_up();
+  chip.write(0, Word72{99, 0});
+  chip.power_cycle();
+  EXPECT_EQ(chip.read(0).word.data, 0u);
+}
+
+TEST(MemoryChipTest, InjectionWhileUnavailableIgnored) {
+  MemoryChip chip(4);
+  chip.inject_latch_up();
+  chip.inject_bit_flip(0, 1);  // no effect, no crash
+  chip.power_cycle();
+  EXPECT_EQ(chip.read(0).word.data, 0u);
+}
+
+TEST(MemoryChipTest, AccountingCounters) {
+  MemoryChip chip(4);
+  chip.write(0, Word72{});
+  (void)chip.read(0);
+  (void)chip.read(1);
+  EXPECT_EQ(chip.writes(), 1u);
+  EXPECT_EQ(chip.reads(), 2u);
+}
+
+// --- FaultProfile / FaultInjector ---------------------------------------------
+
+TEST(FaultProfileTest, CanonicalProfilesOrdering) {
+  EXPECT_TRUE(profiles::stable().benign());
+  EXPECT_FALSE(profiles::cmos().benign());
+  EXPECT_GT(profiles::sdram_sel_seu().seu_rate, profiles::cmos().seu_rate);
+  EXPECT_GT(profiles::sdram_sel().sel_rate, 0.0);
+  EXPECT_GT(profiles::sdram_sel_seu().sefi_rate, 0.0);
+  EXPECT_GT(profiles::cmos_aging().stuck_rate, 0.0);
+  EXPECT_EQ(profiles::cmos().sel_rate, 0.0);
+}
+
+TEST(FaultInjectorTest, StableProfileInjectsNothing) {
+  MemoryChip chip(64);
+  FaultInjector inj(chip, profiles::stable(), 1);
+  inj.run(100000);
+  EXPECT_EQ(inj.log().total(), 0u);
+}
+
+TEST(FaultInjectorTest, SeuCountScalesWithRate) {
+  MemoryChip chip(64);
+  FaultProfile p;
+  p.seu_rate = 0.01;
+  FaultInjector inj(chip, p, 2);
+  inj.run(100000);
+  EXPECT_NEAR(static_cast<double>(inj.log().seu), 1000.0, 150.0);
+}
+
+TEST(FaultInjectorTest, Deterministic) {
+  MemoryChip a(64), b(64);
+  FaultInjector ia(a, profiles::sdram_sel_seu(), 42);
+  FaultInjector ib(b, profiles::sdram_sel_seu(), 42);
+  ia.run(50000);
+  ib.run(50000);
+  EXPECT_EQ(ia.log().seu, ib.log().seu);
+  EXPECT_EQ(ia.log().sel, ib.log().sel);
+  EXPECT_EQ(ia.log().sefi, ib.log().sefi);
+}
+
+TEST(FaultInjectorTest, SelLeavesChipLatched) {
+  MemoryChip chip(16);
+  FaultProfile p;
+  p.sel_rate = 1.0;  // certain latch-up on the first tick
+  FaultInjector inj(chip, p, 3);
+  EXPECT_TRUE(inj.tick());
+  EXPECT_EQ(chip.state(), ChipState::kLatchedUp);
+  EXPECT_EQ(inj.log().sel, 1u);
+}
+
+TEST(FaultInjectorTest, MultiBitFractionProducesAdjacentFlips) {
+  MemoryChip chip(16);
+  FaultProfile p;
+  p.seu_rate = 1.0;
+  p.multi_bit_fraction = 1.0;
+  FaultInjector inj(chip, p, 4);
+  inj.run(100);
+  EXPECT_EQ(inj.log().multi_bit, inj.log().seu);
+}
+
+TEST(FaultInjectorTest, ProfileCanBeSwappedMidCampaign) {
+  MemoryChip chip(16);
+  FaultInjector inj(chip, profiles::stable(), 5);
+  inj.run(1000);
+  EXPECT_EQ(inj.log().total(), 0u);
+  FaultProfile p;
+  p.seu_rate = 1.0;
+  inj.set_profile(p);
+  inj.run(10);
+  EXPECT_EQ(inj.log().seu, 10u);
+}
+
+// --- SPD / Machine --------------------------------------------------------------
+
+TEST(SpdTest, LshwStanzaContainsIdentityFields) {
+  const SpdRecord spd{.vendor = "CE00000000000000",
+                      .model = "DDR-533-1G",
+                      .serial = "F504F679",
+                      .lot = "L1",
+                      .size_mib = 1024,
+                      .width_bits = 64,
+                      .clock_mhz = 533,
+                      .technology = MemoryTechnology::kDdrSdram,
+                      .slot = "DIMM_A"};
+  const std::string s = spd.lshw_stanza(0);
+  EXPECT_NE(s.find("CE00000000000000"), std::string::npos);
+  EXPECT_NE(s.find("F504F679"), std::string::npos);
+  EXPECT_NE(s.find("DIMM_A"), std::string::npos);
+  EXPECT_NE(s.find("1024MiB"), std::string::npos);
+  EXPECT_NE(s.find("533MHz"), std::string::npos);
+  EXPECT_NE(s.find("DDR Synchronous"), std::string::npos);
+}
+
+TEST(MachineTest, LaptopMatchesFig2Shape) {
+  const Machine m = machines::laptop();
+  EXPECT_EQ(m.bank_count(), 2u);
+  EXPECT_EQ(m.total_mib(), 1536u);  // 1 GiB + 512 MiB, as in Fig. 2
+  const std::string dump = m.lshw_memory_dump();
+  EXPECT_NE(dump.find("System Memory"), std::string::npos);
+  EXPECT_NE(dump.find("1536MiB"), std::string::npos);
+  EXPECT_NE(dump.find("bank:0"), std::string::npos);
+  EXPECT_NE(dump.find("bank:1"), std::string::npos);
+}
+
+TEST(MachineTest, SatelliteHasFourSdramBanks) {
+  const Machine m = machines::satellite_obc();
+  EXPECT_EQ(m.bank_count(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.bank(i).spd.technology, MemoryTechnology::kSdram);
+    EXPECT_EQ(m.bank(i).spd.lot, "L2008-03");
+  }
+}
+
+TEST(MachineTest, BankIndexOutOfRangeThrows) {
+  Machine m("empty");
+  EXPECT_THROW((void)m.bank(0), std::out_of_range);
+}
+
+TEST(MachineTest, ResetUnavailableBanksPowerCyclesOnlyVictims) {
+  Machine m = machines::satellite_obc(64);
+  m.bank(1).chip->inject_latch_up();
+  m.bank(3).chip->inject_sefi();
+  EXPECT_EQ(m.reset_unavailable_banks(), 2u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(m.bank(i).chip->state(), ChipState::kOperational);
+  }
+  EXPECT_EQ(m.bank(0).chip->power_cycles(), 0u);
+  EXPECT_EQ(m.bank(1).chip->power_cycles(), 1u);
+}
+
+}  // namespace

@@ -1,0 +1,463 @@
+// Tests for the memory access methods M0..M4 of Sect. 3.1: per-method
+// behaviour under the fault classes each is designed (or not designed) to
+// tolerate, plus statistical adequacy campaigns (method Mi under profile
+// fj preserves data integrity iff Mi tolerates fj).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "hw/fault_injector.hpp"
+#include "hw/memory_chip.hpp"
+#include "mem/ecc.hpp"
+#include "mem/method_ecc.hpp"
+#include "mem/method_mirror.hpp"
+#include "mem/method_raw.hpp"
+#include "mem/method_remap.hpp"
+#include "mem/method_tmr.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace aft::mem;
+using aft::hw::ChipState;
+using aft::hw::MemoryChip;
+using aft::hw::Word72;
+using aft::util::Xoshiro256;
+
+// --- M0 raw ------------------------------------------------------------------
+
+TEST(RawAccessTest, RoundTrip) {
+  MemoryChip chip(16);
+  RawAccess m(chip);
+  EXPECT_TRUE(m.write(3, 0xABCD));
+  const ReadResult r = m.read(3);
+  EXPECT_EQ(r.status, ReadStatus::kOk);
+  EXPECT_EQ(r.value, 0xABCDu);
+}
+
+TEST(RawAccessTest, SilentlyReturnsCorruptedData) {
+  MemoryChip chip(16);
+  RawAccess m(chip);
+  m.write(0, 0);
+  chip.inject_bit_flip(0, 5);
+  const ReadResult r = m.read(0);
+  EXPECT_EQ(r.status, ReadStatus::kOk);   // no detection at all
+  EXPECT_EQ(r.value, 32u);                // wrong data, silently
+}
+
+TEST(RawAccessTest, UnavailableDevice) {
+  MemoryChip chip(16);
+  RawAccess m(chip);
+  chip.inject_latch_up();
+  EXPECT_EQ(m.read(0).status, ReadStatus::kUnavailable);
+  EXPECT_FALSE(m.write(0, 1));
+  EXPECT_EQ(m.stats().data_losses, 1u);
+}
+
+TEST(RawAccessTest, ToleratesOnlyF0) {
+  MemoryChip chip(4);
+  RawAccess m(chip);
+  EXPECT_TRUE(m.tolerates(FailureSemantics::kF0Stable));
+  EXPECT_FALSE(m.tolerates(FailureSemantics::kF1TransientCmos));
+  EXPECT_FALSE(m.tolerates(FailureSemantics::kF4SdramSelSeu));
+}
+
+// --- M1 ECC + scrub -------------------------------------------------------------
+
+TEST(EccScrubTest, CorrectsSingleBitFlip) {
+  MemoryChip chip(16);
+  EccScrubAccess m(chip);
+  m.write(2, 0xFEED);
+  chip.inject_bit_flip(2, 7);
+  const ReadResult r = m.read(2);
+  EXPECT_EQ(r.status, ReadStatus::kCorrected);
+  EXPECT_EQ(r.value, 0xFEEDu);
+  // Demand scrubbing repaired the stored word: next read is clean.
+  EXPECT_EQ(m.read(2).status, ReadStatus::kOk);
+  EXPECT_EQ(m.stats().corrected_singles, 1u);
+}
+
+TEST(EccScrubTest, DetectsDoubleBitFlip) {
+  MemoryChip chip(16);
+  EccScrubAccess m(chip);
+  m.write(0, 0x1111);
+  chip.inject_bit_flip(0, 3);
+  chip.inject_bit_flip(0, 40);
+  const ReadResult r = m.read(0);
+  EXPECT_EQ(r.status, ReadStatus::kUncorrectable);
+  EXPECT_EQ(m.stats().double_detected, 1u);
+  EXPECT_EQ(m.stats().data_losses, 1u);
+}
+
+TEST(EccScrubTest, ScrubRepairsLatentFlipsBeforeTheyAccumulate) {
+  MemoryChip chip(8);
+  EccScrubAccess m(chip, /*words_per_scrub_step=*/8);
+  for (std::size_t a = 0; a < 8; ++a) m.write(a, a * 1000);
+  for (std::size_t a = 0; a < 8; ++a) chip.inject_bit_flip(a, 11);
+  m.scrub_step();  // walks all 8 words
+  EXPECT_EQ(m.stats().corrected_singles, 8u);
+  // A second flip in each word would have been fatal without the scrub.
+  for (std::size_t a = 0; a < 8; ++a) chip.inject_bit_flip(a, 30);
+  for (std::size_t a = 0; a < 8; ++a) {
+    const ReadResult r = m.read(a);
+    EXPECT_TRUE(r.ok());
+    EXPECT_EQ(r.value, a * 1000);
+  }
+}
+
+TEST(EccScrubTest, UnavailableDuringScrubIsHarmless) {
+  MemoryChip chip(8);
+  EccScrubAccess m(chip);
+  chip.inject_sefi();
+  m.scrub_step();  // must not crash or spin
+  EXPECT_EQ(m.read(0).status, ReadStatus::kUnavailable);
+}
+
+// --- M2 ECC + remap ---------------------------------------------------------------
+
+TEST(EccRemapTest, SpareFractionValidation) {
+  MemoryChip chip(16);
+  EXPECT_THROW(EccRemapAccess(chip, 0.0), std::invalid_argument);
+  EXPECT_THROW(EccRemapAccess(chip, 1.0), std::invalid_argument);
+}
+
+TEST(EccRemapTest, CapacityExcludesSpares) {
+  MemoryChip chip(64);
+  EccRemapAccess m(chip, 0.25);
+  EXPECT_EQ(m.capacity_words(), 48u);
+  EXPECT_EQ(m.spares_left(), 16u);
+  EXPECT_THROW((void)m.read(48), std::out_of_range);
+}
+
+TEST(EccRemapTest, StuckCellGetsRetiredOnWrite) {
+  MemoryChip chip(64);
+  EccRemapAccess m(chip, 0.125);
+  // Make logical word 5's physical cell permanently stuck.
+  chip.inject_stuck_at(5, 20, true);
+  // Write a value whose codeword has bit 20 clear -> the write will not
+  // stick -> remap must kick in and the read must still return the value.
+  m.write(5, 0);
+  EXPECT_EQ(m.stats().remaps, 1u);
+  const ReadResult r = m.read(5);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 0u);
+}
+
+TEST(EccRemapTest, StuckCellDiscoveredOnReadIsRetired) {
+  MemoryChip chip(64);
+  EccRemapAccess m(chip, 0.125);
+  m.write(7, 0);  // codeword all-zero
+  chip.inject_stuck_at(7, 33, true);  // now bit 33 reads as 1: single error
+  const ReadResult r = m.read(7);
+  EXPECT_EQ(r.status, ReadStatus::kCorrected);
+  EXPECT_EQ(r.value, 0u);
+  EXPECT_EQ(m.stats().remaps, 1u);
+  // After retirement the stored copy is on a healthy spare: clean reads.
+  EXPECT_EQ(m.read(7).status, ReadStatus::kOk);
+}
+
+TEST(EccRemapTest, ManyStuckCellsUntilSparesExhaust) {
+  MemoryChip chip(32);
+  EccRemapAccess m(chip, 0.125);  // 4 spares
+  ASSERT_EQ(m.spares_left(), 4u);
+  for (std::size_t a = 0; a < 5; ++a) {
+    chip.inject_stuck_at(a, 10, true);
+    m.write(a, 0);
+  }
+  EXPECT_EQ(m.spares_left(), 0u);
+  EXPECT_LE(m.stats().remaps, 5u);
+  // The un-remapped word still limps along via per-read ECC correction.
+  for (std::size_t a = 0; a < 5; ++a) {
+    EXPECT_TRUE(m.read(a).ok());
+  }
+}
+
+TEST(EccRemapTest, ScrubAlsoTriggersRetirement) {
+  MemoryChip chip(64);
+  EccRemapAccess m(chip, 0.125, /*words_per_scrub_step=*/56);
+  m.write(9, 0);
+  chip.inject_stuck_at(9, 12, true);
+  m.scrub_step();
+  EXPECT_EQ(m.stats().remaps, 1u);
+  EXPECT_EQ(m.read(9).status, ReadStatus::kOk);
+}
+
+// --- M3 SEL mirror ------------------------------------------------------------------
+
+TEST(SelMirrorTest, DistinctDevicesRequired) {
+  MemoryChip chip(8);
+  EXPECT_THROW(SelMirrorAccess(chip, chip), std::invalid_argument);
+}
+
+TEST(SelMirrorTest, SurvivesPrimaryLatchUp) {
+  MemoryChip a(32), b(32);
+  SelMirrorAccess m(a, b);
+  for (std::size_t w = 0; w < 32; ++w) m.write(w, w * 7);
+  a.inject_latch_up();
+  // First read after SEL: device recovered from mirror, data intact.
+  const ReadResult r = m.read(5);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 35u);
+  EXPECT_EQ(a.state(), ChipState::kOperational);
+  EXPECT_GE(m.stats().power_cycles, 1u);
+  EXPECT_GE(m.stats().rebuilds, 1u);
+  // Everything is intact after the rebuild.
+  for (std::size_t w = 0; w < 32; ++w) {
+    const ReadResult rr = m.read(w);
+    ASSERT_TRUE(rr.ok());
+    ASSERT_EQ(rr.value, w * 7);
+  }
+}
+
+TEST(SelMirrorTest, SurvivesMirrorLatchUpViaScrub) {
+  MemoryChip a(16), b(16);
+  SelMirrorAccess m(a, b, /*words_per_scrub_step=*/16);
+  for (std::size_t w = 0; w < 16; ++w) m.write(w, w);
+  b.inject_latch_up();
+  // Reads are served by the healthy primary; scrubbing discovers and
+  // repairs the dead mirror.
+  EXPECT_TRUE(m.read(3).ok());
+  m.scrub_step();
+  // Fail the primary now: data must come back from the rebuilt mirror.
+  a.inject_latch_up();
+  const ReadResult r = m.read(3);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 3u);
+}
+
+TEST(SelMirrorTest, DoubleErrorOnPrimaryRecoveredFromMirror) {
+  MemoryChip a(16), b(16);
+  SelMirrorAccess m(a, b);
+  m.write(0, 0x77);
+  a.inject_bit_flip(0, 1);
+  a.inject_bit_flip(0, 2);
+  const ReadResult r = m.read(0);
+  EXPECT_EQ(r.status, ReadStatus::kRecovered);
+  EXPECT_EQ(r.value, 0x77u);
+  // Primary was repaired in place.
+  EXPECT_EQ(m.read(0).status, ReadStatus::kOk);
+}
+
+TEST(SelMirrorTest, SimultaneousDoubleDeviceLossIsReported) {
+  MemoryChip a(8), b(8);
+  SelMirrorAccess m(a, b);
+  m.write(0, 9);
+  a.inject_latch_up();
+  b.inject_latch_up();
+  const ReadResult r = m.read(0);
+  EXPECT_EQ(r.status, ReadStatus::kUnavailable);
+  EXPECT_GE(m.stats().data_losses, 1u);
+  // Both devices were power-cycled so future writes are durable again.
+  EXPECT_TRUE(m.write(0, 10));
+  EXPECT_TRUE(m.read(0).ok());
+}
+
+TEST(SelMirrorTest, SingleBitFlipsCorrectedPerDevice) {
+  MemoryChip a(8), b(8);
+  SelMirrorAccess m(a, b);
+  m.write(1, 0x42);
+  a.inject_bit_flip(1, 9);
+  EXPECT_EQ(m.read(1).status, ReadStatus::kCorrected);
+  EXPECT_EQ(m.read(1).status, ReadStatus::kOk);  // repaired
+}
+
+// --- M4 TMR + ECC -------------------------------------------------------------------
+
+TEST(TmrTest, DistinctDevicesRequired) {
+  MemoryChip a(8), b(8);
+  EXPECT_THROW(TmrEccAccess(a, a, b), std::invalid_argument);
+}
+
+TEST(TmrTest, RoundTripAndToleratesEverything) {
+  MemoryChip a(16), b(16), c(16);
+  TmrEccAccess m(a, b, c);
+  m.write(0, 123);
+  EXPECT_EQ(m.read(0).value, 123u);
+  for (auto f : {FailureSemantics::kF0Stable, FailureSemantics::kF1TransientCmos,
+                 FailureSemantics::kF2StuckAtCmos, FailureSemantics::kF3SdramSel,
+                 FailureSemantics::kF4SdramSelSeu}) {
+    EXPECT_TRUE(m.tolerates(f));
+  }
+}
+
+TEST(TmrTest, OutvotesAWholeCorruptedCopy) {
+  MemoryChip a(16), b(16), c(16);
+  TmrEccAccess m(a, b, c);
+  m.write(2, 0x5A5A);
+  // Corrupt copy a beyond ECC (double flip): voting must mask it.
+  a.inject_bit_flip(2, 0);
+  a.inject_bit_flip(2, 1);
+  const ReadResult r = m.read(2);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 0x5A5Au);
+  // Repair pass rewrote copy a: subsequent read is fully clean.
+  EXPECT_EQ(m.read(2).status, ReadStatus::kOk);
+}
+
+TEST(TmrTest, SurvivesLatchUpConcurrentWithSeu) {
+  MemoryChip a(16), b(16), c(16);
+  TmrEccAccess m(a, b, c);
+  for (std::size_t w = 0; w < 16; ++w) m.write(w, w + 100);
+  a.inject_latch_up();          // whole device gone
+  b.inject_bit_flip(4, 17);     // SEU on a survivor at the word we read
+  const ReadResult r = m.read(4);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(r.value, 104u);
+  EXPECT_EQ(a.state(), ChipState::kOperational);  // rebuilt
+  for (std::size_t w = 0; w < 16; ++w) {
+    ASSERT_EQ(m.read(w).value, w + 100);
+  }
+}
+
+TEST(TmrTest, SurvivesSequentialLossOfEachDevice) {
+  MemoryChip a(8), b(8), c(8);
+  TmrEccAccess m(a, b, c);
+  m.write(0, 77);
+  for (MemoryChip* victim : {&a, &b, &c}) {
+    victim->inject_latch_up();
+    const ReadResult r = m.read(0);
+    ASSERT_TRUE(r.ok());
+    ASSERT_EQ(r.value, 77u);
+  }
+}
+
+TEST(TmrTest, TotalLossIsReportedNotInvented) {
+  MemoryChip a(8), b(8), c(8);
+  TmrEccAccess m(a, b, c);
+  m.write(0, 1);
+  a.inject_latch_up();
+  b.inject_latch_up();
+  c.inject_latch_up();
+  const ReadResult r = m.read(0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(m.stats().data_losses, 1u);
+}
+
+TEST(TmrTest, SefiDeviceIsPowerCycledAndRebuilt) {
+  MemoryChip a(8), b(8), c(8);
+  TmrEccAccess m(a, b, c);
+  m.write(3, 33);
+  c.inject_sefi();
+  const ReadResult r = m.read(3);
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(c.state(), ChipState::kOperational);
+  EXPECT_EQ(m.read(3).value, 33u);
+}
+
+TEST(TmrTest, ScrubRepairsDivergence) {
+  MemoryChip a(8), b(8), c(8);
+  TmrEccAccess m(a, b, c, /*words_per_scrub_step=*/8);
+  for (std::size_t w = 0; w < 8; ++w) m.write(w, w);
+  for (std::size_t w = 0; w < 8; ++w) {
+    a.inject_bit_flip(w, 2);
+    a.inject_bit_flip(w, 3);
+  }
+  m.scrub_step();
+  // After scrubbing, copy a agrees again: direct device comparison.
+  for (std::size_t w = 0; w < 8; ++w) {
+    EXPECT_EQ(a.read(w).word, b.read(w).word);
+  }
+}
+
+// --- Statistical adequacy campaign -------------------------------------------------
+//
+// Run each method over a chip (set) driven by each canonical fault profile
+// and verify: adequate methods never lose data; inadequate pairings do (for
+// profiles aggressive enough to show it within the campaign length).
+
+struct Campaign {
+  std::string method;
+  FailureSemantics semantics;
+  bool expect_integrity;
+};
+
+class AdequacyTest : public ::testing::TestWithParam<Campaign> {};
+
+TEST_P(AdequacyTest, MethodVsProfile) {
+  const Campaign& c = GetParam();
+
+  MemoryChip chip0(256), chip1(256), chip2(256);
+  std::unique_ptr<IMemoryAccessMethod> method;
+  if (c.method == "M1") method = std::make_unique<EccScrubAccess>(chip0, 256);
+  if (c.method == "M2") method = std::make_unique<EccRemapAccess>(chip0, 0.125, 224);
+  if (c.method == "M3") method = std::make_unique<SelMirrorAccess>(chip0, chip1, 256);
+  if (c.method == "M4") method = std::make_unique<TmrEccAccess>(chip0, chip1, chip2, 256);
+  ASSERT_NE(method, nullptr);
+
+  aft::hw::FaultProfile profile;
+  switch (c.semantics) {
+    case FailureSemantics::kF0Stable: profile = aft::hw::profiles::stable(); break;
+    case FailureSemantics::kF1TransientCmos:
+      profile = aft::hw::profiles::cmos();
+      profile.seu_rate = 2e-3;  // accelerated campaign
+      break;
+    case FailureSemantics::kF2StuckAtCmos:
+      profile = aft::hw::profiles::cmos_aging();
+      profile.seu_rate = 2e-3;
+      profile.stuck_rate = 5e-4;
+      break;
+    case FailureSemantics::kF3SdramSel:
+      profile = aft::hw::profiles::sdram_sel();
+      profile.seu_rate = 2e-3;
+      profile.sel_rate = 1e-3;
+      break;
+    case FailureSemantics::kF4SdramSelSeu:
+      profile = aft::hw::profiles::sdram_sel_seu();
+      profile.seu_rate = 5e-3;
+      profile.sel_rate = 1e-3;
+      profile.sefi_rate = 5e-4;
+      break;
+  }
+
+  std::vector<aft::hw::FaultInjector> injectors;
+  injectors.emplace_back(chip0, profile, 101);
+  if (c.method == "M3" || c.method == "M4") injectors.emplace_back(chip1, profile, 202);
+  if (c.method == "M4") injectors.emplace_back(chip2, profile, 303);
+
+  const std::size_t n = method->capacity_words();
+  for (std::size_t w = 0; w < n; ++w) method->write(w, w * 31 + 5);
+
+  Xoshiro256 rng(999);
+  std::uint64_t wrong_or_lost = 0;
+  for (int step = 0; step < 20000; ++step) {
+    for (auto& inj : injectors) inj.tick();
+    if (step % 4 == 0) method->scrub_step();
+    const std::size_t addr = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+    const ReadResult r = method->read(addr);
+    if (!r.ok() || r.value != addr * 31 + 5) {
+      ++wrong_or_lost;
+      method->write(addr, addr * 31 + 5);  // re-seed so errors don't cascade
+    }
+  }
+
+  if (c.expect_integrity) {
+    EXPECT_EQ(wrong_or_lost, 0u)
+        << c.method << " under " << to_string(c.semantics);
+  } else {
+    EXPECT_GT(wrong_or_lost, 0u)
+        << c.method << " under " << to_string(c.semantics)
+        << " was expected to lose data in this campaign";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MethodProfileMatrix, AdequacyTest,
+    ::testing::Values(
+        // Designed-for pairings: integrity must hold.
+        Campaign{"M1", FailureSemantics::kF1TransientCmos, true},
+        Campaign{"M2", FailureSemantics::kF2StuckAtCmos, true},
+        Campaign{"M3", FailureSemantics::kF3SdramSel, true},
+        Campaign{"M4", FailureSemantics::kF4SdramSelSeu, true},
+        Campaign{"M4", FailureSemantics::kF3SdramSel, true},
+        Campaign{"M4", FailureSemantics::kF1TransientCmos, true},
+        // Clash pairings: the weaker method must visibly fail.
+        Campaign{"M1", FailureSemantics::kF3SdramSel, false},
+        Campaign{"M2", FailureSemantics::kF3SdramSel, false},
+        Campaign{"M1", FailureSemantics::kF4SdramSelSeu, false}),
+    [](const ::testing::TestParamInfo<Campaign>& param_info) {
+      return param_info.param.method + "_" +
+             to_string(param_info.param.semantics) +
+             (param_info.param.expect_integrity ? "_holds" : "_clashes");
+    });
+
+}  // namespace

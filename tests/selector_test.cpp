@@ -1,0 +1,248 @@
+// Tests for the Sect. 3.1 pipeline: failure-semantics algebra, knowledge
+// base resolution order, and the Autoconf-like method selector.
+#include <gtest/gtest.h>
+
+#include "hw/machine.hpp"
+#include "mem/failure_semantics.hpp"
+#include "mem/knowledge_base.hpp"
+#include "mem/selector.hpp"
+
+namespace {
+
+using namespace aft::mem;
+using aft::hw::Machine;
+using aft::hw::MemoryTechnology;
+using aft::hw::SpdRecord;
+
+// --- FailureSemantics ---------------------------------------------------------
+
+TEST(FailureSemanticsTest, ModesDecomposition) {
+  EXPECT_FALSE(modes_of(FailureSemantics::kF0Stable).transient);
+  EXPECT_TRUE(modes_of(FailureSemantics::kF1TransientCmos).transient);
+  EXPECT_TRUE(modes_of(FailureSemantics::kF2StuckAtCmos).stuck_at);
+  EXPECT_TRUE(modes_of(FailureSemantics::kF3SdramSel).sel);
+  EXPECT_FALSE(modes_of(FailureSemantics::kF3SdramSel).heavy_seu);
+  EXPECT_TRUE(modes_of(FailureSemantics::kF4SdramSelSeu).heavy_seu);
+}
+
+TEST(FailureSemanticsTest, CoversIsPartialOrder) {
+  using F = FailureSemantics;
+  // Reflexive.
+  for (auto f : {F::kF0Stable, F::kF1TransientCmos, F::kF2StuckAtCmos,
+                 F::kF3SdramSel, F::kF4SdramSelSeu}) {
+    EXPECT_TRUE(covers(f, f));
+  }
+  // f1 covers f0; f2 covers f1; f4 covers f3; f4 covers f1.
+  EXPECT_TRUE(covers(F::kF1TransientCmos, F::kF0Stable));
+  EXPECT_TRUE(covers(F::kF2StuckAtCmos, F::kF1TransientCmos));
+  EXPECT_TRUE(covers(F::kF4SdramSelSeu, F::kF3SdramSel));
+  EXPECT_TRUE(covers(F::kF4SdramSelSeu, F::kF1TransientCmos));
+  // f2 and f3 are incomparable.
+  EXPECT_FALSE(covers(F::kF2StuckAtCmos, F::kF3SdramSel));
+  EXPECT_FALSE(covers(F::kF3SdramSel, F::kF2StuckAtCmos));
+  // Nothing but itself covers f4's heavy_seu.
+  EXPECT_FALSE(covers(F::kF3SdramSel, F::kF4SdramSelSeu));
+}
+
+TEST(FailureSemanticsTest, StatementsMatchThePaper) {
+  EXPECT_EQ(statement(FailureSemantics::kF0Stable),
+            "Memory is stable and unaffected by failures");
+  EXPECT_NE(statement(FailureSemantics::kF4SdramSelSeu).find("SEL and SEU"),
+            std::string::npos);
+  EXPECT_EQ(to_string(FailureSemantics::kF2StuckAtCmos), "f2");
+}
+
+TEST(LabelOfTest, CanonicalAndCompositeLabels) {
+  EXPECT_EQ(label_of(modes_of(FailureSemantics::kF0Stable)), "f0");
+  EXPECT_EQ(label_of(modes_of(FailureSemantics::kF3SdramSel)), "f3");
+  FaultModes combo{.transient = true, .stuck_at = true, .sel = true};
+  EXPECT_EQ(label_of(combo), "f2+f3");
+}
+
+// --- KnowledgeBase --------------------------------------------------------------
+
+TEST(KnowledgeBaseTest, ResolutionOrderLotThenModelThenTechnology) {
+  KnowledgeBase kb;
+  kb.set_technology_default(MemoryTechnology::kSdram,
+                            KnownBehavior{FailureSemantics::kF4SdramSelSeu, {}, {}});
+  kb.add_model_entry("V", "M",
+                     KnownBehavior{FailureSemantics::kF3SdramSel, {}, {}});
+  kb.add_lot_entry("V", "M", "L1",
+                   KnownBehavior{FailureSemantics::kF1TransientCmos, {}, {}});
+
+  SpdRecord spd{.vendor = "V", .model = "M", .serial = "", .lot = "L1",
+                .size_mib = 0, .width_bits = 64, .clock_mhz = 0,
+                .technology = MemoryTechnology::kSdram, .slot = ""};
+  EXPECT_EQ(kb.lookup(spd)->semantics, FailureSemantics::kF1TransientCmos);
+
+  spd.lot = "L2";  // unknown lot -> model entry
+  EXPECT_EQ(kb.lookup(spd)->semantics, FailureSemantics::kF3SdramSel);
+
+  spd.model = "OTHER";  // unknown model -> technology default
+  EXPECT_EQ(kb.lookup(spd)->semantics, FailureSemantics::kF4SdramSelSeu);
+}
+
+TEST(KnowledgeBaseTest, UnknownEverythingIsNullopt) {
+  KnowledgeBase kb;
+  SpdRecord spd{.vendor = "X", .model = "Y", .serial = "", .lot = "",
+                .size_mib = 0, .width_bits = 64, .clock_mhz = 0,
+                .technology = MemoryTechnology::kCmosSram, .slot = ""};
+  EXPECT_FALSE(kb.lookup(spd).has_value());
+}
+
+TEST(KnowledgeBaseTest, ProvenanceIsRecorded) {
+  KnowledgeBase kb = KnowledgeBase::with_defaults();
+  SpdRecord spd{.vendor = "RADPART", .model = "SDR-100-256M", .serial = "",
+                .lot = "L2008-03", .size_mib = 0, .width_bits = 64,
+                .clock_mhz = 0, .technology = MemoryTechnology::kSdram,
+                .slot = ""};
+  const auto hit = kb.lookup(spd);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NE(hit->source.find("lot:"), std::string::npos);
+  EXPECT_EQ(hit->semantics, FailureSemantics::kF3SdramSel);
+}
+
+TEST(KnowledgeBaseTest, DefaultsCoverAllTechnologies) {
+  KnowledgeBase kb = KnowledgeBase::with_defaults();
+  for (auto tech : {MemoryTechnology::kCmosSram, MemoryTechnology::kSdram,
+                    MemoryTechnology::kDdrSdram}) {
+    SpdRecord spd{.vendor = "?", .model = "?", .serial = "", .lot = "",
+                  .size_mib = 0, .width_bits = 64, .clock_mhz = 0,
+                  .technology = tech, .slot = ""};
+    EXPECT_TRUE(kb.lookup(spd).has_value());
+  }
+}
+
+// --- MethodSelector ----------------------------------------------------------------
+
+TEST(SelectorTest, LaptopGetsCheapEcc) {
+  // Fig. 2 laptop: DDR, f1 world -> M1 is the cheapest adequate method.
+  Machine laptop = aft::hw::machines::laptop(64);
+  MethodSelector selector;
+  const SelectionReport report = selector.analyze(laptop);
+  EXPECT_EQ(report.required_label, "f1");
+  ASSERT_TRUE(report.selected());
+  EXPECT_EQ(report.chosen, "M1-ecc-scrub");
+  // M0 was filtered as inadequate even though it is cheaper.
+  for (const auto& name : report.adequate) EXPECT_NE(name, "M0-raw");
+}
+
+TEST(SelectorTest, SatelliteLotKnowledgeSelectsMirrorNotTmr) {
+  // The OBC's SDRAM lot is known f3 (SEL, tolerable SEU): M3 suffices and
+  // is cheaper than M4.  Without lot knowledge f4 would force M4.
+  Machine obc = aft::hw::machines::satellite_obc(64);
+  MethodSelector selector;
+  const SelectionReport report = selector.analyze(obc);
+  EXPECT_EQ(report.required_label, "f3");
+  ASSERT_TRUE(report.selected());
+  EXPECT_EQ(report.chosen, "M3-sel-mirror");
+  EXPECT_EQ(report.adequate.front(), "M3-sel-mirror");
+  EXPECT_EQ(report.adequate.back(), "M4-tmr-ecc");
+}
+
+TEST(SelectorTest, UnknownLotFallsBackToWorstCaseF4) {
+  Machine obc("obc-unknown-lot");
+  obc.add_bank(SpdRecord{.vendor = "RADPART", .model = "SDR-100-256M",
+                         .serial = "", .lot = "L2099-99",  // not in the KB
+                         .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kSdram,
+                         .slot = "B0"},
+               64);
+  obc.add_bank(SpdRecord{.vendor = "RADPART", .model = "SDR-100-256M",
+                         .serial = "", .lot = "L2099-99",
+                         .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kSdram,
+                         .slot = "B1"},
+               64);
+  obc.add_bank(SpdRecord{.vendor = "RADPART", .model = "SDR-100-256M",
+                         .serial = "", .lot = "L2099-99",
+                         .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kSdram,
+                         .slot = "B2"},
+               64);
+  MethodSelector selector;
+  const SelectionReport report = selector.analyze(obc);
+  EXPECT_EQ(report.required_label, "f4");
+  ASSERT_TRUE(report.selected());
+  EXPECT_EQ(report.chosen, "M4-tmr-ecc");
+}
+
+TEST(SelectorTest, InsufficientBanksRefusesDeployment) {
+  // f4 platform with a single bank: M4 needs 3 devices -> nothing adequate.
+  Machine tiny("tiny-sat");
+  tiny.add_bank(SpdRecord{.vendor = "?", .model = "?", .serial = "", .lot = "?",
+                          .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kSdram, .slot = "B0"},
+                64);
+  MethodSelector selector;
+  const SelectionReport report = selector.analyze(tiny);
+  EXPECT_FALSE(report.selected());
+  EXPECT_TRUE(report.adequate.empty());
+  EXPECT_THROW((void)selector.instantiate(tiny, report), std::runtime_error);
+}
+
+TEST(SelectorTest, MixedPlatformTakesModeUnion) {
+  // One f2 (aging CMOS) bank + one f3 (SDRAM/SEL) bank: only M4 masks the
+  // union stuck_at+sel.
+  Machine mixed("frankenstein");
+  mixed.add_bank(SpdRecord{.vendor = "LEGACYCM", .model = "CM-16-4M", .serial = "", .lot = "?",
+                           .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kCmosSram, .slot = "B0"},
+                 64);
+  mixed.add_bank(SpdRecord{.vendor = "RADPART", .model = "SDR-100-256M",
+                           .serial = "", .lot = "L2008-03",
+                           .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kSdram, .slot = "B1"},
+                 64);
+  mixed.add_bank(SpdRecord{.vendor = "LEGACYCM", .model = "CM-16-4M", .serial = "", .lot = "?",
+                           .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kCmosSram, .slot = "B2"},
+                 64);
+  MethodSelector selector;
+  const SelectionReport report = selector.analyze(mixed);
+  EXPECT_EQ(report.required_label, "f2+f3");
+  ASSERT_TRUE(report.selected());
+  EXPECT_EQ(report.chosen, "M4-tmr-ecc");
+}
+
+TEST(SelectorTest, InstantiateProducesWorkingMethod) {
+  Machine laptop = aft::hw::machines::laptop(64);
+  MethodSelector selector;
+  const MethodSelector::Selection sel = selector.select(laptop);
+  ASSERT_NE(sel.method, nullptr);
+  EXPECT_EQ(sel.method->name(), "M1-ecc-scrub");
+  EXPECT_TRUE(sel.method->write(0, 0xBEEF));
+  EXPECT_EQ(sel.method->read(0).value, 0xBEEFu);
+}
+
+TEST(SelectorTest, ReportLogIsAnAuditTrail) {
+  Machine obc = aft::hw::machines::satellite_obc(64);
+  MethodSelector selector;
+  const SelectionReport report = selector.analyze(obc);
+  // The log must record introspection, per-bank judgment with provenance,
+  // the resolved behaviour, and the selection.
+  std::string joined;
+  for (const auto& line : report.log) joined += line + "\n";
+  EXPECT_NE(joined.find("introspecting"), std::string::npos);
+  EXPECT_NE(joined.find("lot:"), std::string::npos);
+  EXPECT_NE(joined.find("resolved platform behaviour f = f3"), std::string::npos);
+  EXPECT_NE(joined.find("selected M3-sel-mirror"), std::string::npos);
+}
+
+TEST(SelectorTest, CostOrderingIsCheapestFirst) {
+  const auto catalog = standard_catalog();
+  // Cost must be strictly increasing M0 < M1 < M2 < M3 < M4.
+  for (std::size_t i = 1; i < catalog.size(); ++i) {
+    EXPECT_LT(catalog[i - 1].cost.total(), catalog[i].cost.total())
+        << catalog[i - 1].name << " vs " << catalog[i].name;
+  }
+}
+
+TEST(SelectorTest, StableMemoryPicksRawM0) {
+  KnowledgeBase kb;
+  kb.set_technology_default(MemoryTechnology::kCmosSram,
+                            KnownBehavior{FailureSemantics::kF0Stable, {}, {}});
+  Machine m("rad-hardened");
+  m.add_bank(SpdRecord{.vendor = "V", .model = "M", .serial = "", .lot = "L",
+                       .size_mib = 0, .width_bits = 64, .clock_mhz = 0, .technology = MemoryTechnology::kCmosSram, .slot = "B0"},
+             64);
+  MethodSelector selector(std::move(kb), standard_catalog());
+  const SelectionReport report = selector.analyze(m);
+  EXPECT_EQ(report.required_label, "f0");
+  EXPECT_EQ(report.chosen, "M0-raw");  // cheapest of all, adequate for f0
+}
+
+}  // namespace

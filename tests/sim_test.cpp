@@ -1,0 +1,181 @@
+// Unit tests for the discrete-event simulation kernel and the stochastic
+// disturbance processes.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/processes.hpp"
+#include "sim/simulator.hpp"
+
+namespace {
+
+using aft::sim::GilbertElliott;
+using aft::sim::PoissonProcess;
+using aft::sim::SimTime;
+using aft::sim::Simulator;
+
+TEST(SimulatorTest, StartsAtZeroAndIdle) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0u);
+  EXPECT_TRUE(sim.idle());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run_all(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30u);
+}
+
+TEST(SimulatorTest, SameTickFifoOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(7, [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, SchedulingInThePastThrows) {
+  Simulator sim;
+  sim.schedule_at(10, [] {});
+  sim.run_all();
+  EXPECT_THROW(sim.schedule_at(5, [] {}), std::invalid_argument);
+}
+
+TEST(SimulatorTest, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime fired_at = 0;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(25, [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, 125u);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundaryInclusive) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(20, [&] { ++fired; });
+  sim.schedule_at(21, [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 20u);
+  EXPECT_EQ(sim.pending(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockWhenIdle) {
+  Simulator sim;
+  sim.run_until(500);
+  EXPECT_EQ(sim.now(), 500u);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 10) sim.schedule_in(1, next);
+  };
+  sim.schedule_at(0, next);
+  sim.run_all();
+  EXPECT_EQ(chain, 10);
+  EXPECT_EQ(sim.now(), 9u);
+}
+
+TEST(SimulatorTest, AdvanceToCannotGoBackwards) {
+  Simulator sim;
+  sim.advance_to(50);
+  EXPECT_THROW(sim.advance_to(10), std::invalid_argument);
+}
+
+TEST(SimulatorTest, AdvanceToCannotSkipPendingEvents) {
+  Simulator sim;
+  sim.schedule_at(30, [] {});
+  EXPECT_THROW(sim.advance_to(40), std::logic_error);
+}
+
+// --- PoissonProcess ---------------------------------------------------------
+
+TEST(PoissonProcessTest, ZeroRateNeverFires) {
+  PoissonProcess p(0.0, 1);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(p.fires_this_tick());
+  EXPECT_GT(p.next_gap(), std::uint64_t{1} << 62);
+}
+
+TEST(PoissonProcessTest, MeanGapApproximatesInverseRate) {
+  PoissonProcess p(0.01, 77);
+  double total = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) total += static_cast<double>(p.next_gap());
+  EXPECT_NEAR(total / n, 100.0, 5.0);
+}
+
+TEST(PoissonProcessTest, GapIsAtLeastOne) {
+  PoissonProcess p(100.0, 3);  // very high rate
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(p.next_gap(), 1u);
+}
+
+TEST(PoissonProcessTest, PerTickFrequencyMatchesRate) {
+  PoissonProcess p(0.05, 123);
+  int fires = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (p.fires_this_tick()) ++fires;
+  }
+  // P(fire) = 1 - e^-0.05 ~ 0.04877
+  EXPECT_NEAR(static_cast<double>(fires) / n, 0.0488, 0.005);
+}
+
+// --- GilbertElliott ----------------------------------------------------------
+
+TEST(GilbertElliottTest, StartsGood) {
+  GilbertElliott ge(GilbertElliott::Params{}, 5);
+  EXPECT_FALSE(ge.in_bad_state());
+}
+
+TEST(GilbertElliottTest, GoodStateRespectsLowRate) {
+  GilbertElliott::Params params;
+  params.p_good = 0.0;
+  params.g2b = 0.0;  // never leaves Good
+  GilbertElliott ge(params, 7);
+  for (int i = 0; i < 10000; ++i) EXPECT_FALSE(ge.tick());
+}
+
+TEST(GilbertElliottTest, BadStateBursts) {
+  GilbertElliott::Params params;
+  params.p_good = 0.0;
+  params.p_bad = 0.9;
+  params.b2g = 0.0;  // stays bad forever once forced
+  GilbertElliott ge(params, 9);
+  ge.force_state(true);
+  int events = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    if (ge.tick()) ++events;
+  }
+  EXPECT_NEAR(static_cast<double>(events) / n, 0.9, 0.02);
+}
+
+TEST(GilbertElliottTest, TransitionsBetweenStates) {
+  GilbertElliott::Params params;
+  params.g2b = 0.01;
+  params.b2g = 0.1;
+  GilbertElliott ge(params, 11);
+  int bad_ticks = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    ge.tick();
+    if (ge.in_bad_state()) ++bad_ticks;
+  }
+  // Stationary P(bad) = g2b / (g2b + b2g) = 1/11 ~ 0.0909
+  EXPECT_NEAR(static_cast<double>(bad_ticks) / n, 0.0909, 0.02);
+}
+
+}  // namespace

@@ -1,0 +1,276 @@
+// Unit tests for the util substrate: RNG, histogram, statistics, ring
+// buffer, and text tables.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "util/histogram.hpp"
+#include "util/ring_buffer.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using aft::util::Histogram;
+using aft::util::RingBuffer;
+using aft::util::RunningStats;
+using aft::util::SplitMix64;
+using aft::util::TextTable;
+using aft::util::Xoshiro256;
+
+// --- RNG ------------------------------------------------------------------
+
+TEST(SplitMix64Test, SameSeedSameStream) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Xoshiro256Test, Deterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Xoshiro256Test, Uniform01InRange) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, Uniform01MeanNearHalf) {
+  Xoshiro256 rng(5);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform01();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, UniformIntRespectsBounds) {
+  Xoshiro256 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 9u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all values reachable
+}
+
+TEST(Xoshiro256Test, UniformIntSingleton) {
+  Xoshiro256 rng(13);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42u);
+}
+
+TEST(Xoshiro256Test, BernoulliExtremes) {
+  Xoshiro256 rng(17);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-1.0));
+    EXPECT_TRUE(rng.bernoulli(2.0));
+  }
+}
+
+TEST(Xoshiro256Test, BernoulliFrequency) {
+  Xoshiro256 rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Xoshiro256Test, JumpProducesDisjointStream) {
+  Xoshiro256 a(23);
+  Xoshiro256 b(23);
+  b.jump();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_EQ(equal, 0);
+}
+
+// --- Histogram --------------------------------------------------------------
+
+TEST(HistogramTest, EmptyBehaviour) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(3), 0u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.0);
+  EXPECT_EQ(h.mode(), 0);
+}
+
+TEST(HistogramTest, CountsAndFractions) {
+  Histogram h;
+  h.add(3, 90);
+  h.add(5, 9);
+  h.add(7);
+  EXPECT_EQ(h.total(), 100u);
+  EXPECT_EQ(h.count(3), 90u);
+  EXPECT_DOUBLE_EQ(h.fraction(3), 0.9);
+  EXPECT_DOUBLE_EQ(h.fraction(5), 0.09);
+  EXPECT_DOUBLE_EQ(h.fraction(7), 0.01);
+  EXPECT_EQ(h.mode(), 3);
+}
+
+TEST(HistogramTest, RenderLogScaleMentionsEveryBin) {
+  Histogram h;
+  h.add(3, 1000000);
+  h.add(5, 100);
+  h.add(9, 1);
+  const std::string render = h.render_log_scale(40);
+  EXPECT_NE(render.find("3\t"), std::string::npos);
+  EXPECT_NE(render.find("5\t"), std::string::npos);
+  EXPECT_NE(render.find("9\t"), std::string::npos);
+  EXPECT_NE(render.find("1000000"), std::string::npos);
+}
+
+TEST(HistogramTest, LogScaleBarsMonotone) {
+  Histogram h;
+  h.add(1, 10);
+  h.add(2, 100000);
+  const std::string render = h.render_log_scale(60);
+  // The larger bin must render a strictly longer bar.
+  const auto line1_hashes = render.substr(0, render.find('\n'));
+  const auto line2 = render.substr(render.find('\n') + 1);
+  const auto count_hash = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), '#');
+  };
+  EXPECT_LT(count_hash(line1_hashes), count_hash(line2));
+}
+
+// --- RunningStats -----------------------------------------------------------
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleSampleVarianceZero) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, left, right;
+  Xoshiro256 rng(31);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform01() * 10;
+    all.add(x);
+    (i < 400 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+// --- RingBuffer --------------------------------------------------------------
+
+TEST(RingBufferTest, RejectsZeroCapacity) {
+  EXPECT_THROW(RingBuffer<int>(0), std::invalid_argument);
+}
+
+TEST(RingBufferTest, FillsAndEvicts) {
+  RingBuffer<int> rb(3);
+  EXPECT_TRUE(rb.empty());
+  rb.push(1);
+  rb.push(2);
+  rb.push(3);
+  EXPECT_TRUE(rb.full());
+  rb.push(4);  // evicts 1
+  EXPECT_EQ(rb.size(), 3u);
+  EXPECT_EQ(rb.recent(0), 4);
+  EXPECT_EQ(rb.recent(1), 3);
+  EXPECT_EQ(rb.recent(2), 2);
+  EXPECT_EQ(rb.oldest(), 2);
+}
+
+TEST(RingBufferTest, RecentOutOfRangeThrows) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  EXPECT_THROW((void)rb.recent(1), std::out_of_range);
+}
+
+TEST(RingBufferTest, ClearResets) {
+  RingBuffer<int> rb(2);
+  rb.push(1);
+  rb.push(2);
+  rb.clear();
+  EXPECT_TRUE(rb.empty());
+  rb.push(9);
+  EXPECT_EQ(rb.recent(0), 9);
+}
+
+// --- TextTable ----------------------------------------------------------------
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable t;
+  t.header({"name", "value"});
+  t.row({"alpha", "1"});
+  t.row({"b", "22222"});
+  const std::string s = t.render();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("22222"), std::string::npos);
+  EXPECT_NE(s.find("---"), std::string::npos);
+}
+
+TEST(TextTableTest, RowWidthMismatchThrows) {
+  TextTable t;
+  t.header({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTableTest, FmtPrecision) {
+  EXPECT_EQ(aft::util::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(aft::util::fmt(1.0, 0), "1");
+}
+
+}  // namespace

@@ -1,0 +1,117 @@
+// Tests for weighted and inexact (epsilon) voters.
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "vote/weighted.hpp"
+
+namespace {
+
+using namespace aft::vote;
+
+// --- weighted_majority_vote ---------------------------------------------------
+
+TEST(WeightedVoteTest, SizeMismatchRejected) {
+  const std::array<Ballot, 2> b{1, 2};
+  const std::array<double, 3> w{1, 1, 1};
+  EXPECT_THROW((void)weighted_majority_vote(b, w), std::invalid_argument);
+}
+
+TEST(WeightedVoteTest, EqualWeightsMatchPlainMajority) {
+  const std::array<Ballot, 5> b{7, 7, 7, 2, 3};
+  const std::array<double, 5> w{1, 1, 1, 1, 1};
+  const auto outcome = weighted_majority_vote(b, w);
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_EQ(outcome.winner, 7);
+  EXPECT_EQ(outcome.agreeing, 3u);
+  EXPECT_EQ(outcome.dissent, 2u);
+}
+
+TEST(WeightedVoteTest, HeavyReplicaOutweighsCount) {
+  // Two light replicas agree on 5; one trusted heavy replica says 9.
+  const std::array<Ballot, 3> b{5, 5, 9};
+  const std::array<double, 3> w{1, 1, 5};
+  const auto outcome = weighted_majority_vote(b, w);
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_EQ(outcome.winner, 9);
+}
+
+TEST(WeightedVoteTest, ExactHalfWeightIsNotMajority) {
+  const std::array<Ballot, 2> b{1, 2};
+  const std::array<double, 2> w{1, 1};
+  EXPECT_FALSE(weighted_majority_vote(b, w).has_majority);
+}
+
+TEST(WeightedVoteTest, NonPositiveWeightIsObserver) {
+  const std::array<Ballot, 3> b{5, 9, 9};
+  const std::array<double, 3> w{1, 0, -2};
+  const auto outcome = weighted_majority_vote(b, w);
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_EQ(outcome.winner, 5);  // the 9s carried no weight
+}
+
+TEST(WeightedVoteTest, AllZeroWeightsFail) {
+  const std::array<Ballot, 3> b{5, 5, 5};
+  const std::array<double, 3> w{0, 0, 0};
+  EXPECT_FALSE(weighted_majority_vote(b, w).has_majority);
+}
+
+TEST(WeightedVoteTest, EmptyBallots) {
+  EXPECT_FALSE(weighted_majority_vote({}, {}).has_majority);
+}
+
+// --- epsilon_vote ----------------------------------------------------------------
+
+TEST(EpsilonVoteTest, NegativeEpsilonRejected) {
+  const std::array<double, 1> b{1.0};
+  EXPECT_THROW((void)epsilon_vote(b, -0.1), std::invalid_argument);
+}
+
+TEST(EpsilonVoteTest, ExactAgreementAtZeroEpsilon) {
+  const std::array<double, 5> b{1.0, 1.0, 1.0, 2.0, 3.0};
+  const auto outcome = epsilon_vote(b, 0.0);
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_DOUBLE_EQ(outcome.value, 1.0);
+  EXPECT_EQ(outcome.cluster_size, 3u);
+}
+
+TEST(EpsilonVoteTest, AnalogNoiseMaskedByEpsilon) {
+  // Five sensors reading ~20.0 with noise; exact voting would see five
+  // distinct values and fail; epsilon voting clusters them.
+  const std::array<double, 5> b{19.98, 20.01, 20.02, 19.99, 27.5};
+  EXPECT_FALSE(epsilon_vote(b, 0.0).has_majority);
+  const auto outcome = epsilon_vote(b, 0.1);
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_EQ(outcome.cluster_size, 4u);
+  EXPECT_NEAR(outcome.value, 20.0, 0.05);
+}
+
+TEST(EpsilonVoteTest, ChainClusteringIsContiguous) {
+  const std::array<double, 3> b{1.0, 1.04, 1.08};
+  const auto outcome = epsilon_vote(b, 0.1);
+  EXPECT_EQ(outcome.cluster_size, 3u);  // spread 0.08 <= eps: one window
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_DOUBLE_EQ(outcome.value, 1.04);  // cluster median
+  // Tighter epsilon splits the chain: best window holds 2 of 3, which is
+  // still a strict majority.
+  const auto tight = epsilon_vote(b, 0.05);
+  EXPECT_EQ(tight.cluster_size, 2u);
+  EXPECT_TRUE(tight.has_majority);
+}
+
+TEST(EpsilonVoteTest, BimodalSplitFails) {
+  const std::array<double, 4> b{1.0, 1.01, 5.0, 5.01};
+  const auto outcome = epsilon_vote(b, 0.1);
+  EXPECT_EQ(outcome.cluster_size, 2u);
+  EXPECT_FALSE(outcome.has_majority);  // 2 of 4 is not strict
+}
+
+TEST(EpsilonVoteTest, EmptyAndSingleton) {
+  EXPECT_FALSE(epsilon_vote({}, 1.0).has_majority);
+  const std::array<double, 1> one{3.14};
+  const auto outcome = epsilon_vote(one, 0.0);
+  EXPECT_TRUE(outcome.has_majority);
+  EXPECT_DOUBLE_EQ(outcome.value, 3.14);
+}
+
+}  // namespace
