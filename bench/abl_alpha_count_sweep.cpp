@@ -4,9 +4,14 @@
 // choice of a count-and-threshold oracle: there is a wide parameter region
 // where permanents/intermittents are flagged quickly and sparse transients
 // never are.
+// Each (K, T) grid point replays its three error streams from fixed seeds,
+// so the grid fans out across the util::campaign thread pool (AFT_THREADS)
+// with bit-identical stdout for any thread count.
 #include <iostream>
+#include <vector>
 
 #include "detect/alpha_count.hpp"
+#include "util/campaign.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -32,6 +37,29 @@ std::uint64_t detection_round(AlphaCount& ac, aft::util::Xoshiro256& rng,
   return 0;
 }
 
+struct GridOutcome {
+  std::uint64_t perm_round = 0;
+  std::uint64_t interm_round = 0;
+  std::uint64_t trans_round = 0;
+};
+
+GridOutcome run_point(double k, double t) {
+  GridOutcome out;
+
+  AlphaCount perm(AlphaCount::Params{k, t});
+  for (int i = 1; i <= 5000 && !perm.threshold_crossed(); ++i) perm.record(true);
+  out.perm_round = perm.rounds();
+
+  aft::util::Xoshiro256 rng_i(42);
+  AlphaCount interm(AlphaCount::Params{k, t});
+  out.interm_round = detection_round(interm, rng_i, 0, true, 5000);
+
+  aft::util::Xoshiro256 rng_t(43);
+  AlphaCount trans(AlphaCount::Params{k, t});
+  out.trans_round = detection_round(trans, rng_t, 0.01, false, 5000);
+  return out;
+}
+
 }  // namespace
 
 int main() {
@@ -39,32 +67,34 @@ int main() {
             << "streams: permanent (error every round), intermittent\n"
             << "(Gilbert-Elliott bursts), sparse transient (p=0.01)\n\n";
 
+  struct Job {
+    double k;
+    double t;
+  };
+  std::vector<Job> jobs;
+  for (const double k : {0.3, 0.5, 0.7, 0.9}) {
+    for (const double t : {2.0, 3.0, 5.0, 8.0}) jobs.push_back(Job{k, t});
+  }
+
+  const unsigned threads = aft::util::campaign_threads();
+  std::cerr << "[campaign] " << jobs.size() << " jobs on " << threads
+            << " thread(s)\n";
+  const std::vector<GridOutcome> outcomes = aft::util::run_campaigns(
+      jobs.size(),
+      [&jobs](std::size_t i) { return run_point(jobs[i].k, jobs[i].t); },
+      threads);
+
   aft::util::TextTable table;
   table.header({"K", "T", "perm: detect round", "interm: detect round",
                 "transient: false alarm?"});
-
-  for (const double k : {0.3, 0.5, 0.7, 0.9}) {
-    for (const double t : {2.0, 3.0, 5.0, 8.0}) {
-      AlphaCount perm(AlphaCount::Params{k, t});
-      for (int i = 1; i <= 5000 && !perm.threshold_crossed(); ++i) perm.record(true);
-      std::uint64_t perm_round = perm.rounds();
-
-      aft::util::Xoshiro256 rng_i(42);
-      AlphaCount interm(AlphaCount::Params{k, t});
-      const std::uint64_t interm_round =
-          detection_round(interm, rng_i, 0, true, 5000);
-
-      aft::util::Xoshiro256 rng_t(43);
-      AlphaCount trans(AlphaCount::Params{k, t});
-      const std::uint64_t trans_round =
-          detection_round(trans, rng_t, 0.01, false, 5000);
-
-      table.row({aft::util::fmt(k, 1), aft::util::fmt(t, 1),
-                 std::to_string(perm_round),
-                 interm_round ? std::to_string(interm_round) : "never",
-                 trans_round ? "YES (round " + std::to_string(trans_round) + ")"
-                             : "no"});
-    }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const GridOutcome& o = outcomes[i];
+    table.row({aft::util::fmt(jobs[i].k, 1), aft::util::fmt(jobs[i].t, 1),
+               std::to_string(o.perm_round),
+               o.interm_round ? std::to_string(o.interm_round) : "never",
+               o.trans_round
+                   ? "YES (round " + std::to_string(o.trans_round) + ")"
+                   : "no"});
   }
   std::cout << table.render() << "\n";
   std::cout << "expected shape: permanents detected in ceil(T)+1 rounds for\n"

@@ -1,11 +1,20 @@
-// Ablation: raw per-operation cost of the memory access methods M0..M4
-// (google-benchmark), with and without an active fault load.  This is the
-// measured counterpart of the selector's abstract cost function — the
-// ordering must agree (M0 < M1 <= M2 < M3 < M4), which is what makes
-// "cheapest adequate method" a meaningful selection rule.
-#include <benchmark/benchmark.h>
-
+// Ablation: per-operation device cost of the memory access methods M0..M4
+// under three fault loads (none, f1 transient-only, f4 mixed SEL/SEU/SEFI).
+// This is the measured counterpart of the selector's abstract cost function
+// — the device-work ordering must agree (M0 < M1 <= M2 < M3 < M4), which is
+// what makes "cheapest adequate method" a meaningful selection rule.
+//
+// Every (method, load) cell is an independent fault-injection campaign with
+// its own devices, injectors, and RNG seeds, fanned out across the
+// util::campaign thread pool (AFT_THREADS).  The table reports deterministic
+// work counters (device reads/writes per logical op, repairs, losses), so
+// stdout is bit-identical for any thread count; set AFT_TIMING=1 for an
+// additional wall-clock words/sec section on stderr.
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
 #include <memory>
+#include <vector>
 
 #include "hw/fault_injector.hpp"
 #include "hw/memory_chip.hpp"
@@ -14,10 +23,34 @@
 #include "mem/method_raw.hpp"
 #include "mem/method_remap.hpp"
 #include "mem/method_tmr.hpp"
+#include "util/campaign.hpp"
+#include "util/table.hpp"
 
 namespace {
 
 constexpr std::size_t kWords = 1024;
+constexpr std::uint64_t kTicks = 100000;
+
+constexpr const char* kLoadNames[] = {"none", "f1-seu", "f4-mixed"};
+
+aft::hw::FaultProfile load_profile(std::size_t load) {
+  aft::hw::FaultProfile p;
+  switch (load) {
+    case 0:
+      break;  // fault-free baseline
+    case 1:
+      p.seu_rate = 0.02;  // transient-only, heavy enough to exercise repair
+      break;
+    default:
+      p.seu_rate = 0.02;
+      p.multi_bit_fraction = 0.05;
+      p.sel_rate = 2e-5;
+      p.sefi_rate = 1e-5;
+      p.stuck_rate = 5e-5;
+      break;
+  }
+  return p;
+}
 
 struct Rig {
   aft::hw::MemoryChip c0{kWords};
@@ -25,7 +58,7 @@ struct Rig {
   aft::hw::MemoryChip c2{kWords};
   std::unique_ptr<aft::mem::IMemoryAccessMethod> method;
 
-  explicit Rig(int which) {
+  explicit Rig(std::size_t which) {
     switch (which) {
       case 0: method = std::make_unique<aft::mem::RawAccess>(c0); break;
       case 1: method = std::make_unique<aft::mem::EccScrubAccess>(c0); break;
@@ -37,62 +70,133 @@ struct Rig {
       method->write(w, w * 3);
     }
   }
+
+  [[nodiscard]] std::uint64_t device_ops() const {
+    return c0.reads() + c0.writes() + c1.reads() + c1.writes() + c2.reads() +
+           c2.writes();
+  }
 };
 
-void BM_Read(benchmark::State& state) {
-  Rig rig(static_cast<int>(state.range(0)));
-  std::size_t addr = 0;
-  const std::size_t n = rig.method->capacity_words();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rig.method->read(addr));
-    addr = (addr + 1) % n;
-  }
-  state.SetLabel(std::string(rig.method->name()));
-}
+struct Outcome {
+  std::string method_name;
+  std::uint64_t logical_ops = 0;
+  std::uint64_t device_ops = 0;
+  std::uint64_t corrected = 0;
+  std::uint64_t recovered = 0;
+  std::uint64_t uncorrectable = 0;
+  std::uint64_t unavailable = 0;
+  std::uint64_t power_cycles = 0;
+  std::uint64_t faults = 0;
+};
 
-void BM_Write(benchmark::State& state) {
-  Rig rig(static_cast<int>(state.range(0)));
-  std::size_t addr = 0;
-  const std::size_t n = rig.method->capacity_words();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(rig.method->write(addr, addr));
-    addr = (addr + 1) % n;
-  }
-  state.SetLabel(std::string(rig.method->name()));
-}
+/// One campaign: fixed per-job seeds, demand traffic + periodic scrub under
+/// the given fault load.
+Outcome run_campaign(std::size_t method_id, std::size_t load_id) {
+  Rig rig(method_id);
+  const aft::hw::FaultProfile profile = load_profile(load_id);
+  const std::uint64_t seed_base = 1000 * (method_id * 3 + load_id);
+  aft::hw::FaultInjector inj0(rig.c0, profile, seed_base + 1);
+  aft::hw::FaultInjector inj1(rig.c1, profile, seed_base + 2);
+  aft::hw::FaultInjector inj2(rig.c2, profile, seed_base + 3);
 
-void BM_ReadUnderSeuLoad(benchmark::State& state) {
-  Rig rig(static_cast<int>(state.range(0)));
-  aft::hw::FaultProfile profile;
-  profile.seu_rate = 0.05;  // heavy upset load: exercise the repair paths
-  aft::hw::FaultInjector inj0(rig.c0, profile, 1);
-  aft::hw::FaultInjector inj1(rig.c1, profile, 2);
-  aft::hw::FaultInjector inj2(rig.c2, profile, 3);
-  std::size_t addr = 0;
+  Outcome out;
+  out.method_name = std::string(rig.method->name());
+  const std::uint64_t baseline_dev_ops = rig.device_ops();  // seeding writes
   const std::size_t n = rig.method->capacity_words();
-  for (auto _ : state) {
+
+  for (std::uint64_t t = 1; t <= kTicks; ++t) {
     inj0.tick();
     inj1.tick();
     inj2.tick();
-    benchmark::DoNotOptimize(rig.method->read(addr));
-    addr = (addr + 1) % n;
+    const std::size_t addr = static_cast<std::size_t>(t) % n;
+    const auto r = rig.method->read(addr);
+    ++out.logical_ops;
+    switch (r.status) {
+      case aft::mem::ReadStatus::kOk: break;
+      case aft::mem::ReadStatus::kCorrected: ++out.corrected; break;
+      case aft::mem::ReadStatus::kRecovered: ++out.recovered; break;
+      case aft::mem::ReadStatus::kUncorrectable:
+        ++out.uncorrectable;
+        rig.method->write(addr, addr * 3);  // re-seed lost word
+        ++out.logical_ops;
+        break;
+      case aft::mem::ReadStatus::kUnavailable:
+        ++out.unavailable;
+        break;
+    }
+    if (t % 16 == 0) {
+      rig.method->write(addr, addr * 3);
+      ++out.logical_ops;
+    }
+    if (t % 64 == 0) rig.method->scrub_step();
   }
-  state.SetLabel(std::string(rig.method->name()));
+
+  out.device_ops = rig.device_ops() - baseline_dev_ops;
+  out.power_cycles = rig.method->stats().power_cycles;
+  out.faults = inj0.log().total() + inj1.log().total() + inj2.log().total();
+  return out;
 }
 
-void BM_ScrubStep(benchmark::State& state) {
-  Rig rig(static_cast<int>(state.range(0)));
-  for (auto _ : state) {
-    rig.method->scrub_step();
+/// Fault-free wall-clock reads/sec per method; variance makes this opt-in.
+void timing_section() {
+  std::cerr << "\n[timing] fault-free read throughput (wall clock)\n";
+  for (std::size_t m = 0; m < 5; ++m) {
+    Rig rig(m);
+    const std::size_t n = rig.method->capacity_words();
+    constexpr std::uint64_t kOps = 2000000;
+    std::uint64_t sink = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kOps; ++i) {
+      sink ^= rig.method->read(static_cast<std::size_t>(i) % n).value;
+    }
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    std::cerr << "  " << rig.method->name() << ": "
+              << static_cast<std::uint64_t>(static_cast<double>(kOps) /
+                                            dt.count())
+              << " reads/sec (sink " << (sink & 1) << ")\n";
   }
-  state.SetLabel(std::string(rig.method->name()));
 }
 
 }  // namespace
 
-BENCHMARK(BM_Read)->DenseRange(0, 4);
-BENCHMARK(BM_Write)->DenseRange(0, 4);
-BENCHMARK(BM_ReadUnderSeuLoad)->DenseRange(0, 4);
-BENCHMARK(BM_ScrubStep)->DenseRange(1, 4);
+int main() {
+  std::cout << "=== Ablation: device work per logical op, M0..M4 x fault load ("
+            << kTicks << " ticks, " << kWords << "-word devices) ===\n\n";
 
-BENCHMARK_MAIN();
+  const std::size_t kJobs = 5 * 3;  // method x load
+  const unsigned threads = aft::util::campaign_threads();
+  std::cerr << "[campaign] " << kJobs << " jobs on " << threads
+            << " thread(s)\n";
+  const std::vector<Outcome> outcomes = aft::util::run_campaigns(
+      kJobs, [](std::size_t i) { return run_campaign(i / 3, i % 3); },
+      threads);
+
+  aft::util::TextTable table;
+  table.header({"load", "method", "dev ops/op", "corrected", "recovered",
+                "uncorrectable", "unavailable", "power cycles", "faults"});
+  for (std::size_t load = 0; load < 3; ++load) {
+    for (std::size_t m = 0; m < 5; ++m) {
+      const Outcome& o = outcomes[m * 3 + load];
+      table.row({kLoadNames[load], o.method_name,
+                 aft::util::fmt(static_cast<double>(o.device_ops) /
+                                    static_cast<double>(o.logical_ops),
+                                2),
+                 std::to_string(o.corrected), std::to_string(o.recovered),
+                 std::to_string(o.uncorrectable),
+                 std::to_string(o.unavailable), std::to_string(o.power_cycles),
+                 std::to_string(o.faults)});
+    }
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "expected shape: device work per logical op is ordered\n"
+               "M0 < M1 <= M2 < M3 < M4 at every load — the measured\n"
+               "counterpart of MethodCost::total()'s ranking — while data\n"
+               "losses fall in the same order as the load grows.\n";
+
+  if (const char* env = std::getenv("AFT_TIMING");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    timing_section();
+  }
+  return 0;
+}

@@ -5,13 +5,20 @@
 // buys robustness with bandwidth: this sweep quantifies the knee, the
 // number behind M1..M4's `maintenance_cost` entries in the selector's cost
 // model.
+//
+// Each (SEU rate, scrub period) point is an independent campaign with its
+// own Simulator and RNG streams, so the sweep fans out across the
+// util::campaign thread pool (AFT_THREADS); stdout is bit-identical for any
+// thread count.
 #include <iostream>
+#include <vector>
 
 #include "hw/fault_injector.hpp"
 #include "hw/memory_chip.hpp"
 #include "mem/method_ecc.hpp"
 #include "mem/scrubber.hpp"
 #include "sim/simulator.hpp"
+#include "util/campaign.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -63,17 +70,35 @@ int main() {
   std::cout << "=== Ablation: scrub cadence vs uncorrectable rate ("
             << kSteps << " ticks, 256-word device) ===\n\n";
 
+  struct Job {
+    double seu;
+    aft::sim::SimTime period;
+  };
+  std::vector<Job> jobs;
+  for (const double seu : {1e-3, 5e-3, 2e-2}) {
+    for (const aft::sim::SimTime period : {10ull, 100ull, 1000ull, 10000ull}) {
+      jobs.push_back(Job{seu, period});
+    }
+  }
+
+  const unsigned threads = aft::util::campaign_threads();
+  std::cerr << "[campaign] " << jobs.size() << " jobs on " << threads
+            << " thread(s)\n";
+  const std::vector<Outcome> outcomes = aft::util::run_campaigns(
+      jobs.size(),
+      [&jobs](std::size_t i) {
+        return run(jobs[i].period, jobs[i].seu, kSteps);
+      },
+      threads);
+
   aft::util::TextTable table;
   table.header({"SEU rate/tick", "scrub period", "scrub passes",
                 "singles corrected", "uncorrectable reads"});
-
-  for (const double seu : {1e-3, 5e-3, 2e-2}) {
-    for (const aft::sim::SimTime period : {10ull, 100ull, 1000ull, 10000ull}) {
-      const Outcome o = run(period, seu, kSteps);
-      table.row({aft::util::fmt(seu, 3), std::to_string(period),
-                 std::to_string(o.scrub_passes), std::to_string(o.corrected),
-                 std::to_string(o.uncorrectable)});
-    }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    table.row({aft::util::fmt(jobs[i].seu, 3), std::to_string(jobs[i].period),
+               std::to_string(o.scrub_passes), std::to_string(o.corrected),
+               std::to_string(o.uncorrectable)});
   }
   std::cout << table.render() << "\n";
   std::cout << "expected shape: at each SEU rate the uncorrectable count is\n"

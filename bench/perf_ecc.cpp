@@ -1,0 +1,280 @@
+// Perf harness for the SEC-DED hot path: mask kernel vs the retained
+// bit-loop reference, patrol-scrub throughput, and a full parallel
+// fault-injection campaign.  Emits machine-readable BENCH_ecc.json (path
+// overridable via AFT_BENCH_JSON) so subsequent PRs have a perf trajectory
+// to defend.
+//
+// Acceptance gate for this bench: in a Release build the combined
+// encode+decode throughput of the mask kernel must be >= 10x the reference
+// implementation (printed as PASS/FAIL on the summary line; the process
+// still exits 0 in non-Release builds, where the gate is informational).
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hw/fault_injector.hpp"
+#include "hw/memory_chip.hpp"
+#include "mem/ecc.hpp"
+#include "mem/method_ecc.hpp"
+#include "mem/scrubber.hpp"
+#include "sim/simulator.hpp"
+#include "util/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aft::hw::Word72;
+using aft::mem::EccStatus;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kWorkingSet = 1 << 14;  ///< distinct words per loop
+constexpr int kRepeats = 3;                   ///< best-of-N timing
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Best-of-kRepeats wall time of fn() (fn must consume `ops` operations).
+template <typename Fn>
+double best_time(Fn&& fn) {
+  double best = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+std::vector<std::uint64_t> random_words(std::size_t n, std::uint64_t seed) {
+  aft::util::Xoshiro256 rng(seed);
+  std::vector<std::uint64_t> out(n);
+  for (auto& w : out) w = rng.next();
+  return out;
+}
+
+/// Cheap fold that keeps the optimizer from discarding the work.
+std::uint64_t g_sink = 0;
+
+double encode_rate(std::uint64_t ops, bool use_ref,
+                   const std::vector<std::uint64_t>& words) {
+  const double secs = best_time([&] {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const Word72 w = use_ref
+                           ? aft::mem::ecc_encode_ref(words[i % kWorkingSet])
+                           : aft::mem::ecc_encode(words[i % kWorkingSet]);
+      acc ^= w.data + w.check;
+    }
+    g_sink ^= acc;
+  });
+  return static_cast<double>(ops) / secs;
+}
+
+double decode_rate(std::uint64_t ops, bool use_ref,
+                   const std::vector<Word72>& codewords) {
+  const double secs = best_time([&] {
+    std::uint64_t acc = 0;
+    for (std::uint64_t i = 0; i < ops; ++i) {
+      const auto dec = use_ref ? aft::mem::ecc_decode_ref(codewords[i % kWorkingSet])
+                               : aft::mem::ecc_decode(codewords[i % kWorkingSet]);
+      acc ^= dec.data + static_cast<std::uint64_t>(dec.status);
+    }
+    g_sink ^= acc;
+  });
+  return static_cast<double>(ops) / secs;
+}
+
+/// Patrol-scrub throughput over a device carrying a light latent-error load.
+double scrub_rate() {
+  aft::hw::MemoryChip chip(kWorkingSet);
+  aft::mem::EccScrubAccess method(chip, kWorkingSet);
+  aft::util::Xoshiro256 rng(99);
+  for (std::size_t w = 0; w < kWorkingSet; ++w) method.write(w, rng.next());
+  for (int i = 0; i < 512; ++i) {
+    chip.inject_bit_flip(static_cast<std::size_t>(rng.uniform_int(0, kWorkingSet - 1)),
+                         static_cast<unsigned>(rng.uniform_int(0, 71)));
+  }
+  constexpr int kPasses = 32;
+  const double secs = best_time([&] {
+    for (int p = 0; p < kPasses; ++p) method.scrub_step();
+  });
+  return static_cast<double>(kPasses) * static_cast<double>(kWorkingSet) / secs;
+}
+
+/// Full campaign wall clock: the abl_scrub_cadence shape, fanned across the
+/// campaign thread pool.
+struct CampaignResult {
+  double wall_seconds = 0;
+  std::uint64_t total_corrected = 0;
+  std::size_t jobs = 0;
+  unsigned threads = 0;
+  std::uint64_t ticks_per_job = 0;
+};
+
+CampaignResult campaign_wall_clock() {
+  CampaignResult res;
+  res.jobs = 8;
+  res.threads = aft::util::campaign_threads();
+  res.ticks_per_job = 100000;
+
+  const auto t0 = Clock::now();
+  const auto corrected = aft::util::run_campaigns(
+      res.jobs,
+      [&res](std::size_t i) {
+        aft::sim::Simulator sim;
+        aft::hw::MemoryChip chip(256);
+        aft::mem::EccScrubAccess method(chip, 256);
+        aft::mem::ScrubberDaemon scrubber(sim, method, 100);
+        aft::hw::FaultProfile profile;
+        profile.seu_rate = 5e-3;
+        aft::hw::FaultInjector injector(chip, profile, 7000 + i);
+        for (std::size_t w = 0; w < 256; ++w) method.write(w, w);
+        scrubber.start();
+        for (std::uint64_t t = 1; t <= res.ticks_per_job; ++t) {
+          sim.run_until(t);
+          injector.tick();
+        }
+        return method.stats().corrected_singles;
+      },
+      res.threads);
+  res.wall_seconds = seconds_since(t0);
+  for (const auto c : corrected) res.total_corrected += c;
+  return res;
+}
+
+/// Differential spot-check before trusting any timing: the two kernels must
+/// agree on clean, single-flip, and double-flip words.
+bool differential_ok() {
+  aft::util::Xoshiro256 rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t data = rng.next();
+    const Word72 mask = aft::mem::ecc_encode(data);
+    if (!(mask == aft::mem::ecc_encode_ref(data))) return false;
+    Word72 w = mask;
+    aft::hw::flip_bit(w, static_cast<unsigned>(rng.uniform_int(0, 71)));
+    const auto a = aft::mem::ecc_decode(w);
+    const auto b = aft::mem::ecc_decode_ref(w);
+    if (a.status != b.status || a.data != b.data || !(a.repaired == b.repaired)) {
+      return false;
+    }
+    aft::hw::flip_bit(w, static_cast<unsigned>(rng.uniform_int(0, 71)));
+    if (aft::mem::ecc_decode(w).status != aft::mem::ecc_decode_ref(w).status) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace
+
+int main() {
+#ifdef NDEBUG
+  const char* build_type = "release";
+#else
+  const char* build_type = "debug";
+#endif
+  std::cout << "=== perf_ecc: mask SEC-DED kernel vs bit-loop reference ("
+            << build_type << " build) ===\n\n";
+
+  if (!differential_ok()) {
+    std::cerr << "FATAL: mask kernel disagrees with reference — not timing a "
+                 "broken kernel\n";
+    return 1;
+  }
+
+  const auto words = random_words(kWorkingSet, 11);
+  std::vector<Word72> clean(kWorkingSet);
+  std::vector<Word72> flipped(kWorkingSet);
+  for (std::size_t i = 0; i < kWorkingSet; ++i) {
+    clean[i] = aft::mem::ecc_encode(words[i]);
+    flipped[i] = clean[i];
+    aft::hw::flip_bit(flipped[i], static_cast<unsigned>(i % 72));
+  }
+
+  constexpr std::uint64_t kMaskOps = 1 << 22;  // ~4M
+  constexpr std::uint64_t kRefOps = 1 << 18;   // ~262k (the slow side)
+
+  const double enc_mask = encode_rate(kMaskOps, false, words);
+  const double enc_ref = encode_rate(kRefOps, true, words);
+  const double dec_mask_clean = decode_rate(kMaskOps, false, clean);
+  const double dec_ref_clean = decode_rate(kRefOps, true, clean);
+  const double dec_mask_fix = decode_rate(kMaskOps, false, flipped);
+  const double dec_ref_fix = decode_rate(kRefOps, true, flipped);
+
+  // Combined encode+decode throughput: words through a full round trip.
+  const double combo_mask = 1.0 / (1.0 / enc_mask + 1.0 / dec_mask_clean);
+  const double combo_ref = 1.0 / (1.0 / enc_ref + 1.0 / dec_ref_clean);
+  const double combo_speedup = combo_mask / combo_ref;
+
+  const double scrub = scrub_rate();
+  const CampaignResult camp = campaign_wall_clock();
+
+  const auto row = [](const char* name, double mask, double ref) {
+    std::cout << "  " << name << ": " << json_number(mask / 1e6)
+              << " Mwords/s vs " << json_number(ref / 1e6)
+              << " Mwords/s ref  (" << json_number(mask / ref) << "x)\n";
+  };
+  row("encode        ", enc_mask, enc_ref);
+  row("decode clean  ", dec_mask_clean, dec_ref_clean);
+  row("decode 1-flip ", dec_mask_fix, dec_ref_fix);
+  std::cout << "  scrub         : " << json_number(scrub / 1e6)
+            << " Mwords/s patrol\n";
+  std::cout << "  campaign      : " << camp.jobs << " jobs x "
+            << camp.ticks_per_job << " ticks on " << camp.threads
+            << " thread(s) = " << json_number(camp.wall_seconds * 1e3)
+            << " ms (corrected " << camp.total_corrected << ")\n\n";
+
+  const bool pass = combo_speedup >= 10.0;
+  std::cout << "encode+decode combined speedup: " << json_number(combo_speedup)
+            << "x (gate >= 10x in release): " << (pass ? "PASS" : "FAIL")
+            << "\n";
+
+  const char* path = std::getenv("AFT_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') path = "BENCH_ecc.json";
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"bench\": \"perf_ecc\",\n"
+       << "  \"build_type\": \"" << build_type << "\",\n"
+       << "  \"working_set_words\": " << kWorkingSet << ",\n"
+       << "  \"encode\": {\"mask_words_per_sec\": " << json_number(enc_mask)
+       << ", \"ref_words_per_sec\": " << json_number(enc_ref)
+       << ", \"speedup\": " << json_number(enc_mask / enc_ref) << "},\n"
+       << "  \"decode_clean\": {\"mask_words_per_sec\": "
+       << json_number(dec_mask_clean)
+       << ", \"ref_words_per_sec\": " << json_number(dec_ref_clean)
+       << ", \"speedup\": " << json_number(dec_mask_clean / dec_ref_clean)
+       << "},\n"
+       << "  \"decode_single_flip\": {\"mask_words_per_sec\": "
+       << json_number(dec_mask_fix)
+       << ", \"ref_words_per_sec\": " << json_number(dec_ref_fix)
+       << ", \"speedup\": " << json_number(dec_mask_fix / dec_ref_fix)
+       << "},\n"
+       << "  \"encode_decode_combined_speedup\": "
+       << json_number(combo_speedup) << ",\n"
+       << "  \"scrub_words_per_sec\": " << json_number(scrub) << ",\n"
+       << "  \"campaign\": {\"jobs\": " << camp.jobs
+       << ", \"ticks_per_job\": " << camp.ticks_per_job
+       << ", \"threads\": " << camp.threads
+       << ", \"wall_seconds\": " << camp.wall_seconds
+       << ", \"corrected_singles\": " << camp.total_corrected << "},\n"
+       << "  \"gate_10x\": " << (pass ? "true" : "false") << "\n"
+       << "}\n";
+  std::cout << "wrote " << path << "\n";
+
+  // The 10x gate is enforced by CI on the Release build via gate_10x; a
+  // debug binary still exits 0 so the bench smoke loop stays green.
+  return 0;
+}

@@ -4,26 +4,6 @@
 
 namespace aft::hw {
 
-bool get_bit(const Word72& w, unsigned bit) noexcept {
-  if (bit < 64) return ((w.data >> bit) & 1u) != 0;
-  return ((w.check >> (bit - 64)) & 1u) != 0;
-}
-
-void set_bit(Word72& w, unsigned bit, bool value) noexcept {
-  if (bit < 64) {
-    const std::uint64_t mask = std::uint64_t{1} << bit;
-    w.data = value ? (w.data | mask) : (w.data & ~mask);
-  } else {
-    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit - 64));
-    w.check = value ? static_cast<std::uint8_t>(w.check | mask)
-                    : static_cast<std::uint8_t>(w.check & ~mask);
-  }
-}
-
-void flip_bit(Word72& w, unsigned bit) noexcept {
-  set_bit(w, bit, !get_bit(w, bit));
-}
-
 const char* to_string(ChipState s) noexcept {
   switch (s) {
     case ChipState::kOperational: return "operational";
@@ -42,6 +22,7 @@ void MemoryChip::check_addr(std::size_t addr) const {
 }
 
 Word72 MemoryChip::apply_stuck(std::size_t addr, Word72 w) const {
+  if (stuck_.empty()) return w;
   for (const auto& [key, value] : stuck_) {
     if (key.addr == addr) set_bit(w, key.bit, value);
   }
@@ -52,6 +33,8 @@ DeviceRead MemoryChip::read(std::size_t addr) const {
   check_addr(addr);
   ++reads_;
   if (state_ != ChipState::kOperational) return DeviceRead{false, Word72{}};
+  // Defect-free fast path: skip the stuck-at probe entirely.
+  if (stuck_.empty()) return DeviceRead{true, cells_[addr]};
   return DeviceRead{true, apply_stuck(addr, cells_[addr])};
 }
 

@@ -13,6 +13,7 @@
 // bits, exactly like a x72 ECC DIMM.
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
@@ -27,10 +28,37 @@ struct Word72 {
   friend bool operator==(const Word72&, const Word72&) = default;
 };
 
-/// Bit manipulation helpers over the 72-bit word space.
-[[nodiscard]] bool get_bit(const Word72& w, unsigned bit) noexcept;
-void set_bit(Word72& w, unsigned bit, bool value) noexcept;
-void flip_bit(Word72& w, unsigned bit) noexcept;
+/// Bit manipulation helpers over the 72-bit word space.  Defined inline so
+/// the ECC and fault-injection hot paths compile down to single shift/mask
+/// instructions instead of cross-TU calls.
+[[nodiscard]] constexpr bool get_bit(const Word72& w, unsigned bit) noexcept {
+  if (bit < 64) return ((w.data >> bit) & 1u) != 0;
+  return ((w.check >> (bit - 64)) & 1u) != 0;
+}
+
+constexpr void set_bit(Word72& w, unsigned bit, bool value) noexcept {
+  if (bit < 64) {
+    const std::uint64_t mask = std::uint64_t{1} << bit;
+    w.data = value ? (w.data | mask) : (w.data & ~mask);
+  } else {
+    const std::uint8_t mask = static_cast<std::uint8_t>(1u << (bit - 64));
+    w.check = value ? static_cast<std::uint8_t>(w.check | mask)
+                    : static_cast<std::uint8_t>(w.check & ~mask);
+  }
+}
+
+constexpr void flip_bit(Word72& w, unsigned bit) noexcept {
+  if (bit < 64) {
+    w.data ^= std::uint64_t{1} << bit;
+  } else {
+    w.check = static_cast<std::uint8_t>(w.check ^ (1u << (bit - 64)));
+  }
+}
+
+/// Number of set bits across the full 72-bit word.
+[[nodiscard]] constexpr int popcount72(const Word72& w) noexcept {
+  return std::popcount(w.data) + std::popcount(static_cast<unsigned>(w.check));
+}
 
 /// Device-level health state.
 enum class ChipState : std::uint8_t {

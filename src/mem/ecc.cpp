@@ -1,6 +1,7 @@
 #include "mem/ecc.hpp"
 
 #include <array>
+#include <bit>
 
 namespace aft::mem {
 namespace {
@@ -25,6 +26,149 @@ constexpr std::array<unsigned, 64> data_bit_indices() noexcept {
 constexpr std::array<unsigned, 64> kDataBits = data_bit_indices();
 constexpr std::array<unsigned, 7> kParityPositions = {1, 2, 4, 8, 16, 32, 64};
 
+// ---------------------------------------------------------------------------
+// Mask kernel tables, all computed at compile time.
+//
+// The 72-bit codeword is a (lo: 64-bit, hi: 8-bit) pair, so every "XOR over
+// the positions parity j covers" collapses into two AND + popcount folds.
+// ---------------------------------------------------------------------------
+
+/// A 72-bit mask split the same way Word72 is.
+struct Mask72 {
+  std::uint64_t lo = 0;
+  std::uint8_t hi = 0;
+};
+
+/// kParityMasks[j] covers every Hamming position p (1..71) with bit j set in
+/// p — including position 2^j itself, which is harmless during encode (the
+/// parity bits are still zero when the folds run) and exactly what the
+/// syndrome computation needs during decode.
+constexpr std::array<Mask72, 7> parity_coverage_masks() noexcept {
+  std::array<Mask72, 7> m{};
+  for (unsigned j = 0; j < 7; ++j) {
+    for (unsigned p = 1; p <= kPositions; ++p) {
+      if ((p & (1u << j)) == 0) continue;
+      const unsigned idx = p - 1;
+      if (idx < 64) {
+        m[j].lo |= std::uint64_t{1} << idx;
+      } else {
+        m[j].hi = static_cast<std::uint8_t>(m[j].hi | (1u << (idx - 64)));
+      }
+    }
+  }
+  return m;
+}
+
+constexpr std::array<Mask72, 7> kParityMasks = parity_coverage_masks();
+
+/// Syndrome (0..127) -> bit index to flip for a single-bit error, or -1 when
+/// the syndrome names no codeword position (only reachable by multi-bit
+/// corruption).
+constexpr std::array<std::int8_t, 128> syndrome_table() noexcept {
+  std::array<std::int8_t, 128> t{};
+  for (unsigned s = 0; s < 128; ++s) {
+    t[s] = (s >= 1 && s <= kPositions) ? static_cast<std::int8_t>(s - 1)
+                                       : std::int8_t{-1};
+  }
+  return t;
+}
+
+constexpr std::array<std::int8_t, 128> kSyndromeToBit = syndrome_table();
+
+/// The 64 data bits occupy six contiguous runs between the power-of-two
+/// parity positions, so scatter/gather is six shift+mask moves instead of 64
+/// single-bit transfers.
+struct Run {
+  unsigned data_shift;  ///< first data-bit index of the run
+  unsigned width;       ///< run length in bits
+  unsigned code_index;  ///< first codeword bit index of the run
+};
+
+constexpr std::array<Run, 6> kRuns = {{
+    {0, 1, 2},     // position 3
+    {1, 3, 4},     // positions 5..7
+    {4, 7, 8},     // positions 9..15
+    {11, 15, 16},  // positions 17..31
+    {26, 31, 32},  // positions 33..63
+    {57, 7, 64},   // positions 65..71 (check byte bits 0..6)
+}};
+
+constexpr bool runs_match_data_bits() noexcept {
+  unsigned i = 0;
+  for (const Run& r : kRuns) {
+    for (unsigned k = 0; k < r.width; ++k, ++i) {
+      if (i >= 64 || kDataBits[i] != r.code_index + k) return false;
+    }
+  }
+  return i == 64;
+}
+static_assert(runs_match_data_bits(),
+              "scatter/gather runs must enumerate exactly the data positions");
+
+constexpr std::uint64_t run_mask(unsigned width) noexcept {
+  return (std::uint64_t{1} << width) - 1;
+}
+
+constexpr hw::Word72 scatter_data(std::uint64_t d) noexcept {
+  hw::Word72 w{};
+  for (const Run& r : kRuns) {
+    const std::uint64_t field = (d >> r.data_shift) & run_mask(r.width);
+    if (r.code_index < 64) {
+      w.data |= field << r.code_index;
+    } else {
+      w.check = static_cast<std::uint8_t>(w.check | (field << (r.code_index - 64)));
+    }
+  }
+  return w;
+}
+
+constexpr std::uint64_t gather_data(const hw::Word72& w) noexcept {
+  std::uint64_t d = 0;
+  for (const Run& r : kRuns) {
+    const std::uint64_t field =
+        r.code_index < 64
+            ? (w.data >> r.code_index) & run_mask(r.width)
+            : (static_cast<std::uint64_t>(w.check) >> (r.code_index - 64)) &
+                  run_mask(r.width);
+    d |= field << r.data_shift;
+  }
+  return d;
+}
+
+static_assert(gather_data(scatter_data(0x0123456789ABCDEFULL)) ==
+              0x0123456789ABCDEFULL);
+static_assert(gather_data(scatter_data(~std::uint64_t{0})) == ~std::uint64_t{0});
+
+/// Parity (odd = true) of a 64-bit word via a log2 XOR fold.  Deliberately
+/// not std::popcount: parity needs one bit, and the fold stays fast on
+/// baseline targets where popcount lowers to a library call.
+constexpr bool parity_fold(std::uint64_t x) noexcept {
+  x ^= x >> 32;
+  x ^= x >> 16;
+  x ^= x >> 8;
+  x ^= x >> 4;
+  x ^= x >> 2;
+  x ^= x >> 1;
+  return (x & 1u) != 0;
+}
+
+/// Parity of the word restricted to a coverage mask.  XORing the masked
+/// check byte into the masked lo word preserves total parity, so one fold
+/// covers all 72 bits.
+constexpr bool masked_parity(const hw::Word72& w, const Mask72& m) noexcept {
+  return parity_fold((w.data & m.lo) ^
+                     static_cast<std::uint64_t>(w.check & m.hi));
+}
+
+/// Overall parity across all 72 bits.
+constexpr bool overall_parity_fold(const hw::Word72& w) noexcept {
+  return parity_fold(w.data ^ w.check);
+}
+
+// ---------------------------------------------------------------------------
+// Reference (bit-loop) helpers, kept verbatim for the _ref entry points.
+// ---------------------------------------------------------------------------
+
 /// XOR of the Hamming positions (1-based) of all set bits in indices 0..70.
 unsigned syndrome_of(const hw::Word72& w) noexcept {
   unsigned s = 0;
@@ -44,7 +188,77 @@ bool overall_parity(const hw::Word72& w) noexcept {
 
 }  // namespace
 
+// ---------------------------------------------------------------------------
+// Mask kernel: seven AND+popcount folds per codeword, O(1) scatter/gather.
+// ---------------------------------------------------------------------------
+
 hw::Word72 ecc_encode(std::uint64_t data) noexcept {
+  hw::Word72 w = scatter_data(data);
+  // The parity positions are still zero, so each fold yields exactly the XOR
+  // of the covered data bits; distinct powers of two never cover each other,
+  // so the seven folds are independent.  All seven parity bits (indices
+  // 0,1,3,7,15,31,63) live in the lo word.
+  std::uint64_t parity_bits = 0;
+  for (unsigned j = 0; j < 7; ++j) {
+    if (masked_parity(w, kParityMasks[j])) {
+      parity_bits |= std::uint64_t{1} << (kParityPositions[j] - 1);
+    }
+  }
+  w.data |= parity_bits;
+  // Overall even parity across all 72 bits, one XOR fold (bit 71 itself is
+  // still clear here).
+  w.check = static_cast<std::uint8_t>(
+      w.check | (static_cast<unsigned>(overall_parity_fold(w)) << 7));
+  return w;
+}
+
+EccDecode ecc_decode(hw::Word72 word) noexcept {
+  unsigned s = 0;
+  for (unsigned j = 0; j < 7; ++j) {
+    s |= static_cast<unsigned>(masked_parity(word, kParityMasks[j])) << j;
+  }
+  const bool odd_overall = overall_parity_fold(word);
+
+  EccDecode out;
+  if (s == 0 && !odd_overall) {
+    out.status = EccStatus::kClean;
+  } else if (odd_overall) {
+    // Odd number of flipped bits; under the SEC-DED fault hypothesis this is
+    // a single-bit error at position s (or in the overall parity bit when
+    // s == 0).
+    if (s == 0) {
+      word.check = static_cast<std::uint8_t>(word.check ^ 0x80u);
+    } else {
+      const std::int8_t idx = kSyndromeToBit[s];
+      if (idx < 0) {
+        out.status = EccStatus::kDetectedDouble;
+        return out;
+      }
+      if (idx < 64) {
+        word.data ^= std::uint64_t{1} << static_cast<unsigned>(idx);
+      } else {
+        word.check = static_cast<std::uint8_t>(
+            word.check ^ (1u << (static_cast<unsigned>(idx) - 64)));
+      }
+    }
+    out.status = EccStatus::kCorrectedSingle;
+  } else {
+    // Even number of errors (>= 2): detectable, not correctable.
+    out.status = EccStatus::kDetectedDouble;
+    return out;
+  }
+
+  out.repaired = word;
+  out.data = gather_data(word);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the original per-bit loops, retained for
+// differential testing and as the baseline bench/perf_ecc measures against.
+// ---------------------------------------------------------------------------
+
+hw::Word72 ecc_encode_ref(std::uint64_t data) noexcept {
   hw::Word72 w{};
   for (unsigned i = 0; i < 64; ++i) {
     hw::set_bit(w, kDataBits[i], ((data >> i) & 1u) != 0);
@@ -57,13 +271,17 @@ hw::Word72 ecc_encode(std::uint64_t data) noexcept {
     }
     hw::set_bit(w, p - 1, parity);
   }
-  // Overall even parity across all 72 bits.
-  hw::set_bit(w, kOverallParityBit, false);
-  hw::set_bit(w, kOverallParityBit, overall_parity(w));
+  // Overall even parity across all 72 bits; bit 71 is still clear, so one
+  // XOR fold over positions 0..70 yields its value directly.
+  bool parity = false;
+  for (unsigned b = 0; b < kOverallParityBit; ++b) {
+    parity ^= hw::get_bit(w, b);
+  }
+  hw::set_bit(w, kOverallParityBit, parity);
   return w;
 }
 
-EccDecode ecc_decode(hw::Word72 word) noexcept {
+EccDecode ecc_decode_ref(hw::Word72 word) noexcept {
   const unsigned s = syndrome_of(word);
   const bool odd_overall = overall_parity(word);
 
@@ -72,9 +290,6 @@ EccDecode ecc_decode(hw::Word72 word) noexcept {
     out.status = EccStatus::kClean;
     out.repaired = word;
   } else if (odd_overall) {
-    // Odd number of flipped bits; under the SEC-DED fault hypothesis this is
-    // a single-bit error at position s (or in the overall parity bit when
-    // s == 0).
     if (s == 0) {
       hw::flip_bit(word, kOverallParityBit);
     } else if (s <= kPositions) {
@@ -86,7 +301,6 @@ EccDecode ecc_decode(hw::Word72 word) noexcept {
     out.status = EccStatus::kCorrectedSingle;
     out.repaired = word;
   } else {
-    // Even number of errors (>= 2): detectable, not correctable.
     out.status = EccStatus::kDetectedDouble;
     return out;
   }

@@ -7,6 +7,15 @@
 // power-of-two positions {1,2,4,8,16,32,64}; the remaining 64 positions
 // carry data.  Bit index 71 holds the overall (even) parity used to tell
 // single from double errors.
+//
+// Two implementations share this layout:
+//   - ecc_encode/ecc_decode: the mask kernel.  Seven compile-time 72-bit
+//     parity-coverage masks turn every parity/syndrome computation into an
+//     AND + std::popcount fold, and the 64 data bits move in six contiguous
+//     shift+mask runs, so both directions are O(1) per word.
+//   - ecc_encode_ref/ecc_decode_ref: the original per-bit loops, retained as
+//     the differential-testing oracle and the perf baseline for
+//     bench/perf_ecc.
 #pragma once
 
 #include <cstdint>
@@ -29,10 +38,17 @@ struct EccDecode {
   hw::Word72 repaired{};
 };
 
-/// Encodes 64 data bits into a 72-bit SEC-DED codeword.
+/// Encodes 64 data bits into a 72-bit SEC-DED codeword (mask kernel).
 [[nodiscard]] hw::Word72 ecc_encode(std::uint64_t data) noexcept;
 
-/// Decodes a possibly corrupted codeword.
+/// Decodes a possibly corrupted codeword (mask kernel).
 [[nodiscard]] EccDecode ecc_decode(hw::Word72 word) noexcept;
+
+/// Reference bit-loop encoder — must produce codewords identical to
+/// ecc_encode for every input.
+[[nodiscard]] hw::Word72 ecc_encode_ref(std::uint64_t data) noexcept;
+
+/// Reference bit-loop decoder — must agree with ecc_decode on every word.
+[[nodiscard]] EccDecode ecc_decode_ref(hw::Word72 word) noexcept;
 
 }  // namespace aft::mem

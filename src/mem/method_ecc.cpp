@@ -37,9 +37,10 @@ bool EccScrubAccess::write(std::size_t addr, std::uint64_t value) {
 
 void EccScrubAccess::scrub_step() {
   if (chip_.state() != hw::ChipState::kOperational) return;
+  const std::size_t words = chip_.size_words();
   for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
     const std::size_t addr = scrub_cursor_;
-    scrub_cursor_ = (scrub_cursor_ + 1) % chip_.size_words();
+    if (++scrub_cursor_ == words) scrub_cursor_ = 0;
     const hw::DeviceRead dev = chip_.read(addr);
     if (!dev.available) return;
     const EccDecode dec = ecc_decode(dev.word);

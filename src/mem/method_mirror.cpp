@@ -104,7 +104,7 @@ void SelMirrorAccess::scrub_step() {
 
   for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
     const std::size_t addr = scrub_cursor_;
-    scrub_cursor_ = (scrub_cursor_ + 1) % words_;
+    if (++scrub_cursor_ == words_) scrub_cursor_ = 0;
     scrub_word(addr);
   }
 }

@@ -92,7 +92,7 @@ void EccRemapAccess::scrub_step() {
   if (chip_.state() != hw::ChipState::kOperational) return;
   for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
     const std::size_t addr = scrub_cursor_;
-    scrub_cursor_ = (scrub_cursor_ + 1) % logical_words_;
+    if (++scrub_cursor_ == logical_words_) scrub_cursor_ = 0;
     const std::size_t phys = resolve(addr);
     const hw::DeviceRead dev = chip_.read(phys);
     if (!dev.available) return;

@@ -141,7 +141,7 @@ bool TmrEccAccess::write(std::size_t addr, std::uint64_t value) {
 void TmrEccAccess::scrub_step() {
   for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
     const std::size_t addr = scrub_cursor_;
-    scrub_cursor_ = (scrub_cursor_ + 1) % words_;
+    if (++scrub_cursor_ == words_) scrub_cursor_ = 0;
     voted_read(addr);
   }
 }

@@ -1,0 +1,61 @@
+#include "util/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace aft::util {
+
+unsigned campaign_threads() {
+  if (const char* env = std::getenv("AFT_THREADS")) {
+    const long v = std::strtol(env, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+    // Malformed or non-positive values fall through to the hardware default.
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 1u : hc;
+}
+
+void parallel_for_index(std::size_t n, unsigned threads,
+                        const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads == 0) threads = campaign_threads();
+  const std::size_t workers = std::min<std::size_t>(threads, n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  const auto work = [&]() noexcept {
+    for (;;) {
+      if (failed.load(std::memory_order_relaxed)) return;
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        const std::scoped_lock lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(work);
+  for (std::thread& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace aft::util

@@ -1,0 +1,42 @@
+// Deterministic parallel campaign runner.
+//
+// Fault-injection campaigns are embarrassingly parallel: each (seed, config)
+// job owns its own sim::Simulator, devices, and RNG streams, so jobs never
+// share mutable state.  The runner partitions job indices across a
+// std::thread pool (work-stealing via a shared atomic counter) and stores
+// every result in its job-index slot, so the merged output is bit-identical
+// regardless of thread count — the property the ablation benches rely on to
+// stay reproducible under any AFT_THREADS setting.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace aft::util {
+
+/// Worker count used when a caller passes `threads == 0`: the AFT_THREADS
+/// environment variable when set to a positive integer, otherwise
+/// std::thread::hardware_concurrency(), otherwise 1.
+[[nodiscard]] unsigned campaign_threads();
+
+/// Invokes `body(i)` exactly once for every i in [0, n), distributing
+/// indices across `threads` workers (0 = campaign_threads()).  Blocks until
+/// every index has run.  The first exception thrown by `body` stops the
+/// dispatch of further indices and is rethrown on the calling thread after
+/// all workers have joined.
+void parallel_for_index(std::size_t n, unsigned threads,
+                        const std::function<void(std::size_t)>& body);
+
+/// Runs `n` independent campaigns and returns their results in index order.
+/// `fn(i)` must derive everything it needs (seed, config) from `i` alone;
+/// the returned vector is then bit-identical for any thread count.
+template <typename Fn>
+[[nodiscard]] auto run_campaigns(std::size_t n, Fn&& fn, unsigned threads = 0)
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  std::vector<decltype(fn(std::size_t{0}))> out(n);
+  parallel_for_index(n, threads, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace aft::util

@@ -1,0 +1,114 @@
+// Tests for the deterministic parallel campaign runner: result ordering,
+// bit-identical output for every thread count, AFT_THREADS resolution, and
+// exception propagation.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "util/campaign.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aft::util::campaign_threads;
+using aft::util::parallel_for_index;
+using aft::util::run_campaigns;
+
+/// RAII guard restoring AFT_THREADS after a test mutates it.
+class ThreadsEnvGuard {
+ public:
+  ThreadsEnvGuard() {
+    if (const char* v = std::getenv("AFT_THREADS")) saved_ = v;
+  }
+  ~ThreadsEnvGuard() {
+    if (saved_.empty()) {
+      ::unsetenv("AFT_THREADS");
+    } else {
+      ::setenv("AFT_THREADS", saved_.c_str(), 1);
+    }
+  }
+
+ private:
+  std::string saved_;
+};
+
+TEST(CampaignTest, EveryIndexRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for_index(hits.size(), 4, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(CampaignTest, ResultsArriveInJobOrder) {
+  const auto out =
+      run_campaigns(100, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(CampaignTest, BitIdenticalForEveryThreadCount) {
+  // Each job runs its own seeded RNG stream — the campaign shape every
+  // ablation bench uses.  The merged results must not depend on the pool
+  // size or on scheduling.
+  const auto job = [](std::size_t i) {
+    aft::util::Xoshiro256 rng(1000 + i);
+    std::uint64_t acc = 0;
+    for (int k = 0; k < 5000; ++k) acc ^= rng.next();
+    return acc;
+  };
+  const auto serial = run_campaigns(23, job, 1);
+  for (const unsigned threads : {2u, 4u, 8u}) {
+    EXPECT_EQ(run_campaigns(23, job, threads), serial) << threads << " threads";
+  }
+}
+
+TEST(CampaignTest, EachWorkerOwnsItsOwnSimulator) {
+  const auto job = [](std::size_t i) {
+    aft::sim::Simulator sim;
+    std::uint64_t fired = 0;
+    for (aft::sim::SimTime t = 1; t <= 50; ++t) {
+      sim.schedule_at(t * (i + 1), [&fired] { ++fired; });
+    }
+    sim.run_until(40 * (i + 1));
+    return fired;
+  };
+  const auto serial = run_campaigns(12, job, 1);
+  EXPECT_EQ(run_campaigns(12, job, 4), serial);
+  for (std::size_t i = 0; i < serial.size(); ++i) EXPECT_EQ(serial[i], 40u);
+}
+
+TEST(CampaignTest, ZeroJobsIsANoOp) {
+  bool called = false;
+  parallel_for_index(0, 4, [&](std::size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(CampaignTest, ExceptionPropagatesToCaller) {
+  EXPECT_THROW(
+      parallel_for_index(64, 4,
+                         [](std::size_t i) {
+                           if (i == 37) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+}
+
+TEST(CampaignTest, ThreadCountRespectsEnvVar) {
+  const ThreadsEnvGuard guard;
+  ::setenv("AFT_THREADS", "3", 1);
+  EXPECT_EQ(campaign_threads(), 3u);
+  ::setenv("AFT_THREADS", "1", 1);
+  EXPECT_EQ(campaign_threads(), 1u);
+  // Malformed / non-positive values fall back to the hardware default.
+  ::setenv("AFT_THREADS", "0", 1);
+  EXPECT_GE(campaign_threads(), 1u);
+  ::setenv("AFT_THREADS", "banana", 1);
+  EXPECT_GE(campaign_threads(), 1u);
+  ::unsetenv("AFT_THREADS");
+  EXPECT_GE(campaign_threads(), 1u);
+}
+
+}  // namespace

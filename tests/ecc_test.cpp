@@ -113,4 +113,101 @@ TEST(EccTest, ZeroCodewordIsCleanZero) {
   EXPECT_EQ(dec.data, 0u);
 }
 
+// ---------------------------------------------------------------------------
+// Differential suite: the mask kernel against the retained bit-loop
+// reference (ecc_encode_ref/ecc_decode_ref).  Both implementations must be
+// indistinguishable on every codeword the fault model can produce.
+// ---------------------------------------------------------------------------
+
+using aft::mem::ecc_decode_ref;
+using aft::mem::ecc_encode_ref;
+
+void expect_same_decode(const Word72& w, const char* what) {
+  const auto mask = ecc_decode(w);
+  const auto ref = ecc_decode_ref(w);
+  ASSERT_EQ(mask.status, ref.status) << what;
+  if (mask.status != EccStatus::kDetectedDouble) {
+    ASSERT_EQ(mask.data, ref.data) << what;
+    ASSERT_EQ(mask.repaired, ref.repaired) << what;
+  }
+}
+
+TEST(EccDifferentialTest, EncodeMatchesReference) {
+  Xoshiro256 rng(101);
+  for (const std::uint64_t data :
+       {std::uint64_t{0}, std::uint64_t{1}, ~std::uint64_t{0},
+        std::uint64_t{0xDEADBEEFCAFEBABE}}) {
+    ASSERT_EQ(ecc_encode(data), ecc_encode_ref(data));
+  }
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t data = rng.next();
+    ASSERT_EQ(ecc_encode(data), ecc_encode_ref(data)) << "word " << i;
+  }
+}
+
+TEST(EccDifferentialTest, SingleFlipSweepAgreesAndCorrects) {
+  // All 72 single-bit flips over a set of random words: both kernels must
+  // return kCorrectedSingle with the original data, and agree bit-for-bit.
+  Xoshiro256 rng(202);
+  for (int i = 0; i < 8; ++i) {
+    const std::uint64_t data = rng.next();
+    const Word72 clean = ecc_encode(data);
+    for (unsigned bit = 0; bit < 72; ++bit) {
+      Word72 w = clean;
+      flip_bit(w, bit);
+      const auto mask = ecc_decode(w);
+      ASSERT_EQ(mask.status, EccStatus::kCorrectedSingle) << "bit " << bit;
+      ASSERT_EQ(mask.data, data) << "bit " << bit;
+      ASSERT_EQ(mask.repaired, clean) << "bit " << bit;
+      expect_same_decode(w, "single flip");
+    }
+  }
+}
+
+TEST(EccDifferentialTest, DoubleFlipSweepAgreesAndDetects) {
+  // All C(72,2) = 2556 double-bit flips over a set of random words: both
+  // kernels must return kDetectedDouble for every pair.
+  Xoshiro256 rng(303);
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t data = rng.next();
+    const Word72 clean = ecc_encode(data);
+    for (unsigned b1 = 0; b1 < 72; ++b1) {
+      for (unsigned b2 = b1 + 1; b2 < 72; ++b2) {
+        Word72 w = clean;
+        flip_bit(w, b1);
+        flip_bit(w, b2);
+        const auto mask = ecc_decode(w);
+        ASSERT_EQ(mask.status, EccStatus::kDetectedDouble)
+            << "bits " << b1 << "," << b2;
+        ASSERT_EQ(ecc_decode_ref(w).status, EccStatus::kDetectedDouble)
+            << "bits " << b1 << "," << b2;
+      }
+    }
+  }
+}
+
+TEST(EccDifferentialTest, ArbitraryCorruptionAgrees) {
+  // Beyond the SEC-DED hypothesis (0..6 flips, including aliasing triples):
+  // whatever each kernel decides, they must decide it identically.
+  Xoshiro256 rng(404);
+  for (int i = 0; i < 4000; ++i) {
+    Word72 w = ecc_encode(rng.next());
+    const auto flips = rng.uniform_int(0, 6);
+    for (std::uint64_t f = 0; f < flips; ++f) {
+      flip_bit(w, static_cast<unsigned>(rng.uniform_int(0, 71)));
+    }
+    expect_same_decode(w, "random corruption");
+  }
+}
+
+TEST(EccDifferentialTest, RandomRawWordsAgree) {
+  // Raw 72-bit patterns that were never produced by the encoder (e.g. after
+  // a latch-up wipes a device mid-word) must also decode identically.
+  Xoshiro256 rng(505);
+  for (int i = 0; i < 4000; ++i) {
+    Word72 w{rng.next(), static_cast<std::uint8_t>(rng.next() & 0xFF)};
+    expect_same_decode(w, "raw word");
+  }
+}
+
 }  // namespace
