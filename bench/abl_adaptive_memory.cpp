@@ -18,6 +18,7 @@
 #include "mem/adaptive.hpp"
 #include "mem/method_ecc.hpp"
 #include "mem/method_tmr.hpp"
+#include "obs/cli.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -84,7 +85,8 @@ Run drive(aft::hw::Machine& m, aft::mem::IMemoryAccessMethod*& method,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
   std::cout << "=== Ablation: adaptive vs static memory binding (" << kSteps
             << " steps, KB judgment f1, true environment f3) ===\n\n";
 

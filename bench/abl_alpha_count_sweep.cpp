@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "detect/alpha_count.hpp"
+#include "obs/cli.hpp"
 #include "util/campaign.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -62,7 +63,8 @@ GridOutcome run_point(double k, double t) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
   std::cout << "=== Ablation: alpha-count (K, T) sweep, 5000 rounds/stream ===\n"
             << "streams: permanent (error every round), intermittent\n"
             << "(Gilbert-Elliott bursts), sparse transient (p=0.01)\n\n";

@@ -23,6 +23,7 @@
 #include "mem/method_raw.hpp"
 #include "mem/method_remap.hpp"
 #include "mem/method_tmr.hpp"
+#include "obs/cli.hpp"
 #include "util/campaign.hpp"
 #include "util/table.hpp"
 
@@ -160,7 +161,8 @@ void timing_section() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
   std::cout << "=== Ablation: device work per logical op, M0..M4 x fault load ("
             << kTicks << " ticks, " << kWords << "-word devices) ===\n\n";
 

@@ -17,6 +17,7 @@
 #include "hw/memory_chip.hpp"
 #include "mem/method_ecc.hpp"
 #include "mem/scrubber.hpp"
+#include "obs/cli.hpp"
 #include "sim/simulator.hpp"
 #include "util/campaign.hpp"
 #include "util/rng.hpp"
@@ -65,7 +66,8 @@ Outcome run(aft::sim::SimTime scrub_period, double seu_rate, std::uint64_t steps
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
   constexpr std::uint64_t kSteps = 200000;
   std::cout << "=== Ablation: scrub cadence vs uncorrectable rate ("
             << kSteps << " ticks, 256-word device) ===\n\n";

@@ -10,10 +10,12 @@
 #include <iostream>
 
 #include "autonomic/experiment.hpp"
+#include "obs/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aft::autonomic;
+  aft::obs::ObsCli obs(argc, argv);
   const std::uint64_t steps = 800000;
   std::cout << "=== Ablation: switchboard policy grid (" << steps
             << " steps, Fig. 7 workload) ===\n\n";

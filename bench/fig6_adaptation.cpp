@@ -8,11 +8,14 @@
 #include <iostream>
 
 #include "autonomic/experiment.hpp"
+#include "obs/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aft::autonomic;
-  std::cout << "=== Fig. 6: fault injection -> dtof drop -> redundancy adaptation ===\n\n";
+  aft::obs::ObsCli obs(argc, argv);
+  std::cout << "=== Fig. 6: fault injection -> dtof drop -> redundancy adaptation ===\n"
+            << "    (" << aft::obs::ObsCli::usage() << ")\n\n";
 
   ExperimentConfig config;
   config.seed = 2009;

@@ -19,10 +19,12 @@
 #include <iostream>
 
 #include "autonomic/experiment.hpp"
+#include "obs/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aft::autonomic;
+  aft::obs::ObsCli obs(argc, argv);
 
   std::uint64_t steps = 65000000;  // paper scale
   if (const char* env = std::getenv("AFT_FIG7_STEPS")) {

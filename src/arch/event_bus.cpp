@@ -2,45 +2,70 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace aft::arch {
 
 EventBus::SubscriptionId EventBus::subscribe(const std::string& topic,
                                              Handler handler) {
   const SubscriptionId id = next_id_++;
   by_topic_[topic].push_back(Subscription{id, std::move(handler)});
+  live_.insert(id);
+  AFT_TRACE("arch.bus", "subscribe", {{"topic", topic}, {"id", id}});
   return id;
 }
 
 EventBus::SubscriptionId EventBus::subscribe_all(Handler handler) {
   const SubscriptionId id = next_id_++;
   wildcard_.push_back(Subscription{id, std::move(handler)});
+  live_.insert(id);
+  AFT_TRACE("arch.bus", "subscribe", {{"topic", "*"}, {"id", id}});
   return id;
 }
 
 void EventBus::unsubscribe(SubscriptionId id) {
+  if (live_.erase(id) == 0) return;  // unknown or already unsubscribed
   auto drop = [id](std::vector<Subscription>& subs) {
     subs.erase(std::remove_if(subs.begin(), subs.end(),
                               [id](const Subscription& s) { return s.id == id; }),
                subs.end());
   };
-  for (auto& [topic, subs] : by_topic_) drop(subs);
+  for (auto it = by_topic_.begin(); it != by_topic_.end();) {
+    drop(it->second);
+    // Erase the bucket once empty: long-lived buses see heavy
+    // subscribe/unsubscribe churn across many topics, and empty vectors
+    // would otherwise accumulate in the map forever.
+    it = it->second.empty() ? by_topic_.erase(it) : std::next(it);
+  }
   drop(wildcard_);
+  AFT_TRACE("arch.bus", "unsubscribe", {{"id", id}});
 }
 
 std::size_t EventBus::publish(const Message& message) {
   ++published_;
   std::size_t delivered = 0;
   // Snapshot handlers so a handler subscribing/unsubscribing mid-delivery
-  // cannot invalidate the iteration.
-  std::vector<Handler> to_run;
+  // cannot invalidate the iteration; handler copies keep the callables
+  // alive even if their Subscription entry is erased mid-publish.
+  std::vector<std::pair<SubscriptionId, Handler>> to_run;
   if (const auto it = by_topic_.find(message.topic); it != by_topic_.end()) {
-    for (const auto& s : it->second) to_run.push_back(s.handler);
+    for (const auto& s : it->second) to_run.emplace_back(s.id, s.handler);
   }
-  for (const auto& s : wildcard_) to_run.push_back(s.handler);
-  for (const auto& handler : to_run) {
+  for (const auto& s : wildcard_) to_run.emplace_back(s.id, s.handler);
+  for (const auto& [id, handler] : to_run) {
+    // A handler earlier in this same publish may have unsubscribed this id;
+    // delivering to it anyway would resurrect a subscriber that asked to be
+    // gone (observed as double-processing in churn-heavy middlewares).
+    if (!live_.contains(id)) continue;
     handler(message);
     ++delivered;
   }
+  AFT_METRIC_ADD("bus.published", 1);
+  AFT_METRIC_ADD("bus.delivered", delivered);
+  AFT_TRACE("arch.bus", "publish",
+            {{"topic", message.topic},
+             {"source", message.source},
+             {"delivered", delivered}});
   return delivered;
 }
 

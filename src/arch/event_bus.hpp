@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -29,14 +30,24 @@ class EventBus {
   /// Subscribes to every topic (wildcard observer, e.g. a logger).
   SubscriptionId subscribe_all(Handler handler);
 
+  /// Forgets the subscription.  The per-topic bucket is erased once its
+  /// last subscriber leaves, so subscribe/unsubscribe churn over many
+  /// distinct topics cannot grow the topic map without bound.
   void unsubscribe(SubscriptionId id);
 
-  /// Delivers synchronously to topic subscribers then wildcard
-  /// subscribers; returns the number of handlers invoked.
+  /// Delivers synchronously to topic subscribers then wildcard subscribers;
+  /// returns the number of handlers invoked.  Handlers subscribed during a
+  /// publish are not delivered that same publish; handlers unsubscribed by
+  /// an earlier handler of the same publish are skipped, not invoked.
   std::size_t publish(const Message& message);
 
   [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
   [[nodiscard]] std::size_t subscriber_count() const noexcept;
+
+  /// Number of distinct topics currently holding at least one subscriber.
+  [[nodiscard]] std::size_t topic_count() const noexcept {
+    return by_topic_.size();
+  }
 
  private:
   struct Subscription {
@@ -46,6 +57,7 @@ class EventBus {
 
   std::map<std::string, std::vector<Subscription>> by_topic_;
   std::vector<Subscription> wildcard_;
+  std::set<SubscriptionId> live_;  ///< ids not yet unsubscribed
   SubscriptionId next_id_ = 1;
   std::uint64_t published_ = 0;
 };

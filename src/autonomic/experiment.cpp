@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/rng.hpp"
 #include "util/series.hpp"
 
@@ -30,13 +31,35 @@ ExperimentResult run_adaptation_experiment(
 
   ExperimentResult result;
   std::uint64_t step = 0;
+  // Hoisted once: the experiment loop runs tens of millions of iterations,
+  // so even the TLS load inside the AFT_* macros is too much per step.
+  [[maybe_unused]] obs::TraceSink* const sink = obs::trace();
   for (const DisturbancePhase& phase : script) {
     corruption_prob = phase.corruption_prob;
+#if !defined(AFT_OBS_DISABLED)
+    if (sink != nullptr) {
+      sink->set_time(step);
+      sink->emit("autonomic.experiment", "phase",
+                 {{"duration", phase.duration},
+                  {"corruption_prob", phase.corruption_prob}});
+    }
+#endif
     for (std::uint64_t i = 0; i < phase.duration; ++i, ++step) {
       const std::uint64_t faults_before = faults_injected;
+#if !defined(AFT_OBS_DISABLED)
+      if (sink != nullptr) sink->set_time(step);
+#endif
       const vote::RoundReport report =
           farm.invoke(static_cast<vote::Ballot>(step));
-      if (!report.success) ++result.voting_failures;
+      if (!report.success) {
+        ++result.voting_failures;
+#if !defined(AFT_OBS_DISABLED)
+        if (sink != nullptr) {
+          sink->emit("autonomic.experiment", "voting-failure",
+                     {{"step", step}, {"replicas", farm.replicas()}});
+        }
+#endif
+      }
       board.observe(report);
       if (config.record_series && step % config.series_sample_every == 0) {
         result.series.push_back(SeriesPoint{
@@ -54,6 +77,15 @@ ExperimentResult run_adaptation_experiment(
   result.raises = board.raises();
   result.lowers = board.lowers();
   result.redundancy = board.redundancy_histogram();
+#if !defined(AFT_OBS_DISABLED)
+  if (obs::MetricsRegistry* reg = obs::metrics(); reg != nullptr) {
+    reg->add("experiment.steps", result.steps);
+    reg->add("experiment.faults_injected", result.faults_injected);
+    reg->add("experiment.voting_failures", result.voting_failures);
+    reg->set_gauge("experiment.final_replicas",
+                   static_cast<double>(farm.replicas()));
+  }
+#endif
   return result;
 }
 

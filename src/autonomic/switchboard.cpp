@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "vote/dtof.hpp"
 
 namespace aft::autonomic {
@@ -26,9 +27,13 @@ void ReflectiveSwitchboard::request_resize(std::size_t target, bool raised) {
     farm_.resize(cmd->target_replicas);
     if (raised) {
       ++raises_;
+      AFT_METRIC_ADD("autonomic.raises", 1);
     } else {
       ++lowers_;
+      AFT_METRIC_ADD("autonomic.lowers", 1);
     }
+    AFT_TRACE("autonomic.switchboard", raised ? "raise" : "lower",
+              {{"replicas", farm_.replicas()}});
     if (hook_) hook_(farm_.replicas(), raised);
   }
 }

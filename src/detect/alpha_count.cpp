@@ -1,5 +1,7 @@
 #include "detect/alpha_count.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::detect {
 
 const char* to_string(FaultJudgment j) noexcept {
@@ -27,7 +29,20 @@ double AlphaCount::record(bool error) {
   if (error) {
     ++errors_;
     score_ += 1.0;
-    if (score_ > params_.threshold) latched_ = true;
+    if (errors_ == 1) {
+      // kNoEvidence -> kTransient score transition.
+      AFT_TRACE("detect.alpha", "first-error",
+                {{"label", label_}, {"score", score_}, {"round", rounds_}});
+    }
+    if (!latched_ && score_ > params_.threshold) {
+      latched_ = true;
+      AFT_METRIC_ADD("detect.alpha.latches", 1);
+      AFT_TRACE("detect.alpha", "latch",
+                {{"label", label_},
+                 {"score", score_},
+                 {"round", rounds_},
+                 {"errors", errors_}});
+    }
   } else {
     score_ *= params_.decay;
   }
@@ -40,9 +55,20 @@ FaultJudgment AlphaCount::judgment() const noexcept {
   return FaultJudgment::kNoEvidence;
 }
 
-void AlphaCount::reset() noexcept {
+void AlphaCount::reset() {
+  AFT_TRACE("detect.alpha", "reset",
+            {{"label", label_},
+             {"score", score_},
+             {"rounds", rounds_},
+             {"errors", errors_},
+             {"latched", latched_}});
   score_ = 0.0;
   latched_ = false;
+  // Evidence counters restart too: judgment() derives kTransient from
+  // errors_, so a reset that kept them would report phantom evidence
+  // forever (the Fig. 3/6 pattern-switch oracle would never re-arm).
+  rounds_ = 0;
+  errors_ = 0;
 }
 
 }  // namespace aft::detect

@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 
 namespace aft::detect {
 
@@ -49,11 +51,21 @@ class AlphaCount {
   [[nodiscard]] std::uint64_t errors() const noexcept { return errors_; }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
 
-  /// Clears score and verdict (e.g. after the faulty unit was replaced).
-  void reset() noexcept;
+  /// Optional identity stamped on this filter's trace events (e.g. the
+  /// discriminator sets the channel name); empty by default.
+  void set_label(std::string label) { label_ = std::move(label); }
+  [[nodiscard]] std::string_view label() const noexcept { return label_; }
+
+  /// Returns the unit to a blank slate (e.g. after the faulty unit was
+  /// replaced): score, verdict, AND the evidence counters.  rounds()/
+  /// errors() restart at zero — a replaced unit must not inherit its
+  /// predecessor's error history, or judgment() would keep reporting
+  /// kTransient forever on zero post-reset evidence.
+  void reset();
 
  private:
   Params params_;
+  std::string label_;
   double score_ = 0.0;
   bool latched_ = false;
   std::uint64_t rounds_ = 0;

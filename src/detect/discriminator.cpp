@@ -1,5 +1,7 @@
 #include "detect/discriminator.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::detect {
 
 FaultDiscriminator::FaultDiscriminator(AlphaCount::Params params)
@@ -7,11 +9,19 @@ FaultDiscriminator::FaultDiscriminator(AlphaCount::Params params)
 
 void FaultDiscriminator::record(const std::string& channel, bool error) {
   auto [it, inserted] = channels_.try_emplace(channel, params_);
-  if (inserted) last_judgment_[channel] = FaultJudgment::kNoEvidence;
+  if (inserted) {
+    last_judgment_[channel] = FaultJudgment::kNoEvidence;
+    it->second.set_label(channel);
+  }
   it->second.record(error);
   const FaultJudgment now = it->second.judgment();
   if (now != last_judgment_[channel]) {
     last_judgment_[channel] = now;
+    AFT_METRIC_ADD("detect.discriminator.verdict_changes", 1);
+    AFT_TRACE("detect.discriminator", "verdict",
+              {{"channel", channel},
+               {"judgment", to_string(now)},
+               {"score", it->second.score()}});
     for (const auto& handler : handlers_) handler(channel, now);
   }
 }

@@ -1,5 +1,7 @@
 #include "detect/dual_threshold.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::detect {
 
 DualThresholdAlphaCount::DualThresholdAlphaCount()
@@ -24,16 +26,25 @@ double DualThresholdAlphaCount::record(bool error) {
   if (!suspended_ && score_ > params_.high) {
     suspended_ = true;
     ++suspensions_;
+    AFT_METRIC_ADD("detect.dual.suspensions", 1);
+    AFT_TRACE("detect.dual", "suspend",
+              {{"score", score_}, {"suspensions", suspensions_}});
   } else if (suspended_ && score_ < params_.low) {
     suspended_ = false;
     ++reintegrations_;
+    AFT_METRIC_ADD("detect.dual.reintegrations", 1);
+    AFT_TRACE("detect.dual", "reintegrate",
+              {{"score", score_}, {"reintegrations", reintegrations_}});
   }
   return score_;
 }
 
-void DualThresholdAlphaCount::reset() noexcept {
+void DualThresholdAlphaCount::reset() {
+  AFT_TRACE("detect.dual", "reset",
+            {{"score", score_}, {"suspended", suspended_}});
   score_ = 0.0;
   suspended_ = false;
+  // suspensions_/reintegrations_ stay: lifetime event counters (see header).
 }
 
 }  // namespace aft::detect

@@ -37,13 +37,19 @@ class DualThresholdAlphaCount {
   /// True while the unit is judged faulty (between crossings).
   [[nodiscard]] bool suspended() const noexcept { return suspended_; }
   [[nodiscard]] double score() const noexcept { return score_; }
+  /// Lifetime telemetry: total threshold crossings in each direction.
+  /// Intentionally cumulative across reset() — they count events, not
+  /// evidence, and no verdict is derived from them (unlike AlphaCount's
+  /// errors()/rounds(), which reset() must clear).
   [[nodiscard]] std::uint64_t suspensions() const noexcept { return suspensions_; }
   [[nodiscard]] std::uint64_t reintegrations() const noexcept {
     return reintegrations_;
   }
   [[nodiscard]] const Params& params() const noexcept { return params_; }
 
-  void reset() noexcept;
+  /// Clears the evidence (score) and the verdict (suspended flag).  The
+  /// suspensions()/reintegrations() event counters survive — see above.
+  void reset();
 
  private:
   Params params_;

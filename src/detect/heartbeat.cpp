@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace aft::detect {
 
 HeartbeatMonitor::HeartbeatMonitor(sim::Simulator& sim,
@@ -17,8 +19,14 @@ void HeartbeatMonitor::watch(const std::string& channel, sim::SimTime deadline) 
     throw std::invalid_argument("HeartbeatMonitor: channel '" + channel +
                                 "' already watched");
   }
-  it->second = Channel{deadline, false, true, 0};
-  sim_.schedule_in(deadline, [this, channel] { check(channel); });
+  // Bump the epoch so a check chain left pending by an earlier
+  // watch()/unwatch() of this channel dies instead of running alongside
+  // the fresh one (which would double-count every subsequent window).
+  const std::uint64_t epoch = it->second.epoch + 1;
+  it->second = Channel{deadline, false, true, epoch, 0};
+  AFT_TRACE("detect.heartbeat", "watch",
+            {{"channel", channel}, {"deadline", deadline}});
+  sim_.schedule_in(deadline, [this, channel, epoch] { check(channel, epoch); });
 }
 
 void HeartbeatMonitor::beat(const std::string& channel) {
@@ -45,22 +53,27 @@ std::uint64_t HeartbeatMonitor::consecutive_misses(const std::string& channel) c
   return it == channels_.end() ? 0 : it->second.consecutive_misses;
 }
 
-void HeartbeatMonitor::check(const std::string& channel) {
+void HeartbeatMonitor::check(const std::string& channel, std::uint64_t epoch) {
   const auto it = channels_.find(channel);
   if (it == channels_.end() || !it->second.active) return;
   Channel& ch = it->second;
+  if (epoch != ch.epoch) return;  // superseded by a later watch()
   const bool missed = !ch.beaten;
   ch.beaten = false;
   if (missed) {
     ++total_misses_;
     ++ch.consecutive_misses;
+    AFT_METRIC_ADD("detect.heartbeat.misses", 1);
+    AFT_TRACE("detect.heartbeat", "miss",
+              {{"channel", channel},
+               {"consecutive", ch.consecutive_misses}});
     if (on_missed_) on_missed_(channel, ch.consecutive_misses);
   } else {
     ch.consecutive_misses = 0;
   }
   // Every window is one alpha-count judgment round for this channel.
   discriminator_.record(channel, missed);
-  sim_.schedule_in(ch.deadline, [this, channel] { check(channel); });
+  sim_.schedule_in(ch.deadline, [this, channel, epoch] { check(channel, epoch); });
 }
 
 }  // namespace aft::detect

@@ -23,7 +23,10 @@ class HeartbeatMonitor {
   HeartbeatMonitor(sim::Simulator& sim, FaultDiscriminator& discriminator);
 
   /// Registers a channel with its own deadline; starts its window checks.
-  /// Duplicate registration throws.
+  /// Duplicate registration throws.  Re-watching a previously unwatched
+  /// channel starts a single fresh check chain: any check left pending by
+  /// the earlier registration is invalidated (epoch guard), so an
+  /// unwatch()/watch() cycle cannot double-count windows.
   void watch(const std::string& channel, sim::SimTime deadline);
 
   /// Liveness beat from a component.  Unknown channels throw.
@@ -44,10 +47,11 @@ class HeartbeatMonitor {
     sim::SimTime deadline = 0;
     bool beaten = false;
     bool active = false;
+    std::uint64_t epoch = 0;  ///< bumped per watch(); stale chains self-cancel
     std::uint64_t consecutive_misses = 0;
   };
 
-  void check(const std::string& channel);
+  void check(const std::string& channel, std::uint64_t epoch);
 
   sim::Simulator& sim_;
   FaultDiscriminator& discriminator_;

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace aft::detect {
 
 Watchdog::Watchdog(sim::Simulator& sim, sim::SimTime deadline,
@@ -15,18 +17,25 @@ void Watchdog::start() {
   if (running_) return;
   running_ = true;
   kicked_ = false;
-  sim_.schedule_in(deadline_, [this] { check_window(); });
+  // A check scheduled before a stop() may still be pending; bumping the
+  // epoch cancels it, otherwise a stop()/start() cycle inside one deadline
+  // would leave TWO live chains, double-counting every window from then on.
+  const std::uint64_t epoch = ++epoch_;
+  sim_.schedule_in(deadline_, [this, epoch] { check_window(epoch); });
 }
 
-void Watchdog::check_window() {
-  if (!running_) return;
+void Watchdog::check_window(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
   ++windows_;
   if (!kicked_) {
     ++firings_;
+    AFT_METRIC_ADD("detect.watchdog.firings", 1);
+    AFT_TRACE("detect.watchdog", "fire",
+              {{"window", windows_}, {"firings", firings_}});
     on_fire_(sim_.now());
   }
   kicked_ = false;
-  sim_.schedule_in(deadline_, [this] { check_window(); });
+  sim_.schedule_in(deadline_, [this, epoch] { check_window(epoch); });
 }
 
 WatchedTask::WatchedTask(sim::Simulator& sim, Watchdog& dog, sim::SimTime period)
@@ -37,11 +46,12 @@ WatchedTask::WatchedTask(sim::Simulator& sim, Watchdog& dog, sim::SimTime period
 void WatchedTask::start() {
   if (running_) return;
   running_ = true;
-  sim_.schedule_in(period_, [this] { tick(); });
+  const std::uint64_t epoch = ++epoch_;
+  sim_.schedule_in(period_, [this, epoch] { tick(epoch); });
 }
 
-void WatchedTask::tick() {
-  if (!running_) return;
+void WatchedTask::tick(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
   if (permanently_faulty_) {
     // The task is wedged: no kick, ever again.
   } else if (transient_misses_ > 0) {
@@ -50,7 +60,7 @@ void WatchedTask::tick() {
     dog_.kick();
     ++kicks_;
   }
-  sim_.schedule_in(period_, [this] { tick(); });
+  sim_.schedule_in(period_, [this, epoch] { tick(epoch); });
 }
 
 }  // namespace aft::detect

@@ -19,7 +19,10 @@ class Watchdog {
   Watchdog(sim::Simulator& sim, sim::SimTime deadline,
            std::function<void(sim::SimTime)> on_fire);
 
-  /// Arms the watchdog (schedules the first window check).
+  /// Arms the watchdog (schedules the first window check).  Restarting
+  /// after stop() opens a fresh window chain: any check still pending from
+  /// the previous arming is invalidated (epoch guard), so stop()/start()
+  /// churn can never leave two concurrent chains double-counting windows.
   void start();
 
   /// Disarms after the current window elapses.
@@ -28,18 +31,22 @@ class Watchdog {
   /// Heartbeat from the watched task.
   void kick() noexcept { kicked_ = true; }
 
+  /// Lifetime telemetry, intentionally cumulative across stop()/start()
+  /// cycles: they count observed events, and no verdict is derived from
+  /// them (the alpha-count fed by on_fire holds the evidence).
   [[nodiscard]] std::uint64_t firings() const noexcept { return firings_; }
   [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
   [[nodiscard]] sim::SimTime deadline() const noexcept { return deadline_; }
 
  private:
-  void check_window();
+  void check_window(std::uint64_t epoch);
 
   sim::Simulator& sim_;
   sim::SimTime deadline_;
   std::function<void(sim::SimTime)> on_fire_;
   bool running_ = false;
   bool kicked_ = false;
+  std::uint64_t epoch_ = 0;  ///< bumped by start(); stale chains self-cancel
   std::uint64_t firings_ = 0;
   std::uint64_t windows_ = 0;
 };
@@ -75,11 +82,12 @@ class WatchedTask {
   }
 
  private:
-  void tick();
+  void tick(std::uint64_t epoch);
 
   sim::Simulator& sim_;
   Watchdog& dog_;
   sim::SimTime period_;
+  std::uint64_t epoch_ = 0;  ///< same restart guard as Watchdog
   bool running_ = false;
   bool permanently_faulty_ = false;
   std::uint64_t transient_misses_ = 0;

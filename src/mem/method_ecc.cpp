@@ -1,5 +1,7 @@
 #include "mem/method_ecc.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::mem {
 
 EccScrubAccess::EccScrubAccess(hw::MemoryChip& chip, std::size_t words_per_scrub_step)
@@ -10,6 +12,8 @@ ReadResult EccScrubAccess::read(std::size_t addr) {
   const hw::DeviceRead dev = chip_.read(addr);
   if (!dev.available) {
     ++stats_.data_losses;
+    AFT_METRIC_ADD("mem.ecc.unavailable", 1);
+    AFT_TRACE(name(), "unavailable", {{"addr", addr}});
     return ReadResult{ReadStatus::kUnavailable, 0};
   }
   const EccDecode dec = ecc_decode(dev.word);
@@ -19,10 +23,14 @@ ReadResult EccScrubAccess::read(std::size_t addr) {
     case EccStatus::kCorrectedSingle:
       ++stats_.corrected_singles;
       chip_.write(addr, dec.repaired);  // demand scrub
+      AFT_METRIC_ADD("mem.ecc.corrected", 1);
+      AFT_TRACE(name(), "corrected", {{"addr", addr}, {"origin", "read"}});
       return ReadResult{ReadStatus::kCorrected, dec.data};
     case EccStatus::kDetectedDouble:
       ++stats_.double_detected;
       ++stats_.data_losses;
+      AFT_METRIC_ADD("mem.ecc.uncorrectable", 1);
+      AFT_TRACE(name(), "uncorrectable", {{"addr", addr}});
       return ReadResult{ReadStatus::kUncorrectable, 0};
   }
   return ReadResult{ReadStatus::kUncorrectable, 0};
@@ -47,6 +55,8 @@ void EccScrubAccess::scrub_step() {
     if (dec.status == EccStatus::kCorrectedSingle) {
       ++stats_.corrected_singles;
       chip_.write(addr, dec.repaired);
+      AFT_METRIC_ADD("mem.ecc.corrected", 1);
+      AFT_TRACE(name(), "corrected", {{"addr", addr}, {"origin", "scrub"}});
     }
   }
 }

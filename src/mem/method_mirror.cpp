@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace aft::mem {
 
 SelMirrorAccess::SelMirrorAccess(hw::MemoryChip& primary, hw::MemoryChip& mirror,
@@ -19,12 +21,17 @@ SelMirrorAccess::SelMirrorAccess(hw::MemoryChip& primary, hw::MemoryChip& mirror
 void SelMirrorAccess::recover_device(hw::MemoryChip& victim, hw::MemoryChip& source) {
   victim.power_cycle();
   ++stats_.power_cycles;
+  AFT_METRIC_ADD("mem.mirror.power_cycles", 1);
+  AFT_TRACE(name(), "power-cycle", {{"victim", &victim == &a_ ? "a" : "b"}});
   if (source.state() != hw::ChipState::kOperational) return;  // nothing to copy
   for (std::size_t w = 0; w < words_; ++w) {
     const hw::DeviceRead dev = source.read(w);
     if (dev.available) victim.write(w, dev.word);
   }
   ++stats_.rebuilds;
+  AFT_METRIC_ADD("mem.mirror.rebuilds", 1);
+  AFT_TRACE(name(), "rebuild",
+            {{"victim", &victim == &a_ ? "a" : "b"}, {"words", words_}});
 }
 
 ReadResult SelMirrorAccess::read_with_fallback(std::size_t addr,
@@ -54,12 +61,16 @@ ReadResult SelMirrorAccess::read_with_fallback(std::size_t addr,
     // Both sides down simultaneously: reset `second` too (data is lost).
     recover_device(second, first);
     ++stats_.data_losses;
+    AFT_METRIC_ADD("mem.mirror.data_losses", 1);
+    AFT_TRACE(name(), "data-loss", {{"addr", addr}, {"cause", "both-down"}});
     return ReadResult{ReadStatus::kUnavailable, 0};
   }
   const EccDecode dec2 = ecc_decode(dev2.word);
   if (dec2.status == EccStatus::kDetectedDouble) {
     ++stats_.double_detected;
     ++stats_.data_losses;
+    AFT_METRIC_ADD("mem.mirror.data_losses", 1);
+    AFT_TRACE(name(), "data-loss", {{"addr", addr}, {"cause", "double-double"}});
     return ReadResult{ReadStatus::kUncorrectable, 0};
   }
   if (dec2.status == EccStatus::kCorrectedSingle) {

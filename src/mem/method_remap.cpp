@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace aft::mem {
 
 EccRemapAccess::EccRemapAccess(hw::MemoryChip& chip, double spare_fraction,
@@ -43,6 +45,12 @@ std::size_t EccRemapAccess::retire_if_stuck(std::size_t logical, std::size_t phy
   remap_[logical] = spare;
   chip_.write(spare, codeword);
   ++stats_.remaps;
+  AFT_METRIC_ADD("mem.remap.remaps", 1);
+  AFT_TRACE(name(), "remap",
+            {{"logical", logical},
+             {"retired", phys},
+             {"spare", spare},
+             {"spares_left", free_spares_.size()}});
   // The spare itself may be defective too; recurse once per spare at most
   // (bounded by the spare pool size).
   return retire_if_stuck(logical, spare, codeword);

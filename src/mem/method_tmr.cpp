@@ -4,6 +4,8 @@
 #include <optional>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace aft::mem {
 
 TmrEccAccess::TmrEccAccess(hw::MemoryChip& c0, hw::MemoryChip& c1,
@@ -20,6 +22,8 @@ void TmrEccAccess::recover_device(std::size_t victim_idx) {
   hw::MemoryChip& victim = *chips_[victim_idx];
   victim.power_cycle();
   ++stats_.power_cycles;
+  AFT_METRIC_ADD("mem.tmr.power_cycles", 1);
+  AFT_TRACE(name(), "power-cycle", {{"victim", victim_idx}});
   // Rebuild from the first healthy sibling; per-word divergence is repaired
   // lazily by subsequent voted reads and scrubbing.
   for (std::size_t i = 0; i < chips_.size(); ++i) {
@@ -31,6 +35,8 @@ void TmrEccAccess::recover_device(std::size_t victim_idx) {
       if (dev.available) victim.write(w, dev.word);
     }
     ++stats_.rebuilds;
+    AFT_METRIC_ADD("mem.tmr.rebuilds", 1);
+    AFT_TRACE(name(), "rebuild", {{"victim", victim_idx}, {"source", i}});
     return;
   }
 }
@@ -79,6 +85,8 @@ ReadResult TmrEccAccess::voted_read(std::size_t addr) {
 
   if (!winner.has_value()) {
     ++stats_.data_losses;
+    AFT_METRIC_ADD("mem.tmr.data_losses", 1);
+    AFT_TRACE(name(), "data-loss", {{"addr", addr}});
     // Revive dead devices so the *next* write can be durable again.
     for (std::size_t i = 0; i < chips_.size(); ++i) {
       if (chips_[i]->state() != hw::ChipState::kOperational) recover_device(i);

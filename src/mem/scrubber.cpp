@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace aft::mem {
 
 ScrubberDaemon::ScrubberDaemon(sim::Simulator& sim, IMemoryAccessMethod& method,
@@ -13,7 +15,9 @@ ScrubberDaemon::ScrubberDaemon(sim::Simulator& sim, IMemoryAccessMethod& method,
 void ScrubberDaemon::start() {
   if (running_) return;
   running_ = true;
-  sim_.schedule_in(period_, [this] { pass(); });
+  const std::uint64_t epoch = ++epoch_;
+  AFT_TRACE("mem.scrub", "start", {{"period", period_}});
+  sim_.schedule_in(period_, [this, epoch] { pass(epoch); });
 }
 
 void ScrubberDaemon::set_period(sim::SimTime period) {
@@ -21,11 +25,17 @@ void ScrubberDaemon::set_period(sim::SimTime period) {
   period_ = period;
 }
 
-void ScrubberDaemon::pass() {
-  if (!running_) return;
+void ScrubberDaemon::pass(std::uint64_t epoch) {
+  if (!running_ || epoch != epoch_) return;
   ++passes_;
   method_.scrub_step();
-  sim_.schedule_in(period_, [this] { pass(); });
+  AFT_METRIC_ADD("mem.scrub.passes", 1);
+#if !defined(AFT_OBS_DISABLED)
+  if (obs::TraceSink* sink = obs::trace(); sink != nullptr && sink->detail()) {
+    sink->emit("mem.scrub", "pass", {{"n", passes_}});
+  }
+#endif
+  sim_.schedule_in(period_, [this, epoch] { pass(epoch); });
 }
 
 }  // namespace aft::mem

@@ -30,13 +30,17 @@ class ScrubberDaemon {
   void set_period(sim::SimTime period);
 
  private:
-  void pass();
+  void pass(std::uint64_t epoch);
 
   sim::Simulator& sim_;
   IMemoryAccessMethod& method_;
   sim::SimTime period_;
   bool running_ = false;
   std::uint64_t passes_ = 0;
+  // Bumped by start(); a pass chain scheduled before a stop()/start() cycle
+  // carries the old epoch and self-cancels instead of running alongside the
+  // fresh chain (which would double the effective scrub rate).
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace aft::mem

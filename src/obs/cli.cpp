@@ -1,0 +1,85 @@
+#include "obs/cli.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <string_view>
+
+namespace aft::obs {
+
+namespace {
+
+/// Matches `--flag <value>` and `--flag=value`; advances `i` past consumed
+/// arguments and stores into `out`.  Returns true when `argv[i]` matched.
+bool take_value_flag(int argc, char** argv, int& i, std::string_view flag,
+                     std::string& out) {
+  const std::string_view arg = argv[i];
+  if (arg == flag) {
+    if (i + 1 < argc) {
+      out = argv[++i];
+    } else {
+      std::cerr << "[obs] " << flag << " requires a path argument\n";
+    }
+    return true;
+  }
+  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+      arg[flag.size()] == '=') {
+    out = std::string(arg.substr(flag.size() + 1));
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+ObsCli::ObsCli(int argc, char** argv) {
+  bool detail = false;
+  for (int i = 1; i < argc; ++i) {
+    if (take_value_flag(argc, argv, i, "--trace", trace_path_)) continue;
+    if (take_value_flag(argc, argv, i, "--metrics", metrics_path_)) continue;
+    if (std::string_view(argv[i]) == "--trace-detail") detail = true;
+  }
+  if (!trace_path_.empty()) {
+    sink_ = std::make_unique<TraceSink>();
+    sink_->set_detail(detail);
+  }
+  if (!metrics_path_.empty()) registry_ = std::make_unique<MetricsRegistry>();
+  if (sink_ || registry_) {
+#if defined(AFT_OBS_DISABLED)
+    std::cerr << "[obs] built with AFT_OBS=OFF: --trace/--metrics will "
+                 "produce empty output\n";
+#endif
+    scope_.emplace(sink_.get(), registry_.get());
+  }
+}
+
+void ObsCli::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  if (sink_ && !trace_path_.empty()) {
+    std::ofstream out(trace_path_);
+    if (!out) {
+      std::cerr << "[obs] cannot open trace path '" << trace_path_ << "'\n";
+    } else {
+      sink_->write_jsonl(out);
+      std::cerr << "[obs] trace: " << sink_->size() << " events";
+      if (sink_->dropped() > 0) std::cerr << " (+" << sink_->dropped() << " dropped)";
+      std::cerr << " -> " << trace_path_ << "\n";
+    }
+  }
+  if (registry_ && !metrics_path_.empty()) {
+    std::ofstream out(metrics_path_);
+    if (!out) {
+      std::cerr << "[obs] cannot open metrics path '" << metrics_path_ << "'\n";
+    } else {
+      registry_->write_json(out);
+      std::cerr << "[obs] metrics -> " << metrics_path_ << "\n";
+    }
+  }
+}
+
+ObsCli::~ObsCli() {
+  flush();
+  scope_.reset();
+}
+
+}  // namespace aft::obs

@@ -1,0 +1,48 @@
+// Bench-side provenance switch: parses `--trace <path>` / `--metrics <path>`
+// (also `--flag=path`) plus `--trace-detail`, installs a TraceSink /
+// MetricsRegistry for the bench's lifetime, and writes the files on
+// destruction — so every regenerated figure can carry machine-readable
+// provenance next to its stdout table.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "obs/obs.hpp"
+
+namespace aft::obs {
+
+class ObsCli {
+ public:
+  /// Consumes the recognized flags; unknown arguments are ignored so benches
+  /// keep their existing interfaces.
+  ObsCli(int argc, char** argv);
+
+  /// Writes any pending output (idempotent), then uninstalls the sinks.
+  ~ObsCli();
+
+  ObsCli(const ObsCli&) = delete;
+  ObsCli& operator=(const ObsCli&) = delete;
+
+  [[nodiscard]] bool tracing() const noexcept { return sink_ != nullptr; }
+  [[nodiscard]] bool metering() const noexcept { return registry_ != nullptr; }
+
+  /// Writes trace/metrics files now (called automatically on destruction).
+  void flush();
+
+  /// One-line usage string for bench banners.
+  static constexpr const char* usage() {
+    return "[--trace <jsonl-path>] [--metrics <json-path>] [--trace-detail]";
+  }
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  std::unique_ptr<TraceSink> sink_;
+  std::unique_ptr<MetricsRegistry> registry_;
+  std::optional<ScopedObs> scope_;
+  bool flushed_ = false;
+};
+
+}  // namespace aft::obs

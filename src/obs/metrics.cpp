@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <charconv>
+#include <ostream>
+#include <sstream>
+
+#include "obs/trace.hpp"  // append_json_string / append_json_double
+
+namespace aft::obs {
+
+void MetricsRegistry::add(std::string_view name, std::uint64_t delta) {
+  const auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    counters_.emplace(std::string(name), delta);
+  } else {
+    it->second += delta;
+  }
+}
+
+void MetricsRegistry::set_gauge(std::string_view name, double value) {
+  const auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    gauges_.emplace(std::string(name), value);
+  } else {
+    it->second = value;
+  }
+}
+
+void MetricsRegistry::observe(std::string_view name, double value) {
+  stat(name).add(value);
+}
+
+util::RunningStats& MetricsRegistry::stat(std::string_view name) {
+  const auto it = stats_.find(name);
+  if (it != stats_.end()) return it->second;
+  return stats_.emplace(std::string(name), util::RunningStats{}).first->second;
+}
+
+std::uint64_t MetricsRegistry::counter(std::string_view name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+double MetricsRegistry::gauge(std::string_view name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second;
+}
+
+const util::RunningStats* MetricsRegistry::find_stat(std::string_view name) const {
+  const auto it = stats_.find(name);
+  return it == stats_.end() ? nullptr : &it->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, value] : other.counters_) {
+    counters_[name] += value;
+  }
+  for (const auto& [name, value] : other.gauges_) {
+    gauges_[name] = value;
+  }
+  for (const auto& [name, value] : other.stats_) {
+    stats_[name].merge(value);
+  }
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void MetricsRegistry::write_json(std::ostream& out) const {
+  std::string buf;
+  buf += "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters_) {
+    if (!first) buf.push_back(',');
+    first = false;
+    append_json_string(buf, name);
+    buf.push_back(':');
+    append_u64(buf, value);
+  }
+  buf += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges_) {
+    if (!first) buf.push_back(',');
+    first = false;
+    append_json_string(buf, name);
+    buf.push_back(':');
+    append_json_double(buf, value);
+  }
+  buf += "},\"stats\":{";
+  first = true;
+  for (const auto& [name, s] : stats_) {
+    if (!first) buf.push_back(',');
+    first = false;
+    append_json_string(buf, name);
+    buf += ":{\"count\":";
+    append_u64(buf, s.count());
+    buf += ",\"mean\":";
+    append_json_double(buf, s.mean());
+    buf += ",\"stddev\":";
+    append_json_double(buf, s.stddev());
+    buf += ",\"min\":";
+    append_json_double(buf, s.min());
+    buf += ",\"max\":";
+    append_json_double(buf, s.max());
+    buf.push_back('}');
+  }
+  buf += "}}\n";
+  out << buf;
+}
+
+std::string MetricsRegistry::json() const {
+  std::ostringstream out;
+  write_json(out);
+  return out.str();
+}
+
+}  // namespace aft::obs

@@ -1,0 +1,59 @@
+// Named counters, gauges, and RunningStats-backed histograms with one-call
+// JSON export — the quantitative half of the observability plane (trace.hpp
+// is the qualitative half).
+//
+// Ordering and formatting are deterministic: names live in std::map (sorted
+// serialization), integers and doubles render via std::to_chars, and
+// merge() is associative over campaign jobs applied in job-index order, so
+// the exported JSON is bit-identical for any AFT_THREADS value.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/stats.hpp"
+
+namespace aft::obs {
+
+class MetricsRegistry {
+ public:
+  /// Increments counter `name` by `delta` (creating it at 0 on first use).
+  void add(std::string_view name, std::uint64_t delta = 1);
+
+  /// Last-writer-wins scalar (e.g. a configuration knob or final level).
+  void set_gauge(std::string_view name, double value);
+
+  /// Feeds one sample into histogram `name`.
+  void observe(std::string_view name, double value);
+
+  /// Stable handle to a histogram, for hoisting the name lookup out of hot
+  /// loops (std::map references are never invalidated by later inserts).
+  [[nodiscard]] util::RunningStats& stat(std::string_view name);
+
+  [[nodiscard]] std::uint64_t counter(std::string_view name) const;
+  [[nodiscard]] double gauge(std::string_view name) const;
+  [[nodiscard]] const util::RunningStats* find_stat(std::string_view name) const;
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && stats_.empty();
+  }
+
+  /// Folds `other` in: counters sum, gauges take `other`'s value (jobs merge
+  /// in index order, so "last writer" is the highest job index that set the
+  /// gauge), histograms merge via parallel Welford.
+  void merge(const MetricsRegistry& other);
+
+  /// {"counters":{...},"gauges":{...},"stats":{"name":{"count":..,"mean":..,
+  ///  "stddev":..,"min":..,"max":..}}} with keys sorted.
+  void write_json(std::ostream& out) const;
+  [[nodiscard]] std::string json() const;
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, util::RunningStats, std::less<>> stats_;
+};
+
+}  // namespace aft::obs

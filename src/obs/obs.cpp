@@ -1,0 +1,19 @@
+#include "obs/obs.hpp"
+
+#if !defined(AFT_OBS_DISABLED)
+
+namespace aft::obs {
+
+namespace {
+thread_local TraceSink* t_trace = nullptr;
+thread_local MetricsRegistry* t_metrics = nullptr;
+}  // namespace
+
+TraceSink* trace() noexcept { return t_trace; }
+MetricsRegistry* metrics() noexcept { return t_metrics; }
+void set_trace(TraceSink* sink) noexcept { t_trace = sink; }
+void set_metrics(MetricsRegistry* registry) noexcept { t_metrics = registry; }
+
+}  // namespace aft::obs
+
+#endif  // !AFT_OBS_DISABLED

@@ -1,0 +1,93 @@
+// Instrumentation access point: a per-thread current TraceSink and
+// MetricsRegistry, installed by benches (obs::ObsCli) or per campaign job
+// (util::parallel_for_index), plus the AFT_TRACE / AFT_METRIC_ADD macros the
+// subsystems call.
+//
+// Cost when no sink is installed: one thread-local load and a predictable
+// branch per site.  Cost when compiled out (-DAFT_OBS=OFF, which defines
+// AFT_OBS_DISABLED): zero — the macros expand to (void)0 and the accessors
+// collapse to constant nullptr, so every instrumentation site folds away.
+//
+// Threading model: the pointers are thread_local and never shared; each
+// campaign worker installs its own per-job sink, and util::parallel_for_index
+// merges the per-job results in job-index order, which is what keeps traces
+// and metrics bit-identical for any AFT_THREADS value.
+#pragma once
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace aft::obs {
+
+#if defined(AFT_OBS_DISABLED)
+
+constexpr TraceSink* trace() noexcept { return nullptr; }
+constexpr MetricsRegistry* metrics() noexcept { return nullptr; }
+inline void set_trace(TraceSink*) noexcept {}
+inline void set_metrics(MetricsRegistry*) noexcept {}
+
+#else
+
+/// The calling thread's current sink/registry; nullptr when tracing is off.
+[[nodiscard]] TraceSink* trace() noexcept;
+[[nodiscard]] MetricsRegistry* metrics() noexcept;
+
+void set_trace(TraceSink* sink) noexcept;
+void set_metrics(MetricsRegistry* registry) noexcept;
+
+#endif  // AFT_OBS_DISABLED
+
+/// RAII installer: swaps in a sink/registry pair for the current thread and
+/// restores the previous pair on destruction (nestable).
+class ScopedObs {
+ public:
+  ScopedObs(TraceSink* sink, MetricsRegistry* registry) noexcept
+      : prev_trace_(trace()), prev_metrics_(metrics()) {
+    set_trace(sink);
+    set_metrics(registry);
+  }
+  ~ScopedObs() {
+    set_trace(prev_trace_);
+    set_metrics(prev_metrics_);
+  }
+  ScopedObs(const ScopedObs&) = delete;
+  ScopedObs& operator=(const ScopedObs&) = delete;
+
+ private:
+  TraceSink* prev_trace_;
+  MetricsRegistry* prev_metrics_;
+};
+
+}  // namespace aft::obs
+
+// Instrumentation macros.  `...` is a braced Field list, e.g.
+//   AFT_TRACE("mem.remap", "remap", {{"logical", addr}, {"spare", spare}});
+// Sites on genuinely hot paths should hoist obs::trace()/obs::metrics() into
+// a local instead (see autonomic/experiment.cpp).
+#if defined(AFT_OBS_DISABLED)
+
+#define AFT_TRACE(component, event, ...) static_cast<void>(0)
+#define AFT_METRIC_ADD(name, delta) static_cast<void>(0)
+#define AFT_OBS_SET_TIME(t) static_cast<void>(0)
+
+#else
+
+#define AFT_TRACE(component, event, ...)                                  \
+  do {                                                                    \
+    if (::aft::obs::TraceSink* aft_obs_sink_ = ::aft::obs::trace())       \
+      aft_obs_sink_->emit((component), (event)__VA_OPT__(, __VA_ARGS__)); \
+  } while (0)
+
+#define AFT_METRIC_ADD(name, delta)                                      \
+  do {                                                                   \
+    if (::aft::obs::MetricsRegistry* aft_obs_reg_ = ::aft::obs::metrics()) \
+      aft_obs_reg_->add((name), (delta));                                \
+  } while (0)
+
+#define AFT_OBS_SET_TIME(t)                                              \
+  do {                                                                   \
+    if (::aft::obs::TraceSink* aft_obs_sink_ = ::aft::obs::trace())      \
+      aft_obs_sink_->set_time(t);                                        \
+  } while (0)
+
+#endif  // AFT_OBS_DISABLED

@@ -1,0 +1,142 @@
+#include "obs/trace.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace aft::obs {
+
+void append_json_string(std::string& out, std::string_view s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out.push_back(kHex[(static_cast<unsigned char>(c) >> 4) & 0xF]);
+          out.push_back(kHex[static_cast<unsigned char>(c) & 0xF]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_json_double(std::string& out, double v) {
+  if (!std::isfinite(v)) {
+    // JSON has no inf/nan; encode as strings so the line stays parseable.
+    append_json_string(out, std::isnan(v) ? "nan" : (v > 0 ? "inf" : "-inf"));
+    return;
+  }
+  char buf[32];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+void append_i64(std::string& out, std::int64_t v) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), v);
+  out.append(buf, res.ptr);
+}
+
+}  // namespace
+
+void Field::append_value(std::string& out) const {
+  switch (kind_) {
+    case Kind::kU64: append_u64(out, u64_); break;
+    case Kind::kI64: append_i64(out, i64_); break;
+    case Kind::kF64: append_json_double(out, f64_); break;
+    case Kind::kBool: out += b_ ? "true" : "false"; break;
+    case Kind::kStr: append_json_string(out, str_); break;
+  }
+}
+
+TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events) {}
+
+void TraceSink::emit(std::string_view component, std::string_view event,
+                     std::initializer_list<Field> fields) {
+  if (lines_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  Line line;
+  line.t = time_;
+  std::string& rest = line.rest;
+  rest.reserve(32 + 16 * fields.size());
+  rest += "\"component\":";
+  append_json_string(rest, component);
+  rest += ",\"event\":";
+  append_json_string(rest, event);
+  for (const Field& f : fields) {
+    rest.push_back(',');
+    append_json_string(rest, f.key());
+    rest.push_back(':');
+    f.append_value(rest);
+  }
+  lines_.push_back(std::move(line));
+}
+
+void TraceSink::append(TraceSink&& other) {
+  for (Line& line : other.lines_) {
+    if (lines_.size() >= max_events_) {
+      ++dropped_;
+      continue;
+    }
+    lines_.push_back(std::move(line));
+  }
+  dropped_ += other.dropped_;
+  other.lines_.clear();
+  other.dropped_ = 0;
+}
+
+void TraceSink::write_jsonl(std::ostream& out) const {
+  std::string buf;
+  std::uint64_t seq = 0;
+  for (const Line& line : lines_) {
+    buf.clear();
+    buf += "{\"t\":";
+    append_u64(buf, line.t);
+    buf += ",\"seq\":";
+    append_u64(buf, seq++);
+    buf.push_back(',');
+    buf += line.rest;
+    buf += "}\n";
+    out << buf;
+  }
+  if (dropped_ > 0) {
+    buf.clear();
+    buf += "{\"t\":";
+    append_u64(buf, lines_.empty() ? 0 : lines_.back().t);
+    buf += ",\"seq\":";
+    append_u64(buf, seq);
+    buf += ",\"component\":\"trace\",\"event\":\"truncated\",\"dropped\":";
+    append_u64(buf, dropped_);
+    buf += "}\n";
+    out << buf;
+  }
+}
+
+std::string TraceSink::jsonl() const {
+  std::ostringstream out;
+  write_jsonl(out);
+  return out.str();
+}
+
+}  // namespace aft::obs

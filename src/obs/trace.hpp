@@ -1,0 +1,123 @@
+// Deterministic event tracing — the introspection plane the paper's Sect. 3
+// middleware assumes: every detector verdict, bus delivery, memory repair,
+// and adaptation decision can leave a machine-readable record of *why* the
+// system acted, keyed by simulated time.
+//
+// Events are buffered as pre-formatted JSONL fragments and serialized with a
+// globally consistent `seq` only at write time, so per-job sinks produced by
+// the parallel campaign runner can be appended in job order and the merged
+// file is bit-identical for any AFT_THREADS value.
+//
+// Hot-path cost model: instrumentation sites go through the AFT_TRACE macro
+// (obs.hpp), which is a thread-local load + branch when no sink is installed
+// and compiles to nothing when AFT_OBS_DISABLED is defined (CMake -DAFT_OBS=OFF).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aft::obs {
+
+/// One key/value pair of a trace event.  Values are copied/formatted at
+/// emit() time, so string views only need to outlive the emit call.
+class Field {
+ public:
+  enum class Kind : std::uint8_t { kU64, kI64, kF64, kBool, kStr };
+
+  constexpr Field(const char* key, std::uint64_t v) noexcept
+      : key_(key), kind_(Kind::kU64) { u64_ = v; }
+  constexpr Field(const char* key, std::int64_t v) noexcept
+      : key_(key), kind_(Kind::kI64) { i64_ = v; }
+  constexpr Field(const char* key, unsigned v) noexcept
+      : Field(key, static_cast<std::uint64_t>(v)) {}
+  constexpr Field(const char* key, int v) noexcept
+      : Field(key, static_cast<std::int64_t>(v)) {}
+  constexpr Field(const char* key, double v) noexcept
+      : key_(key), kind_(Kind::kF64) { f64_ = v; }
+  constexpr Field(const char* key, bool v) noexcept
+      : key_(key), kind_(Kind::kBool) { b_ = v; }
+  constexpr Field(const char* key, std::string_view v) noexcept
+      : key_(key), kind_(Kind::kStr) { str_ = v; }
+  constexpr Field(const char* key, const char* v) noexcept
+      : Field(key, std::string_view(v)) {}
+
+  [[nodiscard]] constexpr const char* key() const noexcept { return key_; }
+  [[nodiscard]] constexpr Kind kind() const noexcept { return kind_; }
+
+  /// Appends the JSON rendering of the value to `out`.
+  void append_value(std::string& out) const;
+
+ private:
+  const char* key_;
+  Kind kind_;
+  union {
+    std::uint64_t u64_;
+    std::int64_t i64_;
+    double f64_;
+    bool b_;
+  };
+  std::string_view str_{};  // only meaningful for Kind::kStr
+};
+
+/// Appends a JSON string literal (quotes + escapes) to `out`.
+void append_json_string(std::string& out, std::string_view s);
+
+/// Appends the shortest round-trip decimal rendering of `v` to `out`
+/// (std::to_chars), so numeric output is locale-independent and stable.
+void append_json_double(std::string& out, double v);
+
+class TraceSink {
+ public:
+  /// `max_events` bounds memory; events past the cap are counted in
+  /// dropped() and a final "trace"/"truncated" record is written instead.
+  explicit TraceSink(std::size_t max_events = kDefaultMaxEvents);
+
+  /// Stamps subsequent events with logical time `t` (the simulation kernel
+  /// calls this on every dispatch; benches without a kernel set it from
+  /// their step counter).
+  void set_time(std::uint64_t t) noexcept { time_ = t; }
+  [[nodiscard]] std::uint64_t time() const noexcept { return time_; }
+
+  /// When enabled, instrumentation sites also emit high-volume per-dispatch
+  /// records (e.g. sim event dispatch, scrub passes).  Off by default.
+  void set_detail(bool on) noexcept { detail_ = on; }
+  [[nodiscard]] bool detail() const noexcept { return detail_; }
+
+  /// Records one event at the current logical time.
+  void emit(std::string_view component, std::string_view event,
+            std::initializer_list<Field> fields = {});
+
+  [[nodiscard]] std::size_t size() const noexcept { return lines_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return lines_.empty(); }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// Moves `other`'s events to the end of this sink (campaign merge: called
+  /// once per job, in job-index order, so the result is thread-count
+  /// independent).  `other` is left empty.
+  void append(TraceSink&& other);
+
+  /// Serializes all events as JSON Lines; `seq` is assigned here, in event
+  /// order, making (t, seq) a total order over the file.
+  void write_jsonl(std::ostream& out) const;
+  [[nodiscard]] std::string jsonl() const;
+
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 22;
+
+ private:
+  struct Line {
+    std::uint64_t t;
+    std::string rest;  ///< `"component":...` onwards, without braces
+  };
+
+  std::vector<Line> lines_;
+  std::size_t max_events_;
+  std::uint64_t time_ = 0;
+  std::uint64_t dropped_ = 0;
+  bool detail_ = false;
+};
+
+}  // namespace aft::obs

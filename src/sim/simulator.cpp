@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/obs.hpp"
+
 namespace aft::sim {
 
 void Simulator::schedule_at(SimTime when, Action action) {
@@ -21,6 +23,16 @@ bool Simulator::step() {
   Entry e = queue_.top();
   queue_.pop();
   now_ = e.when;
+  ++executed_;
+#if !defined(AFT_OBS_DISABLED)
+  // Dispatch hook: stamp the trace clock so every event emitted by the
+  // action carries the right simulated time; per-dispatch records are
+  // detail-level (they dominate trace volume on long runs).
+  if (obs::TraceSink* sink = obs::trace(); sink != nullptr) {
+    sink->set_time(now_);
+    if (sink->detail()) sink->emit("sim", "dispatch", {{"eseq", e.seq}});
+  }
+#endif
   e.action();
   return true;
 }

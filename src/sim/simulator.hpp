@@ -45,6 +45,10 @@ class Simulator {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Events executed since construction (lifetime counter; the obs layer
+  /// reads it for the "sim.events" metric).
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
   /// Advances the clock without executing anything (for driving the kernel
   /// from an external loop, as the long-run benches do).
   void advance_to(SimTime when);
@@ -64,6 +68,7 @@ class Simulator {
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 

@@ -4,8 +4,11 @@
 #include <atomic>
 #include <cstdlib>
 #include <exception>
+#include <memory>
 #include <mutex>
 #include <thread>
+
+#include "obs/obs.hpp"
 
 namespace aft::util {
 
@@ -19,14 +22,89 @@ unsigned campaign_threads() {
   return hc == 0 ? 1u : hc;
 }
 
+namespace {
+
+/// Observability capture for one campaign: when the calling thread has a
+/// TraceSink / MetricsRegistry installed, every job runs against a fresh
+/// per-job pair (workers never touch the caller's sinks), and the per-job
+/// results are folded back in job-index order after the pool joins — so the
+/// merged trace/metrics are bit-identical for any thread count.
+class JobObsCapture {
+ public:
+  explicit JobObsCapture(std::size_t n)
+      : parent_trace_(obs::trace()), parent_metrics_(obs::metrics()) {
+    if (parent_trace_ != nullptr) traces_.resize(n);
+    if (parent_metrics_ != nullptr) metrics_.resize(n);
+  }
+
+  [[nodiscard]] bool active() const noexcept {
+    return parent_trace_ != nullptr || parent_metrics_ != nullptr;
+  }
+
+  /// Runs `body(i)` with the job's own sink/registry installed.
+  void run_job(std::size_t i, const std::function<void(std::size_t)>& body) {
+    obs::TraceSink* sink = nullptr;
+    obs::MetricsRegistry* registry = nullptr;
+    if (parent_trace_ != nullptr) {
+      traces_[i] = std::make_unique<obs::TraceSink>();
+      traces_[i]->set_detail(parent_trace_->detail());
+      sink = traces_[i].get();
+    }
+    if (parent_metrics_ != nullptr) {
+      metrics_[i] = std::make_unique<obs::MetricsRegistry>();
+      registry = metrics_[i].get();
+    }
+    const obs::ScopedObs scope(sink, registry);
+    if (sink != nullptr) sink->emit("campaign", "job", {{"index", i}});
+    body(i);
+  }
+
+  /// Folds completed jobs into the caller's sinks, in index order.  Jobs a
+  /// failed campaign never dispatched have no capture and are skipped, so a
+  /// partial trace is still written on error.
+  void merge() {
+    for (auto& t : traces_) {
+      if (t) parent_trace_->append(std::move(*t));
+    }
+    for (const auto& m : metrics_) {
+      if (m) parent_metrics_->merge(*m);
+    }
+  }
+
+ private:
+  obs::TraceSink* parent_trace_;
+  obs::MetricsRegistry* parent_metrics_;
+  std::vector<std::unique_ptr<obs::TraceSink>> traces_;
+  std::vector<std::unique_ptr<obs::MetricsRegistry>> metrics_;
+};
+
+}  // namespace
+
 void parallel_for_index(std::size_t n, unsigned threads,
                         const std::function<void(std::size_t)>& body) {
   if (n == 0) return;
   if (threads == 0) threads = campaign_threads();
   const std::size_t workers = std::min<std::size_t>(threads, n);
 
+  JobObsCapture capture(n);
+
   if (workers <= 1) {
-    for (std::size_t i = 0; i < n; ++i) body(i);
+    if (!capture.active()) {
+      for (std::size_t i = 0; i < n; ++i) body(i);
+      return;
+    }
+    // Same per-job capture as the threaded path, so a 1-thread run produces
+    // byte-identical trace/metrics output.
+    std::exception_ptr error;
+    for (std::size_t i = 0; i < n && !error; ++i) {
+      try {
+        capture.run_job(i, body);
+      } catch (...) {
+        error = std::current_exception();
+      }
+    }
+    capture.merge();
+    if (error) std::rethrow_exception(error);
     return;
   }
 
@@ -41,7 +119,11 @@ void parallel_for_index(std::size_t n, unsigned threads,
       const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= n) return;
       try {
-        body(i);
+        if (capture.active()) {
+          capture.run_job(i, body);
+        } else {
+          body(i);
+        }
       } catch (...) {
         const std::scoped_lock lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -55,6 +137,7 @@ void parallel_for_index(std::size_t n, unsigned threads,
   pool.reserve(workers);
   for (std::size_t t = 0; t < workers; ++t) pool.emplace_back(work);
   for (std::thread& th : pool) th.join();
+  if (capture.active()) capture.merge();
   if (first_error) std::rethrow_exception(first_error);
 }
 

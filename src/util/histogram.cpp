@@ -35,12 +35,19 @@ std::int64_t Histogram::mode() const {
 
 std::string Histogram::render_log_scale(int max_width) const {
   std::ostringstream out;
+  // Scale bars by log10(n) + 1 rather than log10(n): with the latter a bin
+  // holding a single sample maps to log10(1) = 0 and renders a zero-width
+  // bar, indistinguishable from an empty bin.  The +1 offset gives every
+  // non-empty bin at least one visible unit while preserving log spacing.
   double max_log = 0.0;
   for (const auto& [key, n] : bins_) {
-    if (n > 0) max_log = std::max(max_log, std::log10(static_cast<double>(n)));
+    if (n > 0) {
+      max_log = std::max(max_log, std::log10(static_cast<double>(n)) + 1.0);
+    }
   }
   for (const auto& [key, n] : bins_) {
-    const double log_n = n > 0 ? std::log10(static_cast<double>(n)) : 0.0;
+    const double log_n =
+        n > 0 ? std::log10(static_cast<double>(n)) + 1.0 : 0.0;
     const int bar =
         max_log > 0.0
             ? static_cast<int>(std::lround(log_n / max_log * max_width))

@@ -82,6 +82,11 @@ class Xoshiro256 {
   constexpr std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
     const std::uint64_t span = hi - lo + 1;
     if (span == 0) return next();  // full 64-bit range requested
+    if ((span & (span - 1)) == 0) {
+      // Power-of-two span: 2^64 divides evenly, so masking is exact — no
+      // rejection loop, no division.
+      return lo + (next() & (span - 1));
+    }
     const std::uint64_t limit = max() - max() % span;
     std::uint64_t draw = next();
     while (draw >= limit) draw = next();

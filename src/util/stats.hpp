@@ -1,6 +1,11 @@
 // Streaming statistics (Welford) and small helpers shared by the benches.
+//
+// Header-only so that low-level layers (obs::MetricsRegistry backs its
+// histograms with RunningStats) can use it without linking aft_util.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 namespace aft::util {
@@ -10,18 +15,50 @@ namespace aft::util {
 /// regenerate Fig. 7.
 class RunningStats {
  public:
-  void add(double x) noexcept;
+  void add(double x) noexcept {
+    if (n_ == 0) {
+      min_ = x;
+      max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   [[nodiscard]] std::uint64_t count() const noexcept { return n_; }
   [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0.0; }
   /// Population variance; 0 for fewer than two samples.
-  [[nodiscard]] double variance() const noexcept;
-  [[nodiscard]] double stddev() const noexcept;
+  [[nodiscard]] double variance() const noexcept {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_);
+  }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
   [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0.0; }
   [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0.0; }
 
-  /// Merges another accumulator into this one (parallel Welford).
-  void merge(const RunningStats& other) noexcept;
+  /// Merges another accumulator into this one (parallel Welford / Chan et
+  /// al.).  merge(a, b) matches sequential add() of both streams to within
+  /// floating-point associativity noise.
+  void merge(const RunningStats& other) noexcept {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double total = static_cast<double>(n_ + other.n_);
+    const double delta = other.mean_ - mean_;
+    m2_ += other.m2_ +
+           delta * delta * static_cast<double>(n_) *
+               static_cast<double>(other.n_) / total;
+    mean_ += delta * static_cast<double>(other.n_) / total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+  }
 
  private:
   std::uint64_t n_ = 0;

@@ -184,6 +184,58 @@ TEST(EventBusTest, HandlerMaySubscribeDuringDelivery) {
   EXPECT_EQ(late, 1);
 }
 
+TEST(EventBusTest, UnsubscribeErasesEmptyTopicBuckets) {
+  // Subscribe/unsubscribe churn over many distinct topics used to leave one
+  // empty vector per topic in the map forever — unbounded growth for a
+  // long-lived bus fed by ephemeral components.
+  EventBus bus;
+  for (int i = 0; i < 100; ++i) {
+    const auto id = bus.subscribe("topic-" + std::to_string(i),
+                                  [](const Message&) {});
+    bus.unsubscribe(id);
+  }
+  EXPECT_EQ(bus.topic_count(), 0u);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+
+  // A topic with a surviving subscriber keeps its bucket.
+  bus.subscribe("keep", [](const Message&) {});
+  const auto gone = bus.subscribe("keep", [](const Message&) {});
+  bus.unsubscribe(gone);
+  EXPECT_EQ(bus.topic_count(), 1u);
+}
+
+TEST(EventBusTest, HandlerUnsubscribedDuringDeliveryIsSkipped) {
+  // publish() iterates a snapshot; a handler unsubscribed by an *earlier*
+  // handler of the same publish used to be invoked anyway — delivery to a
+  // subscriber that had already said goodbye.
+  EventBus bus;
+  int second_calls = 0;
+  EventBus::SubscriptionId second_id = 0;
+  bus.subscribe("t", [&](const Message&) { bus.unsubscribe(second_id); });
+  second_id = bus.subscribe("t", [&](const Message&) { ++second_calls; });
+  const std::size_t delivered = bus.publish(Message{"t", "", ""});
+  EXPECT_EQ(second_calls, 0);
+  EXPECT_EQ(delivered, 1u);
+}
+
+TEST(EventBusTest, WildcardUnsubscribedDuringDeliveryIsSkipped) {
+  EventBus bus;
+  int wildcard_calls = 0;
+  EventBus::SubscriptionId wc_id = 0;
+  bus.subscribe("t", [&](const Message&) { bus.unsubscribe(wc_id); });
+  wc_id = bus.subscribe_all([&](const Message&) { ++wildcard_calls; });
+  bus.publish(Message{"t", "", ""});
+  EXPECT_EQ(wildcard_calls, 0);
+}
+
+TEST(EventBusTest, UnknownIdUnsubscribeIsHarmless) {
+  EventBus bus;
+  bus.subscribe("t", [](const Message&) {});
+  bus.unsubscribe(9999);  // never issued
+  EXPECT_EQ(bus.subscriber_count(), 1u);
+  EXPECT_EQ(bus.topic_count(), 1u);
+}
+
 // --- Middleware -----------------------------------------------------------------
 
 std::shared_ptr<ScriptedComponent> add_component(Middleware& mw,

@@ -7,8 +7,11 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/campaign.hpp"
 #include "util/rng.hpp"
@@ -95,6 +98,80 @@ TEST(CampaignTest, ExceptionPropagatesToCaller) {
                          }),
       std::runtime_error);
 }
+
+// Campaign observability capture needs the thread-local install path,
+// which -DAFT_OBS=OFF compiles out.
+#if !defined(AFT_OBS_DISABLED)
+
+/// One deterministic fake campaign job: emits a couple of trace events and
+/// metrics derived from the job index alone.
+void obs_job(std::size_t i) {
+  aft::obs::TraceSink* sink = aft::obs::trace();
+  ASSERT_NE(sink, nullptr);  // capture must install a per-job sink
+  sink->set_time(i * 10);
+  sink->emit("job", "work", {{"i", i}});
+  sink->set_time(i * 10 + 5);
+  sink->emit("job", "done", {{"result", i * i}});
+  aft::obs::metrics()->add("jobs.completed", 1);
+  aft::obs::metrics()->observe("jobs.result", static_cast<double>(i * i));
+  aft::obs::metrics()->set_gauge("jobs.last_index", static_cast<double>(i));
+}
+
+/// Runs the 16-job fake campaign on `threads` workers and returns the
+/// serialized (trace, metrics) pair.
+std::pair<std::string, std::string> run_obs_campaign(unsigned threads) {
+  aft::obs::TraceSink sink;
+  aft::obs::MetricsRegistry registry;
+  const aft::obs::ScopedObs scope(&sink, &registry);
+  parallel_for_index(16, threads, obs_job);
+  return {sink.jsonl(), registry.json()};
+}
+
+TEST(CampaignTest, TraceAndMetricsBitIdenticalAcrossThreadCounts) {
+  // The acceptance property of the obs layer: per-job sinks merged in
+  // job-index order make the serialized trace and metrics byte-identical
+  // whether the campaign ran on 1, 3, or 8 workers.
+  const auto serial = run_obs_campaign(1);
+  EXPECT_FALSE(serial.first.empty());
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    const auto parallel = run_obs_campaign(threads);
+    EXPECT_EQ(parallel.first, serial.first) << "threads=" << threads;
+    EXPECT_EQ(parallel.second, serial.second) << "threads=" << threads;
+  }
+  // Sanity on the merged content: every job contributed.
+  EXPECT_NE(serial.second.find(R"("jobs.completed":16)"), std::string::npos);
+  // Gauge merge is last-writer in job order: job 15.
+  EXPECT_NE(serial.second.find(R"("jobs.last_index":15)"), std::string::npos);
+}
+
+TEST(CampaignTest, WorkersDoNotTouchTheCallersSink) {
+  aft::obs::TraceSink sink;
+  aft::obs::MetricsRegistry registry;
+  const aft::obs::ScopedObs scope(&sink, &registry);
+  parallel_for_index(8, 4, [&sink](std::size_t) {
+    // Each job sees its own fresh sink, never the caller's.
+    EXPECT_NE(aft::obs::trace(), &sink);
+    EXPECT_EQ(aft::obs::trace()->size(), 1u);  // the campaign/job marker
+  });
+  // 8 jobs x (1 marker + 0 events) merged in.
+  EXPECT_EQ(sink.size(), 8u);
+}
+
+TEST(CampaignTest, ObsCaptureWritesPartialTraceOnError) {
+  aft::obs::TraceSink sink;
+  aft::obs::MetricsRegistry registry;
+  const aft::obs::ScopedObs scope(&sink, &registry);
+  EXPECT_THROW(parallel_for_index(4, 1,
+                                  [](std::size_t i) {
+                                    aft::obs::metrics()->add("ran", 1);
+                                    if (i == 2) throw std::runtime_error("x");
+                                  }),
+               std::runtime_error);
+  // Jobs 0..2 ran (job 2 up to its throw); their metrics were still merged.
+  EXPECT_EQ(registry.counter("ran"), 3u);
+}
+
+#endif  // !AFT_OBS_DISABLED
 
 TEST(CampaignTest, ThreadCountRespectsEnvVar) {
   const ThreadsEnvGuard guard;

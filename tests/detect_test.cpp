@@ -94,9 +94,26 @@ TEST(AlphaCountTest, ResetClearsVerdictAndScore) {
   AlphaCount ac;
   for (int i = 0; i < 5; ++i) ac.record(true);
   ac.reset();
-  EXPECT_EQ(ac.judgment(), FaultJudgment::kTransient);  // errors() retained
+  // reset() returns the detector to its birth state.  It used to retain
+  // errors_/rounds_, so judgment() reported kTransient forever after a
+  // reset even though no new evidence had been observed.
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kNoEvidence);
+  EXPECT_EQ(ac.errors(), 0u);
+  EXPECT_EQ(ac.rounds(), 0u);
   EXPECT_DOUBLE_EQ(ac.score(), 0.0);
   EXPECT_FALSE(ac.threshold_crossed());
+}
+
+TEST(AlphaCountTest, PostResetJudgmentTracksOnlyNewEvidence) {
+  AlphaCount ac;
+  for (int i = 0; i < 50; ++i) ac.record(true);
+  EXPECT_TRUE(ac.threshold_crossed());
+  ac.reset();
+  // A single clean round after reset must read as a healthy component,
+  // not as a transient echo of pre-reset history.
+  ac.record(false);
+  EXPECT_EQ(ac.judgment(), FaultJudgment::kNoEvidence);
+  EXPECT_EQ(ac.rounds(), 1u);
 }
 
 /// Discrimination property over a parameter sweep: a permanent fault must
@@ -243,6 +260,36 @@ TEST(WatchdogTest, StopDisarms) {
   const auto frozen = dog.firings();
   sim.run_until(500);
   EXPECT_EQ(dog.firings(), frozen);
+}
+
+TEST(WatchdogTest, RestartRunsASingleWindowChain) {
+  // stop() disarms lazily (the pending check is left scheduled); start()
+  // before that check fired used to add a second chain, after which every
+  // silent window was counted twice.  With the epoch guard a stop/start
+  // cycle fires exactly one check per deadline.
+  Simulator sim;
+  Watchdog dog(sim, 10, [](aft::sim::SimTime) {});
+  dog.start();  // check pending at t=10
+  sim.run_until(5);
+  dog.stop();
+  dog.start();  // fresh chain: checks at 15, 25, 35, ...
+  sim.run_until(105);  // 10 windows, no kicks
+  EXPECT_EQ(dog.windows(), 10u);
+  EXPECT_EQ(dog.firings(), 10u);
+}
+
+TEST(WatchdogTest, WatchedTaskRestartKicksOncePerPeriod) {
+  Simulator sim;
+  Watchdog dog(sim, 10, [](aft::sim::SimTime) {});
+  WatchedTask task(sim, dog, 5);
+  dog.start();
+  task.start();  // tick pending at t=5
+  sim.run_until(2);
+  task.stop();
+  task.start();  // fresh chain: ticks at 7, 12, 17, ...
+  sim.run_until(52);  // 10 periods
+  EXPECT_EQ(task.kicks_delivered(), 10u);
+  EXPECT_EQ(dog.firings(), 0u);  // healthy task: the dog stays quiet
 }
 
 // --- The Fig. 4 scenario end-to-end --------------------------------------------------

@@ -109,6 +109,22 @@ TEST(HeartbeatTest, TransientGlitchStaysTransient) {
   EXPECT_EQ(f.discriminator.judgment("c"), FaultJudgment::kTransient);
 }
 
+TEST(HeartbeatTest, RewatchRunsASingleCheckChain) {
+  // unwatch() leaves the scheduled check pending; a later watch() of the
+  // same channel used to run that stale check *and* its own fresh chain,
+  // double-counting every subsequent silent window.  The epoch guard kills
+  // the stale chain: a fully silent channel over n windows scores exactly
+  // n misses, not 2n.
+  Fixture f;
+  f.monitor.watch("c", 10);
+  f.sim.run_until(5);  // check for t=10 is pending
+  f.monitor.unwatch("c");
+  f.monitor.watch("c", 10);  // re-watch before the stale check fires
+  f.sim.run_until(105);      // 10 windows of the fresh chain (t=15..105)
+  EXPECT_EQ(f.monitor.total_misses(), 10u);
+  EXPECT_EQ(f.monitor.consecutive_misses("c"), 10u);
+}
+
 TEST(HeartbeatTest, IndependentDeadlinesPerChannel) {
   Fixture f;
   f.monitor.watch("fast", 5);

@@ -14,6 +14,8 @@
 #include "mem/method_raw.hpp"
 #include "mem/method_remap.hpp"
 #include "mem/method_tmr.hpp"
+#include "mem/scrubber.hpp"
+#include "sim/simulator.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -459,5 +461,37 @@ INSTANTIATE_TEST_SUITE_P(
              to_string(param_info.param.semantics) +
              (param_info.param.expect_integrity ? "_holds" : "_clashes");
     });
+
+// --- ScrubberDaemon ----------------------------------------------------------
+
+TEST(ScrubberDaemonTest, RunsOnePassPerPeriod) {
+  aft::sim::Simulator sim;
+  aft::hw::MemoryChip chip(16);
+  aft::mem::EccScrubAccess method(chip, 16);
+  aft::mem::ScrubberDaemon scrubber(sim, method, /*period=*/10);
+  scrubber.start();
+  sim.run_until(100);
+  EXPECT_EQ(scrubber.passes(), 10u);
+  scrubber.stop();
+  sim.run_until(200);
+  EXPECT_EQ(scrubber.passes(), 10u);
+}
+
+TEST(ScrubberDaemonTest, RestartRunsASingleChain) {
+  // stop() is lazy: the next pass stays scheduled and self-cancels when it
+  // fires.  A start() before it fired used to chain a SECOND pass loop, so
+  // every stop/start cycle (e.g. an adaptation changing cadence) silently
+  // doubled the scrub bandwidth.  The epoch guard keeps it at one chain.
+  aft::sim::Simulator sim;
+  aft::hw::MemoryChip chip(16);
+  aft::mem::EccScrubAccess method(chip, 16);
+  aft::mem::ScrubberDaemon scrubber(sim, method, /*period=*/10);
+  scrubber.start();  // pass pending at t=10
+  sim.run_until(5);
+  scrubber.stop();
+  scrubber.start();  // fresh chain: passes at 15, 25, 35, ...
+  sim.run_until(105);  // exactly 10 fresh periods
+  EXPECT_EQ(scrubber.passes(), 10u);
+}
 
 }  // namespace

@@ -1,0 +1,235 @@
+// Tests for the observability layer: JSONL trace shape, deterministic seq
+// assignment, merge order, metrics JSON export, and the thread-local
+// install/uninstall discipline the instrumentation macros rely on.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/cli.hpp"
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+
+namespace {
+
+using aft::obs::Field;
+using aft::obs::MetricsRegistry;
+using aft::obs::ScopedObs;
+using aft::obs::TraceSink;
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(TraceSinkTest, EmitsJsonlKeyedByTimeAndSeq) {
+  TraceSink sink;
+  sink.set_time(7);
+  sink.emit("mem.ecc", "corrected", {{"addr", 42u}, {"origin", "read"}});
+  sink.set_time(9);
+  sink.emit("detect", "latch", {{"score", 3.5}, {"latched", true}});
+
+  const auto lines = lines_of(sink.jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            R"({"t":7,"seq":0,"component":"mem.ecc","event":"corrected","addr":42,"origin":"read"})");
+  EXPECT_EQ(lines[1],
+            R"({"t":9,"seq":1,"component":"detect","event":"latch","score":3.5,"latched":true})");
+}
+
+TEST(TraceSinkTest, EscapesJsonStrings) {
+  TraceSink sink;
+  sink.emit("c", "e", {{"s", "a\"b\\c\n\t"}});
+  const auto lines = lines_of(sink.jsonl());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find(R"("s":"a\"b\\c\n\t")"), std::string::npos);
+}
+
+TEST(TraceSinkTest, FieldKindsRenderAsJsonTypes) {
+  TraceSink sink;
+  sink.emit("c", "e",
+            {{"u", std::uint64_t{18446744073709551615ULL}},
+             {"i", std::int64_t{-5}},
+             {"f", 0.25},
+             {"b", false}});
+  const std::string line = lines_of(sink.jsonl()).at(0);
+  EXPECT_NE(line.find(R"("u":18446744073709551615)"), std::string::npos);
+  EXPECT_NE(line.find(R"("i":-5)"), std::string::npos);
+  EXPECT_NE(line.find(R"("f":0.25)"), std::string::npos);
+  EXPECT_NE(line.find(R"("b":false)"), std::string::npos);
+}
+
+TEST(TraceSinkTest, SeqAssignedAtWriteTimeAcrossAppendedSinks) {
+  // The campaign runner merges per-job sinks in job order; seq must come
+  // out gapless and increasing in the merged file, independent of how the
+  // events were distributed over per-job sinks.
+  TraceSink job0;
+  job0.set_time(1);
+  job0.emit("a", "x");
+  TraceSink job1;
+  job1.set_time(2);
+  job1.emit("b", "y");
+  job1.emit("b", "z");
+
+  TraceSink merged;
+  merged.append(std::move(job0));
+  merged.append(std::move(job1));
+  EXPECT_TRUE(job0.empty());  // NOLINT(bugprone-use-after-move): documented
+
+  const auto lines = lines_of(merged.jsonl());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_NE(lines[0].find(R"("seq":0)"), std::string::npos);
+  EXPECT_NE(lines[1].find(R"("seq":1)"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("seq":2)"), std::string::npos);
+}
+
+TEST(TraceSinkTest, CapsEventsAndReportsTruncation) {
+  TraceSink sink(/*max_events=*/3);
+  for (int i = 0; i < 10; ++i) sink.emit("c", "e", {{"i", i}});
+  EXPECT_EQ(sink.size(), 3u);
+  EXPECT_EQ(sink.dropped(), 7u);
+  const auto lines = lines_of(sink.jsonl());
+  ASSERT_EQ(lines.size(), 4u);  // 3 events + truncation footer
+  EXPECT_NE(lines.back().find(R"("event":"truncated")"), std::string::npos);
+  EXPECT_NE(lines.back().find(R"("dropped":7)"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, CountersGaugesAndStats) {
+  MetricsRegistry reg;
+  reg.add("x", 2);
+  reg.add("x", 3);
+  reg.set_gauge("level", 1.5);
+  reg.observe("lat", 1.0);
+  reg.observe("lat", 3.0);
+
+  EXPECT_EQ(reg.counter("x"), 5u);
+  EXPECT_EQ(reg.counter("missing"), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("level"), 1.5);
+  ASSERT_NE(reg.find_stat("lat"), nullptr);
+  EXPECT_EQ(reg.find_stat("lat")->count(), 2u);
+  EXPECT_DOUBLE_EQ(reg.find_stat("lat")->mean(), 2.0);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.add("z.count", 1);
+  reg.add("a.count", 2);
+  reg.set_gauge("g", 4.0);
+  reg.observe("h", 2.0);
+  const std::string json = reg.json();
+  // Keys sorted: "a.count" appears before "z.count".
+  EXPECT_LT(json.find("a.count"), json.find("z.count"));
+  EXPECT_NE(json.find(R"("counters":{)"), std::string::npos);
+  EXPECT_NE(json.find(R"("gauges":{"g":4)"), std::string::npos);
+  EXPECT_NE(json.find(R"("stats":{"h":{"count":1)"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, MergeSumsCountersAndFoldsStats) {
+  MetricsRegistry a;
+  a.add("n", 1);
+  a.observe("s", 1.0);
+  a.set_gauge("g", 1.0);
+  MetricsRegistry b;
+  b.add("n", 2);
+  b.add("only_b", 7);
+  b.observe("s", 3.0);
+  b.set_gauge("g", 2.0);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("n"), 3u);
+  EXPECT_EQ(a.counter("only_b"), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g"), 2.0);  // later job wins
+  ASSERT_NE(a.find_stat("s"), nullptr);
+  EXPECT_EQ(a.find_stat("s")->count(), 2u);
+  EXPECT_DOUBLE_EQ(a.find_stat("s")->mean(), 2.0);
+}
+
+TEST(ScopedObsTest, MacrosAreNoOpsWithoutInstalledSinks) {
+  // Must not crash or allocate a sink implicitly — and under -DAFT_OBS=OFF
+  // this is the only behaviour the macros have at all.
+  AFT_TRACE("c", "e", {{"k", 1}});
+  AFT_METRIC_ADD("n", 1);
+  AFT_OBS_SET_TIME(5);
+  SUCCEED();
+}
+
+// The remaining tests exercise the thread-local install path, which is
+// compiled out under -DAFT_OBS=OFF (obs::trace() is constexpr nullptr).
+#if !defined(AFT_OBS_DISABLED)
+
+TEST(ScopedObsTest, InstallsAndRestoresThreadLocals) {
+  EXPECT_EQ(aft::obs::trace(), nullptr);
+  EXPECT_EQ(aft::obs::metrics(), nullptr);
+  TraceSink sink;
+  MetricsRegistry reg;
+  {
+    ScopedObs scope(&sink, &reg);
+    EXPECT_EQ(aft::obs::trace(), &sink);
+    EXPECT_EQ(aft::obs::metrics(), &reg);
+    {
+      ScopedObs inner(nullptr, nullptr);  // nestable: temporarily silences
+      EXPECT_EQ(aft::obs::trace(), nullptr);
+    }
+    EXPECT_EQ(aft::obs::trace(), &sink);
+  }
+  EXPECT_EQ(aft::obs::trace(), nullptr);
+  EXPECT_EQ(aft::obs::metrics(), nullptr);
+}
+
+TEST(ScopedObsTest, MacrosRouteToInstalledSinks) {
+  TraceSink sink;
+  MetricsRegistry reg;
+  ScopedObs scope(&sink, &reg);
+  AFT_OBS_SET_TIME(3);
+  AFT_TRACE("c", "e", {{"k", 1}});
+  AFT_METRIC_ADD("n", 2);
+  EXPECT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.time(), 3u);
+  EXPECT_EQ(reg.counter("n"), 2u);
+}
+
+TEST(ObsCliTest, ParsesFlagsAndInstallsSinks) {
+  std::string prog = "bench";
+  std::string t1 = "--trace";
+  std::string t2 = "/tmp/aft_obs_test_trace.jsonl";
+  std::string m1 = "--metrics=/tmp/aft_obs_test_metrics.json";
+  std::string d = "--trace-detail";
+  char* argv[] = {prog.data(), t1.data(), t2.data(), m1.data(), d.data()};
+  {
+    aft::obs::ObsCli cli(5, argv);
+    EXPECT_TRUE(cli.tracing());
+    EXPECT_TRUE(cli.metering());
+    ASSERT_NE(aft::obs::trace(), nullptr);
+    EXPECT_TRUE(aft::obs::trace()->detail());
+    AFT_TRACE("t", "e");
+    AFT_METRIC_ADD("m", 1);
+  }
+  // Files were written on destruction.
+  std::ifstream trace_in("/tmp/aft_obs_test_trace.jsonl");
+  std::string line;
+  ASSERT_TRUE(std::getline(trace_in, line));
+  EXPECT_NE(line.find(R"("event":"e")"), std::string::npos);
+  std::ifstream metrics_in("/tmp/aft_obs_test_metrics.json");
+  std::stringstream buf;
+  buf << metrics_in.rdbuf();
+  EXPECT_NE(buf.str().find(R"("m":1)"), std::string::npos);
+}
+
+#endif  // !AFT_OBS_DISABLED
+
+TEST(ObsCliTest, NoFlagsMeansNoSinks) {
+  std::string prog = "bench";
+  char* argv[] = {prog.data()};
+  aft::obs::ObsCli cli(1, argv);
+  EXPECT_FALSE(cli.tracing());
+  EXPECT_FALSE(cli.metering());
+  EXPECT_EQ(aft::obs::trace(), nullptr);
+}
+
+}  // namespace

@@ -42,6 +42,33 @@ TEST(SimulatorTest, SameTickFifoOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
+TEST(SimulatorTest, SameTickFifoAcrossScheduleAtAndIn) {
+  // The FIFO tie-break is by scheduling order regardless of which entry
+  // point queued the event: schedule_at(7) and schedule_in(7) interleaved
+  // at the same tick must fire in call order, or mixed-API code (e.g. a
+  // scrubber using schedule_in beside an injector using schedule_at) would
+  // reorder depending on internals.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(7, [&] { order.push_back(0); });
+  sim.schedule_in(7, [&] { order.push_back(1); });
+  sim.schedule_at(7, [&] { order.push_back(2); });
+  sim.schedule_in(7, [&] { order.push_back(3); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.executed(), 4u);
+}
+
+TEST(SimulatorTest, ExecutedCountsLifetimeEvents) {
+  Simulator sim;
+  sim.schedule_at(1, [] {});
+  sim.schedule_at(2, [] {});
+  sim.run_all();
+  sim.schedule_at(3, [] {});
+  sim.run_all();
+  EXPECT_EQ(sim.executed(), 3u);
+}
+
 TEST(SimulatorTest, SchedulingInThePastThrows) {
   Simulator sim;
   sim.schedule_at(10, [] {});

@@ -2,6 +2,7 @@
 // buffer, and text tables.
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 #include <set>
 
@@ -75,6 +76,45 @@ TEST(Xoshiro256Test, UniformIntSingleton) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform_int(42, 42), 42u);
 }
 
+TEST(Xoshiro256Test, UniformIntPowerOfTwoMaskMatchesModulo) {
+  // The power-of-two fast path masks instead of dividing; for draws below
+  // the rejection limit (all but ~2^-56 of them at span 256) the mask and
+  // the modulo give the same value, so both code paths must agree draw by
+  // draw on a shared stream.
+  Xoshiro256 fast(29);
+  Xoshiro256 slow(29);
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t raw = slow.next();
+    EXPECT_EQ(fast.uniform_int(0, 255), raw % 256);
+  }
+}
+
+TEST(Xoshiro256Test, UniformIntPowerOfTwoUniformity) {
+  // Chi-squared sanity over 16 buckets: 64 000 draws, expected 4 000 per
+  // bucket.  With 15 degrees of freedom, chi2 > 60 has p < 3e-7 — a
+  // deterministic seed keeps this from ever flaking.
+  Xoshiro256 rng(37);
+  constexpr int kBuckets = 16;
+  constexpr int kDraws = 64000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kDraws; ++i) {
+    counts[rng.uniform_int(0, kBuckets - 1)]++;
+  }
+  const double expected = static_cast<double>(kDraws) / kBuckets;
+  double chi2 = 0.0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 60.0);
+  // Offset ranges exercise the `lo +` term of the fast path.
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t v = rng.uniform_int(100, 163);  // span 64
+    EXPECT_GE(v, 100u);
+    EXPECT_LE(v, 163u);
+  }
+}
+
 TEST(Xoshiro256Test, BernoulliExtremes) {
   Xoshiro256 rng(17);
   for (int i = 0; i < 100; ++i) {
@@ -142,6 +182,25 @@ TEST(HistogramTest, RenderLogScaleMentionsEveryBin) {
   EXPECT_NE(render.find("1000000"), std::string::npos);
 }
 
+TEST(HistogramTest, SingletonBinRendersVisibleBar) {
+  // Golden regression for the log-scale rescale: a bin with exactly one
+  // sample used to map to log10(1) = 0 and render a zero-width bar,
+  // indistinguishable from an empty bin — exactly the r=9 "visited once"
+  // case of the Fig. 7 histogram.  With the log10(n)+1 scale every
+  // non-empty bin gets at least one '#'.
+  Histogram h;
+  h.add(9, 1);
+  const std::string render = h.render_log_scale(50);
+  EXPECT_EQ(render, "9\t| " + std::string(50, '#') + "  1 (100%)\n");
+
+  Histogram mixed;
+  mixed.add(3, 1000000);
+  mixed.add(9, 1);
+  const std::string r2 = mixed.render_log_scale(49);
+  // 49 * (log10(1)+1)/(log10(1e6)+1) = 49 * 1/7 = 7 hashes for the singleton.
+  EXPECT_NE(r2.find("9\t| #######  1"), std::string::npos);
+}
+
 TEST(HistogramTest, LogScaleBarsMonotone) {
   Histogram h;
   h.add(1, 10);
@@ -197,6 +256,18 @@ TEST(RunningStatsTest, MergeMatchesSequential) {
   EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
   EXPECT_DOUBLE_EQ(left.min(), all.min());
   EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeSingleSampleEachSide) {
+  RunningStats a, b;
+  a.add(1.0);
+  b.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(a.variance(), 1.0);  // population variance of {1,3}
+  EXPECT_DOUBLE_EQ(a.min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.max(), 3.0);
 }
 
 TEST(RunningStatsTest, MergeWithEmpty) {
