@@ -19,6 +19,7 @@
 #include "mem/method_ecc.hpp"
 #include "mem/method_tmr.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -87,6 +88,7 @@ Run drive(aft::hw::Machine& m, aft::mem::IMemoryAccessMethod*& method,
 
 int main(int argc, char** argv) {
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_adaptive_memory");
   std::cout << "=== Ablation: adaptive vs static memory binding (" << kSteps
             << " steps, KB judgment f1, true environment f3) ===\n\n";
 

@@ -12,6 +12,7 @@
 
 #include "detect/alpha_count.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "util/campaign.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
@@ -65,6 +66,7 @@ GridOutcome run_point(double k, double t) {
 
 int main(int argc, char** argv) {
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_alpha_count_sweep");
   std::cout << "=== Ablation: alpha-count (K, T) sweep, 5000 rounds/stream ===\n"
             << "streams: permanent (error every round), intermittent\n"
             << "(Gilbert-Elliott bursts), sparse transient (p=0.01)\n\n";

@@ -24,6 +24,7 @@
 #include "mem/method_remap.hpp"
 #include "mem/method_tmr.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "util/campaign.hpp"
 #include "util/table.hpp"
 
@@ -163,6 +164,7 @@ void timing_section() {
 
 int main(int argc, char** argv) {
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_memory_methods");
   std::cout << "=== Ablation: device work per logical op, M0..M4 x fault load ("
             << kTicks << " ticks, " << kWords << "-word devices) ===\n\n";
 

@@ -18,6 +18,7 @@
 #include "mem/method_ecc.hpp"
 #include "mem/scrubber.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 #include "util/campaign.hpp"
 #include "util/rng.hpp"
@@ -68,6 +69,7 @@ Outcome run(aft::sim::SimTime scrub_period, double seu_rate, std::uint64_t steps
 
 int main(int argc, char** argv) {
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_scrub_cadence");
   constexpr std::uint64_t kSteps = 200000;
   std::cout << "=== Ablation: scrub cadence vs uncorrectable rate ("
             << kSteps << " ticks, 256-word device) ===\n\n";

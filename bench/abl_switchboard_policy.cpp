@@ -11,11 +11,13 @@
 
 #include "autonomic/experiment.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace aft::autonomic;
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_switchboard_policy");
   const std::uint64_t steps = 800000;
   std::cout << "=== Ablation: switchboard policy grid (" << steps
             << " steps, Fig. 7 workload) ===\n\n";

@@ -10,7 +10,12 @@
 #include "hw/machine.hpp"
 #include "mem/knowledge_base.hpp"
 
-int main() {
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "fig2_spd_introspection");
   std::cout << "=== Fig. 2: SPD introspection (lshw-style) ===\n\n";
 
   const aft::mem::KnowledgeBase kb = aft::mem::KnowledgeBase::with_defaults();

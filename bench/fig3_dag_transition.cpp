@@ -15,7 +15,12 @@
 #include "ftpat/reconfiguration.hpp"
 #include "ftpat/redoing.hpp"
 
-int main() {
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "fig3_dag_transition");
   using namespace aft;
   std::cout << "=== Fig. 3: reflective DAG transition D1 -> D2 ===\n\n";
 

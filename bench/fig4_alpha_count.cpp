@@ -15,7 +15,12 @@
 #include "detect/watchdog.hpp"
 #include "sim/simulator.hpp"
 
-int main() {
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "fig4_alpha_count");
   using namespace aft;
   std::cout << "=== Fig. 4: watchdog -> alpha-count (K=0.7, T=3.0) ===\n\n";
 

@@ -12,7 +12,12 @@
 #include "vote/dtof.hpp"
 #include "vote/voter.hpp"
 
-int main() {
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "fig5_dtof");
   using namespace aft::vote;
   std::cout << "=== Fig. 5: dtof(n, m) = ceil(n/2) - m, 0 on no-majority ===\n\n";
 

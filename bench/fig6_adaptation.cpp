@@ -9,11 +9,13 @@
 
 #include "autonomic/experiment.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace aft::autonomic;
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "fig6_adaptation");
   std::cout << "=== Fig. 6: fault injection -> dtof drop -> redundancy adaptation ===\n"
             << "    (" << aft::obs::ObsCli::usage() << ")\n\n";
 

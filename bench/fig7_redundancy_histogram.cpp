@@ -20,11 +20,13 @@
 
 #include "autonomic/experiment.hpp"
 #include "obs/cli.hpp"
+#include "obs/obs.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace aft::autonomic;
   aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "fig7_redundancy_histogram");
 
   std::uint64_t steps = 65000000;  // paper scale
   if (const char* env = std::getenv("AFT_FIG7_STEPS")) {

@@ -27,6 +27,9 @@
 #include "util/campaign.hpp"
 #include "util/rng.hpp"
 
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
 namespace {
 
 using aft::hw::Word72;
@@ -180,7 +183,9 @@ std::string json_number(double v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "perf_ecc");
 #ifdef NDEBUG
   const char* build_type = "release";
 #else

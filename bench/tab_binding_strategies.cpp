@@ -19,7 +19,12 @@
 #include "tune/fft.hpp"
 #include "util/table.hpp"
 
-int main() {
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "tab_binding_strategies");
   std::cout << "=== binding-strategy comparison: performance vs dependability ===\n\n";
 
   // --- performance-directed binding (FFTW-style planner) -------------------

@@ -7,6 +7,9 @@
 #include "mem/selector.hpp"
 #include "util/table.hpp"
 
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
 namespace {
 
 aft::hw::Machine unknown_lot_obc() {
@@ -43,7 +46,9 @@ aft::hw::Machine single_bank_sat() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "tab_method_selection");
   std::cout << "=== Sect. 3.1: compile/deploy-time method selection ===\n\n";
 
   aft::mem::MethodSelector selector;

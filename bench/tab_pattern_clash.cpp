@@ -20,6 +20,9 @@
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+
 namespace {
 
 struct Outcome {
@@ -106,7 +109,9 @@ Outcome run_adaptive(bool permanent_env) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "tab_pattern_clash");
   std::cout << "=== Sect. 3.2 clash costs: pattern x environment (" << kRuns
             << " runs, permanent onset at run " << kPermanentOnset << ") ===\n\n";
 

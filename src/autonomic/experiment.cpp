@@ -1,6 +1,7 @@
 #include "autonomic/experiment.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "obs/obs.hpp"
 #include "util/rng.hpp"
@@ -12,16 +13,36 @@ ExperimentResult run_adaptation_experiment(
     const ExperimentConfig& config, const std::vector<DisturbancePhase>& script) {
   util::Xoshiro256 rng(config.seed);
 
+  // Hoisted once: the experiment loop runs tens of millions of iterations,
+  // so even the TLS load inside the AFT_* macros is too much per step.
+  [[maybe_unused]] obs::TraceSink* const sink = obs::trace();
+
   // The replicated method: the correct output is input + 1; a disturbed
   // replica returns a replica-specific wrong value (distinct wrong values,
-  // the worst case for exact-agreement voting).
+  // the worst case for exact-agreement voting).  Each corruption is the
+  // origin of a causal chain: its record becomes the sink's current cause,
+  // so the dissent it provokes and the reconfiguration that follows all
+  // link back to it (`aft_trace why` walks the chain).
   double corruption_prob = 0.0;
   std::uint64_t faults_injected = 0;
+  std::uint64_t step = 0;
   vote::VotingFarm farm(
       config.initial_replicas,
       [&](vote::Ballot input, std::size_t replica) -> vote::Ballot {
         if (corruption_prob > 0.0 && rng.bernoulli(corruption_prob)) {
           ++faults_injected;
+#if !defined(AFT_OBS_DISABLED)
+          if (sink != nullptr) {
+            const obs::EventId id =
+                sink->emit("hw.inject", "corrupt",
+                           {{"step", step}, {"replica", replica}});
+            if (id != obs::kNoEvent) sink->set_cause(id);
+          } else if (obs::FlightRecorder* fr = obs::flight(); fr != nullptr) {
+            fr->set_time(step);
+            fr->record(step, "hw.inject", "corrupt", obs::kNoEvent,
+                       obs::kNoEvent);
+          }
+#endif
           return input + 2 + static_cast<vote::Ballot>(replica);
         }
         return input + 1;
@@ -30,15 +51,14 @@ ExperimentResult run_adaptation_experiment(
   ReflectiveSwitchboard board(farm, config.policy, /*shared_key=*/config.seed);
 
   ExperimentResult result;
-  std::uint64_t step = 0;
-  // Hoisted once: the experiment loop runs tens of millions of iterations,
-  // so even the TLS load inside the AFT_* macros is too much per step.
-  [[maybe_unused]] obs::TraceSink* const sink = obs::trace();
   for (const DisturbancePhase& phase : script) {
     corruption_prob = phase.corruption_prob;
 #if !defined(AFT_OBS_DISABLED)
+    std::optional<obs::SpanGuard> phase_span;
     if (sink != nullptr) {
       sink->set_time(step);
+      phase_span.emplace("autonomic.experiment",
+                         phase.corruption_prob > 0.0 ? "burst" : "calm");
       sink->emit("autonomic.experiment", "phase",
                  {{"duration", phase.duration},
                   {"corruption_prob", phase.corruption_prob}});
@@ -47,10 +67,29 @@ ExperimentResult run_adaptation_experiment(
     for (std::uint64_t i = 0; i < phase.duration; ++i, ++step) {
       const std::uint64_t faults_before = faults_injected;
 #if !defined(AFT_OBS_DISABLED)
-      if (sink != nullptr) sink->set_time(step);
+      if (sink != nullptr) {
+        sink->set_time(step);
+        // Every round starts a fresh causal turn; without the reset a
+        // quiet round would inherit the previous round's chain.
+        sink->set_cause(obs::kNoEvent);
+      }
 #endif
       const vote::RoundReport report =
           farm.invoke(static_cast<vote::Ballot>(step));
+#if !defined(AFT_OBS_DISABLED)
+      if (sink != nullptr && report.dissent > 0) {
+        // Dissent is the detector-side symptom the injected corruption
+        // produced; the event inherits the injection as its cause and in
+        // turn becomes the cause of the switchboard's reaction.
+        const obs::EventId id =
+            sink->emit("vote.farm", "dissent",
+                       {{"step", step},
+                        {"dissenters", report.dissent},
+                        {"distance", report.distance},
+                        {"replicas", report.n}});
+        if (id != obs::kNoEvent) sink->set_cause(id);
+      }
+#endif
       if (!report.success) {
         ++result.voting_failures;
 #if !defined(AFT_OBS_DISABLED)

@@ -1,5 +1,7 @@
 #include "core/assumption.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::core {
 
 std::string to_string(Subject s) {
@@ -33,11 +35,31 @@ std::optional<Clash> AssumptionBase::verify(const Context& ctx) {
   const Outcome outcome = evaluate(ctx);
   state_ = outcome.state;
   if (state_ != AssumptionState::kViolated) return std::nullopt;
-  return Clash{.assumption_id = id_,
-               .statement = statement_,
-               .observed = outcome.observed,
-               .subject = subject_,
-               .context_revision = ctx.revision()};
+  Clash clash{.assumption_id = id_,
+              .statement = statement_,
+              .observed = outcome.observed,
+              .subject = subject_,
+              .context_revision = ctx.revision()};
+#if !defined(AFT_OBS_DISABLED)
+  AFT_METRIC_ADD("core.clashes", 1);
+  if (obs::TraceSink* sink = obs::trace(); sink != nullptr) {
+    // The clash record becomes the current cause: treatment set in motion
+    // by this clash (diagnosis, reconfiguration, rejuvenation) chains to it.
+    clash.trace_event =
+        sink->emit("core.assumption", "clash",
+                   {{"id", id_},
+                    {"observed", outcome.observed},
+                    {"subject", to_string(subject_)},
+                    {"revision", ctx.revision()}});
+    if (clash.trace_event != obs::kNoEvent) sink->set_cause(clash.trace_event);
+  } else {
+    obs::flight_note("core.assumption", "clash");
+  }
+  // Black-box trigger: a clash is exactly the incident the recorder exists
+  // for — preserve the run-up before anything else reacts to it.
+  obs::flight_dump("clash");
+#endif
+  return clash;
 }
 
 }  // namespace aft::core

@@ -56,6 +56,11 @@ struct Clash {
   std::string observed;       ///< the contextual truth (bold letter)
   Subject subject = Subject::kPhysicalEnvironment;
   std::uint64_t context_revision = 0;
+  /// Id of this clash's trace record (obs::EventId; ~0 = not traced).  The
+  /// record's own `cause` field links backwards, so carrying the id gives
+  /// every downstream consumer — diagnosis, treatment — the whole causal
+  /// chain.  Job-local in campaign workers: resolve before the merge.
+  std::uint64_t trace_event = ~std::uint64_t{0};
 };
 
 /// Type-erased base so heterogeneous assumptions live in one registry.

@@ -1,5 +1,7 @@
 #include "core/syndrome.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::core {
 
 std::string to_string(Syndrome s) {
@@ -17,6 +19,20 @@ Diagnosis diagnose_clash(const Clash& clash) {
   d.explanation = "assumption '" + clash.assumption_id + "' (" + clash.statement +
                   ") clashed with observed " + to_string(clash.subject) +
                   " truth: " + clash.observed;
+#if !defined(AFT_OBS_DISABLED)
+  if (obs::TraceSink* sink = obs::trace(); sink != nullptr) {
+    // Chain the diagnosis to the clash record it explains (the clash may
+    // have been emitted earlier in the turn, so restore it as the cause
+    // explicitly rather than relying on whatever is current).
+    if (clash.trace_event != obs::kNoEvent) sink->set_cause(clash.trace_event);
+    d.trace_event = sink->emit("core.syndrome", "diagnosis",
+                               {{"syndrome", to_string(d.syndrome)},
+                                {"assumption", clash.assumption_id}});
+    if (d.trace_event != obs::kNoEvent) sink->set_cause(d.trace_event);
+  } else {
+    obs::flight_note("core.syndrome", "diagnosis");
+  }
+#endif
   return d;
 }
 

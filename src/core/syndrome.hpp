@@ -30,6 +30,10 @@ enum class Syndrome : std::uint8_t {
 struct Diagnosis {
   Syndrome syndrome = Syndrome::kHorning;
   std::string explanation;
+  /// Id of this diagnosis' trace record (obs::EventId; ~0 = not traced);
+  /// its `cause` field points at the clash record, completing the
+  /// fault → clash → diagnosis chain `aft_trace why` reconstructs.
+  std::uint64_t trace_event = ~std::uint64_t{0};
 };
 
 /// Classifies an observed clash.  Environment- and hardware-subject clashes

@@ -29,6 +29,9 @@ double DualThresholdAlphaCount::record(bool error) {
     AFT_METRIC_ADD("detect.dual.suspensions", 1);
     AFT_TRACE("detect.dual", "suspend",
               {{"score", score_}, {"suspensions", suspensions_}});
+    // Black-box trigger: suspending a channel means the discriminator just
+    // declared a unit faulty — dump the run-up to the verdict.
+    obs::flight_dump("discriminator-suspend");
   } else if (suspended_ && score_ < params_.low) {
     suspended_ = false;
     ++reintegrations_;

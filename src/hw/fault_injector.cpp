@@ -1,6 +1,29 @@
 #include "hw/fault_injector.hpp"
 
+#include "obs/obs.hpp"
+
 namespace aft::hw {
+
+namespace {
+
+/// Records one injected fault and installs the record as the sink's current
+/// cause, so everything the fault sets in motion — detector verdicts, scrub
+/// repairs, reconfigurations — carries a causal chain that `aft_trace why`
+/// can walk back to this injection.
+void mark_injection([[maybe_unused]] const char* event,
+                    [[maybe_unused]] std::initializer_list<obs::Field> fields) {
+#if !defined(AFT_OBS_DISABLED)
+  AFT_METRIC_ADD("hw.injections", 1);
+  if (obs::TraceSink* sink = obs::trace(); sink != nullptr) {
+    const obs::EventId id = sink->emit("hw.inject", event, fields);
+    if (id != obs::kNoEvent) sink->set_cause(id);
+  } else {
+    obs::flight_note("hw.inject", event);
+  }
+#endif
+}
+
+}  // namespace
 
 namespace profiles {
 
@@ -56,12 +79,14 @@ void FaultInjector::inject_seu() {
       rng_.uniform_int(0, MemoryChip::kBitsPerWord - 1));
   chip_.inject_bit_flip(addr, bit);
   ++log_.seu;
+  mark_injection("seu", {{"addr", addr}, {"bit", bit}});
   if (profile_.multi_bit_fraction > 0 &&
       rng_.bernoulli(profile_.multi_bit_fraction)) {
     // Adjacent-cell upset: flip the neighbouring bit too.
     const unsigned neighbour = bit + 1 < MemoryChip::kBitsPerWord ? bit + 1 : bit - 1;
     chip_.inject_bit_flip(addr, neighbour);
     ++log_.multi_bit;
+    mark_injection("multi-bit", {{"addr", addr}, {"bit", neighbour}});
   }
 }
 
@@ -78,16 +103,19 @@ bool FaultInjector::tick() {
         rng_.uniform_int(0, MemoryChip::kBitsPerWord - 1));
     chip_.inject_stuck_at(addr, bit, rng_.bernoulli(0.5));
     ++log_.stuck;
+    mark_injection("stuck", {{"addr", addr}, {"bit", bit}});
     any = true;
   }
   if (profile_.sel_rate > 0 && rng_.bernoulli(profile_.sel_rate)) {
     chip_.inject_latch_up();
     ++log_.sel;
+    mark_injection("sel", {});
     any = true;
   }
   if (profile_.sefi_rate > 0 && rng_.bernoulli(profile_.sefi_rate)) {
     chip_.inject_sefi();
     ++log_.sefi;
+    mark_injection("sefi", {});
     any = true;
   }
   return any;

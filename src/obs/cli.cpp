@@ -1,5 +1,6 @@
 #include "obs/cli.hpp"
 
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string_view>
@@ -8,25 +9,36 @@ namespace aft::obs {
 
 namespace {
 
+/// Result of matching one argv slot against a value-taking flag.
+enum class FlagMatch { kNoMatch, kOk, kMissingOperand };
+
 /// Matches `--flag <value>` and `--flag=value`; advances `i` past consumed
-/// arguments and stores into `out`.  Returns true when `argv[i]` matched.
-bool take_value_flag(int argc, char** argv, int& i, std::string_view flag,
-                     std::string& out) {
+/// arguments and stores into `out`.  A flag with no operand — end of argv,
+/// an empty `--flag=`, or a following argument that is itself a flag — is
+/// kMissingOperand, never a silent no-op.
+FlagMatch take_value_flag(int argc, char** argv, int& i, std::string_view flag,
+                          std::string& out) {
   const std::string_view arg = argv[i];
   if (arg == flag) {
-    if (i + 1 < argc) {
-      out = argv[++i];
-    } else {
-      std::cerr << "[obs] " << flag << " requires a path argument\n";
+    if (i + 1 >= argc || std::string_view(argv[i + 1]).starts_with("--")) {
+      return FlagMatch::kMissingOperand;
     }
-    return true;
+    out = argv[++i];
+    return FlagMatch::kOk;
   }
-  if (arg.size() > flag.size() + 1 && arg.substr(0, flag.size()) == flag &&
+  if (arg.size() > flag.size() && arg.substr(0, flag.size()) == flag &&
       arg[flag.size()] == '=') {
+    if (arg.size() == flag.size() + 1) return FlagMatch::kMissingOperand;
     out = std::string(arg.substr(flag.size() + 1));
-    return true;
+    return FlagMatch::kOk;
   }
-  return false;
+  return FlagMatch::kNoMatch;
+}
+
+[[noreturn]] void usage_error(std::string_view flag) {
+  std::cerr << "error: " << flag << " requires a path operand\n"
+            << "usage: " << ObsCli::usage() << "\n";
+  std::exit(2);
 }
 
 }  // namespace
@@ -34,8 +46,16 @@ bool take_value_flag(int argc, char** argv, int& i, std::string_view flag,
 ObsCli::ObsCli(int argc, char** argv) {
   bool detail = false;
   for (int i = 1; i < argc; ++i) {
-    if (take_value_flag(argc, argv, i, "--trace", trace_path_)) continue;
-    if (take_value_flag(argc, argv, i, "--metrics", metrics_path_)) continue;
+    switch (take_value_flag(argc, argv, i, "--trace", trace_path_)) {
+      case FlagMatch::kOk: continue;
+      case FlagMatch::kMissingOperand: usage_error("--trace");
+      case FlagMatch::kNoMatch: break;
+    }
+    switch (take_value_flag(argc, argv, i, "--metrics", metrics_path_)) {
+      case FlagMatch::kOk: continue;
+      case FlagMatch::kMissingOperand: usage_error("--metrics");
+      case FlagMatch::kNoMatch: break;
+    }
     if (std::string_view(argv[i]) == "--trace-detail") detail = true;
   }
   if (!trace_path_.empty()) {
@@ -55,6 +75,12 @@ ObsCli::ObsCli(int argc, char** argv) {
 void ObsCli::flush() {
   if (flushed_) return;
   flushed_ = true;
+  if (sink_ && registry_) {
+    // Surface cap truncation in the metrics export too: a reader of the
+    // metrics file alone must be able to tell a complete trace (0) from a
+    // truncated one without scanning the JSONL for the footer record.
+    registry_->add("trace.dropped", sink_->dropped());
+  }
   if (sink_ && !trace_path_.empty()) {
     std::ofstream out(trace_path_);
     if (!out) {

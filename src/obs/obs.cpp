@@ -14,6 +14,13 @@ MetricsRegistry* metrics() noexcept { return t_metrics; }
 void set_trace(TraceSink* sink) noexcept { t_trace = sink; }
 void set_metrics(MetricsRegistry* registry) noexcept { t_metrics = registry; }
 
+void set_obs_time(std::uint64_t t) noexcept {
+  if (t_trace != nullptr) t_trace->set_time(t);
+  if (FlightRecorder* recorder = flight(); recorder != nullptr) {
+    recorder->set_time(t);
+  }
+}
+
 }  // namespace aft::obs
 
 #endif  // !AFT_OBS_DISABLED

@@ -1,12 +1,14 @@
-// Instrumentation access point: a per-thread current TraceSink and
-// MetricsRegistry, installed by benches (obs::ObsCli) or per campaign job
-// (util::parallel_for_index), plus the AFT_TRACE / AFT_METRIC_ADD macros the
-// subsystems call.
+// Instrumentation access point: a per-thread current TraceSink,
+// MetricsRegistry, and FlightRecorder, installed by benches (obs::ObsCli) or
+// per campaign job (util::parallel_for_index), plus the AFT_TRACE /
+// AFT_METRIC_ADD / AFT_SPAN macros the subsystems call.
 //
 // Cost when no sink is installed: one thread-local load and a predictable
-// branch per site.  Cost when compiled out (-DAFT_OBS=OFF, which defines
-// AFT_OBS_DISABLED): zero — the macros expand to (void)0 and the accessors
-// collapse to constant nullptr, so every instrumentation site folds away.
+// branch per site, plus a ~40-byte ring store into the always-on flight
+// recorder (flight.hpp).  Cost when compiled out (-DAFT_OBS=OFF, which
+// defines AFT_OBS_DISABLED): zero — the macros expand to (void)0 and the
+// accessors collapse to constant nullptr, so every instrumentation site
+// folds away.
 //
 // Threading model: the pointers are thread_local and never shared; each
 // campaign worker installs its own per-job sink, and util::parallel_for_index
@@ -14,6 +16,7 @@
 // and metrics bit-identical for any AFT_THREADS value.
 #pragma once
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -25,6 +28,7 @@ constexpr TraceSink* trace() noexcept { return nullptr; }
 constexpr MetricsRegistry* metrics() noexcept { return nullptr; }
 inline void set_trace(TraceSink*) noexcept {}
 inline void set_metrics(MetricsRegistry*) noexcept {}
+inline void set_obs_time(std::uint64_t) noexcept {}
 
 #else
 
@@ -34,6 +38,11 @@ inline void set_metrics(MetricsRegistry*) noexcept {}
 
 void set_trace(TraceSink* sink) noexcept;
 void set_metrics(MetricsRegistry* registry) noexcept;
+
+/// Advances the logical clock of both the installed TraceSink (if any) and
+/// the flight recorder, so black-box records stay timestamped even when
+/// tracing is off.
+void set_obs_time(std::uint64_t t) noexcept;
 
 #endif  // AFT_OBS_DISABLED
 
@@ -58,6 +67,35 @@ class ScopedObs {
   MetricsRegistry* prev_metrics_;
 };
 
+/// RAII span: emits a "span-begin" record naming the span, makes its id the
+/// sink's current span (so every event inside carries `span`, and nested
+/// span-begins carry their parent), and emits "span-end" — stamped with the
+/// span's own id — on destruction.  No-op when no sink is installed.
+/// Instantiate via AFT_SPAN.
+class SpanGuard {
+ public:
+  SpanGuard(const char* component, const char* name) noexcept
+      : sink_(trace()) {
+    if (sink_ == nullptr) return;
+    component_ = component;
+    prev_span_ = sink_->span();
+    const EventId id = sink_->emit(component, "span-begin", {{"name", name}});
+    if (id != kNoEvent) sink_->set_span(id);
+  }
+  ~SpanGuard() {
+    if (sink_ == nullptr) return;
+    sink_->emit(component_, "span-end");
+    sink_->set_span(prev_span_);
+  }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  TraceSink* sink_;
+  const char* component_ = nullptr;
+  EventId prev_span_ = kNoEvent;
+};
+
 }  // namespace aft::obs
 
 // Instrumentation macros.  `...` is a braced Field list, e.g.
@@ -69,13 +107,16 @@ class ScopedObs {
 #define AFT_TRACE(component, event, ...) static_cast<void>(0)
 #define AFT_METRIC_ADD(name, delta) static_cast<void>(0)
 #define AFT_OBS_SET_TIME(t) static_cast<void>(0)
+#define AFT_SPAN(component, name) static_cast<void>(0)
 
 #else
 
-#define AFT_TRACE(component, event, ...)                                  \
-  do {                                                                    \
-    if (::aft::obs::TraceSink* aft_obs_sink_ = ::aft::obs::trace())       \
-      aft_obs_sink_->emit((component), (event)__VA_OPT__(, __VA_ARGS__)); \
+#define AFT_TRACE(component, event, ...)                                   \
+  do {                                                                     \
+    if (::aft::obs::TraceSink* aft_obs_sink_ = ::aft::obs::trace())        \
+      aft_obs_sink_->emit((component), (event)__VA_OPT__(, __VA_ARGS__));  \
+    else                                                                   \
+      ::aft::obs::flight_note((component), (event));                       \
   } while (0)
 
 #define AFT_METRIC_ADD(name, delta)                                      \
@@ -84,10 +125,13 @@ class ScopedObs {
       aft_obs_reg_->add((name), (delta));                                \
   } while (0)
 
-#define AFT_OBS_SET_TIME(t)                                              \
-  do {                                                                   \
-    if (::aft::obs::TraceSink* aft_obs_sink_ = ::aft::obs::trace())      \
-      aft_obs_sink_->set_time(t);                                        \
-  } while (0)
+#define AFT_OBS_SET_TIME(t) ::aft::obs::set_obs_time(t)
+
+#define AFT_OBS_CONCAT2(a, b) a##b
+#define AFT_OBS_CONCAT(a, b) AFT_OBS_CONCAT2(a, b)
+
+/// Opens a named span for the rest of the enclosing scope.
+#define AFT_SPAN(component, name) \
+  ::aft::obs::SpanGuard AFT_OBS_CONCAT(aft_span_, __LINE__)((component), (name))
 
 #endif  // AFT_OBS_DISABLED

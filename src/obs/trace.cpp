@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include "obs/flight.hpp"
+
 #include <charconv>
 #include <cmath>
 #include <ostream>
@@ -70,14 +72,20 @@ void Field::append_value(std::string& out) const {
 
 TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events) {}
 
-void TraceSink::emit(std::string_view component, std::string_view event,
-                     std::initializer_list<Field> fields) {
+EventId TraceSink::emit(std::string_view component, std::string_view event,
+                        std::initializer_list<Field> fields) {
   if (lines_.size() >= max_events_) {
     ++dropped_;
-    return;
+    return kNoEvent;
+  }
+  const EventId id = lines_.size();
+  if (FlightRecorder* recorder = flight(); recorder != nullptr) {
+    recorder->record(time_, component, event, span_, cause_);
   }
   Line line;
   line.t = time_;
+  line.span = span_;
+  line.cause = cause_;
   std::string& rest = line.rest;
   rest.reserve(32 + 16 * fields.size());
   rest += "\"component\":";
@@ -91,14 +99,22 @@ void TraceSink::emit(std::string_view component, std::string_view event,
     f.append_value(rest);
   }
   lines_.push_back(std::move(line));
+  return id;
 }
 
 void TraceSink::append(TraceSink&& other) {
+  // Appended lines' ids shift by the current size; their span/cause
+  // references are job-local ids and must shift with them.  Drops only ever
+  // occur at the tail (size never shrinks), and references only point
+  // backwards, so a kept line can never reference a dropped one.
+  const EventId offset = lines_.size();
   for (Line& line : other.lines_) {
     if (lines_.size() >= max_events_) {
       ++dropped_;
       continue;
     }
+    if (line.span != kNoEvent) line.span += offset;
+    if (line.cause != kNoEvent) line.cause += offset;
     lines_.push_back(std::move(line));
   }
   dropped_ += other.dropped_;
@@ -115,6 +131,14 @@ void TraceSink::write_jsonl(std::ostream& out) const {
     append_u64(buf, line.t);
     buf += ",\"seq\":";
     append_u64(buf, seq++);
+    if (line.span != kNoEvent) {
+      buf += ",\"span\":";
+      append_u64(buf, line.span);
+    }
+    if (line.cause != kNoEvent) {
+      buf += ",\"cause\":";
+      append_u64(buf, line.cause);
+    }
     buf.push_back(',');
     buf += line.rest;
     buf += "}\n";

@@ -8,6 +8,23 @@
 // the parallel campaign runner can be appended in job order and the merged
 // file is bit-identical for any AFT_THREADS value.
 //
+// Causality plane (Sect. 3.2's reflective DAG made auditable): every event
+// carries two optional back-references, both expressed as event ids:
+//
+//   span  — the id of the enclosing span-begin record (AFT_SPAN / SpanGuard);
+//           the span-begin record itself carries its *parent* span, so the
+//           file encodes the full span tree;
+//   cause — the id of the event that causally led to this one.  Sites that
+//           originate causal chains (fault injection, clashes) emit their
+//           record and install its id as the sink's current cause; the
+//           simulation kernel snapshots the current cause into every
+//           scheduled entry and restores it at dispatch, so asynchronous
+//           continuations inherit the provenance of whatever scheduled them.
+//
+// Event ids ARE the final `seq` values: emit() returns the index the line
+// will serialize with, and append() rebases span/cause references by the
+// merge offset, so `aft_trace why <seq>` works on merged campaign output.
+//
 // Hot-path cost model: instrumentation sites go through the AFT_TRACE macro
 // (obs.hpp), which is a thread-local load + branch when no sink is installed
 // and compiles to nothing when AFT_OBS_DISABLED is defined (CMake -DAFT_OBS=OFF).
@@ -21,6 +38,13 @@
 #include <vector>
 
 namespace aft::obs {
+
+/// Identifies one trace event: its eventual `seq` in the written JSONL.
+using EventId = std::uint64_t;
+
+/// "No event": absent span parent / causal source, or an emit() that was
+/// dropped by the cap.
+inline constexpr EventId kNoEvent = ~EventId{0};
 
 /// One key/value pair of a trace event.  Values are copied/formatted at
 /// emit() time, so string views only need to outlive the emit call.
@@ -82,14 +106,28 @@ class TraceSink {
   void set_time(std::uint64_t t) noexcept { time_ = t; }
   [[nodiscard]] std::uint64_t time() const noexcept { return time_; }
 
+  /// Current causal source: the id every subsequent emit() records in its
+  /// `cause` field.  Chain origins (fault injections, clashes) install the
+  /// id emit() returned; the sim kernel snapshots/restores it around
+  /// schedule/dispatch (see simulator.cpp).
+  void set_cause(EventId cause) noexcept { cause_ = cause; }
+  [[nodiscard]] EventId cause() const noexcept { return cause_; }
+
+  /// Current enclosing span (the id of its span-begin record).  Managed by
+  /// SpanGuard / AFT_SPAN; stamped into every event's `span` field.
+  void set_span(EventId span) noexcept { span_ = span; }
+  [[nodiscard]] EventId span() const noexcept { return span_; }
+
   /// When enabled, instrumentation sites also emit high-volume per-dispatch
   /// records (e.g. sim event dispatch, scrub passes).  Off by default.
   void set_detail(bool on) noexcept { detail_ = on; }
   [[nodiscard]] bool detail() const noexcept { return detail_; }
 
-  /// Records one event at the current logical time.
-  void emit(std::string_view component, std::string_view event,
-            std::initializer_list<Field> fields = {});
+  /// Records one event at the current logical time, stamped with the
+  /// current span and cause.  Returns the event's id — its final `seq` in
+  /// the written file — or kNoEvent when the cap dropped it.
+  EventId emit(std::string_view component, std::string_view event,
+               std::initializer_list<Field> fields = {});
 
   [[nodiscard]] std::size_t size() const noexcept { return lines_.size(); }
   [[nodiscard]] bool empty() const noexcept { return lines_.empty(); }
@@ -97,11 +135,14 @@ class TraceSink {
 
   /// Moves `other`'s events to the end of this sink (campaign merge: called
   /// once per job, in job-index order, so the result is thread-count
-  /// independent).  `other` is left empty.
+  /// independent).  `other`'s span/cause references are rebased by this
+  /// sink's current size, keeping them valid in the merged file.  `other`
+  /// is left empty.
   void append(TraceSink&& other);
 
   /// Serializes all events as JSON Lines; `seq` is assigned here, in event
-  /// order, making (t, seq) a total order over the file.
+  /// order, making (t, seq) a total order over the file.  span/cause fields
+  /// are written only when set, immediately after `seq`.
   void write_jsonl(std::ostream& out) const;
   [[nodiscard]] std::string jsonl() const;
 
@@ -110,12 +151,16 @@ class TraceSink {
  private:
   struct Line {
     std::uint64_t t;
+    EventId span;
+    EventId cause;
     std::string rest;  ///< `"component":...` onwards, without braces
   };
 
   std::vector<Line> lines_;
   std::size_t max_events_;
   std::uint64_t time_ = 0;
+  EventId cause_ = kNoEvent;
+  EventId span_ = kNoEvent;
   std::uint64_t dropped_ = 0;
   bool detail_ = false;
 };

@@ -9,7 +9,13 @@ namespace aft::sim {
 
 void Simulator::schedule_at(SimTime when, Action action) {
   if (when < now_) throw std::invalid_argument("Simulator: event in the past");
-  queue_.push(Entry{when, next_seq_++, std::move(action)});
+  std::uint64_t cause = obs::kNoEvent;
+#if !defined(AFT_OBS_DISABLED)
+  if (const obs::TraceSink* sink = obs::trace(); sink != nullptr) {
+    cause = sink->cause();
+  }
+#endif
+  queue_.push(Entry{when, next_seq_++, cause, std::move(action)});
 }
 
 void Simulator::schedule_in(SimTime delay, Action action) {
@@ -26,11 +32,16 @@ bool Simulator::step() {
   ++executed_;
 #if !defined(AFT_OBS_DISABLED)
   // Dispatch hook: stamp the trace clock so every event emitted by the
-  // action carries the right simulated time; per-dispatch records are
-  // detail-level (they dominate trace volume on long runs).
+  // action carries the right simulated time, and reinstate the cause id
+  // that was current when this entry was scheduled — the dispatched
+  // continuation inherits the provenance of its scheduler.  Per-dispatch
+  // records are detail-level (they dominate trace volume on long runs).
   if (obs::TraceSink* sink = obs::trace(); sink != nullptr) {
     sink->set_time(now_);
+    sink->set_cause(e.cause);
     if (sink->detail()) sink->emit("sim", "dispatch", {{"eseq", e.seq}});
+  } else if (obs::FlightRecorder* recorder = obs::flight(); recorder != nullptr) {
+    recorder->set_time(now_);
   }
 #endif
   e.action();

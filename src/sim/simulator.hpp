@@ -27,6 +27,10 @@ class Simulator {
 
   /// Schedules `action` to fire at absolute time `when`.
   /// `when` must not lie in the past.
+  ///
+  /// Causality: the trace sink's current cause id is snapshotted into the
+  /// entry and reinstated when the entry is dispatched, so every event the
+  /// action emits records which event scheduled it (obs/trace.hpp).
   void schedule_at(SimTime when, Action action);
 
   /// Schedules `action` to fire `delay` ticks from now.
@@ -57,6 +61,9 @@ class Simulator {
   struct Entry {
     SimTime when;
     std::uint64_t seq;
+    /// Trace event id current when this entry was scheduled (obs::EventId;
+    /// ~0 = none).  Kept a plain integer so this header stays obs-free.
+    std::uint64_t cause;
     Action action;
   };
   struct Later {

@@ -41,7 +41,11 @@ class JobObsCapture {
     return parent_trace_ != nullptr || parent_metrics_ != nullptr;
   }
 
-  /// Runs `body(i)` with the job's own sink/registry installed.
+  /// Runs `body(i)` with the job's own sink/registry installed, plus a
+  /// fresh per-job flight recorder: workers migrate across jobs, and a
+  /// shared per-thread black box would make abort dumps depend on which
+  /// jobs a worker happened to run before — the per-job recorder keeps dump
+  /// contents (and therefore merged traces) thread-count independent.
   void run_job(std::size_t i, const std::function<void(std::size_t)>& body) {
     obs::TraceSink* sink = nullptr;
     obs::MetricsRegistry* registry = nullptr;
@@ -54,9 +58,19 @@ class JobObsCapture {
       metrics_[i] = std::make_unique<obs::MetricsRegistry>();
       registry = metrics_[i].get();
     }
+    obs::FlightRecorder recorder;
     const obs::ScopedObs scope(sink, registry);
+    const obs::ScopedFlight flight_scope(&recorder);
     if (sink != nullptr) sink->emit("campaign", "job", {{"index", i}});
-    body(i);
+    try {
+      body(i);
+    } catch (...) {
+      // Black-box trigger: preserve the aborting job's final moments while
+      // its sink is still installed, so the dump merges into the partial
+      // trace the caller still writes on error.
+      obs::flight_dump("campaign-abort");
+      throw;
+    }
   }
 
   /// Folds completed jobs into the caller's sinks, in index order.  Jobs a

@@ -1,0 +1,217 @@
+// Tests for the aft_trace post-mortem tooling (tools/): the JSONL reader,
+// the causal-chain / latency / diff / chrome analyses — and the end-to-end
+// acceptance path: on a Fig. 6 trace, `why <raise>` must reconstruct the
+// chain from the injected fault through the dissent to the switchboard
+// reconfiguration.
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "autonomic/experiment.hpp"
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
+#include "trace_analysis.hpp"
+#include "trace_reader.hpp"
+
+namespace {
+
+using aft::obs::ScopedObs;
+using aft::obs::TraceSink;
+using aft::tools::Trace;
+using aft::tools::TraceEvent;
+
+Trace parse(const std::string& jsonl) {
+  std::istringstream in(jsonl);
+  std::string error;
+  const auto trace = aft::tools::parse_trace(in, error);
+  EXPECT_TRUE(trace.has_value()) << error;
+  return trace.value_or(Trace{});
+}
+
+TEST(TraceReaderTest, RoundTripsSinkOutput) {
+  TraceSink sink;
+  sink.set_time(3);
+  sink.emit("mem.ecc", "corrected", {{"addr", 42u}, {"origin", "read"}});
+  sink.set_cause(0);
+  sink.set_time(5);
+  sink.emit("detect", "latch", {{"score", 2.5}, {"s", "a\"b\\c\n\x01"}});
+
+  const Trace trace = parse(sink.jsonl());
+  ASSERT_EQ(trace.events.size(), 2u);
+  const TraceEvent& e0 = trace.events[0];
+  EXPECT_EQ(e0.t, 3u);
+  EXPECT_EQ(e0.seq, 0u);
+  EXPECT_EQ(e0.cause, -1);
+  EXPECT_EQ(e0.component, "mem.ecc");
+  EXPECT_EQ(e0.event, "corrected");
+  ASSERT_NE(e0.field("addr"), nullptr);
+  EXPECT_EQ(*e0.field("addr"), "42");
+  const TraceEvent& e1 = trace.events[1];
+  EXPECT_EQ(e1.cause, 0);
+  ASSERT_NE(e1.field("score"), nullptr);
+  EXPECT_EQ(*e1.field("score"), "2.5");
+  // Escapes decode back to the original bytes.
+  ASSERT_NE(e1.field("s"), nullptr);
+  EXPECT_EQ(*e1.field("s"), "a\"b\\c\n\x01");
+}
+
+TEST(TraceReaderTest, ReadsTruncationFooterIntoDropped) {
+  TraceSink sink(/*max_events=*/1);
+  sink.emit("c", "kept");
+  sink.emit("c", "dropped");
+  sink.emit("c", "dropped");
+  const Trace trace = parse(sink.jsonl());
+  EXPECT_EQ(trace.dropped, 2u);
+}
+
+TEST(TraceReaderTest, ReportsMalformedLines) {
+  std::istringstream in("{\"t\":1,\"seq\":0,\"component\":\"c\"\nnot json\n");
+  std::string error;
+  EXPECT_FALSE(aft::tools::parse_trace(in, error).has_value());
+  EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, CausalChainWalksToRootAndWhyRendersIt) {
+  TraceSink sink;
+  sink.set_time(10);
+  const auto origin = sink.emit("hw.inject", "seu", {{"addr", 7u}});
+  sink.set_cause(origin);
+  sink.set_time(12);
+  sink.set_cause(sink.emit("detect.dual", "suspend"));
+  sink.set_time(15);
+  sink.emit("autonomic.switchboard", "raise", {{"replicas", 5u}});
+
+  const Trace trace = parse(sink.jsonl());
+  const auto chain = aft::tools::causal_chain(trace, 2);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain.front()->component, "hw.inject");
+  EXPECT_EQ(chain.back()->event, "raise");
+
+  const std::string why = aft::tools::render_why(trace, 2);
+  EXPECT_NE(why.find("#0 t=10 hw.inject/seu addr=7"), std::string::npos);
+  EXPECT_NE(why.find("-> #2 t=15 autonomic.switchboard/raise"),
+            std::string::npos);
+}
+
+TEST(TraceAnalysisTest, LatencyPairsStagesPerChainWithAddrFallback) {
+  TraceSink sink;
+  // Chain A: cause-linked inject -> detect (2 ticks) -> repair (5 ticks).
+  sink.set_time(10);
+  sink.set_cause(sink.emit("hw.inject", "seu", {{"addr", 1u}}));
+  sink.set_time(12);
+  sink.emit("detect.dual", "suspend");
+  sink.set_time(15);
+  sink.emit("mem.remap", "remap", {{"addr", 1u}});
+  sink.set_cause(aft::obs::kNoEvent);
+  // Chain B: no cause link, but the detection names the injected address —
+  // the addr fallback must attribute it (4 ticks).
+  sink.set_time(20);
+  sink.emit("hw.inject", "stuck", {{"addr", 9u}});
+  sink.set_time(24);
+  sink.emit("mem.ecc", "corrected", {{"addr", 9u}});
+  // Orphan: a detection with no ancestor and no matching address.
+  sink.set_time(30);
+  sink.emit("detect.watchdog", "miss", {{"channel", 3u}});
+
+  const auto report = aft::tools::compute_latency(parse(sink.jsonl()));
+  EXPECT_EQ(report.inject_to_detect.count, 2u);
+  EXPECT_EQ(report.inject_to_detect.min, 2u);
+  EXPECT_EQ(report.inject_to_detect.max, 4u);
+  EXPECT_EQ(report.inject_to_repair.count, 1u);
+  EXPECT_EQ(report.inject_to_repair.min, 5u);
+  EXPECT_EQ(report.orphan_detects, 1u);
+}
+
+TEST(TraceAnalysisTest, DiffDetectsCensusAndOrderDivergence) {
+  TraceSink a;
+  a.emit("c", "x");
+  a.emit("c", "y");
+  TraceSink b;
+  b.emit("c", "x");
+  b.set_time(1);
+  b.emit("c", "z");
+
+  const Trace ta = parse(a.jsonl());
+  const Trace tb = parse(b.jsonl());
+  EXPECT_TRUE(aft::tools::diff_traces(ta, ta, "a", "a2").identical);
+  const auto diff = aft::tools::diff_traces(ta, tb, "a", "b");
+  EXPECT_FALSE(diff.identical);
+  EXPECT_NE(diff.report.find("c/y"), std::string::npos);
+  EXPECT_NE(diff.report.find("first divergence at seq 1"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, ChromeExportPairsSpansIntoSlices) {
+  TraceSink sink;
+  sink.emit("bench", "span-begin", {{"name", "run"}});
+  sink.set_span(0);
+  sink.set_time(2);
+  sink.emit("mem.ecc", "corrected", {{"addr", 3u}});
+  sink.set_time(9);
+  sink.emit("bench", "span-end");
+  const std::string json = aft::tools::to_chrome_trace(parse(sink.jsonl()));
+  EXPECT_NE(json.find(R"("name":"run","ph":"X","dur":9)"), std::string::npos);
+  EXPECT_NE(json.find(R"("name":"mem.ecc/corrected","ph":"i")"),
+            std::string::npos);
+  // span-end folds into the slice instead of appearing as its own event.
+  EXPECT_EQ(json.find("span-end"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, SummaryCountsClassesAndChains) {
+  TraceSink sink;
+  sink.set_cause(sink.emit("hw.inject", "seu"));
+  sink.emit("detect.dual", "suspend");
+  sink.emit("autonomic.switchboard", "raise");
+  const std::string summary =
+      aft::tools::render_summary(parse(sink.jsonl()));
+  EXPECT_NE(summary.find("injections: 1"), std::string::npos);
+  EXPECT_NE(summary.find("detections: 1"), std::string::npos);
+  EXPECT_NE(summary.find("repairs: 1"), std::string::npos);
+  EXPECT_NE(summary.find("causal chains: 1"), std::string::npos);
+}
+
+#if !defined(AFT_OBS_DISABLED)
+
+// Acceptance: on a real Fig. 6 adaptation trace, walking the causal chain
+// of a switchboard raise must land on the injected fault that provoked it.
+TEST(TraceAnalysisTest, Fig6RaiseChainsBackToInjectedFault) {
+  TraceSink sink;
+  std::string jsonl;
+  {
+    ScopedObs scope(&sink, nullptr);
+    aft::autonomic::ExperimentConfig config;
+    config.seed = 2009;
+    config.policy.lower_after = 1000;
+    const auto result = aft::autonomic::run_adaptation_experiment(
+        config, aft::autonomic::fig6_script());
+    ASSERT_GT(result.raises, 0u);
+    jsonl = sink.jsonl();
+  }
+  const Trace trace = parse(jsonl);
+
+  const TraceEvent* raise = nullptr;
+  for (const TraceEvent& e : trace.events) {
+    if (e.component == "autonomic.switchboard" && e.event == "raise") {
+      raise = &e;
+      break;
+    }
+  }
+  ASSERT_NE(raise, nullptr) << "fig6 run produced no raise";
+
+  const auto chain = aft::tools::causal_chain(trace, raise->seq);
+  ASSERT_GE(chain.size(), 3u);
+  EXPECT_EQ(chain.front()->component, "hw.inject");
+  EXPECT_EQ(chain.front()->event, "corrupt");
+  // The detector-side symptom sits between the fault and the reaction.
+  EXPECT_EQ(chain[chain.size() - 2]->component, "vote.farm");
+  EXPECT_EQ(chain[chain.size() - 2]->event, "dissent");
+  EXPECT_EQ(chain.back(), raise);
+
+  // And the latency analysis attributes detections to injections.
+  const auto latency = aft::tools::compute_latency(trace);
+  EXPECT_GT(latency.inject_to_detect.count, 0u);
+}
+
+#endif  // !AFT_OBS_DISABLED
+
+}  // namespace

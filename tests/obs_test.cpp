@@ -1,6 +1,7 @@
 // Tests for the observability layer: JSONL trace shape, deterministic seq
 // assignment, merge order, metrics JSON export, and the thread-local
 // install/uninstall discipline the instrumentation macros rely on.
+#include <charconv>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -9,9 +10,11 @@
 #include <gtest/gtest.h>
 
 #include "obs/cli.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 
 namespace {
 
@@ -230,6 +233,252 @@ TEST(ObsCliTest, NoFlagsMeansNoSinks) {
   EXPECT_FALSE(cli.tracing());
   EXPECT_FALSE(cli.metering());
   EXPECT_EQ(aft::obs::trace(), nullptr);
+}
+
+// --- Field rendering -------------------------------------------------------
+
+TEST(FieldTest, AppendValueEscapesControlCharactersAndKeepsUtf8) {
+  std::string out;
+  Field("k", "tab\there\x01 snow\xE2\x98\x83").append_value(out);
+  // Control characters become \t / ; multi-byte UTF-8 passes through
+  // untouched (JSONL stays valid UTF-8 without mangling non-ASCII names).
+  EXPECT_EQ(out, "\"tab\\there\\u0001 snow\xE2\x98\x83\"");
+}
+
+TEST(FieldTest, AppendJsonStringEscapesEveryControlCharacter) {
+  for (int c = 0; c < 0x20; ++c) {
+    std::string out;
+    const char raw[2] = {static_cast<char>(c), '\0'};
+    aft::obs::append_json_string(out, std::string_view(raw, 1));
+    ASSERT_GE(out.size(), 4u) << "control char " << c << " not escaped";
+    for (const char ch : out) {
+      ASSERT_TRUE(static_cast<unsigned char>(ch) >= 0x20)
+          << "raw control byte leaked for " << c;
+    }
+  }
+}
+
+TEST(FieldTest, AppendJsonDoubleRoundTrips) {
+  // to_chars emits the shortest representation that parses back exactly —
+  // the property campaign diffs rely on (no locale, no precision drift).
+  for (const double v : {0.25, 0.1, -0.0, 1e300, 3.141592653589793,
+                         5e-324, -123456.789}) {
+    std::string out;
+    aft::obs::append_json_double(out, v);
+    double parsed = 0.0;
+    const auto [p, ec] =
+        std::from_chars(out.data(), out.data() + out.size(), parsed);
+    ASSERT_EQ(ec, std::errc()) << out;
+    ASSERT_EQ(p, out.data() + out.size()) << out;
+    EXPECT_EQ(parsed, v) << out;
+    EXPECT_EQ(out.find(','), std::string::npos) << out;  // locale-proof
+  }
+}
+
+// --- Span / cause serialization -------------------------------------------
+
+TEST(TraceSinkTest, SpanAndCauseSerializedAfterSeqWhenSet) {
+  TraceSink sink;
+  sink.emit("c", "plain");
+  sink.set_span(0);
+  sink.set_cause(0);
+  sink.set_time(4);
+  sink.emit("c", "chained", {{"k", 1}});
+
+  const auto lines = lines_of(sink.jsonl());
+  ASSERT_EQ(lines.size(), 2u);
+  // Unset refs are omitted entirely: pre-causality traces stay byte-stable.
+  EXPECT_EQ(lines[0], R"({"t":0,"seq":0,"component":"c","event":"plain"})");
+  EXPECT_EQ(lines[1],
+            R"({"t":4,"seq":1,"span":0,"cause":0,"component":"c","event":"chained","k":1})");
+}
+
+TEST(TraceSinkTest, EmitReturnsFutureSeqAndNoEventAtCap) {
+  TraceSink sink(/*max_events=*/2);
+  EXPECT_EQ(sink.emit("c", "a"), 0u);
+  EXPECT_EQ(sink.emit("c", "b"), 1u);
+  EXPECT_EQ(sink.emit("c", "dropped"), aft::obs::kNoEvent);
+}
+
+TEST(TraceSinkTest, AppendRebasesSpanAndCauseReferences) {
+  // Two campaign jobs, each with a job-local causal chain; after the merge
+  // the second job's refs must point at its own (shifted) events.
+  auto make_job = [] {
+    TraceSink job;
+    const aft::obs::EventId origin = job.emit("hw.inject", "seu");
+    job.set_cause(origin);
+    job.emit("detect", "latch");
+    return job;
+  };
+  TraceSink merged;
+  TraceSink job0 = make_job();
+  TraceSink job1 = make_job();
+  merged.append(std::move(job0));
+  merged.append(std::move(job1));
+
+  const auto lines = lines_of(merged.jsonl());
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_NE(lines[1].find(R"("seq":1,"cause":0)"), std::string::npos);
+  EXPECT_NE(lines[3].find(R"("seq":3,"cause":2)"), std::string::npos);
+}
+
+// --- Flight recorder (ring mechanics are runtime, not macro-gated) ---------
+
+TEST(FlightRecorderTest, RingKeepsMostRecentRecordsAndLifetimeCount) {
+  aft::obs::FlightRecorder recorder(/*capacity=*/3);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    recorder.record(i, "c", "e", aft::obs::kNoEvent, aft::obs::kNoEvent);
+  }
+  EXPECT_EQ(recorder.size(), 3u);
+  EXPECT_EQ(recorder.recorded(), 5u);
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().t, 2u);  // oldest survivor
+  EXPECT_EQ(records.back().t, 4u);
+  recorder.clear();
+  EXPECT_TRUE(recorder.empty());
+  EXPECT_EQ(recorder.recorded(), 5u);  // lifetime counter survives drain
+}
+
+TEST(FlightRecorderTest, RenderJsonlEmitsHeaderThenRecords) {
+  aft::obs::FlightRecorder recorder(4);
+  recorder.record(7, "mem.ecc", "corrected", 2, aft::obs::kNoEvent);
+  std::string out;
+  aft::obs::FlightRecorder::render_jsonl(out, "test", recorder.snapshot());
+  const auto lines = lines_of(out);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0],
+            R"({"component":"flight","event":"dump","reason":"test","records":1})");
+  EXPECT_EQ(
+      lines[1],
+      R"({"t":7,"component":"mem.ecc","event":"corrected","span":2,"cause":-1})");
+}
+
+#if !defined(AFT_OBS_DISABLED)
+
+// --- Spans -----------------------------------------------------------------
+
+TEST(SpanGuardTest, NestedSpansEncodeTreeAndRestoreCurrent) {
+  TraceSink sink;
+  ScopedObs scope(&sink, nullptr);
+  {
+    AFT_SPAN("t", "outer");  // span-begin seq 0
+    sink.emit("t", "a");     // span 0
+    {
+      AFT_SPAN("t", "inner");  // span-begin seq 2, parent span 0
+      sink.emit("t", "b");     // span 2
+    }                          // span-end, span 2
+    sink.emit("t", "c");       // span 0 again
+  }
+  EXPECT_EQ(sink.span(), aft::obs::kNoEvent);
+
+  const auto lines = lines_of(sink.jsonl());
+  ASSERT_EQ(lines.size(), 7u);
+  EXPECT_NE(lines[0].find(R"("event":"span-begin","name":"outer")"),
+            std::string::npos);
+  EXPECT_EQ(lines[0].find(R"("span":)"), std::string::npos);  // root span
+  EXPECT_NE(lines[1].find(R"("span":0,"component":"t","event":"a")"),
+            std::string::npos);
+  // Inner begin carries the parent span — the file encodes the span tree.
+  EXPECT_NE(lines[2].find(R"("span":0,"component":"t","event":"span-begin")"),
+            std::string::npos);
+  EXPECT_NE(lines[3].find(R"("span":2)"), std::string::npos);
+  EXPECT_NE(lines[4].find(R"("span":2,"component":"t","event":"span-end")"),
+            std::string::npos);
+  EXPECT_NE(lines[5].find(R"("span":0,"component":"t","event":"c")"),
+            std::string::npos);
+  EXPECT_NE(lines[6].find(R"("span":0,"component":"t","event":"span-end")"),
+            std::string::npos);
+}
+
+// --- Cause propagation through the simulation kernel -----------------------
+
+TEST(SimulatorCauseTest, DispatchedEventsInheritSchedulingCause) {
+  TraceSink sink;
+  ScopedObs scope(&sink, nullptr);
+  aft::sim::Simulator simulator;
+
+  const aft::obs::EventId origin = sink.emit("hw.inject", "seu");
+  sink.set_cause(origin);
+  simulator.schedule_in(5, [&] { sink.emit("detect", "late"); });
+  // The chain origin is scoped to its turn; the scheduled continuation must
+  // still inherit it from the snapshot taken at schedule time.
+  sink.set_cause(aft::obs::kNoEvent);
+  sink.emit("other", "unrelated");
+  simulator.run_until(10);
+
+  const auto lines = lines_of(sink.jsonl());
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[1].find(R"("cause":)"), std::string::npos);
+  EXPECT_NE(lines[2].find(R"("cause":0,"component":"detect","event":"late")"),
+            std::string::npos);
+}
+
+// --- Flight dump into an installed sink ------------------------------------
+
+TEST(FlightRecorderTest, DumpLandsInSinkAndDrainsRing) {
+  TraceSink sink;
+  ScopedObs scope(&sink, nullptr);
+  aft::obs::FlightRecorder recorder(8);
+  aft::obs::ScopedFlight flight_scope(&recorder);
+
+  aft::obs::flight_note("mem.ecc", "corrected");
+  aft::obs::flight_note("detect.dual", "suspend");
+  aft::obs::flight_dump("test-incident");
+
+  const std::string jsonl = sink.jsonl();
+  EXPECT_NE(jsonl.find(R"("event":"dump","reason":"test-incident","records":2)"),
+            std::string::npos);
+  EXPECT_NE(jsonl.find(R"("rcomponent":"mem.ecc","revent":"corrected")"),
+            std::string::npos);
+  EXPECT_TRUE(recorder.empty());
+
+  // Drained: a second dump must be a no-op, not a replay.
+  const std::size_t size_before = sink.size();
+  aft::obs::flight_dump("again");
+  EXPECT_EQ(sink.size(), size_before);
+}
+
+TEST(FlightRecorderTest, SinkEmitsFeedTheInstalledRecorder) {
+  aft::obs::FlightRecorder recorder(8);
+  aft::obs::ScopedFlight flight_scope(&recorder);
+  TraceSink sink;
+  ScopedObs scope(&sink, nullptr);
+  sink.set_time(42);
+  sink.emit("c", "e");
+  const auto records = recorder.snapshot();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].t, 42u);
+  EXPECT_EQ(records[0].component, "c");
+}
+
+#endif  // !AFT_OBS_DISABLED
+
+// --- ObsCli usage errors ---------------------------------------------------
+
+TEST(ObsCliDeathTest, MissingTraceOperandExitsWithUsage) {
+  std::string prog = "bench";
+  std::string flag = "--trace";
+  char* argv[] = {prog.data(), flag.data()};
+  EXPECT_EXIT(aft::obs::ObsCli(2, argv), ::testing::ExitedWithCode(2),
+              "--trace requires a path operand");
+}
+
+TEST(ObsCliDeathTest, FlagFollowedByFlagExitsWithUsage) {
+  std::string prog = "bench";
+  std::string flag = "--trace";
+  std::string next = "--metrics=m.json";
+  char* argv[] = {prog.data(), flag.data(), next.data()};
+  EXPECT_EXIT(aft::obs::ObsCli(3, argv), ::testing::ExitedWithCode(2),
+              "--trace requires a path operand");
+}
+
+TEST(ObsCliDeathTest, EmptyMetricsOperandExitsWithUsage) {
+  std::string prog = "bench";
+  std::string flag = "--metrics=";
+  char* argv[] = {prog.data(), flag.data()};
+  EXPECT_EXIT(aft::obs::ObsCli(2, argv), ::testing::ExitedWithCode(2),
+              "--metrics requires a path operand");
 }
 
 }  // namespace

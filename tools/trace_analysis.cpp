@@ -1,0 +1,377 @@
+#include "trace_analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+namespace aft::tools {
+
+namespace {
+
+bool is_repair_event(std::string_view event) {
+  return event == "raise" || event == "lower" || event == "remap" ||
+         event == "rebuild" || event == "power-cycle" ||
+         event == "reintegrate";
+}
+
+bool is_detect_event(std::string_view event) {
+  return event == "dissent" || event == "voting-failure" || event == "clash" ||
+         event == "corrected" || event == "uncorrectable" || event == "miss";
+}
+
+void append_fields(std::string& out, const TraceEvent& e) {
+  for (const auto& [k, v] : e.fields) {
+    out += ' ';
+    out += k;
+    out += '=';
+    out += v;
+  }
+}
+
+/// Name of the span enclosing `e`, or empty.  Span ids are the seq of the
+/// span-begin record, which carries the name as a field.
+std::string_view span_name(const Trace& trace, const TraceEvent& e) {
+  if (e.span < 0) return {};
+  const TraceEvent* begin = trace.by_seq(static_cast<std::uint64_t>(e.span));
+  if (begin == nullptr) return {};
+  if (const std::string* name = begin->field("name")) return *name;
+  return {};
+}
+
+LatencyStats finalize(std::vector<std::uint64_t>& deltas) {
+  LatencyStats s;
+  if (deltas.empty()) return s;
+  std::sort(deltas.begin(), deltas.end());
+  s.count = deltas.size();
+  s.min = deltas.front();
+  s.max = deltas.back();
+  double sum = 0.0;
+  for (const std::uint64_t d : deltas) sum += static_cast<double>(d);
+  s.mean = sum / static_cast<double>(deltas.size());
+  s.p50 = deltas[(deltas.size() - 1) / 2];
+  s.p95 = deltas[(deltas.size() - 1) * 95 / 100];
+  return s;
+}
+
+void render_stats(std::ostringstream& out, std::string_view label,
+                  const LatencyStats& s) {
+  out << "  " << label << ": n=" << s.count;
+  if (s.count > 0) {
+    out << " min=" << s.min << " p50=" << s.p50 << " mean=" << s.mean
+        << " p95=" << s.p95 << " max=" << s.max;
+  }
+  out << "\n";
+}
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static constexpr char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xF];
+          out += kHex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+EventClass classify(const TraceEvent& e) {
+  if (e.component == "hw.inject") return EventClass::kInject;
+  if (is_repair_event(e.event)) return EventClass::kRepair;
+  if (e.component.starts_with("detect.") || is_detect_event(e.event)) {
+    return EventClass::kDetect;
+  }
+  return EventClass::kOther;
+}
+
+std::vector<const TraceEvent*> causal_chain(const Trace& trace,
+                                            std::uint64_t seq) {
+  std::vector<const TraceEvent*> chain;
+  const TraceEvent* e = trace.by_seq(seq);
+  while (e != nullptr) {
+    chain.push_back(e);
+    if (e->cause < 0) break;
+    const auto cause = static_cast<std::uint64_t>(e->cause);
+    // Causes always point backwards in a well-formed trace; refuse to
+    // follow a forward/self reference so corrupt input can't loop us.
+    if (cause >= e->seq) break;
+    e = trace.by_seq(cause);
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+std::string render_why(const Trace& trace, std::uint64_t seq) {
+  const std::vector<const TraceEvent*> chain = causal_chain(trace, seq);
+  if (chain.empty()) {
+    return "no event with seq " + std::to_string(seq) + "\n";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < chain.size(); ++i) {
+    const TraceEvent& e = *chain[i];
+    for (std::size_t d = 0; d < i; ++d) out += "  ";
+    out += i == 0 ? "#" : "-> #";
+    out += std::to_string(e.seq);
+    out += " t=";
+    out += std::to_string(e.t);
+    out += ' ';
+    out += e.component;
+    out += '/';
+    out += e.event;
+    append_fields(out, e);
+    if (const std::string_view span = span_name(trace, e); !span.empty()) {
+      out += " [span:";
+      out += span;
+      out += ']';
+    }
+    out += '\n';
+  }
+  if (chain.front()->cause >= 0) {
+    out += "(chain truncated: root #" + std::to_string(chain.front()->seq) +
+           " still names cause " + std::to_string(chain.front()->cause) +
+           ", which is missing or malformed)\n";
+  }
+  return out;
+}
+
+std::string render_summary(const Trace& trace) {
+  std::ostringstream out;
+  std::map<std::pair<std::string, std::string>, std::uint64_t> census;
+  std::uint64_t injects = 0, detects = 0, repairs = 0, spans = 0, chains = 0;
+  for (const TraceEvent& e : trace.events) {
+    ++census[{e.component, e.event}];
+    switch (classify(e)) {
+      case EventClass::kInject: ++injects; break;
+      case EventClass::kDetect: ++detects; break;
+      case EventClass::kRepair: ++repairs; break;
+      case EventClass::kOther: break;
+    }
+    if (e.event == "span-begin") ++spans;
+    // A chain exists per event that starts one: origins have no cause but
+    // are named as a cause by someone else.  Cheaper and close enough:
+    // count distinct roots among events that do carry a cause.
+  }
+  std::vector<bool> is_root;
+  is_root.resize(trace.events.size(), false);
+  for (const TraceEvent& e : trace.events) {
+    if (e.cause >= 0) {
+      const std::vector<const TraceEvent*> chain = causal_chain(trace, e.seq);
+      if (!chain.empty() && chain.front()->cause < 0 &&
+          chain.front()->seq < is_root.size()) {
+        is_root[chain.front()->seq] = true;
+      }
+    }
+  }
+  for (const bool b : is_root) chains += b ? 1 : 0;
+
+  out << "events: " << trace.events.size();
+  if (!trace.events.empty()) {
+    out << "  t: [" << trace.events.front().t << ", "
+        << trace.events.back().t << "]";
+  }
+  out << "  dropped: " << trace.dropped << "\n";
+  out << "injections: " << injects << "  detections: " << detects
+      << "  repairs: " << repairs << "  spans: " << spans
+      << "  causal chains: " << chains << "\n\n";
+
+  std::vector<std::pair<std::pair<std::string, std::string>, std::uint64_t>>
+      rows(census.begin(), census.end());
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  out << "count  component/event\n";
+  for (const auto& [key, count] : rows) {
+    out << count;
+    for (std::size_t pad = std::to_string(count).size(); pad < 7; ++pad) {
+      out << ' ';
+    }
+    out << key.first << '/' << key.second << "\n";
+  }
+  return out.str();
+}
+
+LatencyReport compute_latency(const Trace& trace) {
+  LatencyReport report;
+  std::vector<std::uint64_t> d_detect, d_repair;
+  // Memoized chain roots: root(e) = e when cause < 0, else root(cause).
+  // Seqs may be sparse in hand-built traces, so key by seq, not index.
+  std::unordered_map<std::uint64_t, std::uint64_t> root;
+  std::unordered_map<std::uint64_t, const TraceEvent*> by_seq;
+  // Per-chain first-detect / first-repair latches (keyed by root seq).
+  std::unordered_map<std::uint64_t, bool> detect_done, repair_done;
+  // Fallback for signals that cross an un-instrumented boundary: the most
+  // recent injection naming each "addr".
+  std::unordered_map<std::string, const TraceEvent*> last_inject_at;
+
+  for (const TraceEvent& e : trace.events) {
+    by_seq[e.seq] = &e;
+    if (e.cause >= 0 && by_seq.count(static_cast<std::uint64_t>(e.cause))) {
+      root[e.seq] = root.count(static_cast<std::uint64_t>(e.cause))
+                        ? root[static_cast<std::uint64_t>(e.cause)]
+                        : static_cast<std::uint64_t>(e.cause);
+    } else {
+      root[e.seq] = e.seq;
+    }
+    const EventClass cls = classify(e);
+    if (cls == EventClass::kInject) {
+      if (const std::string* addr = e.field("addr")) {
+        last_inject_at[*addr] = &e;
+      }
+      continue;
+    }
+    if (cls != EventClass::kDetect && cls != EventClass::kRepair) continue;
+
+    const TraceEvent* origin = nullptr;
+    const auto it = by_seq.find(root[e.seq]);
+    if (it != by_seq.end() && classify(*it->second) == EventClass::kInject) {
+      origin = it->second;
+    }
+    if (origin == nullptr) {
+      if (const std::string* addr = e.field("addr")) {
+        const auto fallback = last_inject_at.find(*addr);
+        if (fallback != last_inject_at.end()) origin = fallback->second;
+      }
+    }
+    if (origin == nullptr) {
+      (cls == EventClass::kDetect ? report.orphan_detects
+                                  : report.orphan_repairs)++;
+      continue;
+    }
+    auto& done = cls == EventClass::kDetect ? detect_done : repair_done;
+    if (done[origin->seq]) continue;
+    done[origin->seq] = true;
+    const std::uint64_t delta = e.t >= origin->t ? e.t - origin->t : 0;
+    (cls == EventClass::kDetect ? d_detect : d_repair).push_back(delta);
+  }
+
+  report.inject_to_detect = finalize(d_detect);
+  report.inject_to_repair = finalize(d_repair);
+  return report;
+}
+
+std::string render_latency(const Trace& trace) {
+  const LatencyReport report = compute_latency(trace);
+  std::ostringstream out;
+  out << "latency (ticks, per causal chain, first hit each stage):\n";
+  render_stats(out, "inject->detect", report.inject_to_detect);
+  render_stats(out, "inject->repair", report.inject_to_repair);
+  if (report.orphan_detects > 0 || report.orphan_repairs > 0) {
+    out << "  unattributed: " << report.orphan_detects << " detections, "
+        << report.orphan_repairs << " repairs (no inject ancestor)\n";
+  }
+  return out.str();
+}
+
+DiffResult diff_traces(const Trace& a, const Trace& b, std::string_view name_a,
+                       std::string_view name_b) {
+  DiffResult result;
+  std::ostringstream out;
+
+  std::map<std::pair<std::string, std::string>,
+           std::pair<std::uint64_t, std::uint64_t>>
+      census;
+  for (const TraceEvent& e : a.events) ++census[{e.component, e.event}].first;
+  for (const TraceEvent& e : b.events) ++census[{e.component, e.event}].second;
+  for (const auto& [key, counts] : census) {
+    if (counts.first != counts.second) {
+      result.identical = false;
+      out << key.first << '/' << key.second << ": " << counts.first << " in "
+          << name_a << ", " << counts.second << " in " << name_b << "\n";
+    }
+  }
+
+  const std::size_t common = std::min(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const TraceEvent& ea = a.events[i];
+    const TraceEvent& eb = b.events[i];
+    if (ea.t != eb.t || ea.component != eb.component || ea.event != eb.event ||
+        ea.span != eb.span || ea.cause != eb.cause || ea.fields != eb.fields) {
+      result.identical = false;
+      out << "first divergence at seq " << i << ":\n  " << name_a << ": t="
+          << ea.t << " " << ea.component << '/' << ea.event << "\n  "
+          << name_b << ": t=" << eb.t << " " << eb.component << '/'
+          << eb.event << "\n";
+      break;
+    }
+  }
+  if (a.events.size() != b.events.size()) {
+    result.identical = false;
+    out << "event counts differ: " << a.events.size() << " (" << name_a
+        << ") vs " << b.events.size() << " (" << name_b << ")\n";
+  }
+  if (result.identical) out << "traces are structurally identical\n";
+  result.report = out.str();
+  return result;
+}
+
+std::string to_chrome_trace(const Trace& trace) {
+  // Span-begin seq -> end timestamp, matched through span-end's `span` ref.
+  std::unordered_map<std::uint64_t, std::uint64_t> span_end;
+  std::uint64_t last_t = 0;
+  for (const TraceEvent& e : trace.events) {
+    last_t = std::max(last_t, e.t);
+    if (e.event == "span-end" && e.span >= 0) {
+      span_end[static_cast<std::uint64_t>(e.span)] = e.t;
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const TraceEvent& e : trace.events) {
+    if (e.event == "span-end") continue;  // folded into the begin's slice
+    if (!first) out += ',';
+    first = false;
+    out += "\n{\"pid\":0,\"tid\":0,\"ts\":";
+    out += std::to_string(e.t);
+    out += ",\"name\":\"";
+    if (e.event == "span-begin") {
+      const std::string* name = e.field("name");
+      append_json_escaped(out, name != nullptr ? *name : "span");
+      // An unterminated span (trace cut mid-run) extends to the last
+      // timestamp seen, so it still renders as a slice.
+      const auto end = span_end.find(e.seq);
+      const std::uint64_t t_end = end != span_end.end() ? end->second : last_t;
+      out += "\",\"ph\":\"X\",\"dur\":";
+      out += std::to_string(t_end >= e.t ? t_end - e.t : 0);
+    } else {
+      append_json_escaped(out, e.component);
+      out += '/';
+      append_json_escaped(out, e.event);
+      out += "\",\"ph\":\"i\",\"s\":\"t\"";
+    }
+    out += ",\"cat\":\"";
+    append_json_escaped(out, e.component);
+    out += "\",\"args\":{\"seq\":";
+    out += std::to_string(e.seq);
+    if (e.cause >= 0) {
+      out += ",\"cause\":";
+      out += std::to_string(e.cause);
+    }
+    for (const auto& [k, v] : e.fields) {
+      out += ",\"";
+      append_json_escaped(out, k);
+      out += "\":\"";
+      append_json_escaped(out, v);
+      out += '"';
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace aft::tools

@@ -1,0 +1,84 @@
+// Analyses over a parsed trace: causal-chain walks (`why`), event census
+// (`summary`), inject->detect->repair latency histograms (`latency`),
+// structural comparison (`diff`), and Chrome trace-event export (`chrome`).
+//
+// Everything returns strings / plain structs rather than printing, so the
+// aft_trace CLI and the unit tests share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace_reader.hpp"
+
+namespace aft::tools {
+
+/// Rough role of an event in the fault-handling story.
+enum class EventClass { kInject, kDetect, kRepair, kOther };
+
+/// Classifies by the component/event vocabulary the src/ tree emits:
+/// injections come from "hw.inject", detections from "detect.*" components
+/// plus the symptom events (dissent, voting-failure, clash, corrected,
+/// uncorrectable, miss), repairs from the reconfiguration verbs (raise,
+/// lower, remap, rebuild, power-cycle, reintegrate).
+[[nodiscard]] EventClass classify(const TraceEvent& e);
+
+/// Causal chain of `seq`, root first, target last — the transitive walk of
+/// `cause` links.  Empty when `seq` is not in the trace.  Walks only ever
+/// step to a strictly smaller seq, so cyclic (corrupt) input terminates.
+[[nodiscard]] std::vector<const TraceEvent*> causal_chain(const Trace& trace,
+                                                          std::uint64_t seq);
+
+/// `aft_trace why <seq>`: the chain rendered one event per line, root
+/// first, with the enclosing span's name where one exists.
+[[nodiscard]] std::string render_why(const Trace& trace, std::uint64_t seq);
+
+/// `aft_trace summary`: totals, time range, drop count, and a per
+/// (component, event) census sorted by count.
+[[nodiscard]] std::string render_summary(const Trace& trace);
+
+/// One latency distribution (ticks between two chain stages).
+struct LatencyStats {
+  std::uint64_t count = 0;
+  std::uint64_t min = 0;
+  std::uint64_t max = 0;
+  double mean = 0.0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p95 = 0;
+};
+
+struct LatencyReport {
+  LatencyStats inject_to_detect;
+  LatencyStats inject_to_repair;
+  std::uint64_t orphan_detects = 0;  ///< detections with no inject ancestor
+  std::uint64_t orphan_repairs = 0;
+};
+
+/// Pairs each detection/repair with the injection at the root of its causal
+/// chain; events without an inject ancestor fall back to the most recent
+/// injection naming the same "addr", and count as orphans otherwise.  Only
+/// the first detection and first repair of each chain contribute, so one
+/// long repair cascade doesn't swamp the distribution.
+[[nodiscard]] LatencyReport compute_latency(const Trace& trace);
+[[nodiscard]] std::string render_latency(const Trace& trace);
+
+struct DiffResult {
+  bool identical = true;
+  std::string report;
+};
+
+/// Structural diff: per (component, event) counts, plus the first sequence
+/// position where the two traces disagree.  Timestamp-exact, so it doubles
+/// as the determinism check in CI.
+[[nodiscard]] DiffResult diff_traces(const Trace& a, const Trace& b,
+                                     std::string_view name_a,
+                                     std::string_view name_b);
+
+/// Chrome trace-event JSON (chrome://tracing, Perfetto): span-begin/end
+/// pairs become complete "X" slices, everything else instant "i" events;
+/// tick timestamps are mapped 1:1 onto microseconds.
+[[nodiscard]] std::string to_chrome_trace(const Trace& trace);
+
+}  // namespace aft::tools

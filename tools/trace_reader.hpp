@@ -1,0 +1,55 @@
+// Reader for the JSONL traces obs::TraceSink writes (and the flight
+// recorder's dump lines, which use the same flat-object shape).
+//
+// This is deliberately NOT a general JSON parser: every line is one flat
+// object whose values are strings, numbers, or booleans — the schema
+// documented in docs/observability.md.  Known keys (t, seq, span, cause,
+// component, event) land in typed members; everything else is kept as
+// (key, raw-value) pairs so analyses can match on fields like `addr`
+// without the reader having to understand them.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace aft::tools {
+
+struct TraceEvent {
+  std::uint64_t t = 0;
+  std::uint64_t seq = 0;
+  std::int64_t span = -1;   ///< enclosing span-begin seq; -1 = none
+  std::int64_t cause = -1;  ///< causing event seq; -1 = chain origin
+  std::string component;
+  std::string event;
+  /// Remaining fields in file order: decoded strings, or the raw token for
+  /// numbers/booleans (stable, to_chars-rendered — safe to compare as text).
+  std::vector<std::pair<std::string, std::string>> fields;
+
+  /// Value of field `key`, or nullptr.
+  [[nodiscard]] const std::string* field(std::string_view key) const;
+};
+
+struct Trace {
+  std::vector<TraceEvent> events;
+  std::uint64_t dropped = 0;  ///< from the "trace"/"truncated" footer
+
+  /// Event with `seq`, or nullptr.  Written traces are seq-dense, so this
+  /// is an index lookup with a fallback scan for foreign files.
+  [[nodiscard]] const TraceEvent* by_seq(std::uint64_t seq) const;
+};
+
+/// Parses a whole JSONL stream.  On failure returns nullopt and describes
+/// the first offending line in `error`.
+[[nodiscard]] std::optional<Trace> parse_trace(std::istream& in,
+                                               std::string& error);
+
+/// parse_trace over a file path ("-" reads stdin).
+[[nodiscard]] std::optional<Trace> load_trace(const std::string& path,
+                                              std::string& error);
+
+}  // namespace aft::tools
