@@ -1,5 +1,6 @@
 #include "autonomic/switchboard.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "obs/obs.hpp"
@@ -49,14 +50,23 @@ void ReflectiveSwitchboard::observe(const vote::RoundReport& report) {
     // Disturbance symptom: grow, immediately.
     consecutive_high_ = 0;
     if (report.n < policy_.max_replicas) {
-      request_resize(report.n + policy_.step, /*raised=*/true);
+      // Clamp to the ceiling: with step > 2 an unclamped raise from just
+      // below max_replicas would overshoot the policy envelope (and the
+      // Fig. 7 r ∈ {min..max} histogram domain).
+      request_resize(std::min(report.n + policy_.step, policy_.max_replicas),
+                     /*raised=*/true);
     }
     return;
   }
   if (report.distance >= max_distance - policy_.high_margin) {
     ++consecutive_high_;
     if (consecutive_high_ >= policy_.lower_after && report.n > policy_.min_replicas) {
-      request_resize(report.n - policy_.step, /*raised=*/false);
+      // Clamp to the floor without the unsigned underflow of n - step: when
+      // step > n - min_replicas the lower bottoms out at min_replicas
+      // instead of wrapping to a multi-exabyte replica count.
+      const std::size_t shrink =
+          std::min(policy_.step, report.n - policy_.min_replicas);
+      request_resize(report.n - shrink, /*raised=*/false);
       consecutive_high_ = 0;
     }
     return;

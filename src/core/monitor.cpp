@@ -13,7 +13,10 @@ ContextMonitor::ContextMonitor(sim::Simulator& sim, AssumptionRegistry& registry
 void ContextMonitor::start() {
   if (running_) return;
   running_ = true;
-  sim_.schedule_in(period_, [this] { cycle(); });
+  auto chain = [this] { cycle(); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "context-monitor cycle chain must schedule allocation-free");
+  sim_.schedule_in(period_, std::move(chain));
 }
 
 void ContextMonitor::cycle() {

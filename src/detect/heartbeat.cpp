@@ -26,7 +26,15 @@ void HeartbeatMonitor::watch(const std::string& channel, sim::SimTime deadline) 
   it->second = Channel{deadline, false, true, epoch, 0};
   AFT_TRACE("detect.heartbeat", "watch",
             {{"channel", channel}, {"deadline", deadline}});
-  sim_.schedule_in(deadline, [this, channel, epoch] { check(channel, epoch); });
+  // The widest in-tree continuation (this + std::string + epoch = 48 bytes):
+  // the kernel's 64-byte inline budget is sized to keep exactly this shape
+  // off the heap.  The init-capture matters: a plain copy capture of the
+  // `const std::string&` parameter would make the member const, turning the
+  // closure's move into a throwing string copy (and the storage heap-bound).
+  auto chain = [this, channel = channel, epoch] { check(channel, epoch); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "heartbeat check chain must schedule allocation-free");
+  sim_.schedule_in(deadline, std::move(chain));
 }
 
 void HeartbeatMonitor::beat(const std::string& channel) {
@@ -73,7 +81,11 @@ void HeartbeatMonitor::check(const std::string& channel, std::uint64_t epoch) {
   }
   // Every window is one alpha-count judgment round for this channel.
   discriminator_.record(channel, missed);
-  sim_.schedule_in(ch.deadline, [this, channel, epoch] { check(channel, epoch); });
+  // Same init-capture shape start()'s static_assert pins down.
+  auto chain = [this, channel = channel, epoch] { check(channel, epoch); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "heartbeat re-arm chain must schedule allocation-free");
+  sim_.schedule_in(ch.deadline, std::move(chain));
 }
 
 }  // namespace aft::detect

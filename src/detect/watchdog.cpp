@@ -21,7 +21,10 @@ void Watchdog::start() {
   // epoch cancels it, otherwise a stop()/start() cycle inside one deadline
   // would leave TWO live chains, double-counting every window from then on.
   const std::uint64_t epoch = ++epoch_;
-  sim_.schedule_in(deadline_, [this, epoch] { check_window(epoch); });
+  auto chain = [this, epoch] { check_window(epoch); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "watchdog window chain must schedule allocation-free");
+  sim_.schedule_in(deadline_, std::move(chain));
 }
 
 void Watchdog::check_window(std::uint64_t epoch) {
@@ -47,7 +50,10 @@ void WatchedTask::start() {
   if (running_) return;
   running_ = true;
   const std::uint64_t epoch = ++epoch_;
-  sim_.schedule_in(period_, [this, epoch] { tick(epoch); });
+  auto chain = [this, epoch] { tick(epoch); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "watched-task tick chain must schedule allocation-free");
+  sim_.schedule_in(period_, std::move(chain));
 }
 
 void WatchedTask::tick(std::uint64_t epoch) {

@@ -17,7 +17,10 @@ void ScrubberDaemon::start() {
   running_ = true;
   const std::uint64_t epoch = ++epoch_;
   AFT_TRACE("mem.scrub", "start", {{"period", period_}});
-  sim_.schedule_in(period_, [this, epoch] { pass(epoch); });
+  auto chain = [this, epoch] { pass(epoch); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "scrubber pass chain must schedule allocation-free");
+  sim_.schedule_in(period_, std::move(chain));
 }
 
 void ScrubberDaemon::set_period(sim::SimTime period) {

@@ -15,20 +15,21 @@ void Simulator::schedule_at(SimTime when, Action action) {
     cause = sink->cause();
   }
 #endif
-  queue_.push(Entry{when, next_seq_++, cause, std::move(action)});
+  queue_.push(EventKey{when, next_seq_++, cause}, std::move(action));
 }
 
 void Simulator::schedule_in(SimTime delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
-bool Simulator::step() {
+bool Simulator::step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder) {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the handle then pop.  Actions are small (std::function).
-  Entry e = queue_.top();
-  queue_.pop();
-  now_ = e.when;
+  // DHeap::pop() surrenders the callable by move: its inline storage is
+  // relocated, never copied and never re-allocated.  The key (with the
+  // dispatch metadata riding in it) is read off the heap root first.
+  const EventKey key = queue_.top_key();
+  Action action = queue_.pop();
+  now_ = key.when;
   ++executed_;
 #if !defined(AFT_OBS_DISABLED)
   // Dispatch hook: stamp the trace clock so every event emitted by the
@@ -36,22 +37,55 @@ bool Simulator::step() {
   // that was current when this entry was scheduled — the dispatched
   // continuation inherits the provenance of its scheduler.  Per-dispatch
   // records are detail-level (they dominate trace volume on long runs).
-  if (obs::TraceSink* sink = obs::trace(); sink != nullptr) {
+  if (sink != nullptr) {
     sink->set_time(now_);
-    sink->set_cause(e.cause);
-    if (sink->detail()) sink->emit("sim", "dispatch", {{"eseq", e.seq}});
-  } else if (obs::FlightRecorder* recorder = obs::flight(); recorder != nullptr) {
+    sink->set_cause(key.cause);
+    if (sink->detail()) sink->emit("sim", "dispatch", {{"eseq", key.seq}});
+  } else if (recorder != nullptr) {
     recorder->set_time(now_);
   }
+#else
+  (void)sink;
+  (void)recorder;
 #endif
-  e.action();
+  action();
   return true;
 }
 
+namespace {
+
+// The flight recorder only matters when no trace sink shadows it (mirrors
+// the old per-event lookup order: trace first, flight only on the miss).
+obs::FlightRecorder* flight_unless_traced(obs::TraceSink* sink) {
+#if !defined(AFT_OBS_DISABLED)
+  return sink == nullptr ? obs::flight() : nullptr;
+#else
+  (void)sink;
+  return nullptr;
+#endif
+}
+
+obs::TraceSink* trace_sink() {
+#if !defined(AFT_OBS_DISABLED)
+  return obs::trace();
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace
+
+bool Simulator::step() {
+  obs::TraceSink* const sink = trace_sink();
+  return step_with(sink, flight_unless_traced(sink));
+}
+
 std::uint64_t Simulator::run_until(SimTime until) {
+  obs::TraceSink* const sink = trace_sink();
+  obs::FlightRecorder* const recorder = flight_unless_traced(sink);
   std::uint64_t ran = 0;
-  while (!queue_.empty() && queue_.top().when <= until) {
-    step();
+  while (!queue_.empty() && queue_.top_key().when <= until) {
+    step_with(sink, recorder);
     ++ran;
   }
   if (now_ < until) now_ = until;
@@ -59,14 +93,16 @@ std::uint64_t Simulator::run_until(SimTime until) {
 }
 
 std::uint64_t Simulator::run_all() {
+  obs::TraceSink* const sink = trace_sink();
+  obs::FlightRecorder* const recorder = flight_unless_traced(sink);
   std::uint64_t ran = 0;
-  while (step()) ++ran;
+  while (step_with(sink, recorder)) ++ran;
   return ran;
 }
 
 void Simulator::advance_to(SimTime when) {
   if (when < now_) throw std::invalid_argument("Simulator: cannot move clock backwards");
-  if (!queue_.empty() && queue_.top().when < when) {
+  if (!queue_.empty() && queue_.top_key().when < when) {
     throw std::logic_error("Simulator: advancing past pending events");
   }
   now_ = when;

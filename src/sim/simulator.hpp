@@ -6,12 +6,25 @@
 // scheduled for the same tick fire in scheduling order (FIFO tie-break via a
 // monotonically increasing sequence number), so a given seed always produces
 // the same trace.
+//
+// Hot-path contract (bench/perf_sim defends it): scheduling and dispatching
+// an event never touches the heap once the queue's backing storage is warm.
+// Entries hold a util::InlineFn (64-byte in-object callable storage) inside
+// a util::DHeap whose pop() moves the minimum out — the std::function +
+// std::priority_queue predecessor paid one allocation per schedule and a
+// full entry copy (another allocation) per dispatch, because
+// priority_queue::top() is const.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+
+#include "util/dheap.hpp"
+#include "util/inline_fn.hpp"
+
+namespace aft::obs {
+class TraceSink;
+class FlightRecorder;
+}  // namespace aft::obs
 
 namespace aft::sim {
 
@@ -20,7 +33,17 @@ using SimTime = std::uint64_t;
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  /// Scheduled continuation.  Move-only; callables up to 64 bytes of capture
+  /// are stored inline (larger ones overflow to the heap — a correctness
+  /// fallback no in-tree client takes; see fits_inline).
+  using Action = util::InlineFn<void(), 64>;
+
+  /// True when a callable of type F schedules without any heap allocation.
+  /// Scheduling clients static_assert this on their continuation lambdas so
+  /// a capture that grows past the inline budget is a compile error, not a
+  /// silent perf regression.
+  template <typename F>
+  static constexpr bool fits_inline = Action::template stores_inline<F>;
 
   /// Current logical time.  Starts at 0.
   [[nodiscard]] SimTime now() const noexcept { return now_; }
@@ -58,25 +81,39 @@ class Simulator {
   void advance_to(SimTime when);
 
  private:
-  struct Entry {
-    SimTime when;
-    std::uint64_t seq;
-    /// Trace event id current when this entry was scheduled (obs::EventId;
-    /// ~0 = none).  Kept a plain integer so this header stays obs-free.
-    std::uint64_t cause;
-    Action action;
+  /// step() with the observability lookups hoisted by the caller.  The
+  /// thread-local sink lookups (obs::trace()/obs::flight()) are out-of-line
+  /// calls; run_until/run_all fetch them once per loop instead of once per
+  /// dispatched event (the hoisting idiom obs.hpp prescribes for hot paths).
+  /// Sinks are installed by RAII scopes around whole runs, never from inside
+  /// a scheduled action, so the pointers cannot go stale mid-loop.
+  bool step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder);
+
+  /// Heap node key.  `cause` is dispatch metadata riding along in the
+  /// compact node (the comparator ignores it): the trace event id current
+  /// when the entry was scheduled (obs::EventId; ~0 = none), kept a plain
+  /// integer so this header stays obs-free.  The queue's values are the
+  /// bare Actions — sifting shuffles these 32-byte nodes while each
+  /// callable is written into its pool slot once and moved out once.
+  struct EventKey {
+    SimTime when = 0;
+    std::uint64_t seq = 0;
+    std::uint64_t cause = 0;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.when != b.when) return a.when > b.when;
-      return a.seq > b.seq;
+  /// Strict TOTAL order on keys ((when, seq) pairs are unique), so the
+  /// heap's pop sequence — and therefore dispatch order — is exactly the
+  /// FIFO-tie-broken time order, independent of heap arity or layout.
+  struct Earlier {
+    bool operator()(const EventKey& a, const EventKey& b) const noexcept {
+      if (a.when != b.when) return a.when < b.when;
+      return a.seq < b.seq;
     }
   };
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  util::DHeap<Action, EventKey, Earlier> queue_;
 };
 
 }  // namespace aft::sim

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <limits>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -14,9 +17,25 @@ namespace aft::util {
 
 unsigned campaign_threads() {
   if (const char* env = std::getenv("AFT_THREADS")) {
-    const long v = std::strtol(env, nullptr, 10);
-    if (v >= 1) return static_cast<unsigned>(v);
-    // Malformed or non-positive values fall through to the hardware default.
+    // Strict parse: the whole value must be one in-range decimal number.
+    // strtol alone would silently accept "8garbage" as 8 — and a campaign
+    // quietly running on the wrong pool size is exactly the kind of unstated
+    // assumption this library exists to flush out.
+    char* end = nullptr;
+    errno = 0;
+    const long v = std::strtol(env, &end, 10);
+    const bool well_formed =
+        end != env && *end == '\0' && errno == 0 &&
+        v <= static_cast<long>(std::numeric_limits<unsigned>::max());
+    if (well_formed && v >= 1) return static_cast<unsigned>(v);
+    if (!well_formed) {
+      std::fprintf(stderr,
+                   "aft: ignoring malformed AFT_THREADS='%s' "
+                   "(using hardware default)\n",
+                   env);
+    }
+    // Well-formed but non-positive values fall through to the hardware
+    // default, as before.
   }
   const unsigned hc = std::thread::hardware_concurrency();
   return hc == 0 ? 1u : hc;

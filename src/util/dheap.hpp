@@ -1,0 +1,139 @@
+// Indexed d-ary min-heap — the simulation kernel's event queue structure.
+//
+// Layout: values live in a stable slab (`pool_`) recycled through a LIFO
+// freelist; the heap itself orders compact {key, slot} nodes.  Three
+// properties std::priority_queue cannot offer drove this:
+//
+//   1. pop() RETURNS the minimum by move.  priority_queue::top() is const, so
+//      extracting an entry forces a full copy (for an entry holding a
+//      callable, that used to mean a heap allocation per dispatched event).
+//   2. Ordering work never touches the values.  A kernel entry is ~96 bytes
+//      (timestamp + sequence + cause + 72-byte inline callable); sifting
+//      those directly moves multiple cache lines per level.  Here a value is
+//      written into its pool slot once on push and moved out once on pop —
+//      sift-up/down compares and shuffles 24-byte key/slot nodes that sit
+//      contiguously in their own array.
+//   3. Arity D = 4 (default): sift-down visits ~log4 levels with the child
+//      nodes of a parent adjacent in memory (one or two cache lines per
+//      level), trading a few extra comparisons per level for half the levels
+//      of a binary heap.
+//
+// The LIFO freelist keeps the recycled pool slots cache-hot: a steady-state
+// schedule/dispatch loop keeps reusing the same few slots.
+//
+// `KeyLess` must be a strict weak ordering on `Key`; when it is a strict
+// TOTAL order (the kernel orders by the unique (when, seq) pair) the pop
+// sequence is unique, which is what makes kernel dispatch order — and
+// therefore every trace — deterministic regardless of the internal layout.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace aft::util {
+
+template <typename T, typename Key, typename KeyLess = std::less<Key>,
+          std::size_t D = 4>
+class DHeap {
+  static_assert(D >= 2, "DHeap: arity must be at least 2");
+
+ public:
+  DHeap() = default;
+  explicit DHeap(KeyLess less) : less_(std::move(less)) {}
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  /// Smallest element / its key.  Precondition: !empty().
+  [[nodiscard]] const T& top() const noexcept {
+    return pool_[heap_.front().slot];
+  }
+  [[nodiscard]] const Key& top_key() const noexcept {
+    return heap_.front().key;
+  }
+
+  void reserve(std::size_t n) {
+    pool_.reserve(n);
+    heap_.reserve(n);
+    free_.reserve(n);
+  }
+
+  void clear() noexcept {
+    pool_.clear();
+    heap_.clear();
+    free_.clear();
+  }
+
+  /// The value is moved (or copied, for an lvalue) exactly once, into a
+  /// pool slot (a recycled one when available); ordering work shuffles
+  /// {key, slot} nodes only.
+  template <typename U>
+  void push(Key key, U&& value) {
+    Index slot;
+    if (!free_.empty()) {
+      slot = free_.back();
+      free_.pop_back();
+      pool_[slot] = std::forward<U>(value);
+    } else {
+      slot = static_cast<Index>(pool_.size());
+      pool_.push_back(std::forward<U>(value));
+    }
+    // Hole-based sift-up of the new node.
+    std::size_t hole = heap_.size();
+    heap_.emplace_back();
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / D;
+      if (!less_(key, heap_[parent].key)) break;
+      heap_[hole] = heap_[parent];
+      hole = parent;
+    }
+    heap_[hole] = Node{std::move(key), slot};
+  }
+
+  /// Removes and returns the smallest element by move (never copies); its
+  /// pool slot goes back on the freelist.  Precondition: !empty().
+  T pop() {
+    const Index slot = heap_.front().slot;
+    T out = std::move(pool_[slot]);
+    free_.push_back(slot);
+    Node displaced = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) {
+      // Hole-based sift-down of the displaced tail node.
+      const std::size_t n = heap_.size();
+      std::size_t hole = 0;
+      for (;;) {
+        const std::size_t first = hole * D + 1;
+        if (first >= n) break;
+        const std::size_t end = first + D < n ? first + D : n;
+        std::size_t best = first;
+        for (std::size_t c = first + 1; c < end; ++c) {
+          if (less_(heap_[c].key, heap_[best].key)) best = c;
+        }
+        if (!less_(heap_[best].key, displaced.key)) break;
+        heap_[hole] = std::move(heap_[best]);
+        hole = best;
+      }
+      heap_[hole] = std::move(displaced);
+    }
+    return out;
+  }
+
+ private:
+  using Index = std::uint32_t;
+
+  struct Node {
+    Key key{};
+    Index slot = 0;
+  };
+
+  std::vector<T> pool_;      ///< stable value slab (moved-from slots linger)
+  std::vector<Node> heap_;   ///< d-ary heap of {key, pool slot} nodes
+  std::vector<Index> free_;  ///< LIFO stack of recyclable pool slots
+  KeyLess less_;
+};
+
+}  // namespace aft::util

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <sstream>
+#include <stdexcept>
 
 namespace aft::util {
 
@@ -34,6 +35,11 @@ std::int64_t Histogram::mode() const {
 }
 
 std::string Histogram::render_log_scale(int max_width) const {
+  if (max_width <= 0) {
+    // A non-positive width would scale bars negative; casting that to
+    // std::size_t below used to request a multi-exabyte string of '#'.
+    throw std::invalid_argument("Histogram: max_width must be positive");
+  }
   std::ostringstream out;
   // Scale bars by log10(n) + 1 rather than log10(n): with the latter a bin
   // holding a single sample maps to log10(1) = 0 and renders a zero-width

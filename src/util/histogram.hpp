@@ -38,6 +38,7 @@ class Histogram {
 
   /// Renders an ASCII bar chart; bar length is proportional to
   /// log10(count), mirroring the paper's log-scale y axis.
+  /// Throws std::invalid_argument when max_width is not positive.
   [[nodiscard]] std::string render_log_scale(int max_width = 60) const;
 
  private:

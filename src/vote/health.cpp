@@ -13,10 +13,22 @@ std::string ReplicaHealthTracker::channel_of(std::size_t replica) {
 
 void ReplicaHealthTracker::observe(const VotingFarm& farm,
                                    const RoundReport& report) {
+  // Track resizes first (even on no-majority rounds): after a farm shrink,
+  // slots >= the new arity no longer exist, so their channels are retired —
+  // otherwise retirable() keeps reporting indices nobody can repair, and a
+  // later re-grow would inherit a departed unit's error history.
+  const std::size_t arity = farm.replicas();
+  if (arity < slots_seen_) {
+    for (std::size_t r = arity; r < slots_seen_; ++r) {
+      discriminator_.reset_channel(channel_of(r));
+    }
+    slots_seen_ = arity;
+  }
   if (!report.success) return;  // no ground truth this round
   const std::vector<Ballot>& ballots = farm.last_ballots();
-  slots_seen_ = std::max(slots_seen_, ballots.size());
-  for (std::size_t r = 0; r < ballots.size(); ++r) {
+  const std::size_t scored = std::min(ballots.size(), arity);
+  slots_seen_ = std::max(slots_seen_, scored);
+  for (std::size_t r = 0; r < scored; ++r) {
     discriminator_.record(channel_of(r), ballots[r] != report.value);
   }
 }

@@ -17,13 +17,18 @@ VotingFarm::VotingFarm(std::size_t replicas, Task task)
 
 RoundReport VotingFarm::invoke(Ballot input) {
   ++rounds_;
-  ballots_.clear();
-  ballots_.reserve(replicas_);
+  // Hot path of the Fig. 6/7 experiment loops: both buffers are assigned in
+  // place (resize reuses capacity across rounds and resizes), and each
+  // ballot lands in the voting scratch as it is produced — no separate
+  // `scratch_ = ballots_` copy pass over the round's ballots.
+  ballots_.resize(replicas_);
+  scratch_.resize(replicas_);
   for (std::size_t r = 0; r < replicas_; ++r) {
-    ballots_.push_back(task_(input, r));
+    const Ballot b = task_(input, r);
+    ballots_[r] = b;
+    scratch_[r] = b;
     ++replica_invocations_;
   }
-  scratch_ = ballots_;
   const VoteOutcome outcome = majority_vote_inplace(scratch_);
   last_winner_ = outcome.winner;
 

@@ -110,6 +110,38 @@ TEST(SwitchboardTest, RespectsMaxReplicas) {
   EXPECT_EQ(board.raises(), 0u);
 }
 
+TEST(SwitchboardTest, RaiseWithWideStepClampsToMaxReplicas) {
+  // Regression: a raise was requested at n + step unclamped, so a wide step
+  // near the ceiling pushed the farm past policy.max_replicas (5 + 6 = 11
+  // here) — and every later "RespectsMaxReplicas" comparison silently used
+  // the oversized farm.
+  VotingFarm farm = healthy_farm(5);
+  ReflectiveSwitchboard::Policy policy;
+  policy.step = 6;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  board.observe(report_of(5, 2));  // critical: must raise, but only to max
+  EXPECT_EQ(farm.replicas(), 9u);
+  EXPECT_EQ(board.raises(), 1u);
+  // At the ceiling the controller stays put.
+  board.observe(report_of(9, 4));
+  EXPECT_EQ(farm.replicas(), 9u);
+}
+
+TEST(SwitchboardTest, LowerWithWideStepClampsToMinReplicas) {
+  // Regression: the lower target was computed as n - step in std::size_t,
+  // so step > n underflowed to a gigantic replica count and the "lower"
+  // actually grew the farm by a few quintillion replicas.
+  VotingFarm farm = healthy_farm(3);
+  ReflectiveSwitchboard::Policy policy;
+  policy.min_replicas = 1;
+  policy.step = 4;
+  policy.lower_after = 1;
+  ReflectiveSwitchboard board(farm, policy, 42);
+  board.observe(report_of(3, 0));  // high round -> lower, clamped to min
+  EXPECT_EQ(farm.replicas(), 1u);
+  EXPECT_EQ(board.lowers(), 1u);
+}
+
 TEST(SwitchboardTest, LowersOnlyAfterConsecutiveHighRounds) {
   VotingFarm farm = healthy_farm(5);
   ReflectiveSwitchboard::Policy policy;

@@ -188,4 +188,31 @@ TEST(CampaignTest, ThreadCountRespectsEnvVar) {
   EXPECT_GE(campaign_threads(), 1u);
 }
 
+TEST(CampaignTest, MalformedThreadCountIsNotTruncatedToItsPrefix) {
+  // Regression: atoi-style parsing accepted "3garbage" as 3, silently
+  // running campaigns on the wrong pool size.  The strict parse must reject
+  // any trailing junk and fall back to the hardware default.  Two different
+  // numeric prefixes prove the point on any machine: the hardware default
+  // cannot equal both 3 and 5.
+  const ThreadsEnvGuard guard;
+  ::setenv("AFT_THREADS", "3garbage", 1);
+  const unsigned first = campaign_threads();
+  ::setenv("AFT_THREADS", "5garbage", 1);
+  const unsigned second = campaign_threads();
+  EXPECT_EQ(first, second);
+  EXPECT_GE(first, 1u);
+  // Other malformed shapes take the same fallback.
+  ::setenv("AFT_THREADS", "", 1);
+  EXPECT_EQ(campaign_threads(), first);
+  ::setenv("AFT_THREADS", " 4 ", 1);
+  EXPECT_EQ(campaign_threads(), first);
+  ::setenv("AFT_THREADS", "0x8", 1);
+  EXPECT_EQ(campaign_threads(), first);
+  ::setenv("AFT_THREADS", "99999999999999999999", 1);  // out of range
+  EXPECT_EQ(campaign_threads(), first);
+  // A well-formed value still wins.
+  ::setenv("AFT_THREADS", "4", 1);
+  EXPECT_EQ(campaign_threads(), 4u);
+}
+
 }  // namespace

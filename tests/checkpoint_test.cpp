@@ -163,4 +163,52 @@ TEST(ReplicaHealthTest, RepairRestartsHistory) {
   EXPECT_TRUE(tracker.retirable().empty());
 }
 
+TEST(ReplicaHealthTest, FarmShrinkRetiresStaleSlotChannels) {
+  // Regression: slots_seen_ only ever grew, so after a farm shrink
+  // retirable() kept reporting slot indices that no longer existed — and a
+  // later re-grow handed the departed unit's error history to whatever new
+  // unit landed in that slot.
+  bool broken = true;
+  aft::vote::VotingFarm farm(7, [&](aft::vote::Ballot in, std::size_t replica) {
+    return (replica == 5 && broken) ? -1 : in;
+  });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 1; i < 10; ++i) tracker.observe(farm, farm.invoke(i));
+  ASSERT_EQ(tracker.retirable(), std::vector<std::size_t>{5});
+  EXPECT_EQ(tracker.slots_seen(), 7u);
+
+  farm.resize(3);
+  tracker.observe(farm, farm.invoke(10));
+  EXPECT_EQ(tracker.slots_seen(), 3u);
+  EXPECT_TRUE(tracker.retirable().empty());
+
+  // Re-grow with a repaired unit in slot 5: no inherited history.
+  broken = false;
+  farm.resize(7);
+  tracker.observe(farm, farm.invoke(11));
+  EXPECT_EQ(tracker.slots_seen(), 7u);
+  EXPECT_TRUE(tracker.retirable().empty());
+}
+
+TEST(ReplicaHealthTest, ShrinkIsTrackedEvenOnNoMajorityRounds) {
+  // The arity bookkeeping must run before the no-ground-truth early-out:
+  // a shrink followed only by failed rounds still retires the stale slots.
+  bool scatter = false;
+  aft::vote::VotingFarm farm(5, [&](aft::vote::Ballot in, std::size_t replica) {
+    if (scatter) return in + static_cast<aft::vote::Ballot>(replica);
+    return replica == 4 ? aft::vote::Ballot{-1} : in;
+  });
+  aft::vote::ReplicaHealthTracker tracker;
+  for (int i = 1; i < 10; ++i) tracker.observe(farm, farm.invoke(i));
+  ASSERT_EQ(tracker.retirable(), std::vector<std::size_t>{4});
+
+  farm.resize(3);
+  scatter = true;  // every ballot now differs: no majority
+  const auto report = farm.invoke(50);
+  ASSERT_FALSE(report.success);
+  tracker.observe(farm, report);
+  EXPECT_EQ(tracker.slots_seen(), 3u);
+  EXPECT_TRUE(tracker.retirable().empty());
+}
+
 }  // namespace

@@ -1,0 +1,207 @@
+// Unit tests for util::InlineFn — the kernel's small-buffer callable: inline
+// storage for small captures, heap overflow for large ones, move-only
+// ownership, deterministic destruction.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "util/inline_fn.hpp"
+
+namespace {
+
+using aft::util::InlineFn;
+using Fn = InlineFn<void(), 64>;
+
+/// Callable that reports construction/destruction/move traffic, optionally
+/// padded past the inline budget.
+template <std::size_t Pad>
+struct Probe {
+  int* destroyed;
+  int* moved;
+  std::array<char, Pad> padding{};
+
+  Probe(int* d, int* m) : destroyed(d), moved(m) {}
+  Probe(Probe&& other) noexcept : destroyed(other.destroyed), moved(other.moved) {
+    other.destroyed = nullptr;
+    if (moved != nullptr) ++*moved;
+  }
+  Probe(const Probe&) = delete;
+  Probe& operator=(const Probe&) = delete;
+  Probe& operator=(Probe&&) = delete;
+  ~Probe() {
+    if (destroyed != nullptr) ++*destroyed;
+  }
+  void operator()() const {}
+};
+
+using SmallProbe = Probe<1>;    // fits the 64-byte buffer
+using BigProbe = Probe<128>;    // must overflow to the heap
+
+static_assert(Fn::stores_inline<SmallProbe>);
+static_assert(!Fn::stores_inline<BigProbe>);
+
+TEST(InlineFnTest, DefaultConstructedIsEmptyAndThrowsOnCall) {
+  Fn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_THROW(fn(), std::bad_function_call);
+  Fn null_fn = nullptr;
+  EXPECT_FALSE(static_cast<bool>(null_fn));
+}
+
+TEST(InlineFnTest, InvokesWithArgumentsAndReturnValue) {
+  InlineFn<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(20, 22), 42);
+  int state = 0;
+  InlineFn<void(int)> accumulate = [&state](int x) { state += x; };
+  accumulate(5);
+  accumulate(7);
+  EXPECT_EQ(state, 12);
+}
+
+TEST(InlineFnTest, MutableCallableKeepsStatePerInvocation) {
+  InlineFn<int()> counter = [n = 0]() mutable { return ++n; };
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  EXPECT_EQ(counter(), 3);
+}
+
+TEST(InlineFnTest, MoveTransfersOwnershipAndEmptiesSource) {
+  int calls = 0;
+  Fn a = [&calls] { ++calls; };
+  Fn b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(calls, 1);
+  EXPECT_THROW(a(), std::bad_function_call);
+}
+
+TEST(InlineFnTest, InlineStorageDestroysExactlyOnce) {
+  int destroyed = 0;
+  int moved = 0;
+  {
+    Fn fn(SmallProbe(&destroyed, &moved));
+    // The temporary probe was moved into the buffer and destroyed; the live
+    // copy inside fn is not destroyed yet.
+    EXPECT_EQ(destroyed, 0);  // moved-from temporaries don't count (nulled)
+    EXPECT_GE(moved, 1);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFnTest, MoveRelocatesInlineTargetWithoutDoubleDestroy) {
+  int destroyed = 0;
+  {
+    Fn a(SmallProbe(&destroyed, nullptr));
+    Fn b = std::move(a);
+    Fn c;
+    c = std::move(b);
+    ASSERT_TRUE(static_cast<bool>(c));
+    c();
+    EXPECT_EQ(destroyed, 0);  // the live probe is still alive inside c
+  }
+  EXPECT_EQ(destroyed, 1);  // and is destroyed exactly once
+}
+
+TEST(InlineFnTest, OversizedCallableOverflowsToHeapAndStillWorks) {
+  int destroyed = 0;
+  {
+    Fn fn(BigProbe(&destroyed, nullptr));
+    ASSERT_TRUE(static_cast<bool>(fn));
+    fn();
+    // Heap relocation is a pointer steal: no extra destruction on move.
+    Fn other = std::move(fn);
+    other();
+    EXPECT_EQ(destroyed, 0);
+  }
+  EXPECT_EQ(destroyed, 1);
+}
+
+TEST(InlineFnTest, ThrowingMoveCallableIsStoredOnTheHeap) {
+  // A callable whose move may throw cannot live in the inline buffer
+  // (InlineFn's moves are noexcept), so it must take the heap path and
+  // still behave.
+  struct ThrowingMove {
+    int value = 7;
+    ThrowingMove() = default;
+    ThrowingMove(ThrowingMove&& other) : value(other.value) {}  // not noexcept
+    ThrowingMove(const ThrowingMove&) = default;
+    int operator()() const { return value; }
+  };
+  static_assert(!InlineFn<int()>::stores_inline<ThrowingMove>);
+  InlineFn<int()> fn = ThrowingMove{};
+  EXPECT_EQ(fn(), 7);
+  InlineFn<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 7);
+}
+
+TEST(InlineFnTest, MoveOnlyCapturesAreSupported) {
+  auto payload = std::make_unique<int>(41);
+  InlineFn<int()> fn = [p = std::move(payload)] { return *p + 1; };
+  EXPECT_EQ(fn(), 42);
+  InlineFn<int()> stolen = std::move(fn);
+  EXPECT_EQ(stolen(), 42);
+}
+
+TEST(InlineFnTest, ResetAndNullptrAssignmentDestroyTheTarget) {
+  int destroyed = 0;
+  Fn fn(SmallProbe(&destroyed, nullptr));
+  fn.reset();
+  EXPECT_EQ(destroyed, 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn.reset();  // idempotent
+  EXPECT_EQ(destroyed, 1);
+
+  Fn gn(SmallProbe(&destroyed, nullptr));
+  gn = nullptr;
+  EXPECT_EQ(destroyed, 2);
+  EXPECT_FALSE(static_cast<bool>(gn));
+}
+
+TEST(InlineFnTest, MoveAssignmentDestroysThePreviousTarget) {
+  int first_destroyed = 0;
+  int second_destroyed = 0;
+  Fn fn(SmallProbe(&first_destroyed, nullptr));
+  fn = Fn(SmallProbe(&second_destroyed, nullptr));
+  EXPECT_EQ(first_destroyed, 1);
+  EXPECT_EQ(second_destroyed, 0);
+  fn.reset();
+  EXPECT_EQ(second_destroyed, 1);
+}
+
+TEST(InlineFnTest, StdFunctionItselfFitsInline) {
+  // Clients occasionally pass a std::function lvalue (the recursive
+  // scheduling idiom in sim_test); it is stored inline, so the InlineFn
+  // layer itself still adds no allocation.
+  static_assert(Fn::stores_inline<std::function<void()>>);
+  int calls = 0;
+  std::function<void()> wrapped = [&calls] { ++calls; };
+  Fn fn = wrapped;  // copies the std::function into the buffer
+  fn();
+  EXPECT_EQ(calls, 1);
+  wrapped();  // the original is untouched
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(InlineFnTest, CapacityBoundaryIsExact) {
+  struct Exactly64 {
+    std::array<char, 64> bytes{};
+    void operator()() const {}
+  };
+  struct Bytes65 {
+    std::array<char, 65> bytes{};
+    void operator()() const {}
+  };
+  static_assert(Fn::stores_inline<Exactly64>);
+  static_assert(!Fn::stores_inline<Bytes65>);
+  Fn a = Exactly64{};
+  Fn b = Bytes65{};
+  a();
+  b();
+}
+
+}  // namespace

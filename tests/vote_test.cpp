@@ -193,4 +193,42 @@ TEST(VotingFarmTest, RoundCountersAccumulate) {
   EXPECT_EQ(farm.failures(), 0u);
 }
 
+TEST(VotingFarmTest, LastBallotsAreReplicaOrderedAndUnsorted) {
+  // last_ballots() must expose the round's ballots in replica order even
+  // though the voter sorts its workspace in place — i.e. the farm really
+  // does keep the raw ballots and the scratch separate.  A descending
+  // ballot pattern makes any accidental aliasing with the sorted scratch
+  // visible immediately.
+  VotingFarm farm(5, [](Ballot in, std::size_t replica) {
+    return replica == 1 ? in : in + 10 - static_cast<Ballot>(replica);
+  });
+  const RoundReport report = farm.invoke(100);
+  const std::vector<Ballot>& ballots = farm.last_ballots();
+  ASSERT_EQ(ballots.size(), 5u);
+  EXPECT_EQ(ballots[0], 110);
+  EXPECT_EQ(ballots[1], 100);  // the dissenting slot, in place
+  EXPECT_EQ(ballots[2], 108);
+  EXPECT_EQ(ballots[3], 107);
+  EXPECT_EQ(ballots[4], 106);
+  EXPECT_FALSE(report.success);  // five distinct ballots: no majority
+  EXPECT_EQ(report.dissent, 4u);  // n - agreeing, with a singleton mode
+}
+
+TEST(VotingFarmTest, BallotStorageIsStableAcrossRounds) {
+  // Steady-state rounds reuse the same backing storage (the hot-path
+  // contract tests/alloc_test.cpp measures): the data() pointer must not
+  // wander once the farm has run at its arity, including after a shrink.
+  VotingFarm farm(7, [](Ballot in, std::size_t) { return in; });
+  (void)farm.invoke(1);
+  const Ballot* data = farm.last_ballots().data();
+  for (int i = 2; i <= 50; ++i) {
+    (void)farm.invoke(i);
+    EXPECT_EQ(farm.last_ballots().data(), data);
+  }
+  farm.resize(3);  // shrink: capacity (and storage) retained
+  (void)farm.invoke(51);
+  EXPECT_EQ(farm.last_ballots().data(), data);
+  EXPECT_EQ(farm.last_ballots().size(), 3u);
+}
+
 }  // namespace
