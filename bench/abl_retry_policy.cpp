@@ -1,0 +1,228 @@
+// Ablation: RPC retry policies vs link loss and partitions.
+//
+// The Sect. 3.2 middleware is distributed, so the channel between detector
+// and switchboard is itself a fault source — and "just retry" encodes an
+// assumption about the channel's fault model (transient loss) that a
+// partition violates.  This sweep crosses four retry policies with five
+// link environments and tallies call outcomes, wire amplification, and
+// circuit-breaker activity: the quantitative case for pairing a bounded
+// backoff policy with a breaker instead of retrying blindly.
+//
+// Each (policy, environment) cell is an independent campaign job with its
+// own Simulator, links, and RNG streams, so the grid fans out across the
+// util::campaign thread pool (AFT_THREADS); stdout — and the --trace /
+// --metrics artifacts — are bit-identical for any thread count.
+#include <array>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "net/breaker.hpp"
+#include "net/endpoint.hpp"
+#include "net/link.hpp"
+#include "net/retry.hpp"
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "util/campaign.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using aft::net::CallOptions;
+using aft::net::CircuitBreaker;
+using aft::net::Endpoint;
+using aft::net::Link;
+using aft::net::LinkFaults;
+using aft::net::RetryPolicy;
+using aft::net::RpcResult;
+using aft::net::RpcStatus;
+using aft::sim::SimTime;
+
+constexpr std::uint64_t kCalls = 300;
+constexpr SimTime kCallInterval = 15;
+
+struct PolicyCase {
+  const char* name;
+  RetryPolicy retry;
+};
+
+struct EnvCase {
+  const char* name;
+  double drop;
+  bool partition;  ///< cut the forward link for a mid-run window
+};
+
+struct Outcome {
+  std::uint64_t ok = 0;
+  std::uint64_t circuit_open = 0;
+  std::uint64_t deadline_exceeded = 0;
+  std::uint64_t exhausted = 0;
+  std::uint64_t attempts = 0;
+  std::uint64_t stale = 0;
+  std::uint64_t breaker_opens = 0;
+  SimTime ok_elapsed_total = 0;
+};
+
+std::vector<PolicyCase> policies() {
+  std::vector<PolicyCase> out;
+  out.push_back({"no-retry", RetryPolicy::none()});
+  RetryPolicy flat;
+  flat.max_attempts = 3;
+  flat.initial_backoff = 2;
+  flat.multiplier = 1.0;
+  out.push_back({"retry3 flat", flat});
+  RetryPolicy expo;
+  expo.max_attempts = 3;
+  expo.initial_backoff = 4;
+  expo.multiplier = 2.0;
+  expo.max_backoff = 64;
+  out.push_back({"retry3 expo", expo});
+  RetryPolicy jittered;
+  jittered.max_attempts = 5;
+  jittered.initial_backoff = 4;
+  jittered.multiplier = 2.0;
+  jittered.max_backoff = 64;
+  jittered.jitter = 0.5;
+  out.push_back({"retry5 expo+jit", jittered});
+  return out;
+}
+
+std::vector<EnvCase> environments() {
+  return {{"baseline", 0.0, false},
+          {"drop 5%", 0.05, false},
+          {"drop 20%", 0.20, false},
+          {"drop 40%", 0.40, false},
+          {"partition", 0.05, true}};
+}
+
+Outcome run(const PolicyCase& policy, const EnvCase& env, std::uint64_t seed) {
+  aft::sim::Simulator sim;
+  LinkFaults faults;
+  faults.latency = 3;
+  faults.jitter = 2;
+  faults.drop = env.drop;
+  faults.duplicate = 0.02;
+  faults.reorder = 0.05;
+  Link fwd(sim, "client->server", faults, seed);
+  Link rev(sim, "server->client", faults, seed + 1);
+  Endpoint client(sim, "client", seed + 2);
+  Endpoint server(sim, "server", seed + 3);
+  client.attach(rev, fwd);
+  server.attach(fwd, rev);
+  server.serve("echo", [](const std::string& request, std::string& response) {
+    response = request;
+    return true;
+  });
+
+  CircuitBreaker::Params breaker_params;
+  // Slower to condemn than the detection-plane default (high = 3): random
+  // loss produces scattered failures whose evidence should decay, while a
+  // partition's unbroken failure run still crosses quickly.
+  breaker_params.alpha.high = 6.0;
+  breaker_params.cooldown = 60;
+  CircuitBreaker breaker(sim, "to-server", breaker_params);
+
+  CallOptions options;
+  // Above the worst-case RTT (latency 3 + jitter 2 + reorder holdback 10,
+  // each way): a timed-out attempt means a lost frame, not a slow one.
+  options.deadline = 35;
+  options.retry = policy.retry;
+  options.breaker = &breaker;
+
+  Outcome out;
+  for (std::uint64_t k = 0; k < kCalls; ++k) {
+    sim.schedule_at(
+        k * kCallInterval, [cl = &client, opt = &options, out_ptr = &out] {
+          cl->call("echo", "ping", *opt, [out_ptr](const RpcResult& r) {
+            switch (r.status) {
+              case RpcStatus::kOk:
+                ++out_ptr->ok;
+                out_ptr->ok_elapsed_total += r.elapsed;
+                break;
+              case RpcStatus::kCircuitOpen: ++out_ptr->circuit_open; break;
+              case RpcStatus::kDeadlineExceeded:
+                ++out_ptr->deadline_exceeded;
+                break;
+              case RpcStatus::kExhausted: ++out_ptr->exhausted; break;
+            }
+          });
+        });
+  }
+  if (env.partition) {
+    // A third of the run spent cut off: calls 100..200 face a dead wire.
+    sim.schedule_at(100 * kCallInterval, [link = &fwd] { link->partition(); });
+    sim.schedule_at(200 * kCallInterval, [link = &fwd] { link->heal(); });
+  }
+  sim.run_all();
+  out.attempts = client.counters().attempts;
+  out.stale = client.counters().stale_responses;
+  out.breaker_opens = breaker.opens();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_retry_policy");
+  const std::vector<PolicyCase> kPolicies = policies();
+  const std::vector<EnvCase> kEnvs = environments();
+  std::cout << "=== Ablation: retry policy vs link loss/partition (" << kCalls
+            << " calls per cell, deadline 35, breaker cooldown 60) ===\n\n";
+
+  struct Job {
+    std::size_t policy;
+    std::size_t env;
+  };
+  std::vector<Job> jobs;
+  for (std::size_t p = 0; p < kPolicies.size(); ++p) {
+    for (std::size_t e = 0; e < kEnvs.size(); ++e) jobs.push_back({p, e});
+  }
+
+  const unsigned threads = aft::util::campaign_threads();
+  std::cerr << "[campaign] " << jobs.size() << " jobs on " << threads
+            << " thread(s)\n";
+  const std::vector<Outcome> outcomes = aft::util::run_campaigns(
+      jobs.size(),
+      [&](std::size_t i) {
+        return run(kPolicies[jobs[i].policy], kEnvs[jobs[i].env],
+                   9000 + 31 * static_cast<std::uint64_t>(i));
+      },
+      threads);
+
+  aft::util::TextTable table;
+  table.header({"policy", "environment", "ok", "circuit-open", "deadline",
+                "exhausted", "attempts/call", "stale", "breaker opens",
+                "ok latency"});
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    const double amplification =
+        static_cast<double>(o.attempts) / static_cast<double>(kCalls);
+    const double ok_latency =
+        o.ok > 0 ? static_cast<double>(o.ok_elapsed_total) /
+                       static_cast<double>(o.ok)
+                 : 0.0;
+    table.row({kPolicies[jobs[i].policy].name, kEnvs[jobs[i].env].name,
+               std::to_string(o.ok), std::to_string(o.circuit_open),
+               std::to_string(o.deadline_exceeded),
+               std::to_string(o.exhausted), aft::util::fmt(amplification, 3),
+               std::to_string(o.stale), std::to_string(o.breaker_opens),
+               aft::util::fmt(ok_latency, 2)});
+  }
+  std::cout << table.render() << "\n";
+  std::cout
+      << "expected shape: at 5-20% loss, retries convert nearly every\n"
+         "exhausted call back into an ok at a ~1.1-1.5x attempts/call\n"
+         "premium — the transient-fault model holds and retrying is the\n"
+         "right treatment.  At 40% loss the per-attempt failure rate is so\n"
+         "high the breaker's evidence filter condemns the wire itself:\n"
+         "circuit-open dominates for every policy, which is the fault-model\n"
+         "boundary, not a policy defect.  Under the partition no policy\n"
+         "saves the cut-off window: retries only amplify traffic against a\n"
+         "dead link, while the breaker converts the doomed calls into\n"
+         "fail-fast circuit-open outcomes and re-closes after the heal —\n"
+         "the wrong-fault-model clash of Sect. 3.2, made measurable.\n";
+  return 0;
+}

@@ -52,6 +52,30 @@ std::size_t EventBus::publish(const Message& message) {
     for (const auto& s : it->second) to_run.emplace_back(s.id, s.handler);
   }
   for (const auto& s : wildcard_) to_run.emplace_back(s.id, s.handler);
+  // The publish record is emitted BEFORE delivery and installed as the
+  // current cause, so everything a subscriber does with the notification —
+  // including forwarding it over a net::Link to another node's bus — chains
+  // back to this publish (and through it to the detector/injection that
+  // provoked it).  `aft_trace why` on a remote delivery lands here.
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    const obs::EventId ev =
+        sink->emit("arch.bus", "publish",
+                   {{"topic", message.topic},
+                    {"source", message.source},
+                    {"subscribers", to_run.size()}});
+    if (ev != obs::kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(ev);
+      cause_installed = true;
+    }
+  } else {
+    obs::flight_note("arch.bus", "publish");
+  }
+#endif
   for (const auto& [id, handler] : to_run) {
     // A handler earlier in this same publish may have unsubscribed this id;
     // delivering to it anyway would resurrect a subscriber that asked to be
@@ -60,12 +84,11 @@ std::size_t EventBus::publish(const Message& message) {
     handler(message);
     ++delivered;
   }
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
   AFT_METRIC_ADD("bus.published", 1);
   AFT_METRIC_ADD("bus.delivered", delivered);
-  AFT_TRACE("arch.bus", "publish",
-            {{"topic", message.topic},
-             {"source", message.source},
-             {"delivered", delivered}});
   return delivered;
 }
 

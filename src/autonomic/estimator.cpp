@@ -14,10 +14,18 @@ DisturbanceEstimator::DisturbanceEstimator(Params params, core::Context* context
 void DisturbanceEstimator::observe(const vote::RoundReport& report) {
   ++rounds_;
   const double max_distance = static_cast<double>(vote::dtof_max(report.n));
-  const double instantaneous =
-      report.success && max_distance > 0.0
-          ? 1.0 - static_cast<double>(report.distance) / max_distance
-          : 1.0;
+  // Per the contract above: a *failed* round counts as 1.  A successful
+  // round with no dtof signal (dtof_max(n) == 0, the degenerate small-farm
+  // case) carries no disturbance evidence and contributes 0 — scoring it
+  // 1.0 made an empty-farm success indistinguishable from a failure and
+  // pinned the estimate at full disturbance.
+  double instantaneous = 1.0;
+  if (report.success) {
+    instantaneous =
+        max_distance > 0.0
+            ? 1.0 - static_cast<double>(report.distance) / max_distance
+            : 0.0;
+  }
   level_ += params_.alpha * (instantaneous - level_);
   if (context_ != nullptr) {
     context_->set(params_.context_key, level_);

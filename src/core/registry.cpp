@@ -35,7 +35,12 @@ std::vector<Clash> AssumptionRegistry::verify_all(const Context& ctx) {
     if (std::optional<Clash> clash = a->verify(ctx)) {
       ++total_clashes_;
       const Diagnosis d = diagnose_clash(*clash);
-      for (const ClashHandler& handler : handlers_) handler(*clash, d);
+      // Index loop, not range-for: a clash handler may register another
+      // handler re-entrantly (a treatment arming a follow-up observer), and
+      // on_clash's push_back would invalidate a range-for's iterators.
+      // Handlers appended mid-notification see only subsequent clashes.
+      const std::size_t n = handlers_.size();
+      for (std::size_t i = 0; i < n; ++i) handlers_[i](*clash, d);
       clashes.push_back(std::move(*clash));
     }
   }

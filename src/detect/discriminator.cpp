@@ -7,6 +7,22 @@ namespace aft::detect {
 FaultDiscriminator::FaultDiscriminator(AlphaCount::Params params)
     : params_(params) {}
 
+void FaultDiscriminator::publish_verdict(const std::string& channel,
+                                         FaultJudgment verdict,
+                                         [[maybe_unused]] double score) {
+  AFT_METRIC_ADD("detect.discriminator.verdict_changes", 1);
+  AFT_TRACE("detect.discriminator", "verdict",
+            {{"channel", channel},
+             {"judgment", to_string(verdict)},
+             {"score", score}});
+  // Index loop, not range-for: a handler may call on_verdict_change()
+  // re-entrantly (e.g. a switchboard arming a follow-up observer), and the
+  // push_back would invalidate a range-for's iterators on reallocation.
+  // Handlers appended mid-notification are not invoked for this change.
+  const std::size_t n = handlers_.size();
+  for (std::size_t i = 0; i < n; ++i) handlers_[i](channel, verdict);
+}
+
 void FaultDiscriminator::record(const std::string& channel, bool error) {
   auto [it, inserted] = channels_.try_emplace(channel, params_);
   if (inserted) {
@@ -17,12 +33,7 @@ void FaultDiscriminator::record(const std::string& channel, bool error) {
   const FaultJudgment now = it->second.judgment();
   if (now != last_judgment_[channel]) {
     last_judgment_[channel] = now;
-    AFT_METRIC_ADD("detect.discriminator.verdict_changes", 1);
-    AFT_TRACE("detect.discriminator", "verdict",
-              {{"channel", channel},
-               {"judgment", to_string(now)},
-               {"score", it->second.score()}});
-    for (const auto& handler : handlers_) handler(channel, now);
+    publish_verdict(channel, now, it->second.score());
   }
 }
 
@@ -30,7 +41,17 @@ void FaultDiscriminator::reset_channel(const std::string& channel) {
   const auto it = channels_.find(channel);
   if (it == channels_.end()) return;
   it->second.reset();
-  last_judgment_[channel] = it->second.judgment();
+  // A reset is a unit replacement: if it moves the verdict (typically
+  // kPermanentOrIntermittent -> kNoEvidence), subscribers must hear about
+  // it exactly like any record()-driven transition — a switchboard that
+  // suspended the channel has to re-arm.  Silently updating last_judgment_
+  // here made replacements invisible to every subscriber.
+  const FaultJudgment now = it->second.judgment();
+  FaultJudgment& last = last_judgment_[channel];
+  if (now != last) {
+    last = now;
+    publish_verdict(channel, now, it->second.score());
+  }
 }
 
 FaultJudgment FaultDiscriminator::judgment(const std::string& channel) const {

@@ -26,6 +26,8 @@ class FaultDiscriminator {
   void record(const std::string& channel, bool error);
 
   /// Replaces the faulty unit: resets the channel's score and verdict.
+  /// A verdict moved by the reset fires the handlers exactly like a
+  /// record()-driven transition (subscribers must see the re-arm).
   void reset_channel(const std::string& channel);
 
   [[nodiscard]] FaultJudgment judgment(const std::string& channel) const;
@@ -35,6 +37,10 @@ class FaultDiscriminator {
   void on_verdict_change(VerdictHandler handler);
 
  private:
+  /// Metric + trace + handler fan-out for one judgment transition.
+  void publish_verdict(const std::string& channel, FaultJudgment verdict,
+                       double score);
+
   AlphaCount::Params params_;
   std::map<std::string, AlphaCount> channels_;
   std::map<std::string, FaultJudgment> last_judgment_;

@@ -1,0 +1,95 @@
+#include "net/breaker.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::net {
+
+const char* to_string(CircuitBreaker::State state) noexcept {
+  switch (state) {
+    case CircuitBreaker::State::kClosed: return "closed";
+    case CircuitBreaker::State::kOpen: return "open";
+    case CircuitBreaker::State::kHalfOpen: return "half-open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(sim::Simulator& sim, std::string name,
+                               Params params)
+    : sim_(sim),
+      name_(std::move(name)),
+      params_(params),
+      alpha_(params.alpha) {}
+
+bool CircuitBreaker::allow() {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (sim_.now() >= opened_at_ + params_.cooldown) {
+        state_ = State::kHalfOpen;
+        probes_in_flight_ = 1;  // this caller takes the first probe slot
+        AFT_TRACE("net.breaker", "half-open", {{"breaker", name_}});
+        return true;
+      }
+      ++rejected_;
+      AFT_METRIC_ADD("net.breaker.rejected", 1);
+      return false;
+    case State::kHalfOpen:
+      if (probes_in_flight_ < params_.probes) {
+        ++probes_in_flight_;
+        return true;
+      }
+      ++rejected_;
+      AFT_METRIC_ADD("net.breaker.rejected", 1);
+      return false;
+  }
+  return false;
+}
+
+void CircuitBreaker::record(bool success) {
+  if (state_ == State::kHalfOpen && probes_in_flight_ > 0) {
+    --probes_in_flight_;
+  }
+  alpha_.record(!success);
+  switch (state_) {
+    case State::kClosed:
+      if (alpha_.suspended()) open("threshold");
+      break;
+    case State::kHalfOpen:
+      if (!success) {
+        // A probe failing is conclusive regardless of the score: the peer
+        // has not recovered, so back off for a fresh cooldown.
+        open("probe-failure");
+      } else if (!alpha_.suspended()) {
+        // The evidence decayed below the reintegration threshold.
+        close();
+      }
+      break;
+    case State::kOpen:
+      // Stragglers from calls admitted before the open still feed evidence.
+      break;
+  }
+}
+
+void CircuitBreaker::open([[maybe_unused]] const char* why) {
+  state_ = State::kOpen;
+  opened_at_ = sim_.now();
+  probes_in_flight_ = 0;
+  ++opens_;
+  AFT_METRIC_ADD("net.breaker.opens", 1);
+  AFT_TRACE("net.breaker", "open",
+            {{"breaker", name_}, {"why", why}, {"score", alpha_.score()}});
+}
+
+void CircuitBreaker::close() {
+  state_ = State::kClosed;
+  probes_in_flight_ = 0;
+  ++closes_;
+  AFT_METRIC_ADD("net.breaker.closes", 1);
+  AFT_TRACE("net.breaker", "close",
+            {{"breaker", name_}, {"score", alpha_.score()}});
+}
+
+}  // namespace aft::net

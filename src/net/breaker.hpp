@@ -1,0 +1,79 @@
+// Circuit breaker whose evidence plane is the detection plane: the
+// open/half-open/closed state machine is driven by a
+// detect::DualThresholdAlphaCount, so "stop calling this peer" and "trust
+// it again" are the same suspend/reintegrate hysteresis the paper's
+// count-and-threshold family ([20],[21]) applies to replicated units.
+//
+//   closed     calls flow; each failure feeds the alpha-count.  When the
+//              score crosses the high threshold (suspension) the breaker
+//              OPENS — the peer's fault class is no longer "transient".
+//   open       calls are rejected locally (fail fast: no wire traffic, no
+//              retry storms against a partitioned peer) until `cooldown`
+//              simulated ticks have passed.
+//   half-open  up to `probes` trial calls are let through.  Probe outcomes
+//              keep feeding the alpha-count: a failure re-opens with a
+//              fresh cooldown; successes decay the score until it falls
+//              below the low threshold (reintegration) and the breaker
+//              CLOSES.  A unit must behave for a sustained stretch before
+//              it is trusted again — one good probe is not enough.
+//
+// Fully deterministic (no RNG): transitions depend only on the outcome
+// sequence and the simulation clock.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "detect/dual_threshold.hpp"
+#include "sim/simulator.hpp"
+
+namespace aft::net {
+
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed, kOpen, kHalfOpen };
+
+  struct Params {
+    /// Evidence filter: high = open threshold, low = close threshold.
+    detect::DualThresholdAlphaCount::Params alpha{};
+    /// Ticks an open breaker waits before admitting half-open probes.
+    sim::SimTime cooldown = 50;
+    /// Concurrent trial calls admitted while half-open.
+    std::uint32_t probes = 1;
+  };
+
+  CircuitBreaker(sim::Simulator& sim, std::string name, Params params);
+
+  /// Asks to place one call.  True admits it (and, half-open, consumes a
+  /// probe slot the matching record() releases); false = fail fast.
+  [[nodiscard]] bool allow();
+
+  /// Reports one admitted call's outcome.
+  void record(bool success);
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] double score() const noexcept { return alpha_.score(); }
+  [[nodiscard]] std::uint64_t opens() const noexcept { return opens_; }
+  [[nodiscard]] std::uint64_t closes() const noexcept { return closes_; }
+  [[nodiscard]] std::uint64_t rejected() const noexcept { return rejected_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  void open(const char* why);
+  void close();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  Params params_;
+  detect::DualThresholdAlphaCount alpha_;
+  State state_ = State::kClosed;
+  sim::SimTime opened_at_ = 0;
+  std::uint32_t probes_in_flight_ = 0;
+  std::uint64_t opens_ = 0;
+  std::uint64_t closes_ = 0;
+  std::uint64_t rejected_ = 0;
+};
+
+[[nodiscard]] const char* to_string(CircuitBreaker::State state) noexcept;
+
+}  // namespace aft::net

@@ -1,0 +1,59 @@
+#include "net/bridge.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::net {
+
+BusBridge::BusBridge(arch::EventBus& bus, Endpoint& endpoint, std::string node)
+    : bus_(bus), endpoint_(endpoint), node_(std::move(node)) {
+  endpoint_.on_data([this](Frame&& frame) { inbound(std::move(frame)); });
+}
+
+void BusBridge::forward_topic(const std::string& topic) {
+  subscriptions_.push_back(bus_.subscribe(
+      topic, [this](const arch::Message& message) { outbound(message); }));
+}
+
+void BusBridge::stop() {
+  for (const auto id : subscriptions_) bus_.unsubscribe(id);
+  subscriptions_.clear();
+}
+
+void BusBridge::outbound(const arch::Message& message) {
+  // Our own re-publish delivering back into this subscription: forwarding
+  // it again would ping-pong the message between the two bridges forever.
+  if (republishing_) return;
+  ++forwarded_;
+  AFT_METRIC_ADD("net.bridge.forwarded", 1);
+  AFT_TRACE("net.bridge", "forward",
+            {{"node", node_},
+             {"topic", message.topic},
+             {"source", message.source}});
+  Frame frame;
+  frame.method = message.topic;
+  frame.payload = message.payload;
+  frame.origin = message.source;
+  endpoint_.send_data(std::move(frame));
+}
+
+void BusBridge::inbound(Frame&& frame) {
+  ++republished_;
+  AFT_METRIC_ADD("net.bridge.republished", 1);
+  AFT_TRACE("net.bridge", "republish",
+            {{"node", node_},
+             {"topic", frame.method},
+             {"source", frame.origin}});
+  republishing_ = true;
+  // Publish may throw out of a subscriber; the flag must not stay latched
+  // or the bridge would silently stop forwarding afterwards.
+  struct Unflag {
+    bool& flag;
+    ~Unflag() { flag = false; }
+  } unflag{republishing_};
+  bus_.publish(arch::Message{std::move(frame.method), std::move(frame.origin),
+                             std::move(frame.payload)});
+}
+
+}  // namespace aft::net

@@ -1,0 +1,55 @@
+// BusBridge: the Sect. 3.2 publish/subscribe fabric made remote.  "Through
+// e.g. publish/subscribe, the supporting middleware component receives
+// notifications regarding the faults being detected" — BusBridge forwards
+// selected arch::EventBus topics over a lossy Link pair, so a detector's
+// notification published on node A is re-published on node B's bus with the
+// wire's drop/duplicate/reorder/partition semantics applied in between.
+//
+// Loop safety: the bridge's own re-publish is flagged, so its local
+// subscription (which fires synchronously during the re-publish) does not
+// bounce the message straight back — a pair of bridges forwarding the same
+// topic in both directions converges instead of echoing forever.
+//
+// The bridge owns its endpoint's kData plane (Endpoint::on_data).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/event_bus.hpp"
+#include "net/endpoint.hpp"
+
+namespace aft::net {
+
+class BusBridge {
+ public:
+  /// `node` names this side in trace records and rewritten sources.
+  BusBridge(arch::EventBus& bus, Endpoint& endpoint, std::string node);
+
+  /// Starts forwarding local publishes on `topic` to the peer.
+  void forward_topic(const std::string& topic);
+
+  /// Stops forwarding everything (unsubscribes all topics).
+  void stop();
+
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t republished() const noexcept {
+    return republished_;
+  }
+  [[nodiscard]] const std::string& node() const noexcept { return node_; }
+
+ private:
+  void outbound(const arch::Message& message);
+  void inbound(Frame&& frame);
+
+  arch::EventBus& bus_;
+  Endpoint& endpoint_;
+  std::string node_;
+  bool republishing_ = false;
+  std::vector<arch::EventBus::SubscriptionId> subscriptions_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t republished_ = 0;
+};
+
+}  // namespace aft::net

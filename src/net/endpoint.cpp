@@ -1,0 +1,268 @@
+#include "net/endpoint.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::net {
+
+const char* to_string(RpcStatus status) noexcept {
+  switch (status) {
+    case RpcStatus::kOk: return "ok";
+    case RpcStatus::kCircuitOpen: return "circuit-open";
+    case RpcStatus::kDeadlineExceeded: return "deadline-exceeded";
+    case RpcStatus::kExhausted: return "exhausted";
+  }
+  return "?";
+}
+
+Endpoint::Endpoint(sim::Simulator& sim, std::string name, std::uint64_t seed)
+    : sim_(sim), name_(std::move(name)), rng_(seed) {}
+
+void Endpoint::attach(Link& inbound, Link& outbound) {
+  out_ = &outbound;
+  inbound.set_receiver([this](Frame&& frame) { receive(std::move(frame)); });
+}
+
+void Endpoint::serve(const std::string& method, Handler handler) {
+  handlers_[method] = std::move(handler);
+}
+
+void Endpoint::call(const std::string& method, const std::string& payload,
+                    const CallOptions& options, Callback callback) {
+  if (out_ == nullptr) throw std::logic_error("Endpoint: not attached");
+  if (options.deadline == 0) {
+    throw std::invalid_argument("Endpoint: call deadline must be > 0");
+  }
+  if (options.retry.max_attempts == 0) {
+    throw std::invalid_argument("Endpoint: retry.max_attempts must be >= 1");
+  }
+  const std::uint64_t id = next_call_id_++;
+  Call& c = calls_[id];
+  c.method = method;
+  c.payload = payload;
+  c.options = options;
+  c.callback = std::move(callback);
+  c.started = sim_.now();
+  ++counters_.calls;
+  AFT_METRIC_ADD("net.rpc.calls", 1);
+
+  // The call record is a chain origin: every attempt, wire hop, serve, and
+  // the final done record walk back to it (and through it to whatever
+  // caused the call).
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    const obs::EventId ev = sink->emit(
+        "net.rpc", "call",
+        {{"endpoint", name_}, {"id", id}, {"method", method}});
+    if (ev != obs::kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(ev);
+      cause_installed = true;
+    }
+  } else {
+    obs::flight_note("net.rpc", "call");
+  }
+#endif
+  start_attempt(id);
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
+}
+
+void Endpoint::start_attempt(std::uint64_t id) {
+  Call& c = calls_.at(id);
+  if (c.options.breaker != nullptr && !c.options.breaker->allow()) {
+    AFT_TRACE("net.rpc", "rejected",
+              {{"endpoint", name_}, {"id", id}, {"attempt", c.attempt + 1}});
+    finish(id, RpcStatus::kCircuitOpen, {});
+    return;
+  }
+  ++c.attempt;
+  ++counters_.attempts;
+  AFT_METRIC_ADD("net.rpc.attempts", 1);
+  AFT_TRACE("net.rpc", "attempt",
+            {{"endpoint", name_},
+             {"id", id},
+             {"attempt", c.attempt},
+             {"method", c.method}});
+  Frame request;
+  request.kind = FrameKind::kRequest;
+  request.id = id;
+  request.aux = c.attempt;
+  request.method = c.method;
+  request.payload = c.payload;
+  request.origin = name_;
+  out_->send(std::move(request));
+  auto timeout = [this, id, attempt = c.attempt] {
+    attempt_timed_out(id, attempt);
+  };
+  static_assert(sim::Simulator::fits_inline<decltype(timeout)>,
+                "rpc deadline check must schedule allocation-free");
+  sim_.schedule_in(c.options.deadline, std::move(timeout));
+}
+
+void Endpoint::attempt_timed_out(std::uint64_t id, std::uint32_t attempt) {
+  const auto it = calls_.find(id);
+  // Completed, or already retried past this attempt: the deadline event is
+  // stale (epoch-guarded by the attempt number).
+  if (it == calls_.end() || it->second.attempt != attempt) return;
+  attempt_failed(id, "deadline");
+}
+
+void Endpoint::attempt_failed(std::uint64_t id,
+                              [[maybe_unused]] const char* reason) {
+  Call& c = calls_.at(id);
+  if (c.options.breaker != nullptr) c.options.breaker->record(false);
+  ++counters_.attempt_failures;
+  AFT_METRIC_ADD("net.rpc.attempt_failures", 1);
+  AFT_TRACE("net.rpc", "attempt-failed",
+            {{"endpoint", name_},
+             {"id", id},
+             {"attempt", c.attempt},
+             {"reason", reason}});
+  const RetryPolicy& policy = c.options.retry;
+  if (c.attempt >= policy.max_attempts) {
+    finish(id, RpcStatus::kExhausted, {});
+    return;
+  }
+  const sim::SimTime backoff = policy.backoff(c.attempt, rng_);
+  if (policy.time_budget > 0 &&
+      sim_.now() + backoff > c.started + policy.time_budget) {
+    finish(id, RpcStatus::kDeadlineExceeded, {});
+    return;
+  }
+  AFT_TRACE("net.rpc", "backoff",
+            {{"endpoint", name_}, {"id", id}, {"delay", backoff}});
+  auto retry = [this, id] {
+    // A late success may have completed the call during the backoff.
+    if (calls_.find(id) != calls_.end()) start_attempt(id);
+  };
+  static_assert(sim::Simulator::fits_inline<decltype(retry)>,
+                "rpc retry must schedule allocation-free");
+  sim_.schedule_in(backoff, std::move(retry));
+}
+
+void Endpoint::finish(std::uint64_t id, RpcStatus status,
+                      std::string payload) {
+  auto node = calls_.extract(id);
+  Call& c = node.mapped();
+  switch (status) {
+    case RpcStatus::kOk: ++counters_.ok; break;
+    case RpcStatus::kCircuitOpen: ++counters_.circuit_open; break;
+    case RpcStatus::kDeadlineExceeded: ++counters_.deadline_exceeded; break;
+    case RpcStatus::kExhausted: ++counters_.exhausted; break;
+  }
+  AFT_METRIC_ADD(status == RpcStatus::kOk ? "net.rpc.ok" : "net.rpc.failed",
+                 1);
+  AFT_TRACE("net.rpc", "done",
+            {{"endpoint", name_},
+             {"id", id},
+             {"status", to_string(status)},
+             {"attempts", c.attempt}});
+  RpcResult result;
+  result.status = status;
+  result.payload = std::move(payload);
+  result.attempts = c.attempt;
+  result.elapsed = sim_.now() - c.started;
+  // The entry is already extracted: a callback that re-enters call() (or
+  // even retries the same workload) cannot invalidate this completion.
+  if (c.callback) c.callback(result);
+}
+
+void Endpoint::receive(Frame&& frame) {
+  switch (frame.kind) {
+    case FrameKind::kRequest:
+      handle_request(std::move(frame));
+      return;
+    case FrameKind::kResponse:
+      handle_response(std::move(frame));
+      return;
+    case FrameKind::kHeartbeat:
+      ++heartbeats_received_;
+      if (heartbeat_handler_) heartbeat_handler_(frame.origin);
+      return;
+    case FrameKind::kData:
+      if (data_handler_) data_handler_(std::move(frame));
+      return;
+  }
+}
+
+void Endpoint::handle_request(Frame&& frame) {
+  Frame response;
+  response.kind = FrameKind::kResponse;
+  response.id = frame.id;
+  response.aux = frame.aux;
+  response.origin = name_;
+  const auto it = handlers_.find(frame.method);
+  if (it == handlers_.end()) {
+    response.ok = false;
+    response.payload = "unknown-method";
+  } else {
+    response.ok = it->second(frame.payload, response.payload);
+  }
+  ++counters_.served;
+  AFT_METRIC_ADD("net.rpc.served", 1);
+  AFT_TRACE("net.rpc", "serve",
+            {{"endpoint", name_},
+             {"id", frame.id},
+             {"method", frame.method},
+             {"ok", response.ok}});
+  if (out_ != nullptr) out_->send(std::move(response));
+}
+
+void Endpoint::handle_response(Frame&& frame) {
+  const auto it = calls_.find(frame.id);
+  if (it == calls_.end() || it->second.attempt != frame.aux) {
+    // Late (the call completed, or this attempt was superseded by a retry)
+    // or duplicated on the wire: honoring it could complete a call twice.
+    ++counters_.stale_responses;
+    AFT_METRIC_ADD("net.rpc.stale_responses", 1);
+    AFT_TRACE("net.rpc", "stale-response",
+              {{"endpoint", name_}, {"id", frame.id}, {"attempt", frame.aux}});
+    return;
+  }
+  if (it->second.options.breaker != nullptr && frame.ok) {
+    it->second.options.breaker->record(true);
+  }
+  if (frame.ok) {
+    finish(frame.id, RpcStatus::kOk, std::move(frame.payload));
+  } else {
+    attempt_failed(frame.id, "app-error");
+  }
+}
+
+void Endpoint::send_data(Frame frame) {
+  if (out_ == nullptr) throw std::logic_error("Endpoint: not attached");
+  frame.kind = FrameKind::kData;
+  frame.id = ++data_seq_;
+  out_->send(std::move(frame));
+}
+
+void Endpoint::start_heartbeats(sim::SimTime period) {
+  if (out_ == nullptr) throw std::logic_error("Endpoint: not attached");
+  if (period == 0) {
+    throw std::invalid_argument("Endpoint: heartbeat period must be > 0");
+  }
+  hb_period_ = period;
+  heartbeat_tick(++hb_epoch_);
+}
+
+void Endpoint::heartbeat_tick(std::uint64_t epoch) {
+  if (epoch != hb_epoch_) return;  // superseded by stop/restart
+  Frame beat;
+  beat.kind = FrameKind::kHeartbeat;
+  beat.id = ++hb_seq_;
+  beat.origin = name_;
+  out_->send(std::move(beat));
+  auto chain = [this, epoch] { heartbeat_tick(epoch); };
+  static_assert(sim::Simulator::fits_inline<decltype(chain)>,
+                "heartbeat emitter must schedule allocation-free");
+  sim_.schedule_in(hb_period_, std::move(chain));
+}
+
+}  // namespace aft::net

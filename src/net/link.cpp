@@ -1,0 +1,154 @@
+#include "net/link.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::net {
+
+const char* to_string(FrameKind kind) noexcept {
+  switch (kind) {
+    case FrameKind::kData: return "data";
+    case FrameKind::kRequest: return "request";
+    case FrameKind::kResponse: return "response";
+    case FrameKind::kHeartbeat: return "heartbeat";
+  }
+  return "?";
+}
+
+Link::Link(sim::Simulator& sim, std::string name, LinkFaults faults,
+           std::uint64_t seed)
+    : sim_(sim), name_(std::move(name)), faults_(faults), rng_(seed) {
+  if (faults_.latency == 0) {
+    throw std::invalid_argument("Link: latency must be >= 1 tick");
+  }
+}
+
+sim::SimTime Link::draw_delay() {
+  sim::SimTime delay = faults_.latency;
+  if (faults_.jitter > 0) delay += rng_.uniform_int(0, faults_.jitter);
+  if (faults_.reorder > 0.0 && rng_.bernoulli(faults_.reorder)) {
+    const sim::SimTime hold = faults_.reorder_hold > 0
+                                  ? faults_.reorder_hold
+                                  : 2 * (faults_.latency + faults_.jitter);
+    delay += hold;
+    ++counters_.reordered;
+  }
+  return delay;
+}
+
+bool Link::send(Frame frame) {
+  ++counters_.sent;
+  if (partitioned_) {
+    ++counters_.dropped;
+    ++counters_.partition_drops;
+    AFT_METRIC_ADD("net.link.dropped", 1);
+    AFT_TRACE("net.link", "drop",
+              {{"link", name_},
+               {"kind", to_string(frame.kind)},
+               {"reason", "partition"}});
+    return false;
+  }
+  if (faults_.drop > 0.0 && rng_.bernoulli(faults_.drop)) {
+    ++counters_.dropped;
+    AFT_METRIC_ADD("net.link.dropped", 1);
+    AFT_TRACE("net.link", "drop",
+              {{"link", name_},
+               {"kind", to_string(frame.kind)},
+               {"reason", "loss"}});
+    return false;
+  }
+  AFT_METRIC_ADD("net.link.sent", 1);
+
+  // The send record becomes the cause of every delivery continuation
+  // scheduled below: the sim kernel snapshots the sink's current cause per
+  // entry, so "deliver" (and everything the receiver emits) chains here.
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    const obs::EventId id =
+        sink->emit("net.link", "send",
+                   {{"link", name_},
+                    {"kind", to_string(frame.kind)},
+                    {"id", frame.id}});
+    if (id != obs::kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(id);
+      cause_installed = true;
+    }
+  } else {
+    obs::flight_note("net.link", "send");
+  }
+#endif
+
+  const bool dup = faults_.duplicate > 0.0 && rng_.bernoulli(faults_.duplicate);
+  const int copies = dup ? 2 : 1;
+  if (dup) ++counters_.duplicated;
+  for (int copy = 0; copy < copies; ++copy) {
+    std::uint32_t slot;
+    if (free_.empty()) {
+      slot = static_cast<std::uint32_t>(pool_.size());
+      pool_.emplace_back();
+    } else {
+      slot = free_.back();
+      free_.pop_back();
+    }
+    // Copies before the last get their own frame; the last moves it in.
+    if (copy + 1 < copies) {
+      pool_[slot] = frame;
+    } else {
+      pool_[slot] = std::move(frame);
+    }
+    ++in_flight_;
+    auto arrival = [this, slot] { deliver(slot); };
+    static_assert(sim::Simulator::fits_inline<decltype(arrival)>,
+                  "link delivery must schedule allocation-free");
+    sim_.schedule_in(draw_delay(), std::move(arrival));
+  }
+
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
+  return true;
+}
+
+void Link::deliver(std::uint32_t slot) {
+  Frame frame = std::move(pool_[slot]);
+  pool_[slot] = Frame{};
+  free_.push_back(slot);
+  --in_flight_;
+  if (!receiver_) {
+    ++counters_.dropped;
+    AFT_METRIC_ADD("net.link.dropped", 1);
+    AFT_TRACE("net.link", "drop",
+              {{"link", name_},
+               {"kind", to_string(frame.kind)},
+               {"reason", "no-receiver"}});
+    return;
+  }
+  ++counters_.delivered;
+  AFT_METRIC_ADD("net.link.delivered", 1);
+  AFT_TRACE("net.link", "deliver",
+            {{"link", name_},
+             {"kind", to_string(frame.kind)},
+             {"id", frame.id}});
+  receiver_(std::move(frame));
+}
+
+void Link::partition() {
+  if (partitioned_) return;
+  partitioned_ = true;
+  AFT_METRIC_ADD("net.link.partitions", 1);
+  AFT_TRACE("net.link", "partition", {{"link", name_}});
+}
+
+void Link::heal() {
+  if (!partitioned_) return;
+  partitioned_ = false;
+  AFT_TRACE("net.link", "heal", {{"link", name_}});
+}
+
+}  // namespace aft::net

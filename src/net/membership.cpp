@@ -1,0 +1,81 @@
+#include "net/membership.hpp"
+
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::net {
+
+Membership::Membership(sim::Simulator& sim, Params params)
+    : sim_(sim),
+      params_(params),
+      discriminator_(params.alpha),
+      monitor_(sim, discriminator_) {
+  discriminator_.on_verdict_change(
+      [this](const std::string& channel, detect::FaultJudgment verdict) {
+        verdict_changed(channel, verdict);
+      });
+}
+
+void Membership::track(const std::string& member) {
+  const auto [it, inserted] = members_.try_emplace(member, true);
+  if (!inserted) return;
+  monitor_.watch(member, params_.deadline);
+  AFT_TRACE("net.membership", "track", {{"member", member}});
+}
+
+void Membership::beat(const std::string& member) {
+  if (members_.find(member) == members_.end()) {
+    ++unknown_beats_;
+    return;
+  }
+  monitor_.beat(member);
+}
+
+void Membership::reinstate(const std::string& member) {
+  if (members_.find(member) == members_.end()) return;
+  AFT_TRACE("net.membership", "reinstate", {{"member", member}});
+  // The reset's verdict change (kPermanentOrIntermittent -> kNoEvidence)
+  // flows back through verdict_changed and marks the member up.
+  discriminator_.reset_channel(member);
+}
+
+void Membership::on_change(ChangeHandler handler) {
+  handlers_.push_back(std::move(handler));
+}
+
+bool Membership::up(const std::string& member) const {
+  const auto it = members_.find(member);
+  return it != members_.end() && it->second;
+}
+
+std::size_t Membership::up_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [member, is_up] : members_) n += is_up ? 1u : 0u;
+  return n;
+}
+
+void Membership::verdict_changed(const std::string& member,
+                                 detect::FaultJudgment verdict) {
+  const auto it = members_.find(member);
+  if (it == members_.end()) return;  // discriminator channel we don't track
+  const bool now_up = verdict != detect::FaultJudgment::kPermanentOrIntermittent;
+  if (it->second == now_up) return;
+  it->second = now_up;
+  if (now_up) {
+    ++ups_;
+    AFT_METRIC_ADD("net.membership.ups", 1);
+  } else {
+    ++downs_;
+    AFT_METRIC_ADD("net.membership.downs", 1);
+  }
+  AFT_TRACE("net.membership", now_up ? "member-up" : "member-down",
+            {{"member", member}});
+  // Index loop: a change handler may subscribe further handlers
+  // re-entrantly (same hazard the discriminator fix covers).
+  for (std::size_t i = 0; i < handlers_.size(); ++i) {
+    handlers_[i](member, now_up);
+  }
+}
+
+}  // namespace aft::net

@@ -1,0 +1,86 @@
+// Heartbeat-based membership over lossy links: the Sect. 4 vision of
+// "communities of services" needs each node to know which peers are alive,
+// and over a dropping/partitioning wire a missed beat is ambiguous — a
+// transient loss or a dead peer.  Membership therefore feeds heartbeat
+// windows (detect::HeartbeatMonitor) into a per-peer alpha-count oracle
+// (detect::FaultDiscriminator), and only a *judgment* transition — not a
+// single miss — flips a member between up and down.  A moderately lossy
+// link produces isolated misses whose evidence decays (member stays up); a
+// partition produces consecutive misses that cross the threshold (member
+// goes down); healing lets the evidence decay away again.
+//
+// reinstate() models the Sect. 3.2 unit-replacement treatment: the failed
+// peer was repaired/replaced, so its evidence is cleared via
+// FaultDiscriminator::reset_channel — whose verdict-change notification
+// (bug-fixed in this module's PR) is exactly what brings the member back up.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "detect/alpha_count.hpp"
+#include "detect/discriminator.hpp"
+#include "detect/heartbeat.hpp"
+#include "sim/simulator.hpp"
+
+namespace aft::net {
+
+class Membership {
+ public:
+  struct Params {
+    /// Heartbeat window per member: one beat expected every `deadline`.
+    sim::SimTime deadline = 10;
+    /// Evidence filter deciding up/down from the miss pattern.
+    detect::AlphaCount::Params alpha{};
+  };
+
+  /// `on_change(member, up)` fires on every up/down transition.
+  using ChangeHandler = std::function<void(const std::string&, bool)>;
+
+  Membership(sim::Simulator& sim, Params params);
+
+  /// Registers `member` (initially up) and starts its heartbeat windows.
+  void track(const std::string& member);
+
+  /// Feeds one received beat (wire Endpoint::on_heartbeat here).  Beats
+  /// from untracked origins are counted and ignored.
+  void beat(const std::string& member);
+
+  /// Administrative replacement of a failed member: clears its evidence
+  /// and verdict; the resulting verdict change marks it up again.
+  void reinstate(const std::string& member);
+
+  void on_change(ChangeHandler handler);
+
+  [[nodiscard]] bool up(const std::string& member) const;
+  [[nodiscard]] std::size_t up_count() const noexcept;
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] std::uint64_t downs() const noexcept { return downs_; }
+  [[nodiscard]] std::uint64_t ups() const noexcept { return ups_; }
+  [[nodiscard]] std::uint64_t unknown_beats() const noexcept {
+    return unknown_beats_;
+  }
+  [[nodiscard]] const detect::FaultDiscriminator& discriminator()
+      const noexcept {
+    return discriminator_;
+  }
+
+ private:
+  void verdict_changed(const std::string& member,
+                       detect::FaultJudgment verdict);
+
+  sim::Simulator& sim_;
+  Params params_;
+  detect::FaultDiscriminator discriminator_;
+  detect::HeartbeatMonitor monitor_;
+  std::map<std::string, bool> members_;  ///< member -> up
+  std::vector<ChangeHandler> handlers_;
+  std::uint64_t downs_ = 0;
+  std::uint64_t ups_ = 0;
+  std::uint64_t unknown_beats_ = 0;
+};
+
+}  // namespace aft::net

@@ -1,0 +1,20 @@
+#include "net/retry.hpp"
+
+namespace aft::net {
+
+sim::SimTime RetryPolicy::backoff(std::uint32_t attempt,
+                                  util::Xoshiro256& rng) const {
+  if (attempt == 0) attempt = 1;
+  double base = static_cast<double>(initial_backoff);
+  const double cap = static_cast<double>(max_backoff);
+  for (std::uint32_t k = 1; k < attempt && base < cap; ++k) base *= multiplier;
+  if (base > cap) base = cap;
+  sim::SimTime delay = static_cast<sim::SimTime>(base);
+  if (jitter > 0.0 && delay > 0) {
+    const double extra = jitter * static_cast<double>(delay) * rng.uniform01();
+    delay += static_cast<sim::SimTime>(extra);
+  }
+  return delay;
+}
+
+}  // namespace aft::net

@@ -1,0 +1,47 @@
+// Retry policy for RPC over lossy links: exponential backoff with
+// deterministic jitter, bounded by an attempt budget and an optional wall
+// (simulated) time budget.
+//
+// The jitter draw comes from the caller's seeded RNG stream, so a policy is
+// as reproducible as everything else on the kernel — the abl_retry_policy
+// sweep relies on (policy, seed) pairs replaying identically.  Unbounded
+// retrying is exactly the Sect. 3.2 "wrong fault model" clash (a livelock
+// against a partitioned peer), which is why both budgets exist and why the
+// circuit breaker (breaker.hpp) sits in front of the retry loop.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace aft::net {
+
+struct RetryPolicy {
+  /// Total attempts including the first; 1 = no retries.
+  std::uint32_t max_attempts = 3;
+  /// Backoff before retry k (k >= 1) is
+  ///   min(initial_backoff * multiplier^(k-1), max_backoff)
+  /// plus a uniform jitter draw in [0, jitter * that] ticks.
+  sim::SimTime initial_backoff = 2;
+  double multiplier = 2.0;
+  sim::SimTime max_backoff = 64;
+  double jitter = 0.0;  ///< jitter fraction in [0, 1]
+  /// Total simulated-time budget for the whole call (attempts + backoffs),
+  /// measured from the first attempt.  0 = unlimited.
+  sim::SimTime time_budget = 0;
+
+  /// Backoff delay before the retry following failed attempt `attempt`
+  /// (1-based).  Draws at most one jitter value from `rng`.
+  [[nodiscard]] sim::SimTime backoff(std::uint32_t attempt,
+                                     util::Xoshiro256& rng) const;
+
+  /// Convenience: a policy that never retries.
+  [[nodiscard]] static RetryPolicy none() noexcept {
+    RetryPolicy p;
+    p.max_attempts = 1;
+    return p;
+  }
+};
+
+}  // namespace aft::net

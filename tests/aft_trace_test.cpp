@@ -8,9 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include "arch/event_bus.hpp"
 #include "autonomic/experiment.hpp"
+#include "net/bridge.hpp"
+#include "net/endpoint.hpp"
+#include "net/link.hpp"
 #include "obs/obs.hpp"
 #include "obs/trace.hpp"
+#include "sim/simulator.hpp"
 #include "trace_analysis.hpp"
 #include "trace_reader.hpp"
 
@@ -171,6 +176,98 @@ TEST(TraceAnalysisTest, SummaryCountsClassesAndChains) {
 }
 
 #if !defined(AFT_OBS_DISABLED)
+
+// Acceptance: cause chains survive the wire.  A message published on node
+// A's bus and re-published on node B's bus by the bridge pair must leave a
+// trace in which `why <remote publish>` walks back through the link send to
+// the originating publish on A.
+TEST(TraceAnalysisTest, WhyOnARemotePublishReachesTheOriginatingPublish) {
+  TraceSink sink;
+  std::string jsonl;
+  {
+    ScopedObs scope(&sink, nullptr);
+    aft::sim::Simulator sim;
+    aft::arch::EventBus bus_a;
+    aft::arch::EventBus bus_b;
+    aft::net::Link a2b(sim, "a->b", aft::net::LinkFaults{}, 51);
+    aft::net::Link b2a(sim, "b->a", aft::net::LinkFaults{}, 52);
+    aft::net::Endpoint ep_a(sim, "node-a", 53);
+    aft::net::Endpoint ep_b(sim, "node-b", 54);
+    ep_a.attach(b2a, a2b);
+    ep_b.attach(a2b, b2a);
+    aft::net::BusBridge bridge_a(bus_a, ep_a, "A");
+    aft::net::BusBridge bridge_b(bus_b, ep_b, "B");
+    bridge_a.forward_topic("detect.clash");
+    bus_a.publish({"detect.clash", "detector-7", "threshold crossed"});
+    sim.run_all();
+    jsonl = sink.jsonl();
+  }
+  const Trace trace = parse(jsonl);
+
+  // The remote re-publish is the second arch.bus/publish record.
+  const TraceEvent* remote = nullptr;
+  for (const TraceEvent& e : trace.events) {
+    if (e.component == "arch.bus" && e.event == "publish") remote = &e;
+  }
+  ASSERT_NE(remote, nullptr);
+
+  const auto chain = aft::tools::causal_chain(trace, remote->seq);
+  ASSERT_EQ(chain.size(), 3u);
+  EXPECT_EQ(chain[0]->component, "arch.bus");
+  EXPECT_EQ(chain[0]->event, "publish");
+  EXPECT_NE(chain[0], remote);  // the *originating* publish on node A
+  EXPECT_EQ(chain[1]->component, "net.link");
+  EXPECT_EQ(chain[1]->event, "send");
+  EXPECT_EQ(chain[2], remote);
+
+  const std::string why = aft::tools::render_why(trace, remote->seq);
+  EXPECT_NE(why.find("arch.bus/publish"), std::string::npos);
+  EXPECT_NE(why.find("net.link/send"), std::string::npos);
+}
+
+// Acceptance: an RPC completion chains back to its call through both wire
+// hops (request send and response send).
+TEST(TraceAnalysisTest, WhyOnAnRpcCompletionReachesTheCall) {
+  TraceSink sink;
+  std::string jsonl;
+  {
+    ScopedObs scope(&sink, nullptr);
+    aft::sim::Simulator sim;
+    aft::net::Link a2b(sim, "a->b", aft::net::LinkFaults{}, 61);
+    aft::net::Link b2a(sim, "b->a", aft::net::LinkFaults{}, 62);
+    aft::net::Endpoint client(sim, "client", 63);
+    aft::net::Endpoint server(sim, "server", 64);
+    client.attach(b2a, a2b);
+    server.attach(a2b, b2a);
+    server.serve("echo",
+                 [](const std::string& request, std::string& response) {
+                   response = request;
+                   return true;
+                 });
+    client.call("echo", "hi", aft::net::CallOptions{},
+                [](const aft::net::RpcResult&) {});
+    sim.run_all();
+    jsonl = sink.jsonl();
+  }
+  const Trace trace = parse(jsonl);
+
+  const TraceEvent* done = nullptr;
+  for (const TraceEvent& e : trace.events) {
+    if (e.component == "net.rpc" && e.event == "done") done = &e;
+  }
+  ASSERT_NE(done, nullptr);
+
+  // done <- response send <- request send <- call.
+  const auto chain = aft::tools::causal_chain(trace, done->seq);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain[0]->component, "net.rpc");
+  EXPECT_EQ(chain[0]->event, "call");
+  EXPECT_EQ(chain[1]->component, "net.link");
+  EXPECT_EQ(chain[1]->event, "send");
+  EXPECT_EQ(chain[2]->component, "net.link");
+  EXPECT_EQ(chain[2]->event, "send");
+  EXPECT_EQ(chain[3], done);
+}
 
 // Acceptance: on a real Fig. 6 adaptation trace, walking the causal chain
 // of a switchboard raise must land on the injected fault that provoked it.

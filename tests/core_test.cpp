@@ -128,6 +128,47 @@ TEST(RegistryTest, VerifyAllFiresHandlersAndCounts) {
   EXPECT_EQ(reg.find("bad")->state(), AssumptionState::kViolated);
 }
 
+// Regression: the clash-notification loop was a range-for over the handler
+// vector, so a handler registering a follow-up handler re-entrantly (a
+// treatment arming an observer) could reallocate the vector and invalidate
+// the iteration.  The index loop delivers the current clash to the handlers
+// registered when it fired; handlers added mid-notification see only
+// subsequent clashes.
+TEST(RegistryTest, ClashHandlerMayRegisterAnotherHandlerReentrantly) {
+  AssumptionRegistry reg;
+  Context ctx;
+  ctx.set("k", std::int64_t{0});
+  reg.emplace<std::int64_t>("a", "k is 1", Subject::kHardware,
+                            test_provenance(), 1, "k");
+  reg.emplace<std::int64_t>("b", "k is 2", Subject::kHardware,
+                            test_provenance(), 2, "k");
+  int outer_calls = 0;
+  int second_calls = 0;
+  int inner_calls = 0;
+  bool armed = false;
+  reg.on_clash([&](const Clash&, const Diagnosis&) {
+    ++outer_calls;
+    if (!armed) {
+      armed = true;
+      // Several registrations force the handler vector to reallocate while
+      // the notification loop is mid-flight.
+      for (int i = 0; i < 4; ++i) {
+        reg.on_clash([&](const Clash&, const Diagnosis&) { ++inner_calls; });
+      }
+    }
+  });
+  reg.on_clash([&](const Clash&, const Diagnosis&) { ++second_calls; });
+  const auto clashes = reg.verify_all(ctx);
+  EXPECT_EQ(clashes.size(), 2u);
+  EXPECT_EQ(outer_calls, 2);
+  // The handler registered before verify_all hears both clashes, even
+  // though the vector reallocated while clash "a" was being delivered.
+  EXPECT_EQ(second_calls, 2);
+  // The re-entrant handlers were registered during clash "a" and therefore
+  // hear only clash "b".
+  EXPECT_EQ(inner_calls, 4);
+}
+
 TEST(RegistryTest, AuditFlagsMissingProvenance) {
   AssumptionRegistry reg;
   reg.emplace<bool>("documented", "s", Subject::kHardware, test_provenance(),

@@ -185,6 +185,56 @@ TEST(DiscriminatorTest, ResetChannelAfterReplacement) {
   d.reset_channel("unknown");  // harmless no-op
 }
 
+// Regression: reset_channel() used to update the stored judgment silently,
+// so the kPermanentOrIntermittent -> kNoEvidence transition of a unit
+// replacement never reached the verdict-change subscribers — a switchboard
+// that suspended the channel was never told to re-arm it.
+TEST(DiscriminatorTest, ResetChannelNotifiesSubscribersOfTheTransition) {
+  FaultDiscriminator d;
+  std::vector<std::pair<std::string, FaultJudgment>> events;
+  d.on_verdict_change([&](const std::string& ch, FaultJudgment j) {
+    events.emplace_back(ch, j);
+  });
+  for (int i = 0; i < 10; ++i) d.record("c", true);
+  ASSERT_EQ(events.size(), 2u);  // NoEvidence->Transient->Permanent
+
+  d.reset_channel("c");
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[2].first, "c");
+  EXPECT_EQ(events[2].second, FaultJudgment::kNoEvidence);
+
+  // A reset that does not move the verdict stays silent: the channel is
+  // already at kNoEvidence, so a second reset is not a transition.
+  d.reset_channel("c");
+  EXPECT_EQ(events.size(), 3u);
+}
+
+// Regression: the notification loop was a range-for over the handler
+// vector, so a handler subscribing another handler re-entrantly could
+// reallocate the vector mid-iteration and invalidate the loop.  The index
+// loop delivers to the handlers present when the transition fired; late
+// subscribers hear about subsequent transitions only.
+TEST(DiscriminatorTest, HandlerMaySubscribeReentrantlyDuringNotification) {
+  FaultDiscriminator d;
+  int outer_calls = 0;
+  int inner_calls = 0;
+  d.on_verdict_change([&](const std::string&, FaultJudgment) {
+    ++outer_calls;
+    // Force reallocation pressure: several re-entrant subscriptions.
+    for (int i = 0; i < 4; ++i) {
+      d.on_verdict_change(
+          [&](const std::string&, FaultJudgment) { ++inner_calls; });
+    }
+  });
+  d.record("c", true);  // NoEvidence -> Transient
+  EXPECT_EQ(outer_calls, 1);
+  EXPECT_EQ(inner_calls, 0);  // not invoked for the transition that added them
+
+  for (int i = 0; i < 9; ++i) d.record("c", true);  // -> Permanent
+  EXPECT_EQ(outer_calls, 2);
+  EXPECT_EQ(inner_calls, 4);  // the first four subscribers hear the second
+}
+
 // --- Watchdog / WatchedTask ---------------------------------------------------------
 
 TEST(WatchdogTest, ZeroDeadlineRejected) {

@@ -1,0 +1,167 @@
+// Differential fault-matrix determinism for the network substrate: the same
+// RPC campaign — a matrix of drop / duplicate / reorder / partition fault
+// models — must produce byte-identical traces, byte-identical metrics JSON,
+// and identical outcome counters whether it runs on 1 worker thread or 8.
+// This is the net-layer counterpart of the campaign_test guarantees and the
+// property the abl_retry_policy bench (and its CI byte-diff job) rely on.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/breaker.hpp"
+#include "net/endpoint.hpp"
+#include "net/link.hpp"
+#include "net/retry.hpp"
+#include "obs/obs.hpp"
+#include "sim/simulator.hpp"
+#include "util/campaign.hpp"
+
+namespace {
+
+using aft::net::CallOptions;
+using aft::net::CircuitBreaker;
+using aft::net::Endpoint;
+using aft::net::Link;
+using aft::net::LinkFaults;
+using aft::net::RpcResult;
+using aft::net::RpcStatus;
+using aft::sim::Simulator;
+
+constexpr std::size_t kJobs = 10;
+constexpr std::size_t kCallsPerJob = 25;
+
+/// Outcome tallies of one job: ok, circuit-open, deadline-exceeded,
+/// exhausted, wire attempts, stale responses.
+using Outcome = std::array<std::uint64_t, 6>;
+
+LinkFaults faults_for(std::size_t job) {
+  LinkFaults faults;
+  faults.latency = 3;
+  faults.jitter = 2;
+  switch (job % 5) {
+    case 0: break;  // lossless baseline
+    case 1: faults.drop = 0.2; break;
+    case 2: faults.duplicate = 0.3; break;
+    case 3: faults.reorder = 0.3; break;
+    case 4: faults.drop = 0.05; break;  // + partition window, see below
+  }
+  return faults;
+}
+
+Outcome run_job(std::size_t job) {
+  const std::uint64_t seed = 9000 + 17 * static_cast<std::uint64_t>(job);
+  Simulator sim;
+  const LinkFaults faults = faults_for(job);
+  Link fwd(sim, "a->b", faults, seed);
+  Link rev(sim, "b->a", faults, seed + 1);
+  Endpoint client(sim, "client", seed + 2);
+  Endpoint server(sim, "server", seed + 3);
+  client.attach(rev, fwd);
+  server.attach(fwd, rev);
+  server.serve("echo", [](const std::string& request, std::string& response) {
+    response = request;
+    return true;
+  });
+  CircuitBreaker::Params breaker_params;
+  breaker_params.cooldown = 40;
+  CircuitBreaker breaker(sim, "to-server", breaker_params);
+
+  CallOptions options;
+  options.deadline = 15;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = 4;
+  options.retry.jitter = 0.5;
+  options.breaker = &breaker;
+
+  Outcome out{};
+  for (std::size_t k = 0; k < kCallsPerJob; ++k) {
+    sim.schedule_at(
+        20 * k, [cl = &client, opt = &options, out_ptr = &out] {
+          cl->call("echo", "ping", *opt, [out_ptr](const RpcResult& r) {
+            switch (r.status) {
+              case RpcStatus::kOk: ++(*out_ptr)[0]; break;
+              case RpcStatus::kCircuitOpen: ++(*out_ptr)[1]; break;
+              case RpcStatus::kDeadlineExceeded: ++(*out_ptr)[2]; break;
+              case RpcStatus::kExhausted: ++(*out_ptr)[3]; break;
+            }
+          });
+        });
+  }
+  if (job % 5 == 4) {
+    sim.schedule_at(150, [link = &fwd] { link->partition(); });
+    sim.schedule_at(320, [link = &fwd] { link->heal(); });
+  }
+  sim.run_all();
+  out[4] = client.counters().attempts;
+  out[5] = client.counters().stale_responses;
+  return out;
+}
+
+struct CampaignOutput {
+  std::string trace;
+  std::string metrics;
+  std::vector<Outcome> outcomes;
+};
+
+CampaignOutput run_matrix(unsigned threads) {
+  CampaignOutput output;
+  aft::obs::TraceSink sink;
+  aft::obs::MetricsRegistry metrics;
+  {
+    const aft::obs::ScopedObs scope(&sink, &metrics);
+    output.outcomes = aft::util::run_campaigns(
+        kJobs, [](std::size_t job) { return run_job(job); }, threads);
+  }
+  output.trace = sink.jsonl();
+  output.metrics = metrics.json();
+  return output;
+}
+
+TEST(NetDeterminismTest, FaultMatrixIsByteIdenticalAcrossThreadCounts) {
+  const CampaignOutput serial = run_matrix(1);
+  const CampaignOutput parallel = run_matrix(8);
+
+  ASSERT_EQ(serial.outcomes.size(), kJobs);
+  EXPECT_EQ(parallel.outcomes, serial.outcomes);
+  EXPECT_EQ(parallel.metrics, serial.metrics);
+  EXPECT_EQ(parallel.trace, serial.trace);
+
+  // Every job completed every call, one way or another.
+  for (const Outcome& out : serial.outcomes) {
+    EXPECT_EQ(out[0] + out[1] + out[2] + out[3], kCallsPerJob);
+  }
+  // The lossless baseline jobs succeed outright; the faulty environments
+  // exercise the retry/breaker paths (some wire attempts beyond the calls).
+  EXPECT_EQ(serial.outcomes[0][0], kCallsPerJob);
+  // Retries happened: wire attempts exceed the calls that were admitted to
+  // the wire at all (circuit-open rejections never send an attempt).
+  std::uint64_t total_attempts = 0;
+  std::uint64_t admitted_calls = 0;
+  for (const Outcome& out : serial.outcomes) {
+    total_attempts += out[4];
+    admitted_calls += kCallsPerJob - out[1];
+  }
+  EXPECT_GT(total_attempts, admitted_calls);
+
+#if !defined(AFT_OBS_DISABLED)
+  // The merged campaign trace is non-trivial (per-job sinks were installed
+  // and folded back in job-index order).
+  EXPECT_NE(serial.trace.find("net.rpc"), std::string::npos);
+  EXPECT_NE(serial.trace.find("net.link"), std::string::npos);
+  EXPECT_NE(serial.metrics.find("net.rpc.calls"), std::string::npos);
+#endif
+}
+
+TEST(NetDeterminismTest, RepeatedRunsReplayIdentically) {
+  const CampaignOutput first = run_matrix(4);
+  const CampaignOutput second = run_matrix(4);
+  EXPECT_EQ(first.outcomes, second.outcomes);
+  EXPECT_EQ(first.trace, second.trace);
+  EXPECT_EQ(first.metrics, second.metrics);
+}
+
+}  // namespace

@@ -1,0 +1,709 @@
+// Tests for the simulated network substrate: Link fault models, RetryPolicy
+// backoff math, the CircuitBreaker state machine, Endpoint RPC semantics
+// (deadline, retry, breaker, stale-response handling), BusBridge topic
+// forwarding, and heartbeat-based Membership over lossy links.
+//
+// Everything asserts on plain counters (LinkCounters, RpcCounters, breaker
+// tallies), never on metrics or trace contents, so the whole file also runs
+// under -DAFT_OBS=OFF.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "arch/event_bus.hpp"
+#include "net/breaker.hpp"
+#include "net/bridge.hpp"
+#include "net/endpoint.hpp"
+#include "net/frame.hpp"
+#include "net/link.hpp"
+#include "net/membership.hpp"
+#include "net/retry.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using aft::net::BusBridge;
+using aft::net::CallOptions;
+using aft::net::CircuitBreaker;
+using aft::net::Endpoint;
+using aft::net::Frame;
+using aft::net::FrameKind;
+using aft::net::Link;
+using aft::net::LinkFaults;
+using aft::net::Membership;
+using aft::net::RetryPolicy;
+using aft::net::RpcResult;
+using aft::net::RpcStatus;
+using aft::sim::Simulator;
+using aft::sim::SimTime;
+
+Frame data_frame(std::uint64_t id) {
+  Frame f;
+  f.kind = FrameKind::kData;
+  f.id = id;
+  return f;
+}
+
+// --- Link ----------------------------------------------------------------------
+
+TEST(LinkTest, ZeroLatencyRejected) {
+  Simulator sim;
+  LinkFaults faults;
+  faults.latency = 0;
+  EXPECT_THROW(Link(sim, "a->b", faults, 1), std::invalid_argument);
+}
+
+TEST(LinkTest, LosslessDeliversInOrderWithFixedLatency) {
+  Simulator sim;
+  LinkFaults faults;
+  faults.latency = 3;
+  Link link(sim, "a->b", faults, 1);
+  std::vector<std::pair<SimTime, std::uint64_t>> arrivals;
+  link.set_receiver([&](Frame&& f) { arrivals.emplace_back(sim.now(), f.id); });
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    sim.schedule_at(i, [&link, i] { link.send(data_frame(i)); });
+  }
+  sim.run_all();
+  ASSERT_EQ(arrivals.size(), 5u);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(arrivals[i].first, i + 3);
+    EXPECT_EQ(arrivals[i].second, i);
+  }
+  EXPECT_EQ(link.counters().sent, 5u);
+  EXPECT_EQ(link.counters().delivered, 5u);
+  EXPECT_EQ(link.counters().dropped, 0u);
+  EXPECT_EQ(link.in_flight(), 0u);
+  EXPECT_TRUE(faults.lossless());
+}
+
+TEST(LinkTest, DropAllLosesEveryFrame) {
+  Simulator sim;
+  LinkFaults faults;
+  faults.drop = 1.0;
+  Link link(sim, "a->b", faults, 2);
+  std::size_t received = 0;
+  link.set_receiver([&](Frame&&) { ++received; });
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    EXPECT_FALSE(link.send(data_frame(i)));
+  }
+  sim.run_all();
+  EXPECT_EQ(received, 0u);
+  EXPECT_EQ(link.counters().sent, 10u);
+  EXPECT_EQ(link.counters().dropped, 10u);
+  EXPECT_EQ(link.counters().delivered, 0u);
+}
+
+TEST(LinkTest, SeededDropSplitsSentIntoDeliveredPlusDropped) {
+  const auto run = [](std::uint64_t seed) {
+    Simulator sim;
+    LinkFaults faults;
+    faults.drop = 0.5;
+    Link link(sim, "a->b", faults, seed);
+    link.set_receiver([](Frame&&) {});
+    for (std::uint64_t i = 0; i < 100; ++i) link.send(data_frame(i));
+    sim.run_all();
+    return link.counters();
+  };
+  const auto c = run(7);
+  EXPECT_EQ(c.delivered + c.dropped, 100u);
+  EXPECT_GT(c.delivered, 0u);
+  EXPECT_GT(c.dropped, 0u);
+  // Same seed, same fault model, same send sequence: identical wire history.
+  const auto again = run(7);
+  EXPECT_EQ(again.delivered, c.delivered);
+  EXPECT_EQ(again.dropped, c.dropped);
+}
+
+TEST(LinkTest, DuplicateAllDeliversTwoCopies) {
+  Simulator sim;
+  LinkFaults faults;
+  faults.duplicate = 1.0;
+  Link link(sim, "a->b", faults, 3);
+  std::vector<std::uint64_t> ids;
+  link.set_receiver([&](Frame&& f) { ids.push_back(f.id); });
+  for (std::uint64_t i = 0; i < 10; ++i) link.send(data_frame(i));
+  sim.run_all();
+  EXPECT_EQ(link.counters().sent, 10u);
+  EXPECT_EQ(link.counters().duplicated, 10u);
+  EXPECT_EQ(link.counters().delivered, 20u);
+  ASSERT_EQ(ids.size(), 20u);
+}
+
+TEST(LinkTest, ReorderHoldbackLetsLaterFramesOvertake) {
+  const auto run = [] {
+    Simulator sim;
+    LinkFaults faults;
+    faults.latency = 1;
+    faults.reorder = 0.35;
+    Link link(sim, "a->b", faults, 11);
+    std::vector<std::uint64_t> ids;
+    link.set_receiver([&](Frame&& f) { ids.push_back(f.id); });
+    for (std::uint64_t i = 0; i < 20; ++i) {
+      sim.schedule_at(i, [&link, i] { link.send(data_frame(i)); });
+    }
+    sim.run_all();
+    return std::pair(ids, link.counters());
+  };
+  const auto [ids, counters] = run();
+  ASSERT_EQ(ids.size(), 20u);
+  EXPECT_GT(counters.reordered, 0u);
+  // At least one held-back frame was overtaken by a later send.
+  bool inverted = false;
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    if (ids[i] < ids[i - 1]) inverted = true;
+  }
+  EXPECT_TRUE(inverted);
+  // And the arrival sequence replays identically.
+  const auto [ids2, counters2] = run();
+  EXPECT_EQ(ids2, ids);
+  EXPECT_EQ(counters2.reordered, counters.reordered);
+}
+
+TEST(LinkTest, JitterBoundedAndDeterministic) {
+  const auto run = [] {
+    Simulator sim;
+    LinkFaults faults;
+    faults.latency = 2;
+    faults.jitter = 5;
+    Link link(sim, "a->b", faults, 13);
+    std::vector<SimTime> times;
+    link.set_receiver([&](Frame&&) { times.push_back(sim.now()); });
+    for (std::uint64_t i = 0; i < 30; ++i) link.send(data_frame(i));
+    sim.run_all();
+    return times;
+  };
+  const auto times = run();
+  ASSERT_EQ(times.size(), 30u);
+  for (const SimTime t : times) {
+    EXPECT_GE(t, 2u);
+    EXPECT_LE(t, 7u);
+  }
+  EXPECT_EQ(run(), times);
+}
+
+TEST(LinkTest, PartitionSwallowsSendsButInFlightFramesArrive) {
+  Simulator sim;
+  LinkFaults faults;
+  faults.latency = 5;
+  Link link(sim, "a->b", faults, 4);
+  std::vector<std::uint64_t> ids;
+  link.set_receiver([&](Frame&& f) { ids.push_back(f.id); });
+
+  EXPECT_TRUE(link.send(data_frame(1)));  // leaves before the cut
+  link.partition();
+  EXPECT_TRUE(link.partitioned());
+  EXPECT_FALSE(link.send(data_frame(2)));  // swallowed
+  sim.run_all();
+  EXPECT_EQ(ids, std::vector<std::uint64_t>{1});
+  EXPECT_EQ(link.counters().partition_drops, 1u);
+  EXPECT_EQ(link.counters().dropped, 1u);
+
+  link.heal();
+  EXPECT_FALSE(link.partitioned());
+  EXPECT_TRUE(link.send(data_frame(3)));
+  sim.run_all();
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 3}));
+}
+
+TEST(LinkTest, FramesWithNoReceiverCountAsDropped) {
+  Simulator sim;
+  Link link(sim, "a->b", LinkFaults{}, 5);
+  link.send(data_frame(1));
+  sim.run_all();
+  EXPECT_EQ(link.counters().delivered, 0u);
+  EXPECT_EQ(link.counters().dropped, 1u);
+}
+
+// --- RetryPolicy ---------------------------------------------------------------
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndClamps) {
+  RetryPolicy policy;
+  policy.initial_backoff = 2;
+  policy.multiplier = 2.0;
+  policy.max_backoff = 16;
+  aft::util::Xoshiro256 rng(1);
+  EXPECT_EQ(policy.backoff(1, rng), 2u);
+  EXPECT_EQ(policy.backoff(2, rng), 4u);
+  EXPECT_EQ(policy.backoff(3, rng), 8u);
+  EXPECT_EQ(policy.backoff(4, rng), 16u);
+  EXPECT_EQ(policy.backoff(5, rng), 16u);  // clamped
+  EXPECT_EQ(policy.backoff(0, rng), 2u);   // treated as attempt 1
+}
+
+TEST(RetryPolicyTest, JitterIsBoundedAndSeedDeterministic) {
+  RetryPolicy policy;
+  policy.initial_backoff = 8;
+  policy.multiplier = 2.0;
+  policy.max_backoff = 64;
+  policy.jitter = 0.5;
+  const auto draw = [&policy](std::uint64_t seed) {
+    aft::util::Xoshiro256 rng(seed);
+    std::vector<SimTime> delays;
+    for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+      delays.push_back(policy.backoff(attempt, rng));
+    }
+    return delays;
+  };
+  const auto delays = draw(99);
+  for (std::uint32_t attempt = 1; attempt <= 4; ++attempt) {
+    const SimTime base = std::min<SimTime>(8u << (attempt - 1), 64u);
+    EXPECT_GE(delays[attempt - 1], base);
+    EXPECT_LE(delays[attempt - 1], base + base / 2);
+  }
+  EXPECT_EQ(draw(99), delays);
+}
+
+TEST(RetryPolicyTest, NoneNeverRetries) {
+  EXPECT_EQ(RetryPolicy::none().max_attempts, 1u);
+}
+
+// --- CircuitBreaker ------------------------------------------------------------
+
+TEST(BreakerTest, LifecycleClosedOpenHalfOpenClosed) {
+  Simulator sim;
+  CircuitBreaker::Params params;
+  params.cooldown = 10;
+  params.probes = 1;
+  CircuitBreaker breaker(sim, "to-b", params);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+
+  // Four straight failures push the score past the high threshold (3.0).
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(breaker.allow());
+    breaker.record(false);
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+
+  // Open rejects until the cooldown elapses.
+  EXPECT_FALSE(breaker.allow());
+  EXPECT_EQ(breaker.rejected(), 1u);
+  sim.advance_to(10);
+
+  // First caller after cooldown takes the (single) probe slot.
+  EXPECT_TRUE(breaker.allow());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // probe budget exhausted
+  EXPECT_EQ(breaker.rejected(), 2u);
+
+  // A failed probe is conclusive: back to open with a fresh cooldown.
+  breaker.record(false);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 2u);
+  EXPECT_FALSE(breaker.allow());
+
+  // Sustained probe successes decay the evidence below the low threshold.
+  sim.advance_to(20);
+  int probes = 0;
+  while (breaker.state() != CircuitBreaker::State::kClosed && probes < 32) {
+    ASSERT_TRUE(breaker.allow());
+    breaker.record(true);
+    ++probes;
+  }
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_GT(probes, 1);  // one good probe is not enough
+  EXPECT_EQ(breaker.closes(), 1u);
+  EXPECT_TRUE(breaker.allow());
+}
+
+// --- Endpoint RPC --------------------------------------------------------------
+
+/// Client and server joined by one link pair.  `fwd` carries requests
+/// (client -> server), `rev` carries responses.
+struct RpcWorld {
+  Simulator sim;
+  Link fwd;
+  Link rev;
+  Endpoint client;
+  Endpoint server;
+
+  explicit RpcWorld(LinkFaults fwd_faults = LinkFaults{},
+                    LinkFaults rev_faults = LinkFaults{},
+                    std::uint64_t seed = 42)
+      : fwd(sim, "a->b", fwd_faults, seed),
+        rev(sim, "b->a", rev_faults, seed + 1),
+        client(sim, "client", seed + 2),
+        server(sim, "server", seed + 3) {
+    client.attach(rev, fwd);
+    server.attach(fwd, rev);
+    server.serve("echo", [](const std::string& request, std::string& response) {
+      response = request;
+      return true;
+    });
+  }
+};
+
+TEST(RpcTest, CallValidation) {
+  RpcWorld w;
+  CallOptions bad;
+  bad.deadline = 0;
+  EXPECT_THROW(w.client.call("echo", "x", bad, nullptr), std::invalid_argument);
+  CallOptions no_attempts;
+  no_attempts.retry.max_attempts = 0;
+  EXPECT_THROW(w.client.call("echo", "x", no_attempts, nullptr),
+               std::invalid_argument);
+  Simulator sim;
+  Endpoint unattached(sim, "lone", 1);
+  EXPECT_THROW(unattached.call("echo", "x", CallOptions{}, nullptr),
+               std::logic_error);
+  EXPECT_THROW(unattached.send_data(Frame{}), std::logic_error);
+  EXPECT_THROW(unattached.start_heartbeats(5), std::logic_error);
+}
+
+TEST(RpcTest, EchoCompletesFirstAttempt) {
+  RpcWorld w;
+  std::vector<RpcResult> results;
+  w.client.call("echo", "hello", CallOptions{},
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kOk);
+  EXPECT_EQ(results[0].payload, "hello");
+  EXPECT_EQ(results[0].attempts, 1u);
+  EXPECT_EQ(results[0].elapsed, 2u);  // 1 tick each way
+  EXPECT_EQ(w.client.counters().ok, 1u);
+  EXPECT_EQ(w.server.counters().served, 1u);
+  EXPECT_EQ(w.client.outstanding(), 0u);
+}
+
+TEST(RpcTest, DropAllExhaustsTheAttemptBudget) {
+  LinkFaults lossy;
+  lossy.drop = 1.0;
+  RpcWorld w(lossy);
+  CallOptions options;
+  options.deadline = 5;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = 2;
+  std::vector<RpcResult> results;
+  w.client.call("echo", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kExhausted);
+  EXPECT_EQ(results[0].attempts, 3u);
+  EXPECT_EQ(w.client.counters().attempt_failures, 3u);
+  EXPECT_EQ(w.client.counters().exhausted, 1u);
+  EXPECT_EQ(w.server.counters().served, 0u);
+}
+
+TEST(RpcTest, RetryRecoversOnceThePartitionHeals) {
+  RpcWorld w;
+  w.fwd.partition();
+  CallOptions options;
+  options.deadline = 5;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff = 10;  // retry fires at t=15
+  std::vector<RpcResult> results;
+  w.client.call("echo", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.schedule_at(10, [link = &w.fwd] { link->heal(); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kOk);
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_EQ(results[0].payload, "x");
+  EXPECT_EQ(w.client.counters().attempt_failures, 1u);
+}
+
+TEST(RpcTest, TimeBudgetFailsTheCallBeforeTheNextAttempt) {
+  RpcWorld w;
+  w.fwd.partition();
+  CallOptions options;
+  options.deadline = 5;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff = 10;
+  options.retry.time_budget = 12;  // t=5 failure + 10 backoff > 12
+  std::vector<RpcResult> results;
+  w.client.call("echo", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kDeadlineExceeded);
+  EXPECT_EQ(results[0].attempts, 1u);
+  EXPECT_EQ(w.client.counters().deadline_exceeded, 1u);
+}
+
+TEST(RpcTest, UnknownMethodIsAnAppErrorAndRetriesUntilExhausted) {
+  RpcWorld w;
+  CallOptions options;
+  options.deadline = 5;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff = 2;
+  std::vector<RpcResult> results;
+  w.client.call("no-such-method", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kExhausted);
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_EQ(w.server.counters().served, 2u);
+  EXPECT_EQ(w.client.counters().attempt_failures, 2u);
+}
+
+TEST(RpcTest, ResponsesForSupersededAttemptsAreStale) {
+  // RTT (20) far exceeds the per-attempt deadline (5): both attempts time
+  // out before their responses come back, and both responses must be
+  // ignored — honoring either would complete a finished call.
+  LinkFaults slow;
+  slow.latency = 10;
+  RpcWorld w(slow, slow);
+  CallOptions options;
+  options.deadline = 5;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff = 1;
+  std::vector<RpcResult> results;
+  w.client.call("echo", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kExhausted);
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_EQ(w.server.counters().served, 2u);
+  EXPECT_EQ(w.client.counters().stale_responses, 2u);
+  EXPECT_EQ(w.client.counters().ok, 0u);
+}
+
+TEST(RpcTest, DuplicatedResponseCompletesOnceAndCountsStale) {
+  LinkFaults dup;
+  dup.duplicate = 1.0;
+  RpcWorld w(LinkFaults{}, dup);
+  std::vector<RpcResult> results;
+  w.client.call("echo", "x", CallOptions{},
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);  // callback fired exactly once
+  EXPECT_EQ(results[0].status, RpcStatus::kOk);
+  EXPECT_EQ(w.client.counters().ok, 1u);
+  EXPECT_EQ(w.client.counters().stale_responses, 1u);
+}
+
+TEST(RpcTest, OpenBreakerFailsFastWithoutTouchingTheWire) {
+  RpcWorld w;
+  CircuitBreaker::Params params;
+  params.cooldown = 1000;
+  CircuitBreaker breaker(w.sim, "to-server", params);
+  for (int i = 0; i < 4; ++i) breaker.record(false);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+
+  CallOptions options;
+  options.breaker = &breaker;
+  std::vector<RpcResult> results;
+  w.client.call("echo", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kCircuitOpen);
+  EXPECT_EQ(results[0].attempts, 0u);
+  EXPECT_EQ(w.fwd.counters().sent, 0u);  // nothing reached the wire
+  EXPECT_EQ(w.client.counters().circuit_open, 1u);
+  EXPECT_EQ(breaker.rejected(), 1u);
+}
+
+TEST(RpcTest, RepeatedTimeoutsOpenTheBreaker) {
+  RpcWorld w;
+  w.fwd.partition();
+  CircuitBreaker::Params params;
+  params.cooldown = 1000;
+  CircuitBreaker breaker(w.sim, "to-server", params);
+  CallOptions options;
+  options.deadline = 5;
+  options.retry = RetryPolicy::none();
+  options.breaker = &breaker;
+
+  std::vector<RpcStatus> statuses;
+  for (int i = 0; i < 5; ++i) {
+    w.client.call("echo", "x", options,
+                  [&](const RpcResult& r) { statuses.push_back(r.status); });
+    w.sim.run_all();
+  }
+  ASSERT_EQ(statuses.size(), 5u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(statuses[i], RpcStatus::kExhausted);
+  }
+  // The fourth timeout crossed the threshold; the fifth call never sends.
+  EXPECT_EQ(statuses[4], RpcStatus::kCircuitOpen);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(breaker.opens(), 1u);
+  EXPECT_EQ(w.fwd.counters().sent, 4u);
+}
+
+// --- BusBridge -----------------------------------------------------------------
+
+/// Two nodes, each with a bus, an endpoint, and a bridge, joined by a link
+/// pair.  Bridges are constructed last so they can take the data plane.
+struct BridgeWorld {
+  Simulator sim;
+  aft::arch::EventBus bus_a;
+  aft::arch::EventBus bus_b;
+  Link a2b;
+  Link b2a;
+  Endpoint ep_a;
+  Endpoint ep_b;
+  BusBridge bridge_a;
+  BusBridge bridge_b;
+
+  explicit BridgeWorld(LinkFaults faults = LinkFaults{})
+      : a2b(sim, "a->b", faults, 21),
+        b2a(sim, "b->a", faults, 22),
+        ep_a(sim, "node-a", 23),
+        ep_b(sim, "node-b", 24),
+        bridge_a(bus_a, ep_a, "A"),
+        bridge_b(bus_b, ep_b, "B") {
+    ep_a.attach(b2a, a2b);
+    ep_b.attach(a2b, b2a);
+  }
+};
+
+TEST(BridgeTest, ForwardsATopicToTheRemoteBus) {
+  BridgeWorld w;
+  w.bridge_a.forward_topic("detect.clash");
+  std::vector<aft::arch::Message> remote;
+  w.bus_b.subscribe("detect.clash",
+                    [&](const aft::arch::Message& m) { remote.push_back(m); });
+  w.bus_a.publish({"detect.clash", "detector-7", "threshold crossed"});
+  w.sim.run_all();
+  ASSERT_EQ(remote.size(), 1u);
+  EXPECT_EQ(remote[0].topic, "detect.clash");
+  EXPECT_EQ(remote[0].source, "detector-7");
+  EXPECT_EQ(remote[0].payload, "threshold crossed");
+  EXPECT_EQ(w.bridge_a.forwarded(), 1u);
+  EXPECT_EQ(w.bridge_b.republished(), 1u);
+}
+
+TEST(BridgeTest, BidirectionalBridgesDoNotEcho) {
+  BridgeWorld w;
+  w.bridge_a.forward_topic("detect.clash");
+  w.bridge_b.forward_topic("detect.clash");
+  std::size_t seen_a = 0;
+  std::size_t seen_b = 0;
+  w.bus_a.subscribe("detect.clash", [&](const aft::arch::Message&) { ++seen_a; });
+  w.bus_b.subscribe("detect.clash", [&](const aft::arch::Message&) { ++seen_b; });
+  w.bus_a.publish({"detect.clash", "detector-7", "once"});
+  w.sim.run_all();
+  // One local delivery, one remote delivery, no ping-pong.
+  EXPECT_EQ(seen_a, 1u);
+  EXPECT_EQ(seen_b, 1u);
+  EXPECT_EQ(w.bridge_a.forwarded(), 1u);
+  EXPECT_EQ(w.bridge_b.forwarded(), 0u);  // the republish is not re-forwarded
+  EXPECT_EQ(w.bridge_b.republished(), 1u);
+  EXPECT_EQ(w.a2b.counters().sent, 1u);
+  EXPECT_EQ(w.b2a.counters().sent, 0u);
+}
+
+TEST(BridgeTest, StopUnsubscribesAllTopics) {
+  BridgeWorld w;
+  w.bridge_a.forward_topic("t1");
+  w.bridge_a.forward_topic("t2");
+  w.bridge_a.stop();
+  w.bus_a.publish({"t1", "s", "x"});
+  w.bus_a.publish({"t2", "s", "y"});
+  w.sim.run_all();
+  EXPECT_EQ(w.bridge_a.forwarded(), 0u);
+  EXPECT_EQ(w.a2b.counters().sent, 0u);
+}
+
+// --- Membership ----------------------------------------------------------------
+
+TEST(MembershipTest, SilenceTakesAMemberDownAndReinstateBringsItBack) {
+  Simulator sim;
+  Membership::Params params;
+  params.deadline = 10;
+  Membership membership(sim, params);
+  std::vector<std::pair<std::string, bool>> changes;
+  membership.on_change(
+      [&](const std::string& m, bool up) { changes.emplace_back(m, up); });
+
+  membership.track("b");
+  EXPECT_TRUE(membership.up("b"));
+  EXPECT_EQ(membership.size(), 1u);
+
+  // No beats at all: misses at t=10,20,30,40 push the score to 4 > 3.
+  sim.run_until(60);
+  EXPECT_FALSE(membership.up("b"));
+  EXPECT_EQ(membership.downs(), 1u);
+  EXPECT_EQ(membership.up_count(), 0u);
+  ASSERT_EQ(changes.size(), 1u);
+  EXPECT_EQ(changes[0], std::pair(std::string("b"), false));
+
+  // Unit replacement: the cleared evidence must notify back to "up" —
+  // this rides on FaultDiscriminator::reset_channel firing its handlers.
+  membership.reinstate("b");
+  EXPECT_TRUE(membership.up("b"));
+  EXPECT_EQ(membership.ups(), 1u);
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[1], std::pair(std::string("b"), true));
+}
+
+TEST(MembershipTest, BeatsFromUnknownOriginsAreCountedAndIgnored) {
+  Simulator sim;
+  Membership membership(sim, Membership::Params{});
+  membership.beat("stranger");
+  EXPECT_EQ(membership.unknown_beats(), 1u);
+  EXPECT_FALSE(membership.up("stranger"));
+  membership.reinstate("stranger");  // harmless no-op
+  EXPECT_EQ(membership.size(), 0u);
+}
+
+TEST(MembershipTest, HeartbeatsOverTheWireKeepAMemberUpThroughAPartition) {
+  Simulator sim;
+  Link c2s(sim, "client->server", LinkFaults{}, 31);
+  Link s2c(sim, "server->client", LinkFaults{}, 32);
+  Endpoint client(sim, "client", 33);
+  Endpoint server(sim, "server", 34);
+  client.attach(s2c, c2s);
+  server.attach(c2s, s2c);
+
+  Membership::Params params;
+  params.deadline = 10;
+  Membership membership(sim, params);
+  membership.track("client");
+  server.on_heartbeat(
+      [&](const std::string& origin) { membership.beat(origin); });
+  client.start_heartbeats(4);
+
+  sim.run_until(100);
+  EXPECT_TRUE(membership.up("client"));
+  EXPECT_EQ(membership.downs(), 0u);
+  EXPECT_GT(server.heartbeats_received(), 20u);
+
+  // A partition silences the beats; consecutive misses take the member down.
+  c2s.partition();
+  sim.run_until(200);
+  EXPECT_FALSE(membership.up("client"));
+  EXPECT_EQ(membership.downs(), 1u);
+
+  // Heal + administrative reinstate: beats resume and the member stays up.
+  c2s.heal();
+  membership.reinstate("client");
+  EXPECT_TRUE(membership.up("client"));
+  sim.run_until(300);
+  EXPECT_TRUE(membership.up("client"));
+  EXPECT_EQ(membership.downs(), 1u);  // no further flaps
+  EXPECT_EQ(membership.ups(), 1u);
+}
+
+TEST(MembershipTest, StoppedHeartbeatsNoLongerArrive) {
+  Simulator sim;
+  Link c2s(sim, "client->server", LinkFaults{}, 35);
+  Link s2c(sim, "server->client", LinkFaults{}, 36);
+  Endpoint client(sim, "client", 37);
+  Endpoint server(sim, "server", 38);
+  client.attach(s2c, c2s);
+  server.attach(c2s, s2c);
+  client.start_heartbeats(5);
+  sim.run_until(50);
+  const std::uint64_t before = server.heartbeats_received();
+  EXPECT_GT(before, 0u);
+  client.stop_heartbeats();
+  sim.run_all();
+  // At most the already in-flight beat arrives after the stop.
+  EXPECT_LE(server.heartbeats_received(), before + 1);
+}
+
+}  // namespace

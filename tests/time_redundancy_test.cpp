@@ -131,6 +131,20 @@ TEST(EstimatorTest, RisesDuringBurstDecaysAfter) {
   EXPECT_LT(est.level(), 0.01);
 }
 
+// Regression: a *successful* round whose farm is too small for a dtof
+// signal (dtof_max(n) == 0) used to fall through to the failed-round score
+// of 1.0 — an empty-farm success read as full disturbance and pinned the
+// EWMA high.  Carrying no disturbance evidence, it must contribute 0.
+TEST(EstimatorTest, SuccessWithNoDtofSignalContributesZero) {
+  aft::autonomic::DisturbanceEstimator est(
+      aft::autonomic::DisturbanceEstimator::Params{.alpha = 1.0});
+  est.observe(round_of(0, 0));  // successful, dtof_max(0) == 0
+  EXPECT_DOUBLE_EQ(est.level(), 0.0);
+  // A *failed* degenerate round still counts as full disturbance.
+  est.observe(round_of(0, 0, /*ok=*/false));
+  EXPECT_DOUBLE_EQ(est.level(), 1.0);
+}
+
 TEST(EstimatorTest, PublishesIntoContext) {
   aft::core::Context ctx;
   aft::autonomic::DisturbanceEstimator est(
