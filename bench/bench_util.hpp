@@ -1,0 +1,62 @@
+// Shared timing/provenance helpers for the perf harnesses (perf_ecc,
+// perf_sim).  Gates compare steady-state throughput, so every timed section
+// runs one untimed warmup pass first — page faults, allocator pool growth,
+// and branch-predictor training land in the warmup instead of the
+// measurement — and the repetition count plus host CPU are recorded in the
+// BENCH_*.json provenance block next to the numbers they qualify.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+namespace aft::bench {
+
+using Clock = std::chrono::steady_clock;
+
+/// Timed repetitions per measurement (best-of-N; N recorded in the JSON).
+inline constexpr int kRepeats = 3;
+
+inline double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One untimed warmup pass, then best-of-kRepeats wall time of fn().
+template <typename Fn>
+double best_time(Fn&& fn) {
+  fn();  // warmup
+  double best = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = Clock::now();
+    fn();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+/// Host CPU model ("model name" from /proc/cpuinfo), or "unknown".
+inline std::string cpu_model() {
+  std::ifstream in("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("model name", 0) != 0) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) break;
+    std::size_t start = colon + 1;
+    while (start < line.size() && line[start] == ' ') ++start;
+    return line.substr(start);
+  }
+  return "unknown";
+}
+
+/// Fixed one-decimal rendering, locale-independent (bench JSON values).
+inline std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.1f", v);
+  return buf;
+}
+
+}  // namespace aft::bench

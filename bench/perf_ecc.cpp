@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_util.hpp"
 #include "hw/fault_injector.hpp"
 #include "hw/memory_chip.hpp"
 #include "mem/ecc.hpp"
@@ -34,26 +35,13 @@ namespace {
 
 using aft::hw::Word72;
 using aft::mem::EccStatus;
-using Clock = std::chrono::steady_clock;
+using aft::bench::best_time;
+using aft::bench::Clock;
+using aft::bench::json_number;
+using aft::bench::kRepeats;
+using aft::bench::seconds_since;
 
 constexpr std::size_t kWorkingSet = 1 << 14;  ///< distinct words per loop
-constexpr int kRepeats = 3;                   ///< best-of-N timing
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-/// Best-of-kRepeats wall time of fn() (fn must consume `ops` operations).
-template <typename Fn>
-double best_time(Fn&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < kRepeats; ++r) {
-    const auto t0 = Clock::now();
-    fn();
-    best = std::min(best, seconds_since(t0));
-  }
-  return best;
-}
 
 std::vector<std::uint64_t> random_words(std::size_t n, std::uint64_t seed) {
   aft::util::Xoshiro256 rng(seed);
@@ -175,12 +163,6 @@ bool differential_ok() {
   return true;
 }
 
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.1f", v);
-  return buf;
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -253,6 +235,9 @@ int main(int argc, char** argv) {
   json << "{\n"
        << "  \"bench\": \"perf_ecc\",\n"
        << "  \"build_type\": \"" << build_type << "\",\n"
+       << "  \"reps\": " << kRepeats << ",\n"
+       << "  \"warmup\": true,\n"
+       << "  \"cpu\": \"" << aft::bench::cpu_model() << "\",\n"
        << "  \"working_set_words\": " << kWorkingSet << ",\n"
        << "  \"encode\": {\"mask_words_per_sec\": " << json_number(enc_mask)
        << ", \"ref_words_per_sec\": " << json_number(enc_ref)

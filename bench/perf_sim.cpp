@@ -1,61 +1,61 @@
-// Perf harness for the DES kernel hot path: the InlineFn + DHeap kernel vs
-// a faithful reimplementation of its predecessor (std::priority_queue of
-// entries holding std::function).  Emits machine-readable BENCH_sim.json
-// (path overridable via AFT_BENCH_JSON), mirroring perf_ecc.
+// Perf harness for the notification hot path: the InlineFn + DHeap kernel
+// with the interned/batched EventBus vs a faithful reimplementation of
+// their predecessors (std::priority_queue of entries holding std::function;
+// string-keyed std::map bus with per-publish snapshot vectors).  Emits
+// machine-readable BENCH_sim.json (path overridable via AFT_BENCH_JSON),
+// mirroring perf_ecc.
 //
-// Acceptance gate for this bench: in a Release build the schedule+dispatch
-// throughput of the kernel must be >= 2x the reference on the
-// client-shaped workload (captures wider than std::function's 16-byte SBO,
-// like every in-tree daemon continuation).  The process still exits 0 in
-// non-Release builds, where the gate is informational.
+// Acceptance gates for this bench in a Release build:
+//   - schedule+dispatch throughput of the kernel >= 2x the reference on the
+//     client-shaped workload (captures wider than std::function's 16-byte
+//     SBO, like every in-tree daemon continuation);
+//   - daemon_mesh — the fig6 steady state driven through the bus, 64
+//     publishing daemons fanning out to subscribed handlers — >= 2x the
+//     reference stack end to end.
+// The bench also measures full-detail trace overhead on the mesh (target
+// <10%) and the binary-vs-JSONL trace size ratio.  The process still exits
+// 0 in non-Release builds, where the gates are informational.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <queue>
+#include <set>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "arch/event_bus.hpp"
+#include "bench_util.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
 
 namespace {
 
+using aft::arch::Message;
+using aft::bench::best_time;
+using aft::bench::Clock;
+using aft::bench::json_number;
+using aft::bench::kRepeats;
+using aft::bench::seconds_since;
 using aft::sim::SimTime;
-using Clock = std::chrono::steady_clock;
-
-constexpr int kRepeats = 3;  ///< best-of-N timing
-
-double seconds_since(Clock::time_point t0) {
-  return std::chrono::duration<double>(Clock::now() - t0).count();
-}
-
-template <typename Fn>
-double best_time(Fn&& fn) {
-  double best = 1e300;
-  for (int r = 0; r < kRepeats; ++r) {
-    const auto t0 = Clock::now();
-    fn();
-    best = std::min(best, seconds_since(t0));
-  }
-  return best;
-}
 
 /// Cheap fold that keeps the optimizer from discarding the work.
 std::uint64_t g_sink = 0;
 
 // --- Reference kernel --------------------------------------------------------
 //
-// The pre-PR Simulator, preserved move for move: a std::priority_queue whose
-// entries carry a std::function, with the dispatch path forced through
-// priority_queue::top() — which is const, so the old kernel paid a full
-// entry COPY (and a std::function re-allocation for any capture over 16
-// bytes) per event on top of the allocation per schedule.
+// The pre-PR-4 Simulator, preserved move for move: a std::priority_queue
+// whose entries carry a std::function, with the dispatch path forced
+// through priority_queue::top() — which is const, so the old kernel paid a
+// full entry COPY (and a std::function re-allocation for any capture over
+// 16 bytes) per event on top of the allocation per schedule.
 
 class RefSimulator {
  public:
@@ -137,10 +137,104 @@ class RefSimulator {
   std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
 };
 
+// --- Reference event bus -----------------------------------------------------
+//
+// The pre-PR EventBus, preserved move for move: string-keyed std::map of
+// (id, std::function) subscription lists, a std::set of live ids consulted
+// per delivery, and a per-publish snapshot vector of handler COPIES — the
+// costs the interned SoA bus removes.  The obs hooks are kept too: the old
+// bus emitted one "publish" record per message, and omitting that here
+// would flatter the reference in traced comparisons.
+
+class RefEventBus {
+ public:
+  using Handler = std::function<void(const Message&)>;
+  using SubscriptionId = std::uint64_t;
+
+  SubscriptionId subscribe(const std::string& topic, Handler handler) {
+    const SubscriptionId id = next_id_++;
+    by_topic_[topic].push_back(Subscription{id, std::move(handler)});
+    live_.insert(id);
+    return id;
+  }
+
+  SubscriptionId subscribe_all(Handler handler) {
+    const SubscriptionId id = next_id_++;
+    wildcard_.push_back(Subscription{id, std::move(handler)});
+    live_.insert(id);
+    return id;
+  }
+
+  void unsubscribe(SubscriptionId id) {
+    if (live_.erase(id) == 0) return;
+    auto drop = [id](std::vector<Subscription>& subs) {
+      subs.erase(
+          std::remove_if(subs.begin(), subs.end(),
+                         [id](const Subscription& s) { return s.id == id; }),
+          subs.end());
+    };
+    for (auto it = by_topic_.begin(); it != by_topic_.end();) {
+      drop(it->second);
+      it = it->second.empty() ? by_topic_.erase(it) : std::next(it);
+    }
+    drop(wildcard_);
+  }
+
+  std::size_t publish(const Message& message) {
+    ++published_;
+    std::size_t delivered = 0;
+    std::vector<std::pair<SubscriptionId, Handler>> to_run;
+    if (const auto it = by_topic_.find(message.topic); it != by_topic_.end()) {
+      for (const auto& s : it->second) to_run.emplace_back(s.id, s.handler);
+    }
+    for (const auto& s : wildcard_) to_run.emplace_back(s.id, s.handler);
+#if !defined(AFT_OBS_DISABLED)
+    aft::obs::TraceSink* const sink = aft::obs::trace();
+    aft::obs::EventId prev_cause = aft::obs::kNoEvent;
+    bool cause_installed = false;
+    if (sink != nullptr) {
+      const aft::obs::EventId ev =
+          sink->emit("arch.bus", "publish",
+                     {{"topic", message.topic},
+                      {"source", message.source},
+                      {"subscribers", to_run.size()}});
+      if (ev != aft::obs::kNoEvent) {
+        prev_cause = sink->cause();
+        sink->set_cause(ev);
+        cause_installed = true;
+      }
+    }
+#endif
+    for (const auto& [id, handler] : to_run) {
+      if (!live_.contains(id)) continue;
+      handler(message);
+      ++delivered;
+    }
+#if !defined(AFT_OBS_DISABLED)
+    if (cause_installed) sink->set_cause(prev_cause);
+#endif
+    return delivered;
+  }
+
+  [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
+
+ private:
+  struct Subscription {
+    SubscriptionId id;
+    Handler handler;
+  };
+
+  std::map<std::string, std::vector<Subscription>> by_topic_;
+  std::vector<Subscription> wildcard_;
+  std::set<SubscriptionId> live_;
+  SubscriptionId next_id_ = 1;
+  std::uint64_t published_ = 0;
+};
+
 // --- Workloads ---------------------------------------------------------------
 //
-// Each workload is templated on the kernel so both sides run byte-for-byte
-// the same client code; only the kernel underneath differs.
+// Each workload is templated on the kernel (and bus) so both sides run the
+// same client code; only the machinery underneath differs.
 
 /// Client-shaped one-shot continuation: 48 bytes of capture — the width of
 /// the heartbeat check chain (this + std::string channel + epoch), the
@@ -179,8 +273,7 @@ double schedule_dispatch_rate(std::uint64_t batches) {
   return static_cast<double>(batches * kBatch) / secs;
 }
 
-/// Self-rescheduling daemon mesh: the fig6 steady state.  Every dispatched
-/// event schedules its successor from inside the kernel's dispatch loop.
+/// Self-rescheduling periodic daemon used by the fig7 workload below.
 template <typename Sim>
 struct Daemon {
   Sim* sim;
@@ -194,25 +287,105 @@ struct Daemon {
   }
 };
 
-template <typename Sim>
-double daemon_mesh_rate(SimTime horizon) {
-  constexpr std::uint64_t kDaemons = 64;
+// --- daemon_mesh: the fig6 steady state driven through the bus ---------------
+//
+// 64 periodic daemons, each publishing a kFanout-message notification burst
+// on its own topic every period; kSubsPerTopic subscribed handlers per
+// topic plus one wildcard collector.  The kernel side publishes through
+// publish_batch with a pre-interned TopicId (the new API); the reference
+// side publishes message by message through the string-keyed map bus (the
+// only API it has).  Throughput is bus messages per second.
+
+constexpr std::uint64_t kMeshDaemons = 64;
+constexpr std::uint64_t kSubsPerTopic = 4;
+constexpr std::uint64_t kFanout = 256;
+
+template <typename Sim, typename Bus, bool UseBatch>
+struct MeshDaemon {
+  Sim* sim;
+  Bus* bus;
+  SimTime period;
+  aft::arch::TopicId topic;
+  const std::vector<Message>* batch;
+  void arm() {
+    auto fire = [this] {
+      if constexpr (UseBatch) {
+        bus->publish_batch(topic, std::span<const Message>(*batch));
+      } else {
+        for (const Message& m : *batch) bus->publish(m);
+      }
+      arm();
+    };
+    static_assert(aft::sim::Simulator::fits_inline<decltype(fire)>);
+    sim->schedule_in(period, std::move(fire));
+  }
+};
+
+struct MeshRun {
   double secs = 1e300;
-  std::uint64_t events = 0;
-  for (int r = 0; r < kRepeats; ++r) {
+  std::uint64_t messages = 0;
+};
+
+template <typename Sim, typename Bus, bool UseBatch>
+MeshRun bus_mesh_run(SimTime horizon, bool traced,
+                     std::string* jsonl_out = nullptr,
+                     std::string* bin_out = nullptr) {
+  MeshRun run;
+  for (int r = -1; r < kRepeats; ++r) {  // r == -1: untimed warmup pass
     Sim sim;
-    std::vector<Daemon<Sim>> mesh;
-    mesh.reserve(kDaemons);
-    for (std::uint64_t d = 0; d < kDaemons; ++d) {
-      mesh.push_back(Daemon<Sim>{&sim, 1 + d % 13, 0});
+    Bus bus;
+    std::optional<aft::obs::TraceSink> sink;
+    std::optional<aft::obs::ScopedObs> scope;
+    if (traced) {
+      sink.emplace();
+      sink->set_detail(true);
+      scope.emplace(&*sink, nullptr);
+    }
+    std::uint64_t acc = 0;
+    std::vector<std::string> topics;
+    std::vector<std::vector<Message>> batches;
+    std::vector<MeshDaemon<Sim, Bus, UseBatch>> mesh;
+    topics.reserve(kMeshDaemons);
+    batches.reserve(kMeshDaemons);
+    mesh.reserve(kMeshDaemons);
+    for (std::uint64_t d = 0; d < kMeshDaemons; ++d) {
+      topics.push_back("daemon-" + std::to_string(d));
+      for (std::uint64_t s = 0; s < kSubsPerTopic; ++s) {
+        bus.subscribe(topics.back(), [&acc](const Message& m) {
+          acc += m.payload.size();
+        });
+      }
+      std::vector<Message> batch(kFanout);
+      for (std::uint64_t i = 0; i < kFanout; ++i) {
+        batch[i] = Message{topics.back(), "mesh", "notify"};
+      }
+      batches.push_back(std::move(batch));
+    }
+    bus.subscribe_all([&acc](const Message&) { ++acc; });
+    for (std::uint64_t d = 0; d < kMeshDaemons; ++d) {
+      MeshDaemon<Sim, Bus, UseBatch> daemon{&sim, &bus, 1 + d % 13, 0,
+                                            &batches[d]};
+      if constexpr (UseBatch) {
+        daemon.topic = bus.find_topic(topics[d]);
+      }
+      mesh.push_back(daemon);
       mesh.back().arm();
     }
     const auto t0 = Clock::now();
-    events = sim.run_until(horizon);
-    secs = std::min(secs, seconds_since(t0));
-    for (const auto& d : mesh) g_sink ^= d.fires;
+    sim.run_until(horizon);
+    const double secs = seconds_since(t0);
+    g_sink ^= acc;
+    if (r >= 0) {
+      run.secs = std::min(run.secs, secs);
+      run.messages = bus.published();
+    }
+    if (r == kRepeats - 1 && sink && jsonl_out != nullptr &&
+        bin_out != nullptr) {
+      *jsonl_out = sink->jsonl();
+      *bin_out = sink->binary();
+    }
   }
-  return static_cast<double>(events) / secs;
+  return run;
 }
 
 /// Fig. 7-shaped long run: a few periodic daemons plus a controller that
@@ -238,7 +411,7 @@ template <typename Sim>
 double fig7_shape_rate(SimTime horizon) {
   double secs = 1e300;
   std::uint64_t events = 0;
-  for (int r = 0; r < kRepeats; ++r) {
+  for (int r = -1; r < kRepeats; ++r) {  // r == -1: untimed warmup pass
     Sim sim;
     std::uint64_t acc = 0;
     std::vector<Daemon<Sim>> mesh;
@@ -251,14 +424,14 @@ double fig7_shape_rate(SimTime horizon) {
     controller.arm();
     const auto t0 = Clock::now();
     events = sim.run_until(horizon);
-    secs = std::min(secs, seconds_since(t0));
+    if (r >= 0) secs = std::min(secs, seconds_since(t0));
     g_sink ^= acc;
     for (const auto& d : mesh) g_sink ^= d.fires;
   }
   return static_cast<double>(events) / secs;
 }
 
-// --- Differential spot-check -------------------------------------------------
+// --- Differential spot-checks ------------------------------------------------
 
 /// Before trusting any timing: both kernels must dispatch an adversarial
 /// schedule (same-tick bursts, re-entrant scheduling) in the identical
@@ -286,14 +459,39 @@ std::vector<std::pair<SimTime, std::uint64_t>> dispatch_log() {
   return log;
 }
 
-bool differential_ok() {
-  return dispatch_log<aft::sim::Simulator>() == dispatch_log<RefSimulator>();
+/// Both buses must deliver the same messages to the same subscribers in
+/// the same order (tests/arch_test.cpp pins the semantics; this catches a
+/// bench-side wiring mistake before it skews a timing).
+template <typename Bus>
+std::vector<std::string> delivery_log() {
+  Bus bus;
+  std::vector<std::string> log;
+  for (const char* topic : {"a", "b"}) {
+    for (int s = 0; s < 2; ++s) {
+      bus.subscribe(topic, [&log, topic, s](const Message& m) {
+        log.push_back(std::string(topic) + "/" + std::to_string(s) + ":" +
+                      m.payload);
+      });
+    }
+  }
+  bus.subscribe_all(
+      [&log](const Message& m) { log.push_back("*:" + m.payload); });
+  const std::vector<Message> msgs = {Message{"a", "src", "1"},
+                                     Message{"a", "src", "2"},
+                                     Message{"b", "src", "3"},
+                                     Message{"c", "src", "4"}};
+  if constexpr (std::is_same_v<Bus, aft::arch::EventBus>) {
+    bus.publish_batch(std::span<const Message>(msgs));
+  } else {
+    for (const Message& m : msgs) bus.publish(m);
+  }
+  bus.publish(Message{"b", "src", "5"});
+  return log;
 }
 
-std::string json_number(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof buf, "%.1f", v);
-  return buf;
+bool differential_ok() {
+  return dispatch_log<aft::sim::Simulator>() == dispatch_log<RefSimulator>() &&
+         delivery_log<aft::arch::EventBus>() == delivery_log<RefEventBus>();
 }
 
 }  // namespace
@@ -304,40 +502,75 @@ int main() {
 #else
   const char* build_type = "debug";
 #endif
-  std::cout << "=== perf_sim: InlineFn+DHeap kernel vs priority_queue/"
-               "std::function reference (" << build_type << " build) ===\n\n";
+  std::cout << "=== perf_sim: InlineFn+DHeap kernel + interned EventBus vs "
+               "priority_queue/std::function/map reference ("
+            << build_type << " build) ===\n\n";
 
   if (!differential_ok()) {
-    std::cerr << "FATAL: kernel dispatch order disagrees with reference — "
-                 "not timing a broken kernel\n";
+    std::cerr << "FATAL: kernel dispatch/delivery disagrees with reference — "
+                 "not timing a broken stack\n";
     return 1;
   }
 
   constexpr std::uint64_t kBatches = 4096;
-  constexpr SimTime kMeshHorizon = 200000;
+  constexpr SimTime kMeshHorizon = 20000;
+  constexpr SimTime kRefMeshHorizon = 4000;  // rate-normalized slow side
   constexpr SimTime kFig7Horizon = 400000;
 
   const double sd_kernel =
       schedule_dispatch_rate<aft::sim::Simulator>(kBatches);
   const double sd_ref = schedule_dispatch_rate<RefSimulator>(kBatches);
-  const double mesh_kernel = daemon_mesh_rate<aft::sim::Simulator>(kMeshHorizon);
-  const double mesh_ref = daemon_mesh_rate<RefSimulator>(kMeshHorizon);
+
+  // Full-detail trace overhead on the kernel mesh: every publish-batch and
+  // kernel dispatch leaves a record; the compact sink must keep that under
+  // 10%.  The traced run goes back to back with the untraced one (before
+  // the allocation-heavy reference mesh can perturb heap and cache state)
+  // so the ratio compares like machine regimes.  The traced sink then
+  // yields the JSONL-vs-binary size comparison.
+  const MeshRun mesh_kernel =
+      bus_mesh_run<aft::sim::Simulator, aft::arch::EventBus, true>(
+          kMeshHorizon, /*traced=*/false);
+  std::string trace_jsonl;
+  std::string trace_bin;
+  const MeshRun mesh_traced =
+      bus_mesh_run<aft::sim::Simulator, aft::arch::EventBus, true>(
+          kMeshHorizon, /*traced=*/true, &trace_jsonl, &trace_bin);
+  const double overhead_frac = mesh_traced.secs / mesh_kernel.secs - 1.0;
+
+  const MeshRun mesh_ref = bus_mesh_run<RefSimulator, RefEventBus, false>(
+      kRefMeshHorizon, /*traced=*/false);
+  const double mesh_kernel_rate =
+      static_cast<double>(mesh_kernel.messages) / mesh_kernel.secs;
+  const double mesh_ref_rate =
+      static_cast<double>(mesh_ref.messages) / mesh_ref.secs;
+  const double bin_ratio = trace_bin.empty()
+                               ? 0.0
+                               : static_cast<double>(trace_jsonl.size()) /
+                                     static_cast<double>(trace_bin.size());
+
   const double fig7_kernel = fig7_shape_rate<aft::sim::Simulator>(kFig7Horizon);
   const double fig7_ref = fig7_shape_rate<RefSimulator>(kFig7Horizon);
 
-  const auto row = [](const char* name, double kernel, double ref) {
-    std::cout << "  " << name << ": " << json_number(kernel / 1e6)
-              << " Mevents/s vs " << json_number(ref / 1e6)
-              << " Mevents/s ref  (" << json_number(kernel / ref) << "x)\n";
+  const auto row = [](const char* name, double kernel, double ref,
+                      const char* unit) {
+    std::cout << "  " << name << ": " << json_number(kernel / 1e6) << " " << unit
+              << " vs " << json_number(ref / 1e6) << " " << unit << " ref  ("
+              << json_number(kernel / ref) << "x)\n";
   };
-  row("schedule+dispatch", sd_kernel, sd_ref);
-  row("daemon mesh      ", mesh_kernel, mesh_ref);
-  row("fig7 shape       ", fig7_kernel, fig7_ref);
+  row("schedule+dispatch", sd_kernel, sd_ref, "Mevents/s");
+  row("daemon mesh (bus)", mesh_kernel_rate, mesh_ref_rate, "Mmsgs/s");
+  row("fig7 shape       ", fig7_kernel, fig7_ref, "Mevents/s");
+  std::cout << "  mesh trace       : " << json_number(overhead_frac * 100)
+            << "% full-detail overhead; binary " << trace_bin.size()
+            << " B vs JSONL " << trace_jsonl.size() << " B ("
+            << json_number(bin_ratio) << "x smaller)\n";
 
-  const double speedup = sd_kernel / sd_ref;
-  const bool pass = speedup >= 2.0;
-  std::cout << "\nschedule+dispatch speedup: " << json_number(speedup)
-            << "x (gate >= 2x in release): " << (pass ? "PASS" : "FAIL")
+  const double sd_speedup = sd_kernel / sd_ref;
+  const double mesh_speedup = mesh_kernel_rate / mesh_ref_rate;
+  const bool pass = sd_speedup >= 2.0 && mesh_speedup >= 2.0;
+  std::cout << "\nschedule+dispatch " << json_number(sd_speedup)
+            << "x, daemon_mesh " << json_number(mesh_speedup)
+            << "x (gate: both >= 2x in release): " << (pass ? "PASS" : "FAIL")
             << "\n";
 
   const char* path = std::getenv("AFT_BENCH_JSON");
@@ -346,14 +579,22 @@ int main() {
   json << "{\n"
        << "  \"bench\": \"perf_sim\",\n"
        << "  \"build_type\": \"" << build_type << "\",\n"
+       << "  \"reps\": " << kRepeats << ",\n"
+       << "  \"warmup\": true,\n"
+       << "  \"cpu\": \"" << aft::bench::cpu_model() << "\",\n"
        << "  \"schedule_dispatch\": {\"kernel_events_per_sec\": "
        << json_number(sd_kernel)
        << ", \"ref_events_per_sec\": " << json_number(sd_ref)
-       << ", \"speedup\": " << json_number(speedup) << "},\n"
-       << "  \"daemon_mesh\": {\"kernel_events_per_sec\": "
-       << json_number(mesh_kernel)
-       << ", \"ref_events_per_sec\": " << json_number(mesh_ref)
-       << ", \"speedup\": " << json_number(mesh_kernel / mesh_ref) << "},\n"
+       << ", \"speedup\": " << json_number(sd_speedup) << "},\n"
+       << "  \"daemon_mesh\": {\"kernel_msgs_per_sec\": "
+       << json_number(mesh_kernel_rate)
+       << ", \"ref_msgs_per_sec\": " << json_number(mesh_ref_rate)
+       << ", \"speedup\": " << json_number(mesh_speedup) << "},\n"
+       << "  \"mesh_trace\": {\"overhead_frac\": "
+       << json_number(overhead_frac * 1000) << "e-3"
+       << ", \"jsonl_bytes\": " << trace_jsonl.size()
+       << ", \"bin_bytes\": " << trace_bin.size()
+       << ", \"bin_ratio\": " << json_number(bin_ratio) << "},\n"
        << "  \"fig7_shape\": {\"kernel_events_per_sec\": "
        << json_number(fig7_kernel)
        << ", \"ref_events_per_sec\": " << json_number(fig7_ref)

@@ -2,16 +2,47 @@
 // "Through e.g. publish/subscribe, the supporting middleware component
 //  receives notifications regarding the faults being detected by the main
 //  components of the software system."
+//
+// Hot-path layout (bench/perf_sim daemon_mesh defends it): topics are
+// interned to dense TopicIds, and each topic's subscribers live in a
+// structure-of-arrays bucket — SubscriptionIds and util::InlineFn handlers
+// in parallel vectors — so a publish is one array walk with no string
+// compares, no std::function copies, and no snapshot allocation.  The
+// string-keyed API remains as a thin shim over the interned one for
+// existing call sites.
+//
+// Mid-publish churn semantics (documented, regression-pinned in
+// tests/arch_test.cpp): handlers subscribed during a publish are not
+// delivered until the outermost publish completes; handlers unsubscribed by
+// an earlier handler of the same publish are skipped, not invoked.  The
+// implementation realizes both by freezing the handler tables while any
+// publish is on the stack: subscribes are queued, unsubscribes tombstone
+// their entry in place, and both are applied when the outermost publish
+// returns — which also means a handler can safely unsubscribe *itself*
+// (its callable is destroyed only after it has returned).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
-#include <set>
+#include <span>
 #include <string>
+#include <string_view>
+#include <unordered_map>
 #include <vector>
 
+#include "util/inline_fn.hpp"
+#include "util/interner.hpp"
+#include "util/pool.hpp"
+
 namespace aft::arch {
+
+/// Dense interned topic index.  Ids are assigned in first-subscribe order
+/// and never recycled; the id space is bounded by the number of *distinct
+/// subscribed* topics (publishes to unknown topics do not intern).
+using TopicId = std::uint32_t;
+
+/// "No such topic": find_topic() miss, or a Message whose topic was never
+/// subscribed (such a publish still reaches wildcard subscribers).
+inline constexpr TopicId kNoTopic = ~TopicId{0};
 
 struct Message {
   std::string topic;
@@ -19,47 +50,151 @@ struct Message {
   std::string payload;  ///< free-form content
 };
 
+/// Freelist-recycled Message arena: release() keeps each string's capacity,
+/// so a steady-state publisher that rebuilds messages into recycled slots
+/// never allocates (tests/alloc_test pins this together with the bus).
+class MessageArena {
+ public:
+  using Slot = util::SlotPool<Message>::Slot;
+
+  Slot acquire() { return pool_.acquire(); }
+  void release(Slot slot) {
+    Message& m = pool_[slot];
+    m.topic.clear();
+    m.source.clear();
+    m.payload.clear();
+    pool_.release(slot);
+  }
+  [[nodiscard]] Message& operator[](Slot slot) noexcept { return pool_[slot]; }
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return pool_.capacity();
+  }
+  [[nodiscard]] std::size_t in_use() const noexcept { return pool_.in_use(); }
+
+ private:
+  util::SlotPool<Message> pool_;
+};
+
 class EventBus {
  public:
-  using Handler = std::function<void(const Message&)>;
+  /// Subscriber callable.  64 bytes of inline capture storage — the same
+  /// budget as the sim kernel's continuations; larger captures overflow to
+  /// the heap as a correctness fallback.
+  using Handler = util::InlineFn<void(const Message&), 64>;
   using SubscriptionId = std::uint64_t;
 
+  /// Interns `topic`, returning its dense id (idempotent).
+  TopicId intern(std::string_view topic);
+
+  /// Id of an already-interned topic, or kNoTopic.  Never interns — bus
+  /// memory stays bounded by subscribed topics, not published ones.
+  [[nodiscard]] TopicId find_topic(std::string_view topic) const noexcept;
+
+  /// Name of an interned topic.  `id` must come from intern()/find_topic().
+  [[nodiscard]] const std::string& topic_name(TopicId id) const {
+    return topics_.name(id);
+  }
+
   /// Subscribes to an exact topic.  Returns an id usable for unsubscribe().
-  SubscriptionId subscribe(const std::string& topic, Handler handler);
+  SubscriptionId subscribe(TopicId topic, Handler handler);
+  SubscriptionId subscribe(std::string_view topic, Handler handler) {
+    return subscribe(intern(topic), std::move(handler));
+  }
 
   /// Subscribes to every topic (wildcard observer, e.g. a logger).
   SubscriptionId subscribe_all(Handler handler);
 
-  /// Forgets the subscription.  The per-topic bucket is erased once its
-  /// last subscriber leaves, so subscribe/unsubscribe churn over many
-  /// distinct topics cannot grow the topic map without bound.
+  /// Forgets the subscription.  The per-topic bucket releases its storage
+  /// once its last subscriber leaves, so subscribe/unsubscribe churn over
+  /// many distinct topics cannot grow the handler tables without bound.
   void unsubscribe(SubscriptionId id);
 
   /// Delivers synchronously to topic subscribers then wildcard subscribers;
-  /// returns the number of handlers invoked.  Handlers subscribed during a
-  /// publish are not delivered that same publish; handlers unsubscribed by
-  /// an earlier handler of the same publish are skipped, not invoked.
+  /// returns the number of handlers invoked.  See the header comment for
+  /// the mid-publish subscribe/unsubscribe semantics.
   std::size_t publish(const Message& message);
 
+  /// publish() with the topic pre-resolved (message.topic should name the
+  /// same topic — handlers and trace records read it).
+  std::size_t publish(TopicId topic, const Message& message);
+
+  /// Batched publish: resolves `topic` once, emits one trace record for
+  /// the whole batch, and delivers each message in order (topic
+  /// subscribers then wildcard, exactly like publish()).  Returns total
+  /// handlers invoked.  The churn semantics above apply to the batch as a
+  /// whole: a handler subscribed mid-batch sees none of this batch.
+  std::size_t publish_batch(TopicId topic, std::span<const Message> batch);
+
+  /// Batched publish over mixed-topic messages: consecutive runs sharing a
+  /// topic are dispatched as one batch each.
+  std::size_t publish_batch(std::span<const Message> batch);
+
   [[nodiscard]] std::uint64_t published() const noexcept { return published_; }
-  [[nodiscard]] std::size_t subscriber_count() const noexcept;
+  [[nodiscard]] std::size_t subscriber_count() const noexcept {
+    return slot_of_.size();
+  }
 
   /// Number of distinct topics currently holding at least one subscriber.
-  [[nodiscard]] std::size_t topic_count() const noexcept {
-    return by_topic_.size();
+  [[nodiscard]] std::size_t topic_count() const noexcept;
+
+  /// Number of topics ever interned (the id space).
+  [[nodiscard]] std::size_t interned_topics() const noexcept {
+    return topics_.size();
   }
 
  private:
-  struct Subscription {
+  /// SubscriptionId 0 is never issued; in a bucket's id array it marks an
+  /// entry tombstoned by a mid-publish unsubscribe.
+  static constexpr SubscriptionId kDeadEntry = 0;
+  /// slot_of_ value for wildcard subscriptions (no bucket carries this id).
+  static constexpr TopicId kWildcardSlot = kNoTopic;
+
+  /// Structure-of-arrays subscriber table of one topic: ids and handlers in
+  /// parallel vectors, plus the live count publish() reports as audience.
+  struct Bucket {
+    std::vector<SubscriptionId> ids;
+    std::vector<Handler> handlers;
+    std::size_t live = 0;
+  };
+
+  /// Invokes every live handler of `bucket` on `message`.  The tables are
+  /// frozen while depth_ > 0, so the index walk cannot be invalidated by
+  /// anything a handler does.
+  std::size_t deliver(Bucket& bucket, const Message& message);
+
+  /// Applies churn queued while publishes were on the stack: compacts
+  /// tombstoned buckets, then installs pending subscriptions.
+  void apply_deferred();
+  void compact(Bucket& bucket);
+
+  /// RAII publish-depth marker; applies deferred churn when the outermost
+  /// publish unwinds (including via a throwing handler).
+  struct DepthGuard {
+    explicit DepthGuard(EventBus& bus) : bus_(bus) { ++bus_.depth_; }
+    ~DepthGuard() {
+      if (--bus_.depth_ == 0) bus_.apply_deferred();
+    }
+    DepthGuard(const DepthGuard&) = delete;
+    DepthGuard& operator=(const DepthGuard&) = delete;
+    EventBus& bus_;
+  };
+
+  struct Pending {
+    TopicId topic;  ///< kWildcardSlot for subscribe_all
     SubscriptionId id;
     Handler handler;
   };
 
-  std::map<std::string, std::vector<Subscription>> by_topic_;
-  std::vector<Subscription> wildcard_;
-  std::set<SubscriptionId> live_;  ///< ids not yet unsubscribed
+  util::StringInterner topics_;  ///< TopicId <-> name
+  std::vector<Bucket> buckets_;  ///< indexed by TopicId
+  Bucket wildcard_;
+  /// Live subscriptions -> owning bucket (kWildcardSlot for wildcard).
+  std::unordered_map<SubscriptionId, TopicId> slot_of_;
+  std::vector<Pending> pending_;  ///< subscribes queued mid-publish
+  std::vector<TopicId> dirty_;    ///< buckets holding tombstones
   SubscriptionId next_id_ = 1;
   std::uint64_t published_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace aft::arch

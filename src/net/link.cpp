@@ -88,14 +88,7 @@ bool Link::send(Frame frame) {
   const int copies = dup ? 2 : 1;
   if (dup) ++counters_.duplicated;
   for (int copy = 0; copy < copies; ++copy) {
-    std::uint32_t slot;
-    if (free_.empty()) {
-      slot = static_cast<std::uint32_t>(pool_.size());
-      pool_.emplace_back();
-    } else {
-      slot = free_.back();
-      free_.pop_back();
-    }
+    const std::uint32_t slot = pool_.acquire();
     // Copies before the last get their own frame; the last moves it in.
     if (copy + 1 < copies) {
       pool_[slot] = frame;
@@ -116,9 +109,13 @@ bool Link::send(Frame frame) {
 }
 
 void Link::deliver(std::uint32_t slot) {
-  Frame frame = std::move(pool_[slot]);
-  pool_[slot] = Frame{};
-  free_.push_back(slot);
+  // The frame stays parked in its slot through delivery: the receiver takes
+  // it by rvalue and moves out only what it keeps, and the slot — with
+  // whatever string capacity remains — is recycled afterwards, so
+  // steady-state traffic never allocates.  Release happens after the
+  // receiver returns: a receiver that re-sends on this link must not be
+  // handed the very slot it is still reading.
+  Frame& frame = pool_[slot];
   --in_flight_;
   if (!receiver_) {
     ++counters_.dropped;
@@ -127,6 +124,7 @@ void Link::deliver(std::uint32_t slot) {
               {{"link", name_},
                {"kind", to_string(frame.kind)},
                {"reason", "no-receiver"}});
+    pool_.release(slot);
     return;
   }
   ++counters_.delivered;
@@ -136,6 +134,7 @@ void Link::deliver(std::uint32_t slot) {
              {"kind", to_string(frame.kind)},
              {"id", frame.id}});
   receiver_(std::move(frame));
+  pool_.release(slot);
 }
 
 void Link::partition() {

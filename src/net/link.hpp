@@ -34,10 +34,10 @@
 #include <cstdint>
 #include <functional>
 #include <string>
-#include <vector>
 
 #include "net/frame.hpp"
 #include "sim/simulator.hpp"
+#include "util/pool.hpp"
 #include "util/rng.hpp"
 
 namespace aft::net {
@@ -111,10 +111,10 @@ class Link {
   Receiver receiver_;
   bool partitioned_ = false;
   std::size_t in_flight_ = 0;
-  /// Parked in-flight frames; free_ recycles slots so steady-state traffic
-  /// stops growing the pool once it is warm.
-  std::vector<Frame> pool_;
-  std::vector<std::uint32_t> free_;
+  /// Parked in-flight frames.  Recycled slots keep their Frame (and its
+  /// string capacity), so steady-state traffic stops allocating once the
+  /// pool is warm.
+  util::SlotPool<Frame> pool_;
   LinkCounters counters_;
 };
 

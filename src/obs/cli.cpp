@@ -41,6 +41,13 @@ FlagMatch take_value_flag(int argc, char** argv, int& i, std::string_view flag,
   std::exit(2);
 }
 
+[[noreturn]] void format_error(std::string_view value) {
+  std::cerr << "error: --trace-format must be 'jsonl' or 'bin', got '"
+            << value << "'\n"
+            << "usage: " << ObsCli::usage() << "\n";
+  std::exit(2);
+}
+
 }  // namespace
 
 ObsCli::ObsCli(int argc, char** argv) {
@@ -51,12 +58,24 @@ ObsCli::ObsCli(int argc, char** argv) {
       case FlagMatch::kMissingOperand: usage_error("--trace");
       case FlagMatch::kNoMatch: break;
     }
+    switch (take_value_flag(argc, argv, i, "--trace-format", trace_format_)) {
+      case FlagMatch::kOk: continue;
+      case FlagMatch::kMissingOperand: usage_error("--trace-format");
+      case FlagMatch::kNoMatch: break;
+    }
     switch (take_value_flag(argc, argv, i, "--metrics", metrics_path_)) {
       case FlagMatch::kOk: continue;
       case FlagMatch::kMissingOperand: usage_error("--metrics");
       case FlagMatch::kNoMatch: break;
     }
     if (std::string_view(argv[i]) == "--trace-detail") detail = true;
+  }
+  if (!trace_format_.empty()) {
+    if (trace_format_ == "bin") {
+      trace_binary_ = true;
+    } else if (trace_format_ != "jsonl") {
+      format_error(trace_format_);
+    }
   }
   if (!trace_path_.empty()) {
     sink_ = std::make_unique<TraceSink>();
@@ -82,11 +101,17 @@ void ObsCli::flush() {
     registry_->add("trace.dropped", sink_->dropped());
   }
   if (sink_ && !trace_path_.empty()) {
-    std::ofstream out(trace_path_);
+    std::ofstream out(trace_path_, trace_binary_
+                                       ? std::ios::out | std::ios::binary
+                                       : std::ios::out);
     if (!out) {
       std::cerr << "[obs] cannot open trace path '" << trace_path_ << "'\n";
     } else {
-      sink_->write_jsonl(out);
+      if (trace_binary_) {
+        sink_->write_binary(out);
+      } else {
+        sink_->write_jsonl(out);
+      }
       std::cerr << "[obs] trace: " << sink_->size() << " events";
       if (sink_->dropped() > 0) std::cerr << " (+" << sink_->dropped() << " dropped)";
       std::cerr << " -> " << trace_path_ << "\n";

@@ -1,8 +1,9 @@
 // Bench-side provenance switch: parses `--trace <path>` / `--metrics <path>`
-// (also `--flag=path`) plus `--trace-detail`, installs a TraceSink /
-// MetricsRegistry for the bench's lifetime, and writes the files on
-// destruction — so every regenerated figure can carry machine-readable
-// provenance next to its stdout table.
+// (also `--flag=path`) plus `--trace-detail` and
+// `--trace-format={jsonl,bin}`, installs a TraceSink / MetricsRegistry for
+// the bench's lifetime, and writes the files on destruction — so every
+// regenerated figure can carry machine-readable provenance next to its
+// stdout table.
 #pragma once
 
 #include <memory>
@@ -33,12 +34,15 @@ class ObsCli {
 
   /// One-line usage string for bench banners.
   static constexpr const char* usage() {
-    return "[--trace <jsonl-path>] [--metrics <json-path>] [--trace-detail]";
+    return "[--trace <path>] [--trace-format {jsonl|bin}] "
+           "[--metrics <json-path>] [--trace-detail]";
   }
 
  private:
   std::string trace_path_;
+  std::string trace_format_;
   std::string metrics_path_;
+  bool trace_binary_ = false;
   std::unique_ptr<TraceSink> sink_;
   std::unique_ptr<MetricsRegistry> registry_;
   std::optional<ScopedObs> scope_;

@@ -2,6 +2,7 @@
 
 #include "obs/flight.hpp"
 
+#include <bit>
 #include <charconv>
 #include <cmath>
 #include <ostream>
@@ -58,6 +59,21 @@ void append_i64(std::string& out, std::int64_t v) {
   out.append(buf, res.ptr);
 }
 
+// LEB128: 7 value bits per byte, high bit = continuation.
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>(0x80u | (v & 0x7Fu)));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+// Zigzag: small-magnitude signed values -> small varints.
+std::uint64_t zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
 }  // namespace
 
 void Field::append_value(std::string& out) const {
@@ -74,80 +90,138 @@ TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events) {}
 
 EventId TraceSink::emit(std::string_view component, std::string_view event,
                         std::initializer_list<Field> fields) {
-  if (lines_.size() >= max_events_) {
+  if (recs_.size() >= max_events_) {
     ++dropped_;
     return kNoEvent;
   }
-  const EventId id = lines_.size();
+  const EventId id = recs_.size();
   if (FlightRecorder* recorder = flight(); recorder != nullptr) {
     recorder->record(time_, component, event, span_, cause_);
   }
-  Line line;
-  line.t = time_;
-  line.span = span_;
-  line.cause = cause_;
-  std::string& rest = line.rest;
-  rest.reserve(32 + 16 * fields.size());
-  rest += "\"component\":";
-  append_json_string(rest, component);
-  rest += ",\"event\":";
-  append_json_string(rest, event);
+  Rec rec;
+  rec.t = time_;
+  rec.span = span_;
+  rec.cause = cause_;
+  rec.component = strings_.intern(component);
+  rec.event = strings_.intern(event);
+  rec.field_begin = static_cast<std::uint32_t>(fields_.size());
+  rec.field_count = static_cast<std::uint32_t>(fields.size());
   for (const Field& f : fields) {
-    rest.push_back(',');
-    append_json_string(rest, f.key());
-    rest.push_back(':');
-    f.append_value(rest);
+    FieldRec fr;
+    fr.key = strings_.intern(f.key());
+    fr.kind = f.kind();
+    switch (f.kind()) {
+      case Field::Kind::kU64: fr.bits = f.u64(); break;
+      case Field::Kind::kI64:
+        fr.bits = std::bit_cast<std::uint64_t>(f.i64());
+        break;
+      case Field::Kind::kF64:
+        // bit_cast keeps the exact double, so write-time to_chars renders
+        // the same bytes Field::append_value would have.
+        fr.bits = std::bit_cast<std::uint64_t>(f.f64());
+        break;
+      case Field::Kind::kBool: fr.bits = f.boolean() ? 1 : 0; break;
+      case Field::Kind::kStr: fr.bits = strings_.intern(f.str()); break;
+    }
+    fields_.push_back(fr);
   }
-  lines_.push_back(std::move(line));
+  recs_.push_back(rec);
   return id;
 }
 
 void TraceSink::append(TraceSink&& other) {
-  // Appended lines' ids shift by the current size; their span/cause
+  // Appended records' ids shift by the current size; their span/cause
   // references are job-local ids and must shift with them.  Drops only ever
   // occur at the tail (size never shrinks), and references only point
-  // backwards, so a kept line can never reference a dropped one.
-  const EventId offset = lines_.size();
-  for (Line& line : other.lines_) {
-    if (lines_.size() >= max_events_) {
+  // backwards, so a kept record can never reference a dropped one.
+  const EventId offset = recs_.size();
+  // The jobs interned independently, so other's string ids are meaningless
+  // here: re-intern by content once and remap.
+  std::vector<StrId> remap(other.strings_.size());
+  for (std::size_t i = 0; i < other.strings_.size(); ++i) {
+    remap[i] = strings_.intern(other.strings_.name(static_cast<StrId>(i)));
+  }
+  for (std::size_t r = 0; r < other.recs_.size(); ++r) {
+    const Rec& src = other.recs_[r];
+    if (recs_.size() >= max_events_) {
       ++dropped_;
       continue;
     }
-    if (line.span != kNoEvent) line.span += offset;
-    if (line.cause != kNoEvent) line.cause += offset;
-    lines_.push_back(std::move(line));
+    Rec rec = src;
+    if (rec.span != kNoEvent) rec.span += offset;
+    if (rec.cause != kNoEvent) rec.cause += offset;
+    rec.component = remap[rec.component];
+    rec.event = remap[rec.event];
+    rec.field_begin = static_cast<std::uint32_t>(fields_.size());
+    for (std::uint32_t i = 0; i < src.field_count; ++i) {
+      FieldRec fr = other.fields_[src.field_begin + i];
+      fr.key = remap[fr.key];
+      if (fr.kind == Field::Kind::kStr) {
+        fr.bits = remap[static_cast<StrId>(fr.bits)];
+      }
+      fields_.push_back(fr);
+    }
+    recs_.push_back(rec);
   }
   dropped_ += other.dropped_;
-  other.lines_.clear();
+  other.recs_.clear();
+  other.fields_.clear();
+  other.strings_.clear();
   other.dropped_ = 0;
+}
+
+void TraceSink::append_field_value(std::string& out, const FieldRec& f) const {
+  switch (f.kind) {
+    case Field::Kind::kU64: append_u64(out, f.bits); break;
+    case Field::Kind::kI64:
+      append_i64(out, std::bit_cast<std::int64_t>(f.bits));
+      break;
+    case Field::Kind::kF64:
+      append_json_double(out, std::bit_cast<double>(f.bits));
+      break;
+    case Field::Kind::kBool: out += f.bits != 0 ? "true" : "false"; break;
+    case Field::Kind::kStr:
+      append_json_string(out, strings_.name(static_cast<StrId>(f.bits)));
+      break;
+  }
 }
 
 void TraceSink::write_jsonl(std::ostream& out) const {
   std::string buf;
   std::uint64_t seq = 0;
-  for (const Line& line : lines_) {
+  for (std::size_t r = 0; r < recs_.size(); ++r) {
+    const Rec& rec = recs_[r];
     buf.clear();
     buf += "{\"t\":";
-    append_u64(buf, line.t);
+    append_u64(buf, rec.t);
     buf += ",\"seq\":";
     append_u64(buf, seq++);
-    if (line.span != kNoEvent) {
+    if (rec.span != kNoEvent) {
       buf += ",\"span\":";
-      append_u64(buf, line.span);
+      append_u64(buf, rec.span);
     }
-    if (line.cause != kNoEvent) {
+    if (rec.cause != kNoEvent) {
       buf += ",\"cause\":";
-      append_u64(buf, line.cause);
+      append_u64(buf, rec.cause);
     }
-    buf.push_back(',');
-    buf += line.rest;
+    buf += ",\"component\":";
+    append_json_string(buf, strings_.name(rec.component));
+    buf += ",\"event\":";
+    append_json_string(buf, strings_.name(rec.event));
+    for (std::uint32_t i = 0; i < rec.field_count; ++i) {
+      const FieldRec& f = fields_[rec.field_begin + i];
+      buf.push_back(',');
+      append_json_string(buf, strings_.name(f.key));
+      buf.push_back(':');
+      append_field_value(buf, f);
+    }
     buf += "}\n";
     out << buf;
   }
   if (dropped_ > 0) {
     buf.clear();
     buf += "{\"t\":";
-    append_u64(buf, lines_.empty() ? 0 : lines_.back().t);
+    append_u64(buf, recs_.empty() ? 0 : recs_.back().t);
     buf += ",\"seq\":";
     append_u64(buf, seq);
     buf += ",\"component\":\"trace\",\"event\":\"truncated\",\"dropped\":";
@@ -160,6 +234,94 @@ void TraceSink::write_jsonl(std::ostream& out) const {
 std::string TraceSink::jsonl() const {
   std::ostringstream out;
   write_jsonl(out);
+  return out.str();
+}
+
+// Binary layout (version 1; full spec in docs/observability.md):
+//
+//   "AFTB"  u8 version  u8 flags(0)
+//   varint string_count, then per string: varint length + raw bytes
+//   varint record_count
+//   varint dropped                 (reader synthesizes the truncated record)
+//   per record: varint body_length, then the body:
+//     varint zigzag(t - prev_t)    (prev_t starts at 0)
+//     u8 ref_flags                 (bit0 span present, bit1 cause present)
+//     varint seq - span            (if bit0; refs point strictly backwards)
+//     varint seq - cause           (if bit1)
+//     varint component_id
+//     varint event_id
+//     varint field_count
+//     per field: varint key_id, u8 kind, value:
+//       kU64 varint | kI64 varint zigzag | kF64 8 raw LE bytes |
+//       kBool u8 | kStr varint string_id
+//
+// Everything is position-independent of host endianness and word size; the
+// length prefix lets a reader skip records it does not understand.
+void TraceSink::write_binary(std::ostream& out) const {
+  std::string buf;
+  buf.append(kTraceBinaryMagic, sizeof(kTraceBinaryMagic));
+  buf.push_back(static_cast<char>(kTraceBinaryVersion));
+  buf.push_back(0);  // flags
+  put_varint(buf, strings_.size());
+  for (std::size_t i = 0; i < strings_.size(); ++i) {
+    const std::string& s = strings_.name(static_cast<StrId>(i));
+    put_varint(buf, s.size());
+    buf += s;
+  }
+  put_varint(buf, recs_.size());
+  put_varint(buf, dropped_);
+
+  std::string body;
+  std::uint64_t prev_t = 0;
+  std::uint64_t seq = 0;
+  for (std::size_t r = 0; r < recs_.size(); ++r) {
+    const Rec& rec = recs_[r];
+    body.clear();
+    put_varint(body, zigzag(static_cast<std::int64_t>(rec.t - prev_t)));
+    prev_t = rec.t;
+    const bool has_span = rec.span != kNoEvent;
+    const bool has_cause = rec.cause != kNoEvent;
+    body.push_back(static_cast<char>((has_span ? 1 : 0) |
+                                     (has_cause ? 2 : 0)));
+    if (has_span) put_varint(body, seq - rec.span);
+    if (has_cause) put_varint(body, seq - rec.cause);
+    put_varint(body, rec.component);
+    put_varint(body, rec.event);
+    put_varint(body, rec.field_count);
+    for (std::uint32_t i = 0; i < rec.field_count; ++i) {
+      const FieldRec& f = fields_[rec.field_begin + i];
+      put_varint(body, f.key);
+      body.push_back(static_cast<char>(f.kind));
+      switch (f.kind) {
+        case Field::Kind::kU64: put_varint(body, f.bits); break;
+        case Field::Kind::kI64:
+          put_varint(body, zigzag(std::bit_cast<std::int64_t>(f.bits)));
+          break;
+        case Field::Kind::kF64:
+          for (int b = 0; b < 8; ++b) {
+            body.push_back(static_cast<char>((f.bits >> (8 * b)) & 0xFFu));
+          }
+          break;
+        case Field::Kind::kBool:
+          body.push_back(static_cast<char>(f.bits != 0 ? 1 : 0));
+          break;
+        case Field::Kind::kStr: put_varint(body, f.bits); break;
+      }
+    }
+    put_varint(buf, body.size());
+    buf += body;
+    ++seq;
+    if (buf.size() >= (1u << 20)) {
+      out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+      buf.clear();
+    }
+  }
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+}
+
+std::string TraceSink::binary() const {
+  std::ostringstream out;
+  write_binary(out);
   return out.str();
 }
 

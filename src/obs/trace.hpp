@@ -3,10 +3,19 @@
 // and adaptation decision can leave a machine-readable record of *why* the
 // system acted, keyed by simulated time.
 //
-// Events are buffered as pre-formatted JSONL fragments and serialized with a
-// globally consistent `seq` only at write time, so per-job sinks produced by
-// the parallel campaign runner can be appended in job order and the merged
-// file is bit-identical for any AFT_THREADS value.
+// Events are buffered as compact typed records over a string-interning
+// table — component/event names, field keys, and string values are stored
+// once and referenced by dense id, field values as raw 64-bit payloads — and
+// serialized with a globally consistent `seq` only at write time, so per-job
+// sinks produced by the parallel campaign runner can be appended in job
+// order and the merged file is bit-identical for any AFT_THREADS value, in
+// either output format:
+//
+//   write_jsonl()  — one JSON object per line, human-greppable (the format
+//                    every pinned byte-level test speaks);
+//   write_binary() — the "AFTB" length-prefixed varint format documented in
+//                    docs/observability.md: the same records at a fraction
+//                    of the bytes and none of the JSON formatting cost.
 //
 // Causality plane (Sect. 3.2's reflective DAG made auditable): every event
 // carries two optional back-references, both expressed as event ids:
@@ -21,15 +30,18 @@
 //           scheduled entry and restores it at dispatch, so asynchronous
 //           continuations inherit the provenance of whatever scheduled them.
 //
-// Event ids ARE the final `seq` values: emit() returns the index the line
+// Event ids ARE the final `seq` values: emit() returns the index the record
 // will serialize with, and append() rebases span/cause references by the
 // merge offset, so `aft_trace why <seq>` works on merged campaign output.
+// Both planes only ever reference *earlier* events; the binary format
+// encodes them as backward deltas and relies on that invariant.
 //
 // Hot-path cost model: instrumentation sites go through the AFT_TRACE macro
 // (obs.hpp), which is a thread-local load + branch when no sink is installed
 // and compiles to nothing when AFT_OBS_DISABLED is defined (CMake -DAFT_OBS=OFF).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <initializer_list>
 #include <iosfwd>
@@ -37,16 +49,23 @@
 #include <string_view>
 #include <vector>
 
+#include "util/chunked.hpp"
+#include "util/interner.hpp"
+
 namespace aft::obs {
 
-/// Identifies one trace event: its eventual `seq` in the written JSONL.
+/// Identifies one trace event: its eventual `seq` in the written trace.
 using EventId = std::uint64_t;
 
 /// "No event": absent span parent / causal source, or an emit() that was
 /// dropped by the cap.
 inline constexpr EventId kNoEvent = ~EventId{0};
 
-/// One key/value pair of a trace event.  Values are copied/formatted at
+/// Binary trace file preamble: magic + version byte (docs/observability.md).
+inline constexpr char kTraceBinaryMagic[4] = {'A', 'F', 'T', 'B'};
+inline constexpr std::uint8_t kTraceBinaryVersion = 1;
+
+/// One key/value pair of a trace event.  Values are copied/interned at
 /// emit() time, so string views only need to outlive the emit call.
 class Field {
  public:
@@ -71,6 +90,13 @@ class Field {
 
   [[nodiscard]] constexpr const char* key() const noexcept { return key_; }
   [[nodiscard]] constexpr Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] constexpr std::uint64_t u64() const noexcept { return u64_; }
+  [[nodiscard]] constexpr std::int64_t i64() const noexcept { return i64_; }
+  [[nodiscard]] constexpr double f64() const noexcept { return f64_; }
+  [[nodiscard]] constexpr bool boolean() const noexcept { return b_; }
+  [[nodiscard]] constexpr std::string_view str() const noexcept {
+    return str_;
+  }
 
   /// Appends the JSON rendering of the value to `out`.
   void append_value(std::string& out) const;
@@ -129,15 +155,16 @@ class TraceSink {
   EventId emit(std::string_view component, std::string_view event,
                std::initializer_list<Field> fields = {});
 
-  [[nodiscard]] std::size_t size() const noexcept { return lines_.size(); }
-  [[nodiscard]] bool empty() const noexcept { return lines_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return recs_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return recs_.empty(); }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
 
   /// Moves `other`'s events to the end of this sink (campaign merge: called
   /// once per job, in job-index order, so the result is thread-count
   /// independent).  `other`'s span/cause references are rebased by this
-  /// sink's current size, keeping them valid in the merged file.  `other`
-  /// is left empty.
+  /// sink's current size and its interned strings are re-interned here,
+  /// keeping every reference valid in the merged file.  `other` is left
+  /// empty.
   void append(TraceSink&& other);
 
   /// Serializes all events as JSON Lines; `seq` is assigned here, in event
@@ -146,17 +173,45 @@ class TraceSink {
   void write_jsonl(std::ostream& out) const;
   [[nodiscard]] std::string jsonl() const;
 
+  /// Serializes the same events in the compact "AFTB" binary format:
+  /// string table up front, then length-prefixed records with varint-coded
+  /// interned ids, delta-coded times, and backward-delta span/cause refs.
+  /// tools/trace_reader decodes both formats to identical event sequences.
+  void write_binary(std::ostream& out) const;
+  [[nodiscard]] std::string binary() const;
+
   static constexpr std::size_t kDefaultMaxEvents = 1u << 22;
 
  private:
-  struct Line {
+  using StrId = util::StringInterner::Id;
+
+  /// One emitted event; fields live in the shared fields_ arena.
+  struct Rec {
     std::uint64_t t;
     EventId span;
     EventId cause;
-    std::string rest;  ///< `"component":...` onwards, without braces
+    StrId component;
+    StrId event;
+    std::uint32_t field_begin;
+    std::uint32_t field_count;
   };
 
-  std::vector<Line> lines_;
+  /// One field: interned key + type tag + raw 64-bit value payload
+  /// (u64 as-is; i64/f64 bit_cast; bool 0/1; str = interned id).
+  struct FieldRec {
+    StrId key;
+    Field::Kind kind;
+    std::uint64_t bits;
+  };
+
+  void append_field_value(std::string& out, const FieldRec& f) const;
+
+  // Chunked, not flat vectors: emit() is on the simulation hot path, and at
+  // million-record scale vector doublings memcpy the whole table and fault
+  // in fresh pages mid-measurement (see util/chunked.hpp).
+  util::ChunkedVector<Rec> recs_;
+  util::ChunkedVector<FieldRec> fields_;
+  util::StringInterner strings_;
   std::size_t max_events_;
   std::uint64_t time_ = 0;
   EventId cause_ = kNoEvent;

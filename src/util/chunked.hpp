@@ -1,0 +1,53 @@
+// Append-only chunked storage for hot-path record streams (the TraceSink
+// event/field tables).  A std::vector reallocates as it grows: at
+// million-record scale each doubling memcpys tens of megabytes through the
+// cache and faults in a fresh span of pages, which showed up as the single
+// largest cost of TraceSink::emit.  ChunkedVector appends into fixed-size
+// chunks instead — no element ever moves, growth allocates one chunk at a
+// time, and clear() keeps the chunks so a reused sink appends into warm
+// memory.  Random access stays O(1): shift + mask.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace aft::util {
+
+/// `T` must be default-constructible and copy-assignable (the intended use
+/// is trivial record structs).  ChunkBits picks the chunk size in elements.
+template <typename T, std::size_t ChunkBits = 16>
+class ChunkedVector {
+ public:
+  static constexpr std::size_t kChunkSize = std::size_t{1} << ChunkBits;
+
+  void push_back(const T& v) {
+    const std::size_t chunk = size_ >> ChunkBits;
+    if (chunk == chunks_.size()) {
+      chunks_.push_back(std::make_unique_for_overwrite<T[]>(kChunkSize));
+    }
+    chunks_[chunk][size_ & (kChunkSize - 1)] = v;
+    ++size_;
+  }
+
+  [[nodiscard]] T& operator[](std::size_t i) noexcept {
+    return chunks_[i >> ChunkBits][i & (kChunkSize - 1)];
+  }
+  [[nodiscard]] const T& operator[](std::size_t i) const noexcept {
+    return chunks_[i >> ChunkBits][i & (kChunkSize - 1)];
+  }
+
+  [[nodiscard]] const T& back() const noexcept { return (*this)[size_ - 1]; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Drops the elements but keeps the chunks (capacity retained), so a
+  /// cleared container refills without touching the allocator.
+  void clear() noexcept { size_ = 0; }
+
+ private:
+  std::vector<std::unique_ptr<T[]>> chunks_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace aft::util

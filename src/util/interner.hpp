@@ -1,0 +1,90 @@
+// String interning table shared by the hot paths that replace string keys
+// with dense indices: arch::EventBus topics and obs::TraceSink's
+// component/event/key/value table.  Ids are assigned in first-intern order
+// and never recycled; name() pointers stay stable because they target the
+// index map's node-based key storage.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace aft::util {
+
+class StringInterner {
+ public:
+  using Id = std::uint32_t;
+  static constexpr Id kNone = ~Id{0};
+
+  /// Id of `s`, interning it on first sight (idempotent).
+  ///
+  /// Re-interning an already-known string is the hot case — every trace
+  /// record re-interns its component/event/key literals — and those callers
+  /// pass pointer-stable strings (literals, or name() results).  A small
+  /// direct-mapped cache keyed by the data pointer short-circuits the hash
+  /// map for them; a hit is validated by comparing the bytes against the
+  /// cached id's canonical name, so a recycled heap pointer can never yield
+  /// a wrong id (mismatched content just falls through to the map).
+  Id intern(std::string_view s) {
+    CacheEntry& cached = cache_[cache_slot(s.data())];
+    if (cached.data == s.data() && cached.len == s.size() &&
+        cached.id < names_.size() && *names_[cached.id] == s) {
+      return cached.id;
+    }
+    Id id;
+    if (const auto it = index_.find(s); it != index_.end()) {
+      id = it->second;
+    } else {
+      id = static_cast<Id>(names_.size());
+      const auto [it2, inserted] = index_.emplace(std::string(s), id);
+      names_.push_back(&it2->first);
+    }
+    cached = CacheEntry{s.data(), s.size(), id};
+    return id;
+  }
+
+  /// Id of an already-interned string, or kNone.  Never interns.
+  [[nodiscard]] Id find(std::string_view s) const noexcept {
+    const auto it = index_.find(s);
+    return it == index_.end() ? kNone : it->second;
+  }
+
+  /// The interned string.  `id` must come from intern()/find().
+  [[nodiscard]] const std::string& name(Id id) const { return *names_[id]; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return names_.size(); }
+
+  void clear() noexcept {
+    names_.clear();
+    index_.clear();
+    cache_.fill(CacheEntry{});
+  }
+
+ private:
+  struct TransparentHash {
+    using is_transparent = void;
+    std::size_t operator()(std::string_view s) const noexcept {
+      return std::hash<std::string_view>{}(s);
+    }
+  };
+  struct CacheEntry {
+    const char* data = nullptr;
+    std::size_t len = 0;
+    Id id = kNone;
+  };
+  static constexpr std::size_t kCacheSlots = 256;  // power of two
+
+  static std::size_t cache_slot(const char* p) noexcept {
+    // Low bits discard alignment; enough entropy for distinct literals.
+    return (reinterpret_cast<std::uintptr_t>(p) >> 4) & (kCacheSlots - 1);
+  }
+
+  std::vector<const std::string*> names_;
+  std::unordered_map<std::string, Id, TransparentHash, std::equal_to<>> index_;
+  std::array<CacheEntry, kCacheSlots> cache_{};
+};
+
+}  // namespace aft::util

@@ -1,0 +1,54 @@
+// Freelist-recycled slot pool — the xnu kern-queue idiom used everywhere a
+// hot path parks objects between schedule and dispatch: slots are handed out
+// by index, released slots are recycled LIFO, and the backing vector only
+// grows until the working set is warm.  Recycled objects are NOT reset —
+// the next acquirer overwrites them — so objects that own heap buffers
+// (std::string members of net::Frame, arch::Message) keep their capacity
+// across reuse, which is what makes steady-state traffic allocation-free.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace aft::util {
+
+template <typename T>
+class SlotPool {
+ public:
+  using Slot = std::uint32_t;
+
+  /// Hands out a slot index: a recycled one when available, otherwise a
+  /// freshly grown slot.  The object it names holds whatever the previous
+  /// occupant left (or a default-constructed T for a fresh slot).
+  Slot acquire() {
+    if (free_.empty()) {
+      slots_.emplace_back();
+      return static_cast<Slot>(slots_.size() - 1);
+    }
+    const Slot slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+
+  /// Returns `slot` to the freelist.  The object is left as-is; callers
+  /// that must drop resources eagerly clear it before releasing.
+  void release(Slot slot) { free_.push_back(slot); }
+
+  [[nodiscard]] T& operator[](Slot slot) noexcept { return slots_[slot]; }
+  [[nodiscard]] const T& operator[](Slot slot) const noexcept {
+    return slots_[slot];
+  }
+
+  /// Slots ever grown (high-water mark of concurrent occupancy).
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+  /// Slots currently acquired and not yet released.
+  [[nodiscard]] std::size_t in_use() const noexcept {
+    return slots_.size() - free_.size();
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::vector<Slot> free_;
+};
+
+}  // namespace aft::util

@@ -3,6 +3,8 @@
 // acceptance path: on a Fig. 6 trace, `why <raise>` must reconstruct the
 // chain from the injected fault through the dissent to the switchboard
 // reconfiguration.
+#include <cmath>
+#include <fstream>
 #include <sstream>
 #include <string>
 
@@ -75,6 +77,126 @@ TEST(TraceReaderTest, ReportsMalformedLines) {
   std::string error;
   EXPECT_FALSE(aft::tools::parse_trace(in, error).has_value());
   EXPECT_NE(error.find("line 1"), std::string::npos);
+}
+
+TEST(TraceReaderTest, BinaryDecodesIdenticallyToJsonl) {
+  // Every field kind, span/cause refs, time deltas, escapes, non-finite
+  // doubles: the binary reader must produce the exact event sequence the
+  // JSONL reader does, so every analysis (and `aft_trace diff`) is
+  // format-blind.
+  TraceSink sink;
+  sink.set_time(3);
+  const auto origin = sink.emit(
+      "hw.inject", "seu",
+      {{"addr", 42u}, {"delta", std::int64_t{-17}}, {"rate", 0.125}});
+  sink.set_cause(origin);
+  sink.set_span(origin);
+  sink.set_time(1000000);
+  sink.emit("detect", "latch",
+            {{"latched", true},
+             {"s", "a\"b\\c\n\x01"},
+             {"nan", std::nan("")},
+             {"inf", -1.0 / 0.0}});
+  sink.set_cause(aft::obs::kNoEvent);
+  sink.set_span(aft::obs::kNoEvent);
+  sink.set_time(1000001);
+  sink.emit("detect", "clear");
+
+  const Trace from_jsonl = parse(sink.jsonl());
+  std::string error;
+  const auto from_bin = aft::tools::parse_trace_data(sink.binary(), error);
+  ASSERT_TRUE(from_bin.has_value()) << error;
+
+  EXPECT_TRUE(
+      aft::tools::diff_traces(from_jsonl, *from_bin, "jsonl", "bin").identical);
+  ASSERT_EQ(from_bin->events.size(), 3u);
+  const TraceEvent& e0 = from_bin->events[0];
+  EXPECT_EQ(e0.t, 3u);
+  EXPECT_EQ(*e0.field("addr"), "42");
+  EXPECT_EQ(*e0.field("delta"), "-17");
+  EXPECT_EQ(*e0.field("rate"), "0.125");
+  const TraceEvent& e1 = from_bin->events[1];
+  EXPECT_EQ(e1.t, 1000000u);
+  EXPECT_EQ(e1.cause, 0);
+  EXPECT_EQ(*e1.field("latched"), "true");
+  EXPECT_EQ(*e1.field("s"), "a\"b\\c\n\x01");
+  EXPECT_EQ(*e1.field("nan"), "nan");
+  EXPECT_EQ(*e1.field("inf"), "-inf");
+  EXPECT_EQ(from_bin->events[2].cause, -1);
+}
+
+TEST(TraceReaderTest, BinaryTruncationFooterIsSynthesized) {
+  TraceSink sink(/*max_events=*/1);
+  sink.set_time(7);
+  sink.emit("c", "kept");
+  sink.emit("c", "dropped");
+  sink.emit("c", "dropped");
+  std::string error;
+  const auto trace = aft::tools::parse_trace_data(sink.binary(), error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  EXPECT_EQ(trace->dropped, 2u);
+  // The reader synthesizes the same trace/truncated footer the JSONL
+  // writer appends, so format choice cannot change what analyses see.
+  ASSERT_EQ(trace->events.size(), 2u);
+  EXPECT_EQ(trace->events.back().component, "trace");
+  EXPECT_EQ(trace->events.back().event, "truncated");
+  EXPECT_EQ(*trace->events.back().field("dropped"), "2");
+}
+
+TEST(TraceReaderTest, UnknownBinaryVersionIsRejectedWithClearMessage) {
+  TraceSink sink;
+  sink.emit("c", "e");
+  std::string bin = sink.binary();
+  bin[4] = 9;  // future version
+  std::string error;
+  EXPECT_FALSE(aft::tools::parse_trace_data(bin, error).has_value());
+  EXPECT_NE(error.find("unsupported binary trace version 9"),
+            std::string::npos);
+}
+
+TEST(TraceReaderTest, CorruptBinaryIsRejectedNotMisread) {
+  TraceSink sink;
+  sink.set_cause(sink.emit("c", "e", {{"k", 1u}}));
+  sink.emit("c", "f");
+  const std::string good = sink.binary();
+  std::string error;
+
+  // Truncated mid-record.
+  EXPECT_FALSE(
+      aft::tools::parse_trace_data(good.substr(0, good.size() - 2), error)
+          .has_value());
+  EXPECT_NE(error.find("corrupt binary trace"), std::string::npos);
+
+  // Header shorter than the magic.
+  EXPECT_FALSE(aft::tools::parse_trace_data("AFT", error).has_value());
+
+  // A cause delta pointing before the first record must not wrap around.
+  // Hand-built file: header, one string "c", one record, no drops; the
+  // record body claims cause = seq - 5 on seq 0.
+  const std::string bad =
+      std::string("AFTB\x01\x00", 6) + std::string("\x01\x01", 2) + "c" +
+      std::string("\x01\x00", 2) +         // record_count=1, dropped=0
+      std::string("\x06", 1) +             // body length
+      std::string("\x00\x02\x05\x00\x00\x00", 6);  // t, flags, cause, c, e, 0
+  EXPECT_FALSE(aft::tools::parse_trace_data(bad, error).has_value());
+  EXPECT_NE(error.find("bad cause ref"), std::string::npos);
+}
+
+TEST(TraceReaderTest, LoadTraceSniffsBinaryFilesByMagic) {
+  TraceSink sink;
+  sink.set_time(4);
+  sink.emit("c", "e", {{"k", "v"}});
+  const std::string path = "/tmp/aft_trace_test_sniff.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    sink.write_binary(out);
+  }
+  std::string error;
+  const auto trace = aft::tools::load_trace(path, error);
+  ASSERT_TRUE(trace.has_value()) << error;
+  ASSERT_EQ(trace->events.size(), 1u);
+  EXPECT_EQ(trace->events[0].component, "c");
+  EXPECT_EQ(*trace->events[0].field("k"), "v");
 }
 
 TEST(TraceAnalysisTest, CausalChainWalksToRootAndWhyRendersIt) {

@@ -1,11 +1,14 @@
 // Steady-state allocation audits.  This binary overrides the global
 // operator new/delete with counting versions (tests/CMakeLists.txt builds
 // one executable per test file, so the override is confined to this TU's
-// process) and asserts the two hot loops the PR optimises are genuinely
+// process) and asserts the hot loops the perf PRs optimise are genuinely
 // allocation-free once warm:
 //
 //   * sim::Simulator schedule/dispatch with in-tree-shaped continuations
-//     (the InlineFn + DHeap kernel), and
+//     (the InlineFn + DHeap kernel),
+//   * arch::EventBus publish and publish_batch over interned topics,
+//     plus MessageArena slot recycling,
+//   * net::Link frame send -> deliver through the recycled slot pool, and
 //   * vote::VotingFarm::invoke round after round, including after an
 //     arity resize.
 #include <gtest/gtest.h>
@@ -14,10 +17,13 @@
 #include <cstdint>
 #include <cstdlib>
 #include <new>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "arch/event_bus.hpp"
+#include "net/link.hpp"
 #include "sim/simulator.hpp"
 #include "vote/voting_farm.hpp"
 
@@ -130,6 +136,101 @@ TEST(AllocTest, SelfReschedulingDaemonMeshIsAllocationFree) {
   std::uint64_t total = 0;
   for (const Daemon& d : mesh) total += d.fires;
   EXPECT_GT(total, 32u * 1000u);
+}
+
+TEST(AllocTest, EventBusPublishSteadyStateIsAllocationFree) {
+  // The interned SoA bus: once topics are interned and buckets sized, a
+  // publish is an array walk — no string-keyed map lookup materializes
+  // nodes, no handler snapshot vector, no std::function copies.
+  aft::arch::EventBus bus;
+  std::uint64_t delivered = 0;
+  for (int s = 0; s < 4; ++s) {
+    bus.subscribe("mesh", [&delivered](const aft::arch::Message&) {
+      ++delivered;
+    });
+  }
+  bus.subscribe_all([&delivered](const aft::arch::Message&) { ++delivered; });
+  const aft::arch::Message msg{"mesh", "src", "beat"};
+  bus.publish(msg);  // warm-up
+
+  const aft::arch::TopicId topic = bus.find_topic("mesh");
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 10000; ++i) bus.publish(msg);
+    for (int i = 0; i < 10000; ++i) bus.publish(topic, msg);
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(delivered, 5u * 20001u);
+}
+
+TEST(AllocTest, EventBusPublishBatchIsAllocationFree) {
+  aft::arch::EventBus bus;
+  std::uint64_t delivered = 0;
+  bus.subscribe("mesh", [&delivered](const aft::arch::Message&) {
+    ++delivered;
+  });
+  std::vector<aft::arch::Message> batch(64);
+  for (auto& m : batch) m = aft::arch::Message{"mesh", "src", "beat"};
+  const aft::arch::TopicId topic = bus.find_topic("mesh");
+  bus.publish_batch(topic, std::span<const aft::arch::Message>(batch));
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 1000; ++i) {
+      bus.publish_batch(topic, std::span<const aft::arch::Message>(batch));
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(delivered, 64u * 1001u);
+}
+
+TEST(AllocTest, MessageArenaRecycledSlotsKeepStringCapacity) {
+  aft::arch::MessageArena arena;
+  const std::string long_payload(100, 'x');  // far past any SSO buffer
+
+  // Warm-up: one acquire/fill/release cycle grows the slot's strings.
+  {
+    const auto slot = arena.acquire();
+    arena[slot].topic = "mesh";
+    arena[slot].payload = long_payload;
+    arena.release(slot);
+  }
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 1000; ++i) {
+      const auto slot = arena.acquire();
+      arena[slot].topic = "mesh";
+      arena[slot].payload = long_payload;  // fits the retained capacity
+      arena.release(slot);
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(arena.capacity(), 1u);
+}
+
+TEST(AllocTest, LinkFrameSendSteadyStateIsAllocationFree) {
+  // One send parks the frame in a recycled pool slot and schedules an
+  // inline delivery continuation; with SSO-sized strings the whole
+  // send -> deliver -> receiver path must not touch the allocator.
+  aft::sim::Simulator sim;
+  aft::net::Link link(sim, "a->b", aft::net::LinkFaults{}, 77);
+  std::uint64_t received = 0;
+  link.set_receiver([&received](aft::net::Frame&&) { ++received; });
+
+  aft::net::Frame frame;
+  frame.kind = aft::net::FrameKind::kHeartbeat;
+  frame.method = "beat";
+  frame.origin = "node-a";
+  link.send(frame);  // warm-up: pool + queue growth
+  sim.run_all();
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (int i = 0; i < 5000; ++i) {
+      frame.id = static_cast<std::uint64_t>(i);
+      link.send(frame);
+      sim.run_all();
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(received, 5001u);
 }
 
 TEST(AllocTest, VotingFarmSteadyStateIsAllocationFree) {

@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <span>
+#include <string>
+#include <vector>
 
 #include "arch/component.hpp"
 #include "arch/dag.hpp"
@@ -234,6 +237,156 @@ TEST(EventBusTest, UnknownIdUnsubscribeIsHarmless) {
   bus.unsubscribe(9999);  // never issued
   EXPECT_EQ(bus.subscriber_count(), 1u);
   EXPECT_EQ(bus.topic_count(), 1u);
+}
+
+TEST(EventBusTest, InterningIsIdempotentAndDense) {
+  EventBus bus;
+  const TopicId a = bus.intern("alpha");
+  const TopicId b = bus.intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(bus.intern("alpha"), a);
+  EXPECT_EQ(bus.find_topic("alpha"), a);
+  EXPECT_EQ(bus.find_topic("never-seen"), kNoTopic);
+  EXPECT_EQ(bus.topic_name(a), "alpha");
+  EXPECT_EQ(bus.topic_name(b), "beta");
+  EXPECT_EQ(bus.interned_topics(), 2u);
+}
+
+TEST(EventBusTest, PublishByIdMatchesPublishByName) {
+  EventBus bus;
+  std::vector<std::string> seen;
+  bus.subscribe("t", [&](const Message& m) { seen.push_back(m.payload); });
+  const TopicId t = bus.find_topic("t");
+  ASSERT_NE(t, kNoTopic);
+  EXPECT_EQ(bus.publish(Message{"t", "s", "by-name"}), 1u);
+  EXPECT_EQ(bus.publish(t, Message{"t", "s", "by-id"}), 1u);
+  EXPECT_EQ(seen, (std::vector<std::string>{"by-name", "by-id"}));
+}
+
+TEST(EventBusTest, PublishUnknownTopicReachesWildcardWithoutInterning) {
+  EventBus bus;
+  int wildcard = 0;
+  bus.subscribe_all([&](const Message&) { ++wildcard; });
+  const std::size_t before = bus.interned_topics();
+  EXPECT_EQ(bus.publish(Message{"unseen", "", ""}), 1u);
+  EXPECT_EQ(wildcard, 1);
+  // Publishing must not grow the topic table: bus memory stays bounded by
+  // subscribed topics even under an unbounded stream of novel topic names.
+  EXPECT_EQ(bus.interned_topics(), before);
+  EXPECT_EQ(bus.find_topic("unseen"), kNoTopic);
+}
+
+TEST(EventBusTest, PublishBatchDeliversPerMessageInOrder) {
+  EventBus bus;
+  std::vector<std::string> log;
+  bus.subscribe("t", [&](const Message& m) { log.push_back("t:" + m.payload); });
+  bus.subscribe_all([&](const Message& m) { log.push_back("*:" + m.payload); });
+  const std::vector<Message> batch = {Message{"t", "", "1"},
+                                      Message{"t", "", "2"}};
+  const TopicId t = bus.find_topic("t");
+  // Topic subscribers then wildcard, per message — same order as publish().
+  EXPECT_EQ(bus.publish_batch(t, std::span<const Message>(batch)), 4u);
+  EXPECT_EQ(log,
+            (std::vector<std::string>{"t:1", "*:1", "t:2", "*:2"}));
+  EXPECT_EQ(bus.published(), 2u);
+}
+
+TEST(EventBusTest, MixedTopicBatchGroupsConsecutiveRuns) {
+  EventBus bus;
+  std::vector<std::string> log;
+  bus.subscribe("a", [&](const Message& m) { log.push_back("a:" + m.payload); });
+  bus.subscribe("b", [&](const Message& m) { log.push_back("b:" + m.payload); });
+  const std::vector<Message> batch = {
+      Message{"a", "", "1"}, Message{"a", "", "2"}, Message{"b", "", "3"},
+      Message{"c", "", "4"}, Message{"a", "", "5"}};
+  EXPECT_EQ(bus.publish_batch(std::span<const Message>(batch)), 4u);
+  EXPECT_EQ(log, (std::vector<std::string>{"a:1", "a:2", "b:3", "a:5"}));
+  EXPECT_EQ(bus.published(), 5u);
+}
+
+TEST(EventBusTest, HandlerSubscribedMidBatchSeesNoneOfTheBatch) {
+  EventBus bus;
+  int late = 0;
+  bus.subscribe("t", [&](const Message&) {
+    bus.subscribe("t", [&](const Message&) { ++late; });
+  });
+  const std::vector<Message> batch = {Message{"t", "", ""},
+                                      Message{"t", "", ""}};
+  bus.publish_batch(bus.find_topic("t"), std::span<const Message>(batch));
+  EXPECT_EQ(late, 0);  // the batch is one publish for churn purposes
+  bus.publish(Message{"t", "", ""});
+  EXPECT_EQ(late, 2);  // both late subscribers (one per batch message) live now
+}
+
+TEST(EventBusTest, HandlerUnsubscribedMidBatchSkipsRestOfBatch) {
+  EventBus bus;
+  int second_calls = 0;
+  EventBus::SubscriptionId second_id = 0;
+  bool fired = false;
+  bus.subscribe("t", [&](const Message&) {
+    if (!fired) {
+      fired = true;
+      bus.unsubscribe(second_id);
+    }
+  });
+  second_id = bus.subscribe("t", [&](const Message&) { ++second_calls; });
+  const std::vector<Message> batch = {Message{"t", "", ""},
+                                      Message{"t", "", ""}};
+  bus.publish_batch(bus.find_topic("t"), std::span<const Message>(batch));
+  EXPECT_EQ(second_calls, 0);
+}
+
+TEST(EventBusTest, HandlerMayUnsubscribeItself) {
+  EventBus bus;
+  int calls = 0;
+  EventBus::SubscriptionId self = 0;
+  self = bus.subscribe("t", [&](const Message&) {
+    ++calls;
+    bus.unsubscribe(self);  // destroys this handler only after it returns
+  });
+  bus.publish(Message{"t", "", ""});
+  bus.publish(Message{"t", "", ""});
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(bus.subscriber_count(), 0u);
+  EXPECT_EQ(bus.topic_count(), 0u);
+}
+
+TEST(EventBusTest, NestedPublishAlsoDefersMidPublishSubscribers) {
+  // The tables freeze while *any* publish is on the stack, so a handler
+  // subscribed during publish A is not delivered by a publish B nested
+  // inside A either — churn applies when the outermost publish unwinds.
+  EventBus bus;
+  int late = 0;
+  bool nested_done = false;
+  bus.subscribe("outer", [&](const Message&) {
+    bus.subscribe("inner", [&](const Message&) { ++late; });
+    bus.publish(Message{"inner", "", ""});
+    nested_done = true;
+  });
+  bus.publish(Message{"outer", "", ""});
+  EXPECT_TRUE(nested_done);
+  EXPECT_EQ(late, 0);
+  bus.publish(Message{"inner", "", ""});
+  EXPECT_EQ(late, 1);
+}
+
+TEST(MessageArenaTest, RecyclesSlotsAndClearsFields) {
+  MessageArena arena;
+  const auto s1 = arena.acquire();
+  arena[s1] = Message{"topic", "source", "payload"};
+  EXPECT_EQ(arena.in_use(), 1u);
+  arena.release(s1);
+  EXPECT_EQ(arena.in_use(), 0u);
+  const std::size_t cap = arena.capacity();
+
+  // LIFO recycling hands the same slot back, fields cleared.
+  const auto s2 = arena.acquire();
+  EXPECT_EQ(s2, s1);
+  EXPECT_TRUE(arena[s2].topic.empty());
+  EXPECT_TRUE(arena[s2].source.empty());
+  EXPECT_TRUE(arena[s2].payload.empty());
+  EXPECT_EQ(arena.capacity(), cap);
+  arena.release(s2);
 }
 
 // --- Middleware -----------------------------------------------------------------

@@ -1,10 +1,12 @@
-// aft_trace: post-mortem analysis of obs::TraceSink JSONL traces.
+// aft_trace: post-mortem analysis of obs::TraceSink traces.  Trace
+// arguments may be JSONL or "AFTB" binary files (the format is sniffed),
+// and the two decode identically — `diff` across formats is clean.
 //
-//   aft_trace why <seq> <trace.jsonl>     causal chain ending at <seq>
-//   aft_trace summary <trace.jsonl>       event census + chain counts
-//   aft_trace latency <trace.jsonl>       inject->detect->repair latencies
-//   aft_trace diff <a.jsonl> <b.jsonl>    structural diff (exit 1 on diff)
-//   aft_trace chrome <trace.jsonl> [out]  Chrome trace-event JSON export
+//   aft_trace why <seq> <trace>     causal chain ending at <seq>
+//   aft_trace summary <trace>       event census + chain counts
+//   aft_trace latency <trace>       inject->detect->repair latencies
+//   aft_trace diff <a> <b>          structural diff (exit 1 on diff)
+//   aft_trace chrome <trace> [out]  Chrome trace-event JSON export
 //
 // "-" reads the trace from stdin.  Exit codes: 0 success, 1 semantic
 // difference / unknown seq, 2 usage or parse error.
@@ -22,12 +24,12 @@
 namespace {
 
 int usage(std::ostream& out, int code) {
-  out << "usage: aft_trace <command> ...\n"
-         "  why <seq> <trace.jsonl>    causal chain from root to <seq>\n"
-         "  summary <trace.jsonl>      event census and chain counts\n"
-         "  latency <trace.jsonl>      inject->detect/repair latency stats\n"
-         "  diff <a.jsonl> <b.jsonl>   compare two traces (exit 1 if differ)\n"
-         "  chrome <trace.jsonl> [out.json]  export for chrome://tracing\n";
+  out << "usage: aft_trace <command> ...  (traces may be jsonl or AFTB bin)\n"
+         "  why <seq> <trace>          causal chain from root to <seq>\n"
+         "  summary <trace>            event census and chain counts\n"
+         "  latency <trace>            inject->detect/repair latency stats\n"
+         "  diff <a> <b>               compare two traces (exit 1 if differ)\n"
+         "  chrome <trace> [out.json]  export for chrome://tracing\n";
   return code;
 }
 

@@ -1,11 +1,15 @@
-// Reader for the JSONL traces obs::TraceSink writes (and the flight
-// recorder's dump lines, which use the same flat-object shape).
+// Reader for the traces obs::TraceSink writes, in either format: JSONL
+// (also the flight recorder's dump lines, which use the same flat-object
+// shape) and the compact "AFTB" binary format.  load_trace() sniffs the
+// magic, so every analysis command works on both transparently and decodes
+// them to identical TraceEvent sequences — binary numeric values are
+// re-rendered with std::to_chars, the exact routine the JSONL writer used.
 //
-// This is deliberately NOT a general JSON parser: every line is one flat
-// object whose values are strings, numbers, or booleans — the schema
-// documented in docs/observability.md.  Known keys (t, seq, span, cause,
-// component, event) land in typed members; everything else is kept as
-// (key, raw-value) pairs so analyses can match on fields like `addr`
+// The JSONL path is deliberately NOT a general JSON parser: every line is
+// one flat object whose values are strings, numbers, or booleans — the
+// schema documented in docs/observability.md.  Known keys (t, seq, span,
+// cause, component, event) land in typed members; everything else is kept
+// as (key, raw-value) pairs so analyses can match on fields like `addr`
 // without the reader having to understand them.
 #pragma once
 
@@ -48,7 +52,14 @@ struct Trace {
 [[nodiscard]] std::optional<Trace> parse_trace(std::istream& in,
                                                std::string& error);
 
-/// parse_trace over a file path ("-" reads stdin).
+/// Parses an in-memory trace, sniffing the format: data starting with the
+/// "AFTB" magic decodes as the binary format (a corrupt or unknown-version
+/// header is an error, never silently misparsed), anything else as JSONL.
+[[nodiscard]] std::optional<Trace> parse_trace_data(std::string_view data,
+                                                    std::string& error);
+
+/// parse_trace_data over a file path ("-" reads stdin); reads in binary
+/// mode so both formats load transparently.
 [[nodiscard]] std::optional<Trace> load_trace(const std::string& path,
                                               std::string& error);
 
