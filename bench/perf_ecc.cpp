@@ -1,13 +1,21 @@
-// Perf harness for the SEC-DED hot path: mask kernel vs the retained
-// bit-loop reference, patrol-scrub throughput, and a full parallel
-// fault-injection campaign.  Emits machine-readable BENCH_ecc.json (path
-// overridable via AFT_BENCH_JSON) so subsequent PRs have a perf trajectory
-// to defend.
+// Perf harness for the SEC-DED hot path: scalar kernel and bit-sliced batch
+// kernel vs the retained bit-loop reference, patrol-scrub throughput (batched
+// vs per-word), and a full parallel fault-injection campaign.  Emits
+// machine-readable BENCH_ecc.json (path overridable via AFT_BENCH_JSON) so
+// subsequent PRs have a perf trajectory to defend.
 //
-// Acceptance gate for this bench: in a Release build the combined
-// encode+decode throughput of the mask kernel must be >= 10x the reference
-// implementation (printed as PASS/FAIL on the summary line; the process
-// still exits 0 in non-Release builds, where the gate is informational).
+// Acceptance gates for this bench (enforced by CI on Release builds):
+//   - gate_encode:  scalar encode           >= 10x reference
+//   - gate_decode:  scalar decode           >= 10x reference (clean AND 1-flip)
+//   - gate_batch:   batch encode/decode     >= 10x reference (each section)
+//                   AND batch decode        >=  2x the scalar kernel
+//                   (the 2x criterion applies on SIMD backends only — see
+//                   the gate computation below)
+//   - gate_10x:     all of the above (legacy combined key, kept for the
+//                   perf trajectory)
+// Each section is gated independently so a regression in one path can not
+// hide behind a surplus in another — the old combined-only gate let decode
+// sit at 9.2x as long as encode stayed fast.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -82,8 +90,40 @@ double decode_rate(std::uint64_t ops, bool use_ref,
   return static_cast<double>(ops) / secs;
 }
 
+double encode_batch_rate(std::uint64_t ops,
+                         const std::vector<std::uint64_t>& words) {
+  std::vector<Word72> out(kWorkingSet);
+  const std::uint64_t passes = std::max<std::uint64_t>(1, ops / kWorkingSet);
+  const double secs = best_time([&] {
+    for (std::uint64_t p = 0; p < passes; ++p) {
+      aft::mem::ecc_encode_batch(words.data(), kWorkingSet, out.data());
+    }
+    g_sink ^= out[out.size() / 2].data;
+  });
+  return static_cast<double>(passes * kWorkingSet) / secs;
+}
+
+double decode_batch_rate(std::uint64_t ops,
+                         const std::vector<Word72>& codewords) {
+  std::vector<std::uint64_t> data(kWorkingSet);
+  std::vector<EccStatus> status(kWorkingSet);
+  const std::uint64_t passes = std::max<std::uint64_t>(1, ops / kWorkingSet);
+  const double secs = best_time([&] {
+    std::uint64_t acc = 0;
+    for (std::uint64_t p = 0; p < passes; ++p) {
+      const auto counts = aft::mem::ecc_decode_batch(
+          codewords.data(), kWorkingSet, data.data(), status.data(), nullptr);
+      acc ^= counts.corrected + data[p % kWorkingSet];
+    }
+    g_sink ^= acc;
+  });
+  return static_cast<double>(passes * kWorkingSet) / secs;
+}
+
 /// Patrol-scrub throughput over a device carrying a light latent-error load.
-double scrub_rate() {
+/// `batched` selects the production EccScrubAccess walk (read_block + batch
+/// decode) or an equivalent per-word emulation of the pre-batch walk.
+double scrub_rate(bool batched) {
   aft::hw::MemoryChip chip(kWorkingSet);
   aft::mem::EccScrubAccess method(chip, kWorkingSet);
   aft::util::Xoshiro256 rng(99);
@@ -94,7 +134,24 @@ double scrub_rate() {
   }
   constexpr int kPasses = 32;
   const double secs = best_time([&] {
-    for (int p = 0; p < kPasses; ++p) method.scrub_step();
+    if (batched) {
+      for (int p = 0; p < kPasses; ++p) method.scrub_step();
+    } else {
+      // The per-word walk this PR replaced, kept as the scrub baseline.
+      std::uint64_t corrected = 0;
+      for (int p = 0; p < kPasses; ++p) {
+        for (std::size_t addr = 0; addr < kWorkingSet; ++addr) {
+          const aft::hw::DeviceRead dev = chip.read(addr);
+          if (!dev.available) return;
+          const auto dec = aft::mem::ecc_decode(dev.word);
+          if (dec.status == EccStatus::kCorrectedSingle) {
+            ++corrected;
+            chip.write(addr, dec.repaired);
+          }
+        }
+      }
+      g_sink ^= corrected;
+    }
   });
   return static_cast<double>(kPasses) * static_cast<double>(kWorkingSet) / secs;
 }
@@ -140,8 +197,9 @@ CampaignResult campaign_wall_clock() {
   return res;
 }
 
-/// Differential spot-check before trusting any timing: the two kernels must
-/// agree on clean, single-flip, and double-flip words.
+/// Differential spot-check before trusting any timing: scalar kernel,
+/// reference, and both batch paths must agree word for word — clean,
+/// single-flip, and double-flip, including mixed batches.
 bool differential_ok() {
   aft::util::Xoshiro256 rng(1);
   for (int i = 0; i < 2000; ++i) {
@@ -160,7 +218,49 @@ bool differential_ok() {
       return false;
     }
   }
+
+  // Batch paths (dispatched AND portable) vs per-word scalar on mixed
+  // batches: every third word single-flipped, every seventh double-flipped.
+  constexpr std::size_t kBatch = 301;  // odd size exercises the tail path
+  std::vector<std::uint64_t> data(kBatch);
+  for (auto& d : data) d = rng.next();
+  std::vector<Word72> enc(kBatch);
+  aft::mem::ecc_encode_batch(data.data(), kBatch, enc.data());
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    if (!(enc[i] == aft::mem::ecc_encode(data[i]))) return false;
+    if (i % 3 == 0) {
+      aft::hw::flip_bit(enc[i], static_cast<unsigned>(rng.uniform_int(0, 71)));
+    }
+    if (i % 7 == 0) {
+      const auto b1 = static_cast<unsigned>(rng.uniform_int(0, 71));
+      const auto b2 = (b1 + 1 + static_cast<unsigned>(rng.uniform_int(0, 70))) % 72;
+      aft::hw::flip_bit(enc[i], b1);
+      aft::hw::flip_bit(enc[i], b2);
+    }
+  }
+  std::vector<std::uint64_t> got(kBatch);
+  std::vector<EccStatus> st(kBatch);
+  std::vector<Word72> rep(kBatch);
+  aft::mem::ecc_decode_batch(enc.data(), kBatch, got.data(), st.data(), rep.data());
+  std::vector<std::uint64_t> gotp(kBatch);
+  std::vector<EccStatus> stp(kBatch);
+  std::vector<Word72> repp(kBatch);
+  aft::mem::ecc_decode_batch_portable(enc.data(), kBatch, gotp.data(),
+                                      stp.data(), repp.data());
+  for (std::size_t i = 0; i < kBatch; ++i) {
+    const auto want = aft::mem::ecc_decode(enc[i]);
+    if (st[i] != want.status || got[i] != want.data || !(rep[i] == want.repaired)) {
+      return false;
+    }
+    if (stp[i] != st[i] || gotp[i] != got[i] || !(repp[i] == rep[i])) return false;
+  }
   return true;
+}
+
+const char* backend_name() {
+  return aft::mem::ecc_batch_backend() == aft::mem::EccBackend::kAvx2
+             ? "avx2"
+             : "portable";
 }
 
 }  // namespace
@@ -173,11 +273,12 @@ int main(int argc, char** argv) {
 #else
   const char* build_type = "debug";
 #endif
-  std::cout << "=== perf_ecc: mask SEC-DED kernel vs bit-loop reference ("
-            << build_type << " build) ===\n\n";
+  std::cout << "=== perf_ecc: SEC-DED kernels vs bit-loop reference ("
+            << build_type << " build, batch backend: " << backend_name()
+            << ") ===\n\n";
 
   if (!differential_ok()) {
-    std::cerr << "FATAL: mask kernel disagrees with reference — not timing a "
+    std::cerr << "FATAL: kernels disagree with reference — not timing a "
                  "broken kernel\n";
     return 1;
   }
@@ -191,8 +292,9 @@ int main(int argc, char** argv) {
     aft::hw::flip_bit(flipped[i], static_cast<unsigned>(i % 72));
   }
 
-  constexpr std::uint64_t kMaskOps = 1 << 22;  // ~4M
-  constexpr std::uint64_t kRefOps = 1 << 18;   // ~262k (the slow side)
+  constexpr std::uint64_t kMaskOps = 1 << 22;   // ~4M
+  constexpr std::uint64_t kBatchOps = 1 << 24;  // ~16M (the fast side)
+  constexpr std::uint64_t kRefOps = 1 << 18;    // ~262k (the slow side)
 
   const double enc_mask = encode_rate(kMaskOps, false, words);
   const double enc_ref = encode_rate(kRefOps, true, words);
@@ -200,34 +302,72 @@ int main(int argc, char** argv) {
   const double dec_ref_clean = decode_rate(kRefOps, true, clean);
   const double dec_mask_fix = decode_rate(kMaskOps, false, flipped);
   const double dec_ref_fix = decode_rate(kRefOps, true, flipped);
+  const double enc_batch = encode_batch_rate(kBatchOps, words);
+  const double dec_batch_clean = decode_batch_rate(kBatchOps, clean);
+  const double dec_batch_fix = decode_batch_rate(kBatchOps, flipped);
 
   // Combined encode+decode throughput: words through a full round trip.
   const double combo_mask = 1.0 / (1.0 / enc_mask + 1.0 / dec_mask_clean);
   const double combo_ref = 1.0 / (1.0 / enc_ref + 1.0 / dec_ref_clean);
   const double combo_speedup = combo_mask / combo_ref;
 
-  const double scrub = scrub_rate();
+  const double scrub_batched = scrub_rate(/*batched=*/true);
+  const double scrub_per_word = scrub_rate(/*batched=*/false);
   const CampaignResult camp = campaign_wall_clock();
 
-  const auto row = [](const char* name, double mask, double ref) {
-    std::cout << "  " << name << ": " << json_number(mask / 1e6)
+  const auto row = [](const char* name, double rate, double ref) {
+    std::cout << "  " << name << ": " << json_number(rate / 1e6)
               << " Mwords/s vs " << json_number(ref / 1e6)
-              << " Mwords/s ref  (" << json_number(mask / ref) << "x)\n";
+              << " Mwords/s ref  (" << json_number(rate / ref) << "x)\n";
   };
   row("encode        ", enc_mask, enc_ref);
   row("decode clean  ", dec_mask_clean, dec_ref_clean);
   row("decode 1-flip ", dec_mask_fix, dec_ref_fix);
-  std::cout << "  scrub         : " << json_number(scrub / 1e6)
-            << " Mwords/s patrol\n";
+  row("encode batch  ", enc_batch, enc_ref);
+  row("decode batch  ", dec_batch_clean, dec_ref_clean);
+  row("decode batch1f", dec_batch_fix, dec_ref_fix);
+  std::cout << "  batch vs scalar decode: "
+            << json_number(dec_batch_clean / dec_mask_clean) << "x clean, "
+            << json_number(dec_batch_fix / dec_mask_fix) << "x 1-flip\n";
+  std::cout << "  scrub         : " << json_number(scrub_batched / 1e6)
+            << " Mwords/s patrol (per-word walk "
+            << json_number(scrub_per_word / 1e6) << " Mwords/s, "
+            << json_number(scrub_batched / scrub_per_word) << "x)\n";
   std::cout << "  campaign      : " << camp.jobs << " jobs x "
             << camp.ticks_per_job << " ticks on " << camp.threads
             << " thread(s) = " << json_number(camp.wall_seconds * 1e3)
             << " ms (corrected " << camp.total_corrected << ")\n\n";
 
-  const bool pass = combo_speedup >= 10.0;
-  std::cout << "encode+decode combined speedup: " << json_number(combo_speedup)
-            << "x (gate >= 10x in release): " << (pass ? "PASS" : "FAIL")
-            << "\n";
+  // Per-section gates: each path must clear 10x over the reference on its
+  // own.  On a SIMD backend the batch kernel must additionally beat the
+  // scalar kernel 2x — that criterion is about the batch path earning its
+  // keep where wide lanes exist; on the portable (no-SIMD) leg bit-slicing
+  // only breaks even with the syndrome-cascade scalar kernel (the two
+  // 64x64 transposes cost about as much as the cascade itself), so there
+  // the leg gates the sliced path against the reference only.
+  const bool simd_backend =
+      aft::mem::ecc_batch_backend() != aft::mem::EccBackend::kPortable;
+  const bool gate_encode = enc_mask / enc_ref >= 10.0;
+  const bool gate_decode = dec_mask_clean / dec_ref_clean >= 10.0 &&
+                           dec_mask_fix / dec_ref_fix >= 10.0;
+  const double batch_vs_mask = std::min(dec_batch_clean / dec_mask_clean,
+                                        dec_batch_fix / dec_mask_fix);
+  const bool gate_batch = enc_batch / enc_ref >= 10.0 &&
+                          dec_batch_clean / dec_ref_clean >= 10.0 &&
+                          dec_batch_fix / dec_ref_fix >= 10.0 &&
+                          (!simd_backend || batch_vs_mask >= 2.0);
+  const bool pass = gate_encode && gate_decode && gate_batch;
+
+  const auto verdict = [](bool ok) { return ok ? "PASS" : "FAIL"; };
+  std::cout << "gate_encode (scalar >= 10x ref): " << verdict(gate_encode)
+            << "\n"
+            << "gate_decode (scalar >= 10x ref, clean & 1-flip): "
+            << verdict(gate_decode) << "\n"
+            << "gate_batch  (batch >= 10x ref"
+            << (simd_backend ? " & >= 2x scalar decode" : "; no-SIMD leg")
+            << "): " << verdict(gate_batch) << "\n"
+            << "combined speedup " << json_number(combo_speedup)
+            << "x; all gates (release): " << verdict(pass) << "\n";
 
   const char* path = std::getenv("AFT_BENCH_JSON");
   if (path == nullptr || path[0] == '\0') path = "BENCH_ecc.json";
@@ -238,10 +378,12 @@ int main(int argc, char** argv) {
        << "  \"reps\": " << kRepeats << ",\n"
        << "  \"warmup\": true,\n"
        << "  \"cpu\": \"" << aft::bench::cpu_model() << "\",\n"
+       << "  \"batch_backend\": \"" << backend_name() << "\",\n"
        << "  \"working_set_words\": " << kWorkingSet << ",\n"
        << "  \"encode\": {\"mask_words_per_sec\": " << json_number(enc_mask)
        << ", \"ref_words_per_sec\": " << json_number(enc_ref)
-       << ", \"speedup\": " << json_number(enc_mask / enc_ref) << "},\n"
+       << ", \"speedup\": " << json_number(enc_mask / enc_ref)
+       << ", \"pass\": " << (gate_encode ? "true" : "false") << "},\n"
        << "  \"decode_clean\": {\"mask_words_per_sec\": "
        << json_number(dec_mask_clean)
        << ", \"ref_words_per_sec\": " << json_number(dec_ref_clean)
@@ -252,19 +394,44 @@ int main(int argc, char** argv) {
        << ", \"ref_words_per_sec\": " << json_number(dec_ref_fix)
        << ", \"speedup\": " << json_number(dec_mask_fix / dec_ref_fix)
        << "},\n"
+       << "  \"decode_pass\": " << (gate_decode ? "true" : "false") << ",\n"
+       << "  \"encode_batch\": {\"words_per_sec\": " << json_number(enc_batch)
+       << ", \"speedup_vs_ref\": " << json_number(enc_batch / enc_ref)
+       << ", \"speedup_vs_mask\": " << json_number(enc_batch / enc_mask)
+       << "},\n"
+       << "  \"decode_batch_clean\": {\"words_per_sec\": "
+       << json_number(dec_batch_clean)
+       << ", \"speedup_vs_ref\": " << json_number(dec_batch_clean / dec_ref_clean)
+       << ", \"speedup_vs_mask\": " << json_number(dec_batch_clean / dec_mask_clean)
+       << "},\n"
+       << "  \"decode_batch_single_flip\": {\"words_per_sec\": "
+       << json_number(dec_batch_fix)
+       << ", \"speedup_vs_ref\": " << json_number(dec_batch_fix / dec_ref_fix)
+       << ", \"speedup_vs_mask\": " << json_number(dec_batch_fix / dec_mask_fix)
+       << "},\n"
+       << "  \"batch_vs_mask_enforced\": " << (simd_backend ? "true" : "false")
+       << ",\n"
+       << "  \"batch_pass\": " << (gate_batch ? "true" : "false") << ",\n"
        << "  \"encode_decode_combined_speedup\": "
        << json_number(combo_speedup) << ",\n"
-       << "  \"scrub_words_per_sec\": " << json_number(scrub) << ",\n"
+       << "  \"scrub_words_per_sec\": " << json_number(scrub_batched) << ",\n"
+       << "  \"scrub_batch\": {\"words_per_sec\": " << json_number(scrub_batched)
+       << ", \"per_word_words_per_sec\": " << json_number(scrub_per_word)
+       << ", \"speedup\": " << json_number(scrub_batched / scrub_per_word)
+       << "},\n"
        << "  \"campaign\": {\"jobs\": " << camp.jobs
        << ", \"ticks_per_job\": " << camp.ticks_per_job
        << ", \"threads\": " << camp.threads
        << ", \"wall_seconds\": " << camp.wall_seconds
        << ", \"corrected_singles\": " << camp.total_corrected << "},\n"
+       << "  \"gate_encode\": " << (gate_encode ? "true" : "false") << ",\n"
+       << "  \"gate_decode\": " << (gate_decode ? "true" : "false") << ",\n"
+       << "  \"gate_batch\": " << (gate_batch ? "true" : "false") << ",\n"
        << "  \"gate_10x\": " << (pass ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote " << path << "\n";
 
-  // The 10x gate is enforced by CI on the Release build via gate_10x; a
-  // debug binary still exits 0 so the bench smoke loop stays green.
+  // The gates are enforced by CI on the Release build via the gate_* keys;
+  // a debug binary still exits 0 so the bench smoke loop stays green.
   return 0;
 }

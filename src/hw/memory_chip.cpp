@@ -1,5 +1,6 @@
 #include "hw/memory_chip.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace aft::hw {
@@ -43,6 +44,45 @@ void MemoryChip::write(std::size_t addr, Word72 w) {
   ++writes_;
   if (state_ != ChipState::kOperational) return;
   cells_[addr] = w;
+}
+
+bool MemoryChip::read_block(std::size_t addr, std::size_t n, Word72* out) const {
+  if (n > cells_.size() || addr > cells_.size() - n) {
+    throw std::out_of_range("MemoryChip block range");
+  }
+  reads_ += n;
+  if (state_ != ChipState::kOperational) return false;
+  std::copy(cells_.begin() + static_cast<std::ptrdiff_t>(addr),
+            cells_.begin() + static_cast<std::ptrdiff_t>(addr + n), out);
+  // One pass over the defect map beats one map probe per word: bursts are
+  // large (scrub steps) while stuck_ stays small.
+  if (!stuck_.empty()) {
+    for (const auto& [key, value] : stuck_) {
+      if (key.addr >= addr && key.addr < addr + n) {
+        set_bit(out[key.addr - addr], key.bit, value);
+      }
+    }
+  }
+  return true;
+}
+
+void MemoryChip::write_block(std::size_t addr, std::size_t n,
+                             const Word72* words) {
+  if (n > cells_.size() || addr > cells_.size() - n) {
+    throw std::out_of_range("MemoryChip block range");
+  }
+  writes_ += n;
+  if (state_ != ChipState::kOperational) return;
+  std::copy(words, words + n,
+            cells_.begin() + static_cast<std::ptrdiff_t>(addr));
+}
+
+void MemoryChip::resize(std::size_t words) {
+  if (words == 0) throw std::invalid_argument("MemoryChip: zero size");
+  cells_.assign(words, Word72{});
+  std::erase_if(stuck_,
+                [words](const auto& kv) { return kv.first.addr >= words; });
+  state_ = ChipState::kOperational;
 }
 
 void MemoryChip::inject_bit_flip(std::size_t addr, unsigned bit) {

@@ -93,6 +93,26 @@ class MemoryChip {
   /// (matching a real bus write to a hung part).  Stuck bits ignore writes.
   void write(std::size_t addr, Word72 w);
 
+  /// Burst read of n consecutive words into `out`, with stuck-at defects
+  /// applied — semantically identical to n single read() calls (including
+  /// the accounting: counts n reads) but with one bounds check and one
+  /// stuck-map pass for the whole burst.  Returns false without touching
+  /// `out` when the device is unavailable.  Throws std::out_of_range when
+  /// [addr, addr+n) does not fit the address space.
+  [[nodiscard]] bool read_block(std::size_t addr, std::size_t n,
+                                Word72* out) const;
+
+  /// Burst write of n consecutive words; silently absorbed (after the
+  /// bounds check) when the device is unavailable, like write().
+  void write_block(std::size_t addr, std::size_t n, const Word72* words);
+
+  /// Reprovisions the device to `words` cells, as a hot-swap/expansion
+  /// event: contents reset to zero, availability restored, stuck-at defects
+  /// beyond the new address space dropped (the silicon is gone).  Access
+  /// methods holding cursors into the old address space must revalidate
+  /// them.  Throws std::invalid_argument when words == 0.
+  void resize(std::size_t words);
+
   // --- Fault-injection surface (driven by hw::FaultInjector) -------------
 
   /// Flips a stored bit (SEU / soft error).  No effect while unavailable.

@@ -1,169 +1,25 @@
 #include "mem/ecc.hpp"
 
-#include <array>
-#include <bit>
+#include <algorithm>
+
+#include "mem/ecc_layout.hpp"
+#include "mem/ecc_sliced.hpp"
+#include "util/cpu.hpp"
 
 namespace aft::mem {
 namespace {
 
-constexpr unsigned kPositions = 71;  // Hamming positions 1..71 at bit idx 0..70
-constexpr unsigned kOverallParityBit = 71;
-
-constexpr bool is_parity_position(unsigned p) noexcept {
-  return (p & (p - 1)) == 0;  // powers of two
-}
-
-/// Bit indices (0..70) of the 64 data positions, in increasing order.
-constexpr std::array<unsigned, 64> data_bit_indices() noexcept {
-  std::array<unsigned, 64> out{};
-  unsigned n = 0;
-  for (unsigned p = 1; p <= kPositions; ++p) {
-    if (!is_parity_position(p)) out[n++] = p - 1;
-  }
-  return out;
-}
-
-constexpr std::array<unsigned, 64> kDataBits = data_bit_indices();
-constexpr std::array<unsigned, 7> kParityPositions = {1, 2, 4, 8, 16, 32, 64};
-
-// ---------------------------------------------------------------------------
-// Mask kernel tables, all computed at compile time.
-//
-// The 72-bit codeword is a (lo: 64-bit, hi: 8-bit) pair, so every "XOR over
-// the positions parity j covers" collapses into two AND + popcount folds.
-// ---------------------------------------------------------------------------
-
-/// A 72-bit mask split the same way Word72 is.
-struct Mask72 {
-  std::uint64_t lo = 0;
-  std::uint8_t hi = 0;
-};
-
-/// kParityMasks[j] covers every Hamming position p (1..71) with bit j set in
-/// p — including position 2^j itself, which is harmless during encode (the
-/// parity bits are still zero when the folds run) and exactly what the
-/// syndrome computation needs during decode.
-constexpr std::array<Mask72, 7> parity_coverage_masks() noexcept {
-  std::array<Mask72, 7> m{};
-  for (unsigned j = 0; j < 7; ++j) {
-    for (unsigned p = 1; p <= kPositions; ++p) {
-      if ((p & (1u << j)) == 0) continue;
-      const unsigned idx = p - 1;
-      if (idx < 64) {
-        m[j].lo |= std::uint64_t{1} << idx;
-      } else {
-        m[j].hi = static_cast<std::uint8_t>(m[j].hi | (1u << (idx - 64)));
-      }
-    }
-  }
-  return m;
-}
-
-constexpr std::array<Mask72, 7> kParityMasks = parity_coverage_masks();
-
-/// Syndrome (0..127) -> bit index to flip for a single-bit error, or -1 when
-/// the syndrome names no codeword position (only reachable by multi-bit
-/// corruption).
-constexpr std::array<std::int8_t, 128> syndrome_table() noexcept {
-  std::array<std::int8_t, 128> t{};
-  for (unsigned s = 0; s < 128; ++s) {
-    t[s] = (s >= 1 && s <= kPositions) ? static_cast<std::int8_t>(s - 1)
-                                       : std::int8_t{-1};
-  }
-  return t;
-}
-
-constexpr std::array<std::int8_t, 128> kSyndromeToBit = syndrome_table();
-
-/// The 64 data bits occupy six contiguous runs between the power-of-two
-/// parity positions, so scatter/gather is six shift+mask moves instead of 64
-/// single-bit transfers.
-struct Run {
-  unsigned data_shift;  ///< first data-bit index of the run
-  unsigned width;       ///< run length in bits
-  unsigned code_index;  ///< first codeword bit index of the run
-};
-
-constexpr std::array<Run, 6> kRuns = {{
-    {0, 1, 2},     // position 3
-    {1, 3, 4},     // positions 5..7
-    {4, 7, 8},     // positions 9..15
-    {11, 15, 16},  // positions 17..31
-    {26, 31, 32},  // positions 33..63
-    {57, 7, 64},   // positions 65..71 (check byte bits 0..6)
-}};
-
-constexpr bool runs_match_data_bits() noexcept {
-  unsigned i = 0;
-  for (const Run& r : kRuns) {
-    for (unsigned k = 0; k < r.width; ++k, ++i) {
-      if (i >= 64 || kDataBits[i] != r.code_index + k) return false;
-    }
-  }
-  return i == 64;
-}
-static_assert(runs_match_data_bits(),
-              "scatter/gather runs must enumerate exactly the data positions");
-
-constexpr std::uint64_t run_mask(unsigned width) noexcept {
-  return (std::uint64_t{1} << width) - 1;
-}
-
-constexpr hw::Word72 scatter_data(std::uint64_t d) noexcept {
-  hw::Word72 w{};
-  for (const Run& r : kRuns) {
-    const std::uint64_t field = (d >> r.data_shift) & run_mask(r.width);
-    if (r.code_index < 64) {
-      w.data |= field << r.code_index;
-    } else {
-      w.check = static_cast<std::uint8_t>(w.check | (field << (r.code_index - 64)));
-    }
-  }
-  return w;
-}
-
-constexpr std::uint64_t gather_data(const hw::Word72& w) noexcept {
-  std::uint64_t d = 0;
-  for (const Run& r : kRuns) {
-    const std::uint64_t field =
-        r.code_index < 64
-            ? (w.data >> r.code_index) & run_mask(r.width)
-            : (static_cast<std::uint64_t>(w.check) >> (r.code_index - 64)) &
-                  run_mask(r.width);
-    d |= field << r.data_shift;
-  }
-  return d;
-}
-
-static_assert(gather_data(scatter_data(0x0123456789ABCDEFULL)) ==
-              0x0123456789ABCDEFULL);
-static_assert(gather_data(scatter_data(~std::uint64_t{0})) == ~std::uint64_t{0});
-
-/// Parity (odd = true) of a 64-bit word via a log2 XOR fold.  Deliberately
-/// not std::popcount: parity needs one bit, and the fold stays fast on
-/// baseline targets where popcount lowers to a library call.
-constexpr bool parity_fold(std::uint64_t x) noexcept {
-  x ^= x >> 32;
-  x ^= x >> 16;
-  x ^= x >> 8;
-  x ^= x >> 4;
-  x ^= x >> 2;
-  x ^= x >> 1;
-  return (x & 1u) != 0;
-}
-
-/// Parity of the word restricted to a coverage mask.  XORing the masked
-/// check byte into the masked lo word preserves total parity, so one fold
-/// covers all 72 bits.
-constexpr bool masked_parity(const hw::Word72& w, const Mask72& m) noexcept {
-  return parity_fold((w.data & m.lo) ^
-                     static_cast<std::uint64_t>(w.check & m.hi));
-}
-
-/// Overall parity across all 72 bits.
-constexpr bool overall_parity_fold(const hw::Word72& w) noexcept {
-  return parity_fold(w.data ^ w.check);
-}
+using detail::gather_data;
+using detail::kDataBits;
+using detail::kOverallParityBit;
+using detail::kParityMasks;
+using detail::kParityPositions;
+using detail::kPositions;
+using detail::kSyndromeToBit;
+using detail::masked_parity;
+using detail::overall_parity_fold;
+using detail::scatter_data;
+using detail::syndrome_cascade;
 
 // ---------------------------------------------------------------------------
 // Reference (bit-loop) helpers, kept verbatim for the _ref entry points.
@@ -189,7 +45,9 @@ bool overall_parity(const hw::Word72& w) noexcept {
 }  // namespace
 
 // ---------------------------------------------------------------------------
-// Mask kernel: seven AND+popcount folds per codeword, O(1) scatter/gather.
+// Scalar kernel: masked folds for encode, one Hamming-position cascade for
+// the decode syndrome (syndrome + overall parity in ~60 ops), O(1)
+// scatter/gather.
 // ---------------------------------------------------------------------------
 
 hw::Word72 ecc_encode(std::uint64_t data) noexcept {
@@ -213,14 +71,12 @@ hw::Word72 ecc_encode(std::uint64_t data) noexcept {
 }
 
 EccDecode ecc_decode(hw::Word72 word) noexcept {
-  unsigned s = 0;
-  for (unsigned j = 0; j < 7; ++j) {
-    s |= static_cast<unsigned>(masked_parity(word, kParityMasks[j])) << j;
-  }
-  const bool odd_overall = overall_parity_fold(word);
+  const unsigned sc = syndrome_cascade(word);
+  const unsigned s = sc & 0x7Fu;
+  const bool odd_overall = (sc & 0x80u) != 0;
 
   EccDecode out;
-  if (s == 0 && !odd_overall) {
+  if (sc == 0) {
     out.status = EccStatus::kClean;
   } else if (odd_overall) {
     // Odd number of flipped bits; under the SEC-DED fault hypothesis this is
@@ -311,6 +167,83 @@ EccDecode ecc_decode_ref(hw::Word72 word) noexcept {
   }
   out.data = data;
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Bit-sliced batch kernel: portable entry points + runtime dispatch.
+// ---------------------------------------------------------------------------
+
+void ecc_slice(const hw::Word72* words, std::size_t n, EccBlock& out) noexcept {
+  if (n >= kEccBatchLanes) {
+    detail::slice_words<detail::ScalarTraits>(words, out.plane);
+    return;
+  }
+  hw::Word72 pad[kEccBatchLanes] = {};
+  std::copy(words, words + n, pad);
+  detail::slice_words<detail::ScalarTraits>(pad, out.plane);
+}
+
+void ecc_unslice(const EccBlock& in, std::size_t n, hw::Word72* out) noexcept {
+  if (n >= kEccBatchLanes) {
+    detail::unslice_words<detail::ScalarTraits>(in.plane, out);
+    return;
+  }
+  hw::Word72 full[kEccBatchLanes];
+  detail::unslice_words<detail::ScalarTraits>(in.plane, full);
+  std::copy(full, full + n, out);
+}
+
+void ecc_encode_batch_portable(const std::uint64_t* data, std::size_t n,
+                               hw::Word72* out) noexcept {
+  detail::encode_batch_impl<detail::ScalarTraits>(data, n, out);
+}
+
+EccBatchCounts ecc_decode_batch_portable(const hw::Word72* words,
+                                         std::size_t n, std::uint64_t* data_out,
+                                         EccStatus* status_out,
+                                         hw::Word72* repaired_out) noexcept {
+  return detail::decode_batch_impl<detail::ScalarTraits>(
+      words, n, data_out, status_out, repaired_out);
+}
+
+namespace {
+
+bool batch_uses_avx2() noexcept {
+#if defined(AFT_ECC_AVX2_BUILT)
+  return util::cpu_features().avx2;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+EccBackend ecc_batch_backend() noexcept {
+  return batch_uses_avx2() ? EccBackend::kAvx2 : EccBackend::kPortable;
+}
+
+void ecc_encode_batch(const std::uint64_t* data, std::size_t n,
+                      hw::Word72* out) noexcept {
+#if defined(AFT_ECC_AVX2_BUILT)
+  if (util::cpu_features().avx2) {
+    detail::ecc_encode_batch_avx2(data, n, out);
+    return;
+  }
+#endif
+  ecc_encode_batch_portable(data, n, out);
+}
+
+EccBatchCounts ecc_decode_batch(const hw::Word72* words, std::size_t n,
+                                std::uint64_t* data_out, EccStatus* status_out,
+                                hw::Word72* repaired_out) noexcept {
+#if defined(AFT_ECC_AVX2_BUILT)
+  if (util::cpu_features().avx2) {
+    return detail::ecc_decode_batch_avx2(words, n, data_out, status_out,
+                                         repaired_out);
+  }
+#endif
+  return ecc_decode_batch_portable(words, n, data_out, status_out,
+                                   repaired_out);
 }
 
 }  // namespace aft::mem

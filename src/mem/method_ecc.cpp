@@ -1,5 +1,7 @@
 #include "mem/method_ecc.hpp"
 
+#include <algorithm>
+
 #include "obs/obs.hpp"
 
 namespace aft::mem {
@@ -46,18 +48,39 @@ bool EccScrubAccess::write(std::size_t addr, std::uint64_t value) {
 void EccScrubAccess::scrub_step() {
   if (chip_.state() != hw::ChipState::kOperational) return;
   const std::size_t words = chip_.size_words();
-  for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
+  // A zero-sized step must be a no-op (not an infinite re-scrub of word 0),
+  // and a cursor left beyond the end by a chip resize must re-enter the
+  // address space instead of faulting the next burst.
+  if (words == 0 || words_per_scrub_step_ == 0) return;
+  if (scrub_cursor_ >= words) scrub_cursor_ = 0;
+
+  // Burst the walk through the bit-sliced batch kernel: one read_block +
+  // one ecc_decode_batch per run of up to kEccBatchBurst words, with
+  // write-backs only for the (rare) corrected words.  Trace/metric emission
+  // stays per corrected word in ascending address order, so the observable
+  // stream is byte-identical to the per-word walk this replaces.
+  hw::Word72 buf[kEccBatchBurst];
+  std::uint64_t data[kEccBatchBurst];
+  EccStatus status[kEccBatchBurst];
+  hw::Word72 repaired[kEccBatchBurst];
+  std::size_t remaining = words_per_scrub_step_;
+  while (remaining > 0) {
     const std::size_t addr = scrub_cursor_;
-    if (++scrub_cursor_ == words) scrub_cursor_ = 0;
-    const hw::DeviceRead dev = chip_.read(addr);
-    if (!dev.available) return;
-    const EccDecode dec = ecc_decode(dev.word);
-    if (dec.status == EccStatus::kCorrectedSingle) {
-      ++stats_.corrected_singles;
-      chip_.write(addr, dec.repaired);
-      AFT_METRIC_ADD("mem.ecc.corrected", 1);
-      AFT_TRACE(name(), "corrected", {{"addr", addr}, {"origin", "scrub"}});
+    const std::size_t run = std::min({remaining, words - addr, kEccBatchBurst});
+    if (!chip_.read_block(addr, run, buf)) return;
+    const EccBatchCounts counts =
+        ecc_decode_batch(buf, run, data, status, repaired);
+    if (counts.corrected != 0) {
+      for (std::size_t i = 0; i < run; ++i) {
+        if (status[i] != EccStatus::kCorrectedSingle) continue;
+        ++stats_.corrected_singles;
+        chip_.write(addr + i, repaired[i]);
+        AFT_METRIC_ADD("mem.ecc.corrected", 1);
+        AFT_TRACE(name(), "corrected", {{"addr", addr + i}, {"origin", "scrub"}});
+      }
     }
+    scrub_cursor_ = addr + run == words ? 0 : addr + run;
+    remaining -= run;
   }
 }
 

@@ -24,14 +24,18 @@ void SelMirrorAccess::recover_device(hw::MemoryChip& victim, hw::MemoryChip& sou
   AFT_METRIC_ADD("mem.mirror.power_cycles", 1);
   AFT_TRACE(name(), "power-cycle", {{"victim", &victim == &a_ ? "a" : "b"}});
   if (source.state() != hw::ChipState::kOperational) return;  // nothing to copy
-  for (std::size_t w = 0; w < words_; ++w) {
+  // Clamp to the devices' current sizes: a resized (shrunk) chip must not
+  // turn the rebuild copy loop into an out-of-range fault.
+  const std::size_t copy_words =
+      std::min({words_, source.size_words(), victim.size_words()});
+  for (std::size_t w = 0; w < copy_words; ++w) {
     const hw::DeviceRead dev = source.read(w);
     if (dev.available) victim.write(w, dev.word);
   }
   ++stats_.rebuilds;
   AFT_METRIC_ADD("mem.mirror.rebuilds", 1);
   AFT_TRACE(name(), "rebuild",
-            {{"victim", &victim == &a_ ? "a" : "b"}, {"words", words_}});
+            {{"victim", &victim == &a_ ? "a" : "b"}, {"words", copy_words}});
 }
 
 ReadResult SelMirrorAccess::read_with_fallback(std::size_t addr,
@@ -112,6 +116,14 @@ void SelMirrorAccess::scrub_step() {
   // the software analogue of the latch-up current sensor.
   if (a_.state() != hw::ChipState::kOperational) recover_device(a_, b_);
   if (b_.state() != hw::ChipState::kOperational) recover_device(b_, a_);
+
+  // Revalidate the mirrored extent against the devices' *current* sizes: a
+  // chip resize shrinks the usable window, and a stale words_/cursor pair
+  // would walk the scrub off the end of the smaller device.  (The `==`
+  // wrap alone never catches a cursor already past the end.)
+  words_ = std::min(a_.size_words(), b_.size_words());
+  if (words_ == 0 || words_per_scrub_step_ == 0) return;
+  if (scrub_cursor_ >= words_) scrub_cursor_ = 0;
 
   for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
     const std::size_t addr = scrub_cursor_;

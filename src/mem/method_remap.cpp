@@ -98,10 +98,20 @@ bool EccRemapAccess::write(std::size_t addr, std::uint64_t value) {
 
 void EccRemapAccess::scrub_step() {
   if (chip_.state() != hw::ChipState::kOperational) return;
+  // Walk only the logical words that still physically exist: after a chip
+  // resize (shrink) the tail of the logical space — and any remap targets
+  // in the vanished spare region — must be skipped, not faulted on.  The
+  // stale-cursor clamp matters because the `==` wrap below never fires for
+  // a cursor already past the end.
+  const std::size_t logical = std::min(logical_words_, chip_.size_words());
+  if (logical == 0 || words_per_scrub_step_ == 0) return;
+  if (scrub_cursor_ >= logical) scrub_cursor_ = 0;
+
   for (std::size_t i = 0; i < words_per_scrub_step_; ++i) {
     const std::size_t addr = scrub_cursor_;
-    if (++scrub_cursor_ == logical_words_) scrub_cursor_ = 0;
+    if (++scrub_cursor_ == logical) scrub_cursor_ = 0;
     const std::size_t phys = resolve(addr);
+    if (phys >= chip_.size_words()) continue;  // remap target vanished
     const hw::DeviceRead dev = chip_.read(phys);
     if (!dev.available) return;
     const EccDecode dec = ecc_decode(dev.word);

@@ -1,0 +1,29 @@
+// Runtime CPU feature introspection for kernel dispatch.
+//
+// The bit-sliced batch ECC kernel (src/mem/ecc.hpp) ships a portable
+// uint64_t implementation plus an AVX2 variant compiled into a separate
+// translation unit with -mavx2; cpu_features() is the single source of
+// truth for which one the dispatcher may call.  Two override knobs force
+// the portable path:
+//
+//   - compile time: -DAFT_FORCE_PORTABLE=ON (CMake option) removes the
+//     SIMD translation units entirely, so CI can gate the portable kernels
+//     on AVX2 hardware;
+//   - run time: the AFT_FORCE_PORTABLE environment variable (any value
+//     other than empty or "0") makes cpu_features() report no SIMD even
+//     when the silicon has it, so a single binary can A/B both paths.
+#pragma once
+
+namespace aft::util {
+
+struct CpuFeatures {
+  /// Host executes AVX2 and the build/runtime overrides allow using it.
+  bool avx2 = false;
+  /// Portable kernels were forced (compile option or environment).
+  bool forced_portable = false;
+};
+
+/// Detected once on first call, then cached for the process lifetime.
+[[nodiscard]] const CpuFeatures& cpu_features() noexcept;
+
+}  // namespace aft::util

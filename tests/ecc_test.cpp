@@ -2,6 +2,9 @@
 // single-bit correction, double-bit detection, and round-trip integrity.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <vector>
+
 #include "mem/ecc.hpp"
 #include "util/rng.hpp"
 
@@ -208,6 +211,201 @@ TEST(EccDifferentialTest, RandomRawWordsAgree) {
     Word72 w{rng.next(), static_cast<std::uint8_t>(rng.next() & 0xFF)};
     expect_same_decode(w, "raw word");
   }
+}
+
+// ---------------------------------------------------------------------------
+// Bit-sliced batch kernel: slice/unslice round trips, batch-vs-scalar
+// differentials, per-word verdicts for mixed batches, and dispatched vs
+// portable agreement.  (When the binary was built with AFT_FORCE_PORTABLE
+// the dispatched path *is* the portable one and the agreement tests become
+// self-checks — still valid, just not independent.)
+// ---------------------------------------------------------------------------
+
+using aft::mem::EccBatchCounts;
+using aft::mem::EccBlock;
+using aft::mem::ecc_decode_batch;
+using aft::mem::ecc_decode_batch_portable;
+using aft::mem::ecc_encode_batch;
+using aft::mem::ecc_encode_batch_portable;
+using aft::mem::ecc_slice;
+using aft::mem::ecc_unslice;
+using aft::mem::kEccBatchLanes;
+
+std::vector<Word72> random_codewords(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Word72> out(n);
+  for (auto& w : out) w = ecc_encode(rng.next());
+  return out;
+}
+
+TEST(EccSliceTest, SliceMatchesNaivePerBitTranspose) {
+  Xoshiro256 rng(606);
+  std::vector<Word72> words(kEccBatchLanes);
+  for (auto& w : words) {
+    w = Word72{rng.next(), static_cast<std::uint8_t>(rng.next() & 0xFF)};
+  }
+  EccBlock block{};
+  ecc_slice(words.data(), words.size(), block);
+  for (unsigned b = 0; b < 72; ++b) {
+    std::uint64_t expect = 0;
+    for (unsigned i = 0; i < kEccBatchLanes; ++i) {
+      if (aft::hw::get_bit(words[i], b)) expect |= std::uint64_t{1} << i;
+    }
+    ASSERT_EQ(block.plane[b], expect) << "plane " << b;
+  }
+}
+
+TEST(EccSliceTest, SliceUnsliceIsIdentityAtEveryAlignment) {
+  // Every partial-tail size 1..64, plus the full block: the first n words
+  // must round-trip exactly and the pad lanes must slice as zero (the
+  // all-zero word is itself a valid clean codeword, which is what makes
+  // zero-padding safe for the batch drivers).
+  Xoshiro256 rng(707);
+  for (std::size_t n = 1; n <= kEccBatchLanes; ++n) {
+    std::vector<Word72> words(n);
+    for (auto& w : words) {
+      w = Word72{rng.next(), static_cast<std::uint8_t>(rng.next() & 0xFF)};
+    }
+    EccBlock block{};
+    ecc_slice(words.data(), n, block);
+    std::vector<Word72> back(n, Word72{~std::uint64_t{0}, 0xFF});
+    ecc_unslice(block, n, back.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(back[i], words[i]) << "n=" << n << " word " << i;
+    }
+    if (n < kEccBatchLanes) {
+      for (unsigned b = 0; b < 72; ++b) {
+        ASSERT_EQ(block.plane[b] >> n, 0u) << "pad lanes not zero, plane " << b;
+      }
+    }
+  }
+}
+
+TEST(EccBatchTest, EncodeMatchesScalarAtEveryAlignment) {
+  // Sizes straddling the 64-word block and the 4-block SIMD superblock.
+  Xoshiro256 rng(808);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{63},
+                              std::size_t{64}, std::size_t{65}, std::size_t{127},
+                              std::size_t{128}, std::size_t{255}, std::size_t{256},
+                              std::size_t{257}, std::size_t{300}}) {
+    std::vector<std::uint64_t> data(n);
+    for (auto& d : data) d = rng.next();
+    std::vector<Word72> batch(n);
+    std::vector<Word72> portable(n);
+    ecc_encode_batch(data.data(), n, batch.data());
+    ecc_encode_batch_portable(data.data(), n, portable.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(batch[i], ecc_encode(data[i])) << "n=" << n << " word " << i;
+      ASSERT_EQ(portable[i], batch[i]) << "n=" << n << " word " << i;
+    }
+  }
+}
+
+void expect_batch_matches_scalar(const std::vector<Word72>& words,
+                                 const char* what) {
+  const std::size_t n = words.size();
+  std::vector<std::uint64_t> data(n);
+  std::vector<EccStatus> status(n);
+  std::vector<Word72> repaired(n);
+  const EccBatchCounts counts =
+      ecc_decode_batch(words.data(), n, data.data(), status.data(), repaired.data());
+  std::uint64_t want_corrected = 0;
+  std::uint64_t want_uncorrectable = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto want = ecc_decode(words[i]);
+    ASSERT_EQ(status[i], want.status) << what << " word " << i;
+    ASSERT_EQ(data[i], want.data) << what << " word " << i;
+    ASSERT_EQ(repaired[i], want.repaired) << what << " word " << i;
+    want_corrected += want.status == EccStatus::kCorrectedSingle ? 1 : 0;
+    want_uncorrectable += want.status == EccStatus::kDetectedDouble ? 1 : 0;
+  }
+  ASSERT_EQ(counts.corrected, want_corrected) << what;
+  ASSERT_EQ(counts.uncorrectable, want_uncorrectable) << what;
+
+  // The portable entry point must agree with whatever the dispatcher chose.
+  std::vector<std::uint64_t> pdata(n);
+  std::vector<EccStatus> pstatus(n);
+  std::vector<Word72> prepaired(n);
+  const EccBatchCounts pcounts = ecc_decode_batch_portable(
+      words.data(), n, pdata.data(), pstatus.data(), prepaired.data());
+  ASSERT_EQ(pcounts.corrected, counts.corrected) << what;
+  ASSERT_EQ(pcounts.uncorrectable, counts.uncorrectable) << what;
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(pstatus[i], status[i]) << what << " word " << i;
+    ASSERT_EQ(pdata[i], data[i]) << what << " word " << i;
+    ASSERT_EQ(prepaired[i], repaired[i]) << what << " word " << i;
+  }
+}
+
+TEST(EccBatchTest, DecodeEverySingleFlipPositionInEverySlot) {
+  // 288 words = 4.5 64-word blocks; word i carries a flip at bit i % 72, so
+  // every bit position lands in every block slot residue and the tail.
+  auto words = random_codewords(288, 909);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    aft::hw::flip_bit(words[i], static_cast<unsigned>(i % 72));
+  }
+  expect_batch_matches_scalar(words, "single-flip sweep");
+}
+
+TEST(EccBatchTest, MixedVerdictBatchIsPerWord) {
+  // A batch holding clean, correctable, and uncorrectable words at once
+  // must report each word's own verdict — the uncorrectable words get the
+  // documented scalar shape (no data, empty repaired) without bleeding
+  // into their neighbours' corrections.
+  auto words = random_codewords(130, 1010);
+  Xoshiro256 rng(1111);
+  for (std::size_t i = 0; i < words.size(); ++i) {
+    if (i % 3 == 1) {  // single flip -> correctable
+      aft::hw::flip_bit(words[i], static_cast<unsigned>(rng.uniform_int(0, 71)));
+    } else if (i % 3 == 2) {  // double flip -> uncorrectable
+      const auto b1 = static_cast<unsigned>(rng.uniform_int(0, 71));
+      const auto b2 = (b1 + 1 + static_cast<unsigned>(rng.uniform_int(0, 70))) % 72;
+      aft::hw::flip_bit(words[i], b1);
+      aft::hw::flip_bit(words[i], b2);
+    }
+  }
+  expect_batch_matches_scalar(words, "mixed verdicts");
+
+  // Spot-check the documented uncorrectable shape directly.
+  std::vector<std::uint64_t> data(words.size());
+  std::vector<EccStatus> status(words.size());
+  std::vector<Word72> repaired(words.size());
+  ecc_decode_batch(words.data(), words.size(), data.data(), status.data(),
+                   repaired.data());
+  for (std::size_t i = 2; i < words.size(); i += 3) {
+    ASSERT_EQ(status[i], EccStatus::kDetectedDouble) << "word " << i;
+    ASSERT_EQ(data[i], 0u) << "word " << i;
+    ASSERT_EQ(repaired[i], Word72{}) << "word " << i;
+  }
+}
+
+TEST(EccBatchTest, ArbitraryCorruptionAgreesWithScalar) {
+  Xoshiro256 rng(1212);
+  for (int round = 0; round < 20; ++round) {
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 320));
+    std::vector<Word72> words(n);
+    for (auto& w : words) {
+      w = ecc_encode(rng.next());
+      const auto flips = rng.uniform_int(0, 4);
+      for (std::uint64_t f = 0; f < flips; ++f) {
+        aft::hw::flip_bit(w, static_cast<unsigned>(rng.uniform_int(0, 71)));
+      }
+    }
+    expect_batch_matches_scalar(words, "random corruption batch");
+  }
+}
+
+TEST(EccBatchTest, NullRepairedOutIsAccepted) {
+  auto words = random_codewords(100, 1313);
+  aft::hw::flip_bit(words[10], 3);
+  std::vector<std::uint64_t> data(words.size());
+  std::vector<EccStatus> status(words.size());
+  const EccBatchCounts counts = ecc_decode_batch(words.data(), words.size(),
+                                                 data.data(), status.data(),
+                                                 nullptr);
+  EXPECT_EQ(counts.corrected, 1u);
+  EXPECT_EQ(counts.uncorrectable, 0u);
+  EXPECT_EQ(status[10], EccStatus::kCorrectedSingle);
 }
 
 }  // namespace

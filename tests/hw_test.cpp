@@ -135,6 +135,98 @@ TEST(MemoryChipTest, AccountingCounters) {
   EXPECT_EQ(chip.reads(), 2u);
 }
 
+// --- MemoryChip block API -----------------------------------------------------
+
+TEST(MemoryChipTest, BlockRoundTripMatchesPerWordAccess) {
+  MemoryChip chip(16);
+  Word72 in[6];
+  for (unsigned i = 0; i < 6; ++i) in[i] = Word72{0x100u + i, static_cast<std::uint8_t>(i)};
+  chip.write_block(3, 6, in);
+  Word72 out[6];
+  ASSERT_TRUE(chip.read_block(3, 6, out));
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_EQ(out[i], in[i]);
+    EXPECT_EQ(chip.read(3 + i).word, in[i]);
+  }
+}
+
+TEST(MemoryChipTest, BlockReadAppliesStuckBitsLikePerWordRead) {
+  MemoryChip chip(8);
+  chip.inject_stuck_at(2, 5, true);
+  chip.inject_stuck_at(4, 70, true);
+  chip.inject_stuck_at(7, 0, true);  // outside the block below
+  Word72 zeros[4] = {};
+  chip.write_block(1, 4, zeros);
+  Word72 out[4];
+  ASSERT_TRUE(chip.read_block(1, 4, out));
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(out[i], chip.read(1 + i).word) << "word " << 1 + i;
+  }
+  EXPECT_TRUE(get_bit(out[1], 5));    // addr 2
+  EXPECT_TRUE(get_bit(out[3], 70));   // addr 4
+}
+
+TEST(MemoryChipTest, BlockBoundsThrow) {
+  MemoryChip chip(8);
+  Word72 buf[9];
+  EXPECT_THROW((void)chip.read_block(1, 8, buf), std::out_of_range);
+  EXPECT_THROW((void)chip.read_block(0, 9, buf), std::out_of_range);
+  // addr + n would overflow size_t: the bounds check must not wrap.
+  EXPECT_THROW((void)chip.read_block(~std::size_t{0}, 2, buf), std::out_of_range);
+  EXPECT_THROW(chip.write_block(8, 1, buf), std::out_of_range);
+  EXPECT_NO_THROW((void)chip.read_block(0, 8, buf));
+}
+
+TEST(MemoryChipTest, BlockAccessCountsEveryWord) {
+  MemoryChip chip(16);
+  Word72 buf[5] = {};
+  chip.write_block(0, 5, buf);
+  (void)chip.read_block(2, 3, buf);
+  EXPECT_EQ(chip.writes(), 5u);
+  EXPECT_EQ(chip.reads(), 3u);
+}
+
+TEST(MemoryChipTest, BlockAccessWhileUnavailable) {
+  MemoryChip chip(4);
+  chip.write(1, Word72{7, 0});
+  chip.inject_latch_up();
+  Word72 buf[2] = {Word72{1, 1}, Word72{2, 2}};
+  EXPECT_FALSE(chip.read_block(0, 2, buf));  // no data handed out
+  chip.write_block(0, 2, buf);               // absorbed, like write()
+  chip.power_cycle();
+  EXPECT_EQ(chip.read(0).word, Word72{});
+  EXPECT_EQ(chip.read(1).word, Word72{});
+}
+
+// --- MemoryChip resize (hot swap) ---------------------------------------------
+
+TEST(MemoryChipTest, ResizeZeroRejected) {
+  MemoryChip chip(4);
+  EXPECT_THROW(chip.resize(0), std::invalid_argument);
+}
+
+TEST(MemoryChipTest, ResizeZeroesContentsAndRestoresAvailability) {
+  MemoryChip chip(8);
+  chip.write(2, Word72{0xAB, 0x1});
+  chip.inject_sefi();
+  chip.resize(4);
+  EXPECT_EQ(chip.state(), ChipState::kOperational);
+  EXPECT_EQ(chip.size_words(), 4u);
+  EXPECT_EQ(chip.read(2).word, Word72{});  // replacement part starts blank
+  EXPECT_THROW((void)chip.read(4), std::out_of_range);
+}
+
+TEST(MemoryChipTest, ResizeDropsOutOfRangeStuckDefects) {
+  MemoryChip chip(8);
+  chip.inject_stuck_at(1, 3, true);   // survives (in range after shrink)
+  chip.inject_stuck_at(6, 9, true);   // dropped (cell no longer exists)
+  chip.resize(4);
+  EXPECT_TRUE(get_bit(chip.read(1).word, 3));
+  chip.resize(8);  // growing back must not resurrect the dropped defect
+  chip.write(6, Word72{});
+  EXPECT_FALSE(get_bit(chip.read(6).word, 9));
+}
+
 // --- FaultProfile / FaultInjector ---------------------------------------------
 
 TEST(FaultProfileTest, CanonicalProfilesOrdering) {

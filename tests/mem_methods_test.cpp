@@ -477,6 +477,120 @@ TEST(ScrubberDaemonTest, RunsOnePassPerPeriod) {
   EXPECT_EQ(scrubber.passes(), 10u);
 }
 
+// --- Scrub-cursor edge cases --------------------------------------------------
+// Regressions for the hardening sweep: before it, (a) a scrub cursor left
+// beyond the end of a shrunk chip faulted the next step with out_of_range
+// (the `== words` wrap never fires for a cursor already past the end), and
+// (b) the mirror rebuild / remap spare-resolution paths walked stale extents
+// into the same fault.  words_per_scrub_step == 0 must be an exact no-op.
+
+TEST(EccScrubTest, ZeroStepScrubIsANoOp) {
+  MemoryChip chip(16);
+  EccScrubAccess m(chip, /*words_per_scrub_step=*/0);
+  m.write(0, 0x1);
+  chip.inject_bit_flip(0, 4);
+  const auto reads_before = chip.reads();
+  m.scrub_step();  // must not spin, divide, or touch the device
+  EXPECT_EQ(chip.reads(), reads_before);
+  EXPECT_EQ(m.stats().corrected_singles, 0u);
+}
+
+TEST(EccScrubTest, CursorWrapsWhenStepDoesNotDivideWordCount) {
+  // 10 words, 7-word steps: the walk must cover addresses 7..9 AND wrap to
+  // 0..3 on the second call, with no address skipped across the seam.
+  MemoryChip chip(10);
+  EccScrubAccess m(chip, 7);
+  for (std::size_t w = 0; w < 10; ++w) m.write(w, w);
+  chip.inject_bit_flip(9, 2);   // just before the wrap seam
+  chip.inject_bit_flip(0, 60);  // just after it
+  m.scrub_step();  // covers 0..6 (corrects addr 0)
+  EXPECT_EQ(m.stats().corrected_singles, 1u);
+  m.scrub_step();  // covers 7..9 then wraps to 0..3 (corrects addr 9)
+  EXPECT_EQ(m.stats().corrected_singles, 2u);
+  for (std::size_t w = 0; w < 10; ++w) {
+    EXPECT_EQ(m.read(w).status, ReadStatus::kOk) << "addr " << w;
+  }
+}
+
+TEST(EccScrubTest, StepLargerThanChipRescrubsWithoutFaulting) {
+  MemoryChip chip(6);
+  EccScrubAccess m(chip, 50);  // several full passes in one step
+  for (std::size_t w = 0; w < 6; ++w) m.write(w, w);
+  chip.inject_bit_flip(3, 1);
+  m.scrub_step();
+  EXPECT_EQ(m.stats().corrected_singles, 1u);
+  EXPECT_EQ(m.read(3).status, ReadStatus::kOk);
+}
+
+TEST(EccScrubTest, ScrubSurvivesChipShrinkResize) {
+  MemoryChip chip(128);
+  EccScrubAccess m(chip, 100);
+  for (std::size_t w = 0; w < 128; ++w) m.write(w, w);
+  m.scrub_step();  // cursor now at 100
+  chip.resize(32);  // hot swap: cursor 100 is now past the end
+  EXPECT_NO_THROW(m.scrub_step());  // failing-before: out_of_range at addr 100
+  // The scrub is live again on the replacement part.
+  m.write(5, 0x5);
+  chip.inject_bit_flip(5, 11);
+  m.scrub_step();
+  EXPECT_EQ(m.read(5).status, ReadStatus::kOk);
+}
+
+TEST(SelMirrorTest, ZeroStepScrubStillRecoversDevices) {
+  // Step 0 suppresses the word walk but NOT the device-level health check —
+  // that is the latch-up current sensor analogue and must keep running.
+  MemoryChip a(8);
+  MemoryChip b(8);
+  SelMirrorAccess m(a, b, /*words_per_scrub_step=*/0);
+  m.write(1, 0xBEEF);
+  b.inject_latch_up();
+  EXPECT_NO_THROW(m.scrub_step());
+  EXPECT_EQ(b.state(), ChipState::kOperational);  // recovered from a
+  EXPECT_EQ(m.read(1).value, 0xBEEFu);
+}
+
+TEST(SelMirrorTest, ScrubSurvivesChipShrinkResize) {
+  MemoryChip a(64);
+  MemoryChip b(64);
+  SelMirrorAccess m(a, b, 50);
+  for (std::size_t w = 0; w < 64; ++w) m.write(w, w);
+  m.scrub_step();  // cursor at 50
+  a.resize(16);    // shrink the primary: mirrored extent is now 16
+  EXPECT_NO_THROW(m.scrub_step());  // failing-before: walked a_ at addr >= 16
+  EXPECT_EQ(m.capacity_words(), 16u);
+  // A device loss after the shrink must rebuild with the clamped extent.
+  b.inject_latch_up();
+  EXPECT_NO_THROW(m.scrub_step());  // failing-before: rebuild copied 64 words
+  EXPECT_EQ(b.state(), ChipState::kOperational);
+}
+
+TEST(EccRemapTest, ZeroStepScrubIsANoOp) {
+  MemoryChip chip(32);
+  EccRemapAccess m(chip, 0.25, /*words_per_scrub_step=*/0);
+  m.write(0, 1);
+  const auto reads_before = chip.reads();
+  m.scrub_step();
+  EXPECT_EQ(chip.reads(), reads_before);
+}
+
+TEST(EccRemapTest, ScrubSurvivesChipShrinkResize) {
+  MemoryChip chip(128);  // spare fraction 0.25 -> 96 logical words
+  EccRemapAccess m(chip, 0.25, 90);
+  for (std::size_t w = 0; w < m.capacity_words(); ++w) m.write(w, w);
+  // Force a remap so some logical word resolves into the spare region that
+  // is about to vanish (stuck value chosen to guarantee a write mismatch).
+  const Word72 cw = ecc_encode(0xAA);
+  chip.inject_stuck_at(10, 3, !aft::hw::get_bit(cw, 3));
+  m.write(10, 0xAA);
+  ASSERT_GE(m.stats().remaps, 1u);
+  m.scrub_step();   // cursor at 90
+  chip.resize(32);  // logical extent (96) and the spare target both stale
+  // failing-before: out_of_range either at the stale cursor or when the
+  // walk resolved logical 10 to its (now nonexistent) spare address.
+  EXPECT_NO_THROW(m.scrub_step());
+  EXPECT_NO_THROW(m.scrub_step());
+}
+
 TEST(ScrubberDaemonTest, RestartRunsASingleChain) {
   // stop() is lazy: the next pass stays scheduled and self-cancels when it
   // fires.  A start() before it fired used to chain a SECOND pass loop, so
