@@ -35,6 +35,8 @@
 #include "bench_util.hpp"
 #include "obs/obs.hpp"
 #include "sim/simulator.hpp"
+#include "util/log_histogram.hpp"
+#include "util/stats.hpp"
 
 namespace {
 
@@ -431,6 +433,50 @@ double fig7_shape_rate(SimTime horizon) {
   return static_cast<double>(events) / secs;
 }
 
+// --- metrics_observe: LogHistogram::add vs RunningStats::add -----------------
+//
+// MetricsRegistry::observe feeds every sample into both accumulators, so the
+// histogram add is the marginal cost of the PR-8 quantile plane.  The gate
+// keeps it within 2x a bare Welford add on a latency-shaped stream (log-
+// uniform-ish magnitudes, the distribution the sub-bucket math actually
+// sees).  Per-add nanoseconds, best-of-kRepeats.
+
+constexpr std::uint64_t kObserveSamples = 1u << 18;
+
+std::vector<double> latency_stream() {
+  std::vector<double> v;
+  v.reserve(kObserveSamples);
+  std::uint64_t x = 0x9E3779B97F4A7C15ull;
+  for (std::uint64_t i = 0; i < kObserveSamples; ++i) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    // Spread samples across ~6 decades so every add exercises the
+    // bit-scan + sub-bucket path, not one hot bucket.
+    v.push_back(static_cast<double>(1 + (x & 0xFFFFF)) *
+                static_cast<double>(1 + (x >> 60)));
+  }
+  return v;
+}
+
+double welford_add_ns(const std::vector<double>& stream) {
+  const double secs = best_time([&] {
+    aft::util::RunningStats stats;
+    for (const double v : stream) stats.add(v);
+    g_sink ^= stats.count() + static_cast<std::uint64_t>(stats.mean());
+  });
+  return secs * 1e9 / static_cast<double>(stream.size());
+}
+
+double histogram_add_ns(const std::vector<double>& stream) {
+  const double secs = best_time([&] {
+    aft::util::LogHistogram hist;
+    for (const double v : stream) hist.add(v);
+    g_sink ^= hist.count() + hist.sum();
+  });
+  return secs * 1e9 / static_cast<double>(stream.size());
+}
+
 // --- Differential spot-checks ------------------------------------------------
 
 /// Before trusting any timing: both kernels must dispatch an adversarial
@@ -551,6 +597,11 @@ int main() {
   const double fig7_kernel = fig7_shape_rate<aft::sim::Simulator>(kFig7Horizon);
   const double fig7_ref = fig7_shape_rate<RefSimulator>(kFig7Horizon);
 
+  const std::vector<double> stream = latency_stream();
+  const double welford_ns = welford_add_ns(stream);
+  const double hist_ns = histogram_add_ns(stream);
+  const double observe_ratio = hist_ns / welford_ns;
+
   const auto row = [](const char* name, double kernel, double ref,
                       const char* unit) {
     std::cout << "  " << name << ": " << json_number(kernel / 1e6) << " " << unit
@@ -564,14 +615,21 @@ int main() {
             << "% full-detail overhead; binary " << trace_bin.size()
             << " B vs JSONL " << trace_jsonl.size() << " B ("
             << json_number(bin_ratio) << "x smaller)\n";
+  std::cout << "  metrics observe  : histogram add " << json_number(hist_ns)
+            << " ns vs welford add " << json_number(welford_ns) << " ns ("
+            << json_number(observe_ratio) << "x)\n";
 
   const double sd_speedup = sd_kernel / sd_ref;
   const double mesh_speedup = mesh_kernel_rate / mesh_ref_rate;
   const bool pass = sd_speedup >= 2.0 && mesh_speedup >= 2.0;
+  const bool observe_pass = observe_ratio <= 2.0;
   std::cout << "\nschedule+dispatch " << json_number(sd_speedup)
             << "x, daemon_mesh " << json_number(mesh_speedup)
             << "x (gate: both >= 2x in release): " << (pass ? "PASS" : "FAIL")
             << "\n";
+  std::cout << "histogram/welford add ratio " << json_number(observe_ratio)
+            << "x (gate: <= 2x in release): "
+            << (observe_pass ? "PASS" : "FAIL") << "\n";
 
   const char* path = std::getenv("AFT_BENCH_JSON");
   if (path == nullptr || path[0] == '\0') path = "BENCH_sim.json";
@@ -599,7 +657,11 @@ int main() {
        << json_number(fig7_kernel)
        << ", \"ref_events_per_sec\": " << json_number(fig7_ref)
        << ", \"speedup\": " << json_number(fig7_kernel / fig7_ref) << "},\n"
-       << "  \"gate_2x\": " << (pass ? "true" : "false") << "\n"
+       << "  \"metrics_observe\": {\"hist_add_ns\": " << json_number(hist_ns)
+       << ", \"welford_add_ns\": " << json_number(welford_ns)
+       << ", \"ratio\": " << json_number(observe_ratio) << "},\n"
+       << "  \"gate_2x\": " << (pass ? "true" : "false") << ",\n"
+       << "  \"gate_observe\": " << (observe_pass ? "true" : "false") << "\n"
        << "}\n";
   std::cout << "wrote " << path << "\n";
 

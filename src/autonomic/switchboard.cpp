@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "arch/event_bus.hpp"
 #include "obs/obs.hpp"
 #include "vote/dtof.hpp"
 
@@ -36,6 +37,32 @@ void ReflectiveSwitchboard::request_resize(std::size_t target, bool raised) {
     AFT_TRACE("autonomic.switchboard", raised ? "raise" : "lower",
               {{"replicas", farm_.replicas()}});
     if (hook_) hook_(farm_.replicas(), raised);
+  }
+}
+
+void ReflectiveSwitchboard::bind_slo(arch::EventBus& bus) {
+  bus.subscribe("obs.slo/breach",
+                [this](const arch::Message&) { on_slo_breach(); });
+  bus.subscribe("obs.slo/recover", [this](const arch::Message&) {
+    // Latency is healthy again; the usual consecutive-high rule decides
+    // when to shed the extra redundancy, starting a fresh streak.
+    consecutive_high_ = 0;
+    AFT_METRIC_ADD("autonomic.slo_recoveries_seen", 1);
+  });
+}
+
+void ReflectiveSwitchboard::on_slo_breach() {
+  // A burning SLO is an environmental disturbance symptom of the same rank
+  // as a critically low dtof: grow immediately, and restart the high-streak
+  // so redundancy is not shed while the latency plane is degraded.
+  consecutive_high_ = 0;
+  AFT_METRIC_ADD("autonomic.slo_breaches_seen", 1);
+  const std::size_t n = farm_.replicas();
+  if (n < policy_.max_replicas) {
+    ++slo_raises_;
+    AFT_METRIC_ADD("autonomic.slo_raises", 1);
+    request_resize(std::min(n + policy_.step, policy_.max_replicas),
+                   /*raised=*/true);
   }
 }
 

@@ -20,6 +20,10 @@
 #include "util/histogram.hpp"
 #include "vote/voting_farm.hpp"
 
+namespace aft::arch {
+class EventBus;
+}  // namespace aft::arch
+
 namespace aft::autonomic {
 
 class ReflectiveSwitchboard {
@@ -50,11 +54,23 @@ class ReflectiveSwitchboard {
   /// Post-voting hook: call with every completed round's report.
   void observe(const vote::RoundReport& report);
 
+  /// Subscribes the controller to the "obs.slo/{breach,recover}" topics, so
+  /// measured latency degradation — not only voting dissent — drives the
+  /// redundancy revision loop (an obs::SloTracker publishes the topics; see
+  /// bench/abl_slo_adaptation).  A breach raises immediately, exactly like a
+  /// critically low dtof; a recover only clears the high-streak, leaving the
+  /// shedding decision to the usual consecutive-high rule.
+  void bind_slo(arch::EventBus& bus);
+
   void set_resize_hook(ResizeHook hook) { hook_ = std::move(hook); }
 
   [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
   [[nodiscard]] std::uint64_t raises() const noexcept { return raises_; }
   [[nodiscard]] std::uint64_t lowers() const noexcept { return lowers_; }
+  /// Subset of raises() triggered by SLO breach notifications.
+  [[nodiscard]] std::uint64_t slo_raises() const noexcept {
+    return slo_raises_;
+  }
   [[nodiscard]] std::uint64_t rounds_observed() const noexcept { return rounds_; }
   [[nodiscard]] std::uint64_t consecutive_high() const noexcept {
     return consecutive_high_;
@@ -69,6 +85,7 @@ class ReflectiveSwitchboard {
 
  private:
   void request_resize(std::size_t target, bool raised);
+  void on_slo_breach();
 
   vote::VotingFarm& farm_;
   Policy policy_;
@@ -79,6 +96,7 @@ class ReflectiveSwitchboard {
   std::uint64_t rounds_ = 0;
   std::uint64_t raises_ = 0;
   std::uint64_t lowers_ = 0;
+  std::uint64_t slo_raises_ = 0;
   util::Histogram occupancy_;
 };
 

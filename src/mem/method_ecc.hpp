@@ -43,6 +43,10 @@ class EccScrubAccess final : public IMemoryAccessMethod {
   std::size_t words_per_scrub_step_;
   std::size_t scrub_cursor_ = 0;
   MethodStats stats_;
+  // Patrol sweep timing on the obs logical clock ("mem.scrub.sweep_ticks"):
+  // a sweep opens when the cursor leaves 0 and closes when it wraps back.
+  std::uint64_t sweep_start_t_ = 0;
+  bool sweep_open_ = false;
 };
 
 }  // namespace aft::mem

@@ -169,6 +169,13 @@ void Endpoint::finish(std::uint64_t id, RpcStatus status,
   result.payload = std::move(payload);
   result.attempts = c.attempt;
   result.elapsed = sim_.now() - c.started;
+  // Tail-latency evidence (the "quantiles" JSON export): call latency split
+  // by outcome, plus the attempt count distribution.
+  AFT_METRIC_OBSERVE(status == RpcStatus::kOk ? "net.rpc.latency.ok"
+                                              : "net.rpc.latency.fail",
+                     static_cast<double>(result.elapsed));
+  AFT_METRIC_OBSERVE("net.rpc.attempts_per_call",
+                     static_cast<double>(c.attempt));
   // The entry is already extracted: a callback that re-enters call() (or
   // even retries the same workload) cannot invalidate this completion.
   if (c.callback) c.callback(result);

@@ -91,6 +91,11 @@ class Link {
   void heal();
   [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
 
+  /// Swaps in a new fault model; frames already in flight keep the delays
+  /// they drew.  Lets experiments degrade/heal a live link mid-run (the SLO
+  /// adaptation bench drives its loss phases through this).
+  void set_faults(const LinkFaults& faults) noexcept { faults_ = faults; }
+
   [[nodiscard]] const LinkCounters& counters() const noexcept {
     return counters_;
   }

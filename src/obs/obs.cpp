@@ -16,6 +16,7 @@ void set_metrics(MetricsRegistry* registry) noexcept { t_metrics = registry; }
 
 void set_obs_time(std::uint64_t t) noexcept {
   if (t_trace != nullptr) t_trace->set_time(t);
+  if (t_metrics != nullptr) t_metrics->set_time(t);
   if (FlightRecorder* recorder = flight(); recorder != nullptr) {
     recorder->set_time(t);
   }

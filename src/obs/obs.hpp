@@ -106,6 +106,7 @@ class SpanGuard {
 
 #define AFT_TRACE(component, event, ...) static_cast<void>(0)
 #define AFT_METRIC_ADD(name, delta) static_cast<void>(0)
+#define AFT_METRIC_OBSERVE(name, value) static_cast<void>(0)
 #define AFT_OBS_SET_TIME(t) static_cast<void>(0)
 #define AFT_SPAN(component, name) static_cast<void>(0)
 
@@ -123,6 +124,14 @@ class SpanGuard {
   do {                                                                   \
     if (::aft::obs::MetricsRegistry* aft_obs_reg_ = ::aft::obs::metrics()) \
       aft_obs_reg_->add((name), (delta));                                \
+  } while (0)
+
+/// Feeds one sample into histogram `name` (p50/p99/p999 in the "quantiles"
+/// JSON export).  Genuinely hot sites should hoist a Stat& handle instead.
+#define AFT_METRIC_OBSERVE(name, value)                                  \
+  do {                                                                   \
+    if (::aft::obs::MetricsRegistry* aft_obs_reg_ = ::aft::obs::metrics()) \
+      aft_obs_reg_->observe((name), (value));                            \
   } while (0)
 
 #define AFT_OBS_SET_TIME(t) ::aft::obs::set_obs_time(t)

@@ -1,0 +1,98 @@
+#include "obs/slo.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::obs {
+
+SloTracker::SloTracker(std::string name, SloPolicy policy)
+    : name_(std::move(name)), policy_(policy) {
+  if (policy_.window_ticks == 0) {
+    throw std::invalid_argument("SloTracker: window_ticks must be > 0");
+  }
+  if (policy_.budget_permille == 0) {
+    throw std::invalid_argument("SloTracker: budget_permille must be > 0");
+  }
+}
+
+void SloTracker::record(std::uint64_t t, std::uint64_t latency_ticks) {
+  const std::uint64_t w = t / policy_.window_ticks;
+  if (!window_open_) {
+    window_open_ = true;
+    window_index_ = w;
+  } else if (w > window_index_) {
+    evaluate();
+    // Windows between the last sample and this one saw no traffic: they
+    // burn nothing, so a single no-traffic verdict covers them all.
+    if (w > window_index_ + 1 && breached_) {
+      window_index_ = w - 1;
+      evaluate();
+    }
+    window_index_ = w;
+  }
+  ++total_;
+  if (latency_ticks > policy_.threshold_ticks) ++over_;
+}
+
+void SloTracker::flush(std::uint64_t t) {
+  if (!window_open_) return;
+  evaluate();
+  window_open_ = false;
+  window_index_ = t / policy_.window_ticks;
+}
+
+void SloTracker::evaluate() {
+  // burn = (over/total) / (budget/1000), carried in permille so the
+  // comparison is a pure integer one.  over <= total <= window sample
+  // count keeps over * 1'000'000 far from overflow for sim-scale windows.
+  const std::uint64_t burn_permille =
+      total_ == 0 ? 0
+                  : over_ * 1000000u / (total_ * policy_.budget_permille);
+  const std::uint64_t over = over_;
+  const std::uint64_t total = total_;
+  over_ = 0;
+  total_ = 0;
+  const bool breach = !breached_ && burn_permille >= policy_.burn_alert_permille;
+  const bool recover = breached_ && burn_permille < policy_.burn_clear_permille;
+  if (!breach && !recover) return;
+  breached_ = breach;
+  if (breach) {
+    ++breaches_;
+    AFT_METRIC_ADD("obs.slo.breaches", 1);
+  } else {
+    ++recoveries_;
+    AFT_METRIC_ADD("obs.slo.recoveries", 1);
+  }
+#if !defined(AFT_OBS_DISABLED)
+  // The transition record is a chain link: it inherits the current cause
+  // (the slow RPC completion this record() call sits inside), and becomes
+  // the cause of whatever the publisher triggers — so a switchboard raise
+  // walks back through the breach to the slow wire.
+  TraceSink* const sink = trace();
+  EventId prev_cause = kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    const EventId ev = sink->emit("obs.slo", breach ? "breach" : "recover",
+                                  {{"slo", name_},
+                                   {"window", window_index_},
+                                   {"burn_permille", burn_permille},
+                                   {"over", over},
+                                   {"total", total}});
+    if (ev != kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(ev);
+      cause_installed = true;
+    }
+  } else {
+    flight_note("obs.slo", breach ? "breach" : "recover");
+  }
+#endif
+  if (publisher_) publisher_(breach);
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
+}
+
+}  // namespace aft::obs

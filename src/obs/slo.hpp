@@ -1,0 +1,80 @@
+// Online SLO evaluation over a latency stream: per-window burn rate against
+// an error budget, with hysteresis, emitting breach/recover *transitions*
+// (never per-sample noise) as "obs.slo" trace events and through an optional
+// publisher hook.
+//
+// The burn rate of a window is (fraction of samples over the threshold)
+// divided by the error budget (1 - target quantile): burn 1.0 means the
+// window is consuming budget exactly as fast as the SLO allows, >1.0 means
+// the target quantile is above the threshold.  All comparisons are integer
+// permille arithmetic, so verdicts are deterministic across platforms.
+//
+// Layering: obs sits below arch, so the tracker cannot publish on the
+// arch::EventBus itself — callers bridge via set_publisher (see
+// autonomic::ReflectiveSwitchboard::bind_slo and bench/abl_slo_adaptation).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace aft::obs {
+
+struct SloPolicy {
+  /// Target quantile, expressed as the error budget it leaves: permille of
+  /// samples allowed over the threshold.  10 = "p99 under threshold".
+  std::uint64_t budget_permille = 10;
+  /// Latency threshold in ticks the target quantile must stay under.
+  std::uint64_t threshold_ticks = 0;
+  /// Evaluation window in ticks; verdicts update at window boundaries.
+  std::uint64_t window_ticks = 1;
+  /// Breach when window burn >= alert; recover when burn < clear (permille,
+  /// 1000 = consuming budget exactly at the allowed rate).
+  std::uint64_t burn_alert_permille = 1000;
+  std::uint64_t burn_clear_permille = 500;
+};
+
+class SloTracker {
+ public:
+  /// `name` tags trace events and metric counters ("slo" field).
+  SloTracker(std::string name, SloPolicy policy);
+
+  /// Feeds one latency sample observed at logical time `t`.  Crossing into a
+  /// new window first evaluates every window up to it (empty windows burn
+  /// nothing, so a silent stream recovers).
+  void record(std::uint64_t t, std::uint64_t latency_ticks);
+
+  /// Evaluates the still-open window as of time `t` (end-of-run flush so a
+  /// burning final window is not lost).
+  void flush(std::uint64_t t);
+
+  /// Invoked on each transition: breach (true) / recover (false).
+  void set_publisher(std::function<void(bool breach)> publisher) {
+    publisher_ = std::move(publisher);
+  }
+
+  [[nodiscard]] bool breached() const noexcept { return breached_; }
+  [[nodiscard]] std::uint64_t breaches() const noexcept { return breaches_; }
+  [[nodiscard]] std::uint64_t recoveries() const noexcept {
+    return recoveries_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const SloPolicy& policy() const noexcept { return policy_; }
+
+ private:
+  /// Closes the current window: integer-permille burn verdict + hysteresis.
+  void evaluate();
+
+  std::string name_;
+  SloPolicy policy_;
+  std::function<void(bool breach)> publisher_;
+  std::uint64_t window_index_ = 0;
+  bool window_open_ = false;
+  std::uint64_t total_ = 0;  ///< samples in the open window
+  std::uint64_t over_ = 0;   ///< samples over the threshold in the open window
+  bool breached_ = false;
+  std::uint64_t breaches_ = 0;
+  std::uint64_t recoveries_ = 0;
+};
+
+}  // namespace aft::obs

@@ -1,0 +1,278 @@
+#include "obs/timeline.hpp"
+
+#include <algorithm>
+#include <array>
+#include <stdexcept>
+#include <utility>
+
+namespace aft::obs {
+
+namespace {
+
+/// Full-resolution bucket scratch used by the cold paths (merge, the
+/// re-opened-window fold).  15 KB on the stack.
+using Buckets = std::array<std::uint64_t, util::LogHistogram::kBuckets>;
+
+/// Quantile over a compressed bucket range, with the same rank rule as
+/// LogHistogram::quantile and the same clamp into the exact [min, max].
+std::uint64_t quantile_from(const std::uint64_t* counts, std::size_t first,
+                            std::size_t n, std::uint64_t total, double p,
+                            std::uint64_t min, std::uint64_t max) {
+  if (total == 0) return 0;
+  std::uint64_t rank =
+      p <= 0.0 ? 1
+               : static_cast<std::uint64_t>(
+                     std::ceil(p * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    cumulative += counts[i];
+    if (cumulative >= rank) {
+      const std::uint64_t v = util::LogHistogram::bucket_upper(first + i);
+      if (v < min) return min;
+      return v > max ? max : v;
+    }
+  }
+  return max;
+}
+
+}  // namespace
+
+Timeline::Timeline(std::uint64_t window_ticks, TimelineKind kind)
+    : window_(window_ticks), kind_(kind) {
+  if (window_ticks == 0) {
+    throw std::invalid_argument("Timeline: window_ticks must be > 0");
+  }
+}
+
+void Timeline::observe(std::uint64_t t, std::uint64_t value) {
+  const std::uint64_t w = t / window_;
+  if (w > live_index_ && live_.count() > 0) roll();
+  if (live_.count() == 0 && w > live_index_) live_index_ = w;
+  // A sample at or before the live window folds into it (the sim clock is
+  // monotone, so this only happens for the post-merge re-opened window).
+  live_.add(value);
+  live_last_ = value;
+}
+
+void Timeline::reserve(std::size_t windows, std::size_t buckets_per_window) {
+  done_.reserve(windows);
+  arena_.reserve(windows * buckets_per_window);
+}
+
+Timeline::Window Timeline::compress_hist(const util::LogHistogram& hist,
+                                         std::uint64_t index,
+                                         std::uint64_t last) {
+  Window w;
+  w.index = index;
+  w.count = hist.count();
+  w.sum = hist.sum();
+  w.min = hist.min();
+  w.max = hist.max();
+  w.last = last;
+  const std::size_t first = util::LogHistogram::bucket_index(w.min);
+  const std::size_t final = util::LogHistogram::bucket_index(w.max);
+  w.first_bucket = static_cast<std::uint32_t>(first);
+  w.n_buckets = static_cast<std::uint32_t>(final - first + 1);
+  w.arena_off = arena_.size();
+  for (std::size_t i = first; i <= final; ++i) {
+    arena_.push_back(hist.bucket_count(i));
+  }
+  return w;
+}
+
+void Timeline::roll() {
+  if (live_.count() == 0) return;
+  if (!done_.empty() && done_.back().index == live_index_) {
+    // The live window re-opened an already-finalized index (merge() leaves
+    // the highest window finalized).  Fold the finalized counts back into
+    // a scratch histogram and re-compress; the stale arena range is
+    // abandoned (cold path, bounded by merge count).
+    const Window& prev = done_.back();
+    Buckets scratch{};
+    for (std::size_t i = 0; i < util::LogHistogram::kBuckets; ++i) {
+      scratch[i] = live_.bucket_count(i);
+    }
+    for (std::uint32_t i = 0; i < prev.n_buckets; ++i) {
+      scratch[prev.first_bucket + i] += arena_[prev.arena_off + i];
+    }
+    Window w;
+    w.index = live_index_;
+    w.count = prev.count + live_.count();
+    w.sum = prev.sum + live_.sum();
+    w.min = std::min(prev.min, live_.min());
+    w.max = std::max(prev.max, live_.max());
+    w.last = live_last_;
+    const std::size_t first = util::LogHistogram::bucket_index(w.min);
+    const std::size_t final = util::LogHistogram::bucket_index(w.max);
+    w.first_bucket = static_cast<std::uint32_t>(first);
+    w.n_buckets = static_cast<std::uint32_t>(final - first + 1);
+    w.arena_off = arena_.size();
+    for (std::size_t i = first; i <= final; ++i) arena_.push_back(scratch[i]);
+    done_.back() = w;
+  } else {
+    done_.push_back(compress_hist(live_, live_index_, live_last_));
+  }
+  live_.reset();
+  live_last_ = 0;
+  ++live_index_;
+}
+
+void Timeline::merge(const Timeline& other) {
+  if (other.empty()) return;
+  // Finalize our live window so both sides are pure window lists, then do a
+  // sorted two-pointer merge into fresh storage.  Bucket-wise integer adds
+  // keep the result independent of how jobs were grouped into threads.
+  roll();
+
+  struct Src {
+    const Window* w;
+    const std::vector<std::uint64_t>* arena;
+    std::uint64_t last;
+  };
+  std::vector<Src> a, b;
+  a.reserve(done_.size());
+  for (const Window& w : done_) a.push_back(Src{&w, &arena_, w.last});
+  b.reserve(other.done_.size() + 1);
+  for (const Window& w : other.done_) {
+    b.push_back(Src{&w, &other.arena_, w.last});
+  }
+  Window other_live;  // other's live window, compressed into a local arena
+  std::vector<std::uint64_t> other_live_arena;
+  if (other.live_.count() > 0) {
+    other_live.index = other.live_index_;
+    other_live.count = other.live_.count();
+    other_live.sum = other.live_.sum();
+    other_live.min = other.live_.min();
+    other_live.max = other.live_.max();
+    other_live.last = other.live_last_;
+    const std::size_t first =
+        util::LogHistogram::bucket_index(other_live.min);
+    const std::size_t final = util::LogHistogram::bucket_index(other_live.max);
+    other_live.first_bucket = static_cast<std::uint32_t>(first);
+    other_live.n_buckets = static_cast<std::uint32_t>(final - first + 1);
+    other_live.arena_off = 0;
+    for (std::size_t i = first; i <= final; ++i) {
+      other_live_arena.push_back(other.live_.bucket_count(i));
+    }
+    b.push_back(Src{&other_live, &other_live_arena, other.live_last_});
+  }
+
+  std::vector<Window> merged;
+  std::vector<std::uint64_t> merged_arena;
+  merged.reserve(a.size() + b.size());
+  auto copy_through = [&merged, &merged_arena](const Src& s) {
+    Window w = *s.w;
+    w.arena_off = merged_arena.size();
+    for (std::uint32_t i = 0; i < w.n_buckets; ++i) {
+      merged_arena.push_back((*s.arena)[s.w->arena_off + i]);
+    }
+    merged.push_back(w);
+  };
+  std::size_t i = 0, j = 0;
+  while (i < a.size() || j < b.size()) {
+    if (j >= b.size() || (i < a.size() && a[i].w->index < b[j].w->index)) {
+      copy_through(a[i++]);
+    } else if (i >= a.size() || b[j].w->index < a[i].w->index) {
+      copy_through(b[j++]);
+    } else {
+      const Window& wa = *a[i].w;
+      const Window& wb = *b[j].w;
+      Buckets scratch{};
+      for (std::uint32_t k = 0; k < wa.n_buckets; ++k) {
+        scratch[wa.first_bucket + k] += (*a[i].arena)[wa.arena_off + k];
+      }
+      for (std::uint32_t k = 0; k < wb.n_buckets; ++k) {
+        scratch[wb.first_bucket + k] += (*b[j].arena)[wb.arena_off + k];
+      }
+      Window w;
+      w.index = wa.index;
+      w.count = wa.count + wb.count;
+      w.sum = wa.sum + wb.sum;
+      w.min = std::min(wa.min, wb.min);
+      w.max = std::max(wa.max, wb.max);
+      w.last = wb.last;  // merge callers apply jobs in index order
+      const std::size_t first = util::LogHistogram::bucket_index(w.min);
+      const std::size_t final = util::LogHistogram::bucket_index(w.max);
+      w.first_bucket = static_cast<std::uint32_t>(first);
+      w.n_buckets = static_cast<std::uint32_t>(final - first + 1);
+      w.arena_off = merged_arena.size();
+      for (std::size_t k = first; k <= final; ++k) {
+        merged_arena.push_back(scratch[k]);
+      }
+      merged.push_back(w);
+      ++i;
+      ++j;
+    }
+  }
+
+  done_ = std::move(merged);
+  arena_ = std::move(merged_arena);
+  live_.reset();
+  live_last_ = 0;
+  live_index_ = done_.empty() ? 0 : done_.back().index;
+}
+
+Timeline::WindowView Timeline::view_of(const Window& w) const {
+  WindowView v;
+  v.index = w.index;
+  v.count = w.count;
+  v.sum = w.sum;
+  v.min = w.min;
+  v.max = w.max;
+  v.last = w.last;
+  v.p50 = quantile_from(arena_.data() + w.arena_off, w.first_bucket,
+                        w.n_buckets, w.count, 0.5, w.min, w.max);
+  v.p99 = quantile_from(arena_.data() + w.arena_off, w.first_bucket,
+                        w.n_buckets, w.count, 0.99, w.min, w.max);
+  v.p999 = quantile_from(arena_.data() + w.arena_off, w.first_bucket,
+                         w.n_buckets, w.count, 0.999, w.min, w.max);
+  return v;
+}
+
+std::vector<Timeline::WindowView> Timeline::snapshot() const {
+  std::vector<WindowView> views;
+  views.reserve(done_.size() + 1);
+  const bool live_collides =
+      live_.count() > 0 && !done_.empty() && done_.back().index == live_index_;
+  const std::size_t plain = done_.size() - (live_collides ? 1 : 0);
+  for (std::size_t i = 0; i < plain; ++i) views.push_back(view_of(done_[i]));
+  if (live_.count() == 0) return views;
+
+  WindowView v;
+  v.index = live_index_;
+  v.count = live_.count();
+  v.sum = live_.sum();
+  v.min = live_.min();
+  v.max = live_.max();
+  v.last = live_last_;
+  if (live_collides) {
+    const Window& prev = done_.back();
+    Buckets scratch{};
+    for (std::size_t i = 0; i < util::LogHistogram::kBuckets; ++i) {
+      scratch[i] = live_.bucket_count(i);
+    }
+    for (std::uint32_t i = 0; i < prev.n_buckets; ++i) {
+      scratch[prev.first_bucket + i] += arena_[prev.arena_off + i];
+    }
+    v.count += prev.count;
+    v.sum += prev.sum;
+    v.min = std::min(v.min, prev.min);
+    v.max = std::max(v.max, prev.max);
+    v.p50 = quantile_from(scratch.data(), 0, scratch.size(), v.count, 0.5,
+                          v.min, v.max);
+    v.p99 = quantile_from(scratch.data(), 0, scratch.size(), v.count, 0.99,
+                          v.min, v.max);
+    v.p999 = quantile_from(scratch.data(), 0, scratch.size(), v.count, 0.999,
+                           v.min, v.max);
+  } else {
+    v.p50 = live_.quantile(0.5);
+    v.p99 = live_.quantile(0.99);
+    v.p999 = live_.quantile(0.999);
+  }
+  views.push_back(v);
+  return views;
+}
+
+}  // namespace aft::obs

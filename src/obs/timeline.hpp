@@ -1,0 +1,104 @@
+// Sim-time-bucketed metric series: one LogHistogram worth of evidence per
+// window of `window_ticks` logical ticks, so a metric can be read *over
+// time* instead of only as an end-of-run total.  MetricsRegistry routes
+// counter deltas, gauge writes, and observe() samples into an attached
+// Timeline (metrics.hpp), and exports every window — per-window quantiles
+// included — as the "timelines" JSON section.
+//
+// Hot-path contract: observe() into the current window is a LogHistogram
+// add; rolling over into a new window compresses the live histogram's
+// non-zero bucket range into a shared arena (amortized growth only, zero
+// allocations once reserve()d — tests/alloc_test.cpp pins it).
+//
+// Determinism: windows are keyed by integer window index, finalized windows
+// hold raw bucket counts, and merge() is a sorted merge with bucket-wise
+// integer adds — associative over campaign jobs applied in job-index order,
+// so the exported series is byte-identical for any AFT_THREADS value.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/log_histogram.hpp"
+
+namespace aft::obs {
+
+/// How the owning registry feeds (and later renders) the series.
+enum class TimelineKind : std::uint8_t {
+  kStat,     ///< observe() samples: per-window count/min/max + quantiles
+  kCounter,  ///< add() deltas: per-window delta sum
+  kGauge,    ///< set_gauge() writes: per-window last value
+};
+
+class Timeline {
+ public:
+  Timeline(std::uint64_t window_ticks, TimelineKind kind);
+
+  /// Feeds one sample into the window containing logical time `t`.  Time
+  /// must be monotone within a run (it is: the sim clock drives it); a
+  /// sample landing before the live window is folded into the live window.
+  void observe(std::uint64_t t, std::uint64_t value);
+
+  /// Pre-sizes the finalized-window storage so steady-state rollover stays
+  /// allocation-free: room for `windows` windows whose compressed bucket
+  /// ranges span at most `buckets_per_window` buckets each.
+  void reserve(std::size_t windows, std::size_t buckets_per_window);
+
+  /// Folds `other` in: windows with the same index merge bucket-wise,
+  /// `last` takes other's value (merge callers apply jobs in index order).
+  void merge(const Timeline& other);
+
+  /// One exported window, quantiles materialized.
+  struct WindowView {
+    std::uint64_t index = 0;  ///< window number (start tick = index * window)
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t last = 0;
+    std::uint64_t p50 = 0;
+    std::uint64_t p99 = 0;
+    std::uint64_t p999 = 0;
+  };
+
+  /// All windows in index order — finalized ones plus the still-live window
+  /// (combined when they share an index).  Cold path: export/tests only.
+  [[nodiscard]] std::vector<WindowView> snapshot() const;
+
+  [[nodiscard]] std::uint64_t window_ticks() const noexcept { return window_; }
+  [[nodiscard]] TimelineKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool empty() const noexcept {
+    return done_.empty() && live_.count() == 0;
+  }
+
+ private:
+  /// Finalized window: summary scalars plus the compressed non-zero bucket
+  /// range [first_bucket, first_bucket + n_buckets) parked in arena_.
+  struct Window {
+    std::uint64_t index = 0;
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::uint64_t last = 0;
+    std::uint32_t first_bucket = 0;
+    std::uint32_t n_buckets = 0;
+    std::size_t arena_off = 0;
+  };
+
+  void roll();
+  [[nodiscard]] WindowView view_of(const Window& w) const;
+  [[nodiscard]] Window compress_hist(const util::LogHistogram& hist,
+                                     std::uint64_t index, std::uint64_t last);
+
+  std::uint64_t window_;
+  TimelineKind kind_;
+  util::LogHistogram live_;
+  std::uint64_t live_index_ = 0;
+  std::uint64_t live_last_ = 0;
+  std::vector<Window> done_;           ///< strictly increasing index order
+  std::vector<std::uint64_t> arena_;   ///< compressed bucket counts
+};
+
+}  // namespace aft::obs

@@ -14,6 +14,17 @@ void Simulator::schedule_at(SimTime when, Action action) {
   if (const obs::TraceSink* sink = obs::trace(); sink != nullptr) {
     cause = sink->cause();
   }
+  // Dispatch lag: entries fire exactly at `when`, so the schedule-to-
+  // dispatch latency is known here.  Recorded through a cached Stat handle
+  // so the steady-state cost is one add, not a map lookup.
+  if (obs::MetricsRegistry* reg = obs::metrics(); reg != nullptr) {
+    if (reg != lag_registry_ || reg->uid() != lag_registry_uid_) {
+      lag_registry_ = reg;
+      lag_registry_uid_ = reg->uid();
+      lag_stat_ = &reg->stat("sim.dispatch_lag");
+    }
+    lag_stat_->add(static_cast<double>(when - now_));
+  }
 #endif
   queue_.push(EventKey{when, next_seq_++, cause}, std::move(action));
 }
@@ -22,7 +33,8 @@ void Simulator::schedule_in(SimTime delay, Action action) {
   schedule_at(now_ + delay, std::move(action));
 }
 
-bool Simulator::step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder) {
+bool Simulator::step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder,
+                          obs::MetricsRegistry* registry) {
   if (queue_.empty()) return false;
   // DHeap::pop() surrenders the callable by move: its inline storage is
   // relocated, never copied and never re-allocated.  The key (with the
@@ -44,9 +56,13 @@ bool Simulator::step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder) {
   } else if (recorder != nullptr) {
     recorder->set_time(now_);
   }
+  // The metrics clock drives timeline windowing (obs/timeline.hpp), so it
+  // advances on every dispatch even when tracing is off.
+  if (registry != nullptr) registry->set_time(now_);
 #else
   (void)sink;
   (void)recorder;
+  (void)registry;
 #endif
   action();
   return true;
@@ -73,19 +89,28 @@ obs::TraceSink* trace_sink() {
 #endif
 }
 
+obs::MetricsRegistry* metrics_registry() {
+#if !defined(AFT_OBS_DISABLED)
+  return obs::metrics();
+#else
+  return nullptr;
+#endif
+}
+
 }  // namespace
 
 bool Simulator::step() {
   obs::TraceSink* const sink = trace_sink();
-  return step_with(sink, flight_unless_traced(sink));
+  return step_with(sink, flight_unless_traced(sink), metrics_registry());
 }
 
 std::uint64_t Simulator::run_until(SimTime until) {
   obs::TraceSink* const sink = trace_sink();
   obs::FlightRecorder* const recorder = flight_unless_traced(sink);
+  obs::MetricsRegistry* const registry = metrics_registry();
   std::uint64_t ran = 0;
   while (!queue_.empty() && queue_.top_key().when <= until) {
-    step_with(sink, recorder);
+    step_with(sink, recorder, registry);
     ++ran;
   }
   if (now_ < until) now_ = until;
@@ -95,8 +120,9 @@ std::uint64_t Simulator::run_until(SimTime until) {
 std::uint64_t Simulator::run_all() {
   obs::TraceSink* const sink = trace_sink();
   obs::FlightRecorder* const recorder = flight_unless_traced(sink);
+  obs::MetricsRegistry* const registry = metrics_registry();
   std::uint64_t ran = 0;
-  while (step_with(sink, recorder)) ++ran;
+  while (step_with(sink, recorder, registry)) ++ran;
   return ran;
 }
 

@@ -24,6 +24,8 @@
 namespace aft::obs {
 class TraceSink;
 class FlightRecorder;
+class MetricsRegistry;
+class Stat;
 }  // namespace aft::obs
 
 namespace aft::sim {
@@ -87,7 +89,8 @@ class Simulator {
   /// dispatched event (the hoisting idiom obs.hpp prescribes for hot paths).
   /// Sinks are installed by RAII scopes around whole runs, never from inside
   /// a scheduled action, so the pointers cannot go stale mid-loop.
-  bool step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder);
+  bool step_with(obs::TraceSink* sink, obs::FlightRecorder* recorder,
+                 obs::MetricsRegistry* registry);
 
   /// Heap node key.  `cause` is dispatch metadata riding along in the
   /// compact node (the comparator ignores it): the trace event id current
@@ -114,6 +117,14 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   util::DHeap<Action, EventKey, Earlier> queue_;
+
+  // Cached handle for the "sim.dispatch_lag" stat (schedule_at is the
+  // hottest instrumentation site in the tree; a map lookup per schedule
+  // would be measurable).  The (registry, uid) pair detects both a swapped
+  // registry and a fresh registry constructed at a recycled address.
+  obs::Stat* lag_stat_ = nullptr;
+  const obs::MetricsRegistry* lag_registry_ = nullptr;
+  std::uint64_t lag_registry_uid_ = 0;
 };
 
 }  // namespace aft::sim

@@ -1,0 +1,190 @@
+// Deterministic HDR-style log-bucketed histogram: the quantile engine behind
+// MetricsRegistry::observe and the windowed timelines (obs/timeline.hpp).
+//
+// Layout: values below kSubBuckets (32) get one exact bucket each; above
+// that, each power-of-two "major" range is split into 32 linear sub-buckets,
+// so the relative width of any bucket is at most 1/32 (~3.1%).  Counts are
+// plain integers in a fixed array, which buys three properties RunningStats
+// cannot offer:
+//
+//   * quantile(p) is exact-deterministic — the same sample multiset yields
+//     the same p50/p99/p999 on every platform (integer walks, no FP
+//     accumulation order),
+//   * merge() is associative and commutative (bucket-wise integer adds), so
+//     campaign exports stay byte-identical for any AFT_THREADS grouping,
+//   * add() is allocation-free and O(1) (a count increment after two shifts),
+//     cheap enough for the instrumented hot paths (bench/perf_sim gates it
+//     at <= 2x a plain RunningStats::add).
+//
+// Header-only so obs can use it without linking aft_util (util DEPS obs,
+// not the other way around — same arrangement as stats.hpp).
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace aft::util {
+
+class LogHistogram {
+ public:
+  static constexpr unsigned kSubBits = 5;
+  static constexpr unsigned kSubBuckets = 1u << kSubBits;  // 32
+  /// Majors 1..59 cover [32, 2^64); major 0 is the exact range [0, 32).
+  static constexpr unsigned kMajors = 64 - kSubBits;
+  static constexpr std::size_t kBuckets =
+      static_cast<std::size_t>(kMajors + 1) * kSubBuckets;  // 1920
+
+  /// Bucket holding `v`.  v < 32: the exact bucket v.  Otherwise the top
+  /// kSubBits bits below the leading one select the linear sub-bucket
+  /// within v's power-of-two major range.
+  [[nodiscard]] static constexpr std::size_t bucket_index(
+      std::uint64_t v) noexcept {
+    if (v < kSubBuckets) return v;
+    const unsigned msb = 63u - static_cast<unsigned>(std::countl_zero(v));
+    const unsigned major = msb - kSubBits + 1;
+    const unsigned sub =
+        static_cast<unsigned>(v >> (msb - kSubBits)) & (kSubBuckets - 1);
+    return static_cast<std::size_t>(major) * kSubBuckets + sub;
+  }
+
+  /// Inclusive lower bound of bucket `index`.
+  [[nodiscard]] static constexpr std::uint64_t bucket_lower(
+      std::size_t index) noexcept {
+    const std::uint64_t major = index / kSubBuckets;
+    const std::uint64_t sub = index % kSubBuckets;
+    if (major == 0) return sub;
+    return (kSubBuckets + sub) << (major - 1);
+  }
+
+  /// Inclusive upper bound of bucket `index` — the deterministic quantile
+  /// representative (conservative: never under-reports).
+  [[nodiscard]] static constexpr std::uint64_t bucket_upper(
+      std::size_t index) noexcept {
+    const std::uint64_t major = index / kSubBuckets;
+    if (major == 0) return index % kSubBuckets;
+    return bucket_lower(index) + (std::uint64_t{1} << (major - 1)) - 1;
+  }
+
+  /// Deterministic double -> sample mapping: negatives and NaN clamp to 0,
+  /// values past the uint64 range clamp to the top; everything else rounds
+  /// to nearest.  Sim-time latencies are integer ticks, so in-tree samples
+  /// round-trip exactly.
+  [[nodiscard]] static std::uint64_t clamp(double v) noexcept {
+    if (!(v > 0.0)) return 0;  // also catches NaN
+    // Largest double guaranteed below 2^64 after rounding.
+    if (v >= 18446744073709549568.0) return ~std::uint64_t{0};
+    return static_cast<std::uint64_t>(v + 0.5);
+  }
+
+  void add(std::uint64_t v) noexcept {
+    ++counts_[bucket_index(v)];
+    if (count_ == 0) {
+      min_ = v;
+      max_ = v;
+    } else {
+      if (v < min_) min_ = v;
+      if (v > max_) max_ = v;
+    }
+    ++count_;
+    sum_ += v;
+  }
+
+  void add(double v) noexcept { add(clamp(v)); }
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Exact extremes (tracked beside the buckets); 0 when empty.
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ > 0 ? min_ : 0;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept {
+    return count_ > 0 ? max_ : 0;
+  }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t index) const noexcept {
+    return counts_[index];
+  }
+
+  /// Value at quantile p in [0, 1]: the upper bound of the bucket holding
+  /// the ceil(p*n)-th smallest sample, clamped into [min, max] (so
+  /// quantile(1.0) == max() exactly, and an all-equal stream reports the
+  /// exact value at every p).  The result is >= the true order statistic
+  /// and overshoots it by at most a factor of 1/32.
+  [[nodiscard]] std::uint64_t quantile(double p) const noexcept {
+    if (count_ == 0) return 0;
+    std::uint64_t rank =
+        p <= 0.0 ? 1
+                 : static_cast<std::uint64_t>(
+                       std::ceil(p * static_cast<double>(count_)));
+    if (rank < 1) rank = 1;
+    if (rank > count_) rank = count_;
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+      cumulative += counts_[i];
+      if (cumulative >= rank) {
+        const std::uint64_t v = bucket_upper(i);
+        if (v < min_) return min_;
+        return v > max_ ? max_ : v;
+      }
+    }
+    return max_;  // unreachable when counts are consistent
+  }
+
+  /// Bucket-wise integer addition: associative and commutative, so any
+  /// merge tree over campaign jobs produces identical counts — the property
+  /// the byte-identical-for-any-AFT_THREADS exports rest on.
+  void merge(const LogHistogram& other) noexcept {
+    if (other.count_ == 0) return;
+    for (std::size_t i = 0; i < kBuckets; ++i) counts_[i] += other.counts_[i];
+    if (count_ == 0) {
+      min_ = other.min_;
+      max_ = other.max_;
+    } else {
+      if (other.min_ < min_) min_ = other.min_;
+      if (other.max_ > max_) max_ = other.max_;
+    }
+    count_ += other.count_;
+    sum_ += other.sum_;
+  }
+
+  void reset() noexcept {
+    counts_.fill(0);
+    count_ = 0;
+    sum_ = 0;
+    min_ = 0;
+    max_ = 0;
+  }
+
+  [[nodiscard]] bool operator==(const LogHistogram& other) const noexcept {
+    return count_ == other.count_ && sum_ == other.sum_ &&
+           min_ == other.min_ && max_ == other.max_ &&
+           counts_ == other.counts_;
+  }
+
+ private:
+  std::array<std::uint64_t, kBuckets> counts_{};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = 0;
+  std::uint64_t max_ = 0;
+};
+
+// The bucket map must tile [0, 2^64) without gaps or overlaps: each bucket's
+// upper bound is immediately followed by the next bucket's lower bound, the
+// seam between the exact range and the first log major is continuous, and
+// indexing is consistent with the bounds.
+static_assert(LogHistogram::bucket_index(0) == 0);
+static_assert(LogHistogram::bucket_index(31) == 31);
+static_assert(LogHistogram::bucket_index(32) == 32);
+static_assert(LogHistogram::bucket_index(63) == 63);
+static_assert(LogHistogram::bucket_index(64) == 64);
+static_assert(LogHistogram::bucket_index(~std::uint64_t{0}) ==
+              LogHistogram::kBuckets - 1);
+static_assert(LogHistogram::bucket_lower(64) == 64);
+static_assert(LogHistogram::bucket_upper(64) == 65);
+static_assert(LogHistogram::bucket_upper(LogHistogram::kBuckets - 1) ==
+              ~std::uint64_t{0});
+
+}  // namespace aft::util

@@ -73,6 +73,11 @@ class VotingFarm {
   std::vector<Ballot> ballots_;  ///< last round, replica order
   std::vector<Ballot> scratch_;  ///< voting workspace (sorted in place)
   Ballot last_winner_ = 0;
+  // Round cadence on the obs logical clock ("vote.farm.round_gap"): invoke()
+  // itself is synchronous, so the latency signal of the voting plane is the
+  // spacing between consecutive rounds.
+  std::uint64_t last_round_t_ = 0;
+  bool round_t_valid_ = false;
 };
 
 }  // namespace aft::vote

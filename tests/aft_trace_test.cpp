@@ -431,6 +431,99 @@ TEST(TraceAnalysisTest, Fig6RaiseChainsBackToInjectedFault) {
   EXPECT_GT(latency.inject_to_detect.count, 0u);
 }
 
+TEST(TraceAnalysisTest, SloPairsDoneWithCallViaChainAndFallback) {
+  TraceSink sink;
+  // Chain A: cause-linked call -> done, ok in 8 ticks after 1 attempt.
+  sink.set_time(10);
+  sink.set_cause(sink.emit(
+      "net.rpc", "call",
+      {{"endpoint", "client"}, {"id", 1u}, {"method", "echo"}}));
+  sink.set_time(18);
+  sink.emit("net.rpc", "done",
+            {{"endpoint", "client"}, {"id", 1u}, {"status", "ok"},
+             {"attempts", 1u}});
+  sink.set_cause(aft::obs::kNoEvent);
+  // Chain B: the cause link is cut (trace cap shape) — the endpoint+id
+  // fallback must still pair it.  Fails after 3 attempts, 30 ticks.
+  sink.set_time(20);
+  sink.emit("net.rpc", "call",
+            {{"endpoint", "client"}, {"id", 2u}, {"method", "echo"}});
+  sink.set_time(50);
+  sink.emit("net.rpc", "done",
+            {{"endpoint", "client"}, {"id", 2u}, {"status", "deadline"},
+             {"attempts", 3u}});
+
+  const Trace trace = parse(sink.jsonl());
+  const auto report = aft::tools::compute_slo(trace);
+  EXPECT_EQ(report.ok.count, 1u);
+  EXPECT_EQ(report.ok.min, 8u);
+  EXPECT_EQ(report.ok.max, 8u);
+  EXPECT_EQ(report.fail.count, 1u);
+  EXPECT_EQ(report.fail.max, 30u);
+  EXPECT_EQ(report.attempts.count, 2u);
+  EXPECT_EQ(report.attempts.max, 3u);
+  ASSERT_TRUE(report.has_worst);
+  EXPECT_EQ(report.worst_seq, 3u);  // chain B's done is the slowest
+
+  const std::string rendered = aft::tools::render_slo(trace);
+  EXPECT_NE(rendered.find("rpc call latency"), std::string::npos);
+  EXPECT_NE(rendered.find("worst chain (done seq 3)"), std::string::npos);
+  // Chain B's cause link is cut, so the drill-down starts at the done
+  // record itself (the chain walk has nothing earlier to show).
+  EXPECT_NE(rendered.find("net.rpc/done"), std::string::npos);
+}
+
+TEST(TraceAnalysisTest, LatencyQuantilesExposedPerStage) {
+  TraceSink sink;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    sink.set_time(i * 100);
+    sink.set_cause(sink.emit("hw.inject", "seu", {{"addr", i}}));
+    sink.set_time(i * 100 + 1 + i % 10);  // detect latencies 1..10
+    sink.emit("mem.ecc", "corrected", {{"addr", i}});
+    sink.set_cause(aft::obs::kNoEvent);
+  }
+  const auto report = aft::tools::compute_latency(parse(sink.jsonl()));
+  EXPECT_EQ(report.inject_to_detect.count, 100u);
+  EXPECT_EQ(report.inject_to_detect.p50, 5u);
+  EXPECT_EQ(report.inject_to_detect.p99, 10u);
+  EXPECT_EQ(report.inject_to_detect.p999, 10u);
+}
+
+TEST(TraceAnalysisTest, EmptyTracesRenderHintsNotSilence) {
+  // A trace with no matching chains used to render as zero-row noise (or
+  // nothing at all); each command now says what it looked for.
+  TraceSink sink;
+  sink.emit("c", "e");  // non-empty trace, but no chains of any kind
+  const Trace trace = parse(sink.jsonl());
+  EXPECT_EQ(aft::tools::render_latency(trace),
+            "no inject->detect chains found\n");
+  EXPECT_EQ(aft::tools::render_slo(trace), "no rpc call chains found\n");
+  EXPECT_EQ(aft::tools::render_timeline(Trace{}),
+            "no events in trace (nothing to window)\n");
+}
+
+TEST(TraceAnalysisTest, TimelineWindowsEventCensus) {
+  TraceSink sink;
+  sink.set_time(0);
+  sink.emit("hw.inject", "seu", {{"addr", 1u}});
+  sink.set_time(5);
+  sink.emit("mem.ecc", "corrected", {{"addr", 1u}});
+  sink.set_time(25);
+  sink.emit("c", "quiet");
+
+  const std::string out =
+      aft::tools::render_timeline(parse(sink.jsonl()), /*window_ticks=*/10);
+  EXPECT_NE(out.find("timeline (window=10 ticks, 2 non-empty windows)"),
+            std::string::npos);
+  EXPECT_NE(out.find("window-start  events  inject  detect  repair"),
+            std::string::npos);
+  // Window 0 holds the inject + the detect; window 2 the quiet event.
+  EXPECT_NE(out.find("\n0             2       1       1       0"),
+            std::string::npos);
+  EXPECT_NE(out.find("\n20            1       0       0       0"),
+            std::string::npos);
+}
+
 #endif  // !AFT_OBS_DISABLED
 
 }  // namespace

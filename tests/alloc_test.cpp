@@ -28,6 +28,7 @@
 #include "hw/memory_chip.hpp"
 #include "mem/method_ecc.hpp"
 #include "net/link.hpp"
+#include "obs/metrics.hpp"
 #include "sim/simulator.hpp"
 #include "vote/voting_farm.hpp"
 
@@ -271,6 +272,49 @@ TEST(AllocTest, VotingFarmStaysAllocationFreeAfterResizeDown) {
   });
   EXPECT_EQ(allocs, 0u);
   EXPECT_EQ(farm.last_ballots().size(), 5u);
+}
+
+TEST(AllocTest, MetricsObserveSteadyStateIsAllocationFree) {
+  // The PR-8 quantile plane: feeding a pre-registered histogram-backed
+  // stat is a Welford update plus a LogHistogram bucket increment — no
+  // node materialization, no string temporaries (the registry's maps are
+  // std::less<> keyed, so string_view lookups stay heterogeneous).
+  aft::obs::MetricsRegistry reg;
+  aft::obs::Stat& lat = reg.stat("net.rpc.latency.ok");  // hoisted handle
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+      lat.add(static_cast<double>(1 + i % 4096));
+      if (i % 16 == 0) reg.observe("net.rpc.latency.ok", 7.0);  // by name
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_EQ(lat.count(), 100'000u + 100'000u / 16u);
+}
+
+TEST(AllocTest, TimelineRolloverIsAllocationFree) {
+  // Rolling the live window into the finalized store compresses the
+  // non-zero bucket range into the arena; after reserve() both the window
+  // vector and the arena are pre-sized, so steady-state rollover (the
+  // per-window path a long campaign run exercises thousands of times)
+  // never touches the heap.
+  aft::obs::MetricsRegistry reg;
+  aft::obs::Timeline& tl = reg.timeline("lat", /*window_ticks=*/10);
+  // Bounded-magnitude samples (1..63) span at most two majors' worth of
+  // buckets; 96 per-window bucket slots is comfortably enough.
+  tl.reserve(/*windows=*/1200, /*buckets_per_window=*/96);
+  aft::obs::Stat& lat = reg.stat("lat");
+
+  const std::uint64_t allocs = allocations_during([&] {
+    for (std::uint64_t t = 0; t < 10'000; ++t) {
+      reg.set_time(t);
+      lat.add(static_cast<double>(1 + (t * 7) % 63));
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  EXPECT_FALSE(tl.empty());
+  // Every window rolled: 1000 finalized + the live one.
+  EXPECT_EQ(tl.snapshot().size(), 1000u);
 }
 
 TEST(AllocTest, BatchScrubSteadyStateIsAllocationFree) {

@@ -144,6 +144,48 @@ TEST(CampaignTest, TraceAndMetricsBitIdenticalAcrossThreadCounts) {
   EXPECT_NE(serial.second.find(R"("jobs.last_index":15)"), std::string::npos);
 }
 
+/// Campaign job that exercises the PR-8 surfaces: per-job timeline
+/// registration, clock-driven windowing, and histogram-backed stats —
+/// everything the "quantiles" and "timelines" JSON sections export.
+void timeline_job(std::size_t i) {
+  aft::obs::MetricsRegistry* reg = aft::obs::metrics();
+  ASSERT_NE(reg, nullptr);
+  reg->timeline("job.latency", /*window_ticks=*/50);
+  reg->timeline_counter("job.calls", /*window_ticks=*/50);
+  reg->timeline_gauge("job.level", /*window_ticks=*/50);
+  for (std::uint64_t t = 0; t < 200; t += 7) {
+    reg->set_time(t);
+    reg->observe("job.latency", static_cast<double>(1 + (t * (i + 3)) % 400));
+    reg->add("job.calls");
+    reg->set_gauge("job.level", static_cast<double>((t + i) % 9));
+  }
+}
+
+std::string run_timeline_campaign(unsigned threads) {
+  aft::obs::TraceSink sink;
+  aft::obs::MetricsRegistry registry;
+  const aft::obs::ScopedObs scope(&sink, &registry);
+  parallel_for_index(16, threads, timeline_job);
+  return registry.json();
+}
+
+TEST(CampaignTest, TimelineAndQuantileJsonBitIdenticalAcrossThreadCounts) {
+  // PR-8 acceptance: the quantile and windowed-timeline exports rest on
+  // integer bucket counts with associative merges, so the full metrics
+  // JSON — timelines included — is byte-identical for any AFT_THREADS.
+  const std::string serial = run_timeline_campaign(1);
+  EXPECT_NE(serial.find(R"("quantiles":{"job.latency":{"count":)"),
+            std::string::npos);
+  EXPECT_NE(serial.find(R"("timelines":{)"), std::string::npos);
+  EXPECT_NE(serial.find(R"("job.calls":{"kind":"counter","window":50)"),
+            std::string::npos);
+  EXPECT_NE(serial.find(R"("job.latency":{"kind":"stat","window":50)"),
+            std::string::npos);
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    EXPECT_EQ(run_timeline_campaign(threads), serial) << "threads=" << threads;
+  }
+}
+
 TEST(CampaignTest, WorkersDoNotTouchTheCallersSink) {
   aft::obs::TraceSink sink;
   aft::obs::MetricsRegistry registry;

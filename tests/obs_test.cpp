@@ -192,6 +192,57 @@ TEST(MetricsRegistryTest, JsonExportIsSortedAndComplete) {
   EXPECT_NE(json.find(R"("stats":{"h":{"count":1)"), std::string::npos);
 }
 
+TEST(MetricsRegistryTest, QuantilesSectionExportsP50P99P999Max) {
+  MetricsRegistry reg;
+  for (int i = 1; i <= 100; ++i) reg.observe("lat", static_cast<double>(i));
+  const std::string json = reg.json();
+  // Values 1..100 straddle the exact range (< 32) and the first log
+  // majors; the exported quantiles obey the documented <= 1/32 overshoot.
+  EXPECT_NE(json.find(R"("quantiles":{"lat":{"count":100,"p50":)"),
+            std::string::npos);
+  ASSERT_NE(reg.find_stat("lat"), nullptr);
+  const aft::obs::Stat& s = *reg.find_stat("lat");
+  EXPECT_GE(s.quantile(0.5), 50u);
+  EXPECT_LE(s.quantile(0.5), 52u);
+  EXPECT_GE(s.quantile(0.99), 99u);
+  EXPECT_LE(s.quantile(0.99), 100u);
+  EXPECT_EQ(s.quantile(1.0), 100u);
+  EXPECT_NE(json.find(R"("max":100)"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, EmptyStatOmitsMinMaxInJson) {
+  // A stat that was registered (e.g. a hoisted handle or a timeline
+  // registration) but never fed must not export RunningStats' 0.0
+  // placeholder as if it were a real extreme.
+  MetricsRegistry reg;
+  reg.stat("registered.but.empty");
+  const std::string json = reg.json();
+  EXPECT_NE(
+      json.find(R"("registered.but.empty":{"count":0,"mean":0,"stddev":0})"),
+      std::string::npos);
+  // The quantiles entry likewise carries only the count.
+  const std::size_t q = json.find(R"("quantiles")");
+  ASSERT_NE(q, std::string::npos);
+  EXPECT_NE(json.find(R"("registered.but.empty":{"count":0})", q),
+            std::string::npos);
+  // A fed stat still exports min/max.
+  reg.observe("fed", 3.0);
+  const std::string json2 = reg.json();
+  EXPECT_NE(json2.find(R"("fed":{"count":1,"mean":3,"stddev":0,"min":3,"max":3})"),
+            std::string::npos);
+}
+
+TEST(MetricsRegistryTest, StatHandleIsStableAndFeedsSameAccumulator) {
+  MetricsRegistry reg;
+  aft::obs::Stat& s = reg.stat("lat");
+  s.add(2.0);
+  reg.observe("lat", 4.0);
+  aft::obs::Stat& again = reg.stat("lat");
+  EXPECT_EQ(&s, &again);
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_EQ(s.quantile(1.0), 4u);
+}
+
 TEST(MetricsRegistryTest, MergeSumsCountersAndFoldsStats) {
   MetricsRegistry a;
   a.add("n", 1);
@@ -217,6 +268,7 @@ TEST(ScopedObsTest, MacrosAreNoOpsWithoutInstalledSinks) {
   // this is the only behaviour the macros have at all.
   AFT_TRACE("c", "e", {{"k", 1}});
   AFT_METRIC_ADD("n", 1);
+  AFT_METRIC_OBSERVE("lat", 1.0);
   AFT_OBS_SET_TIME(5);
   SUCCEED();
 }
@@ -251,9 +303,14 @@ TEST(ScopedObsTest, MacrosRouteToInstalledSinks) {
   AFT_OBS_SET_TIME(3);
   AFT_TRACE("c", "e", {{"k", 1}});
   AFT_METRIC_ADD("n", 2);
+  AFT_METRIC_OBSERVE("lat", 7.0);
   EXPECT_EQ(sink.size(), 1u);
   EXPECT_EQ(sink.time(), 3u);
   EXPECT_EQ(reg.counter("n"), 2u);
+  ASSERT_NE(reg.find_stat("lat"), nullptr);
+  EXPECT_EQ(reg.find_stat("lat")->quantile(0.5), 7u);
+  // set_obs_time drives the registry clock too (timeline windowing).
+  EXPECT_EQ(reg.time(), 3u);
 }
 
 TEST(ObsCliTest, ParsesFlagsAndInstallsSinks) {

@@ -13,6 +13,7 @@
 
 #include "util/dheap.hpp"
 #include "util/histogram.hpp"
+#include "util/log_histogram.hpp"
 #include "util/ring_buffer.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
@@ -22,6 +23,7 @@ namespace {
 
 using aft::util::DHeap;
 using aft::util::Histogram;
+using aft::util::LogHistogram;
 using aft::util::RingBuffer;
 using aft::util::RunningStats;
 using aft::util::SplitMix64;
@@ -434,6 +436,169 @@ TEST(TextTableTest, RowWidthMismatchThrows) {
 TEST(TextTableTest, FmtPrecision) {
   EXPECT_EQ(aft::util::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(aft::util::fmt(1.0, 0), "1");
+}
+
+// --- LogHistogram --------------------------------------------------------------
+
+/// Same rank rule quantile() documents: the ceil(p*n)-th smallest sample,
+/// clamped to [1, n].
+std::uint64_t sorted_reference(const std::vector<std::uint64_t>& sorted,
+                               double p) {
+  std::uint64_t rank =
+      p <= 0.0 ? 1
+               : static_cast<std::uint64_t>(
+                     std::ceil(p * static_cast<double>(sorted.size())));
+  rank = std::clamp<std::uint64_t>(rank, 1, sorted.size());
+  return sorted[rank - 1];
+}
+
+TEST(LogHistogramTest, EmptyReportsZeroEverywhere) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+  EXPECT_EQ(h.quantile(1.0), 0u);
+}
+
+TEST(LogHistogramTest, SingletonEveryQuantileIsTheSample) {
+  for (const std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                                std::uint64_t{31}, std::uint64_t{32},
+                                std::uint64_t{7777},
+                                std::uint64_t{1} << 40}) {
+    LogHistogram h;
+    h.add(v);
+    for (const double p : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+      EXPECT_EQ(h.quantile(p), v) << "v=" << v << " p=" << p;
+    }
+    EXPECT_EQ(h.min(), v);
+    EXPECT_EQ(h.max(), v);
+    EXPECT_EQ(h.sum(), v);
+  }
+}
+
+TEST(LogHistogramTest, AllEqualStreamIsExactAtEveryQuantile) {
+  LogHistogram h;
+  for (int i = 0; i < 1000; ++i) h.add(std::uint64_t{12345});
+  for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(h.quantile(p), 12345u) << "p=" << p;
+  }
+}
+
+TEST(LogHistogramTest, BucketMapTilesTheDomain) {
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    const std::uint64_t lo = LogHistogram::bucket_lower(i);
+    const std::uint64_t hi = LogHistogram::bucket_upper(i);
+    EXPECT_LE(lo, hi) << "bucket " << i;
+    EXPECT_EQ(LogHistogram::bucket_index(lo), i);
+    EXPECT_EQ(LogHistogram::bucket_index(hi), i);
+    if (i > 0) {
+      EXPECT_EQ(LogHistogram::bucket_upper(i - 1) + 1, lo)
+          << "seam before bucket " << i;
+    }
+  }
+}
+
+TEST(LogHistogramTest, BoundarySamplesLandInTheirOwnBucket) {
+  // One sample exactly on each bucket boundary of the first few majors must
+  // be recoverable as its own quantile within the 1/32 error bound.
+  LogHistogram h;
+  std::vector<std::uint64_t> values;
+  for (std::size_t i = 0; i < 8 * LogHistogram::kSubBuckets; ++i) {
+    values.push_back(LogHistogram::bucket_lower(i));
+    h.add(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {0.1, 0.5, 0.9, 1.0}) {
+    const std::uint64_t ref = sorted_reference(values, p);
+    const std::uint64_t got = h.quantile(p);
+    EXPECT_GE(got, ref) << "p=" << p;
+    EXPECT_LE(got, ref + ref / LogHistogram::kSubBuckets + 1) << "p=" << p;
+  }
+}
+
+TEST(LogHistogramTest, QuantileWithinBoundOfSortedReference) {
+  Xoshiro256 rng(4242);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{7}, std::size_t{100},
+                              std::size_t{5000}}) {
+    LogHistogram h;
+    std::vector<std::uint64_t> values;
+    values.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      // Mix magnitudes: small exact-range values through ~2^44.
+      const std::uint64_t v = rng.next() >> (20 + rng.next() % 44);
+      values.push_back(v);
+      h.add(v);
+    }
+    std::sort(values.begin(), values.end());
+    for (const double p : {0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+      const std::uint64_t ref = sorted_reference(values, p);
+      const std::uint64_t got = h.quantile(p);
+      // quantile() is conservative: >= the true order statistic, and over
+      // by at most one sub-bucket width (<= ref/32), clamped to max().
+      EXPECT_GE(got, ref) << "n=" << n << " p=" << p;
+      EXPECT_LE(got, ref + ref / LogHistogram::kSubBuckets + 1)
+          << "n=" << n << " p=" << p;
+      EXPECT_LE(got, h.max());
+    }
+  }
+}
+
+TEST(LogHistogramTest, MergeBitIdenticalToSequentialAdd) {
+  Xoshiro256 rng(909);
+  std::vector<std::uint64_t> stream;
+  for (int i = 0; i < 4000; ++i) stream.push_back(rng.next() >> (rng.next() % 50));
+
+  LogHistogram sequential;
+  for (const std::uint64_t v : stream) sequential.add(v);
+
+  // Any chunking and any merge order must reproduce the sequential result
+  // exactly (operator== compares every bucket).
+  for (const std::size_t chunks : {std::size_t{2}, std::size_t{3},
+                                   std::size_t{8}}) {
+    std::vector<LogHistogram> parts(chunks);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      parts[i % chunks].add(stream[i]);
+    }
+    LogHistogram forward;
+    for (const LogHistogram& part : parts) forward.merge(part);
+    LogHistogram backward;
+    for (std::size_t i = chunks; i-- > 0;) backward.merge(parts[i]);
+    EXPECT_TRUE(forward == sequential) << "chunks=" << chunks;
+    EXPECT_TRUE(backward == sequential) << "chunks=" << chunks;
+  }
+}
+
+TEST(LogHistogramTest, MergeWithEmptyIsIdentity) {
+  LogHistogram h;
+  h.add(std::uint64_t{17});
+  LogHistogram empty;
+  LogHistogram copy = h;
+  copy.merge(empty);
+  EXPECT_TRUE(copy == h);
+  empty.merge(h);
+  EXPECT_TRUE(empty == h);
+}
+
+TEST(LogHistogramTest, DoubleClampEdges) {
+  EXPECT_EQ(LogHistogram::clamp(std::nan("")), 0u);
+  EXPECT_EQ(LogHistogram::clamp(-3.0), 0u);
+  EXPECT_EQ(LogHistogram::clamp(0.0), 0u);
+  EXPECT_EQ(LogHistogram::clamp(0.4), 0u);
+  EXPECT_EQ(LogHistogram::clamp(0.5), 1u);
+  EXPECT_EQ(LogHistogram::clamp(7.0), 7u);
+  EXPECT_EQ(LogHistogram::clamp(1e30), ~std::uint64_t{0});
+  LogHistogram h;
+  h.add(2.49);
+  EXPECT_EQ(h.max(), 2u);
+}
+
+TEST(LogHistogramTest, ResetClearsEverything) {
+  LogHistogram h;
+  h.add(std::uint64_t{99});
+  h.reset();
+  EXPECT_TRUE(h == LogHistogram{});
 }
 
 }  // namespace

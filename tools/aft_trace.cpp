@@ -5,6 +5,8 @@
 //   aft_trace why <seq> <trace>     causal chain ending at <seq>
 //   aft_trace summary <trace>       event census + chain counts
 //   aft_trace latency <trace>       inject->detect->repair latencies
+//   aft_trace slo <trace>           rpc call latency quantiles + worst chain
+//   aft_trace timeline <trace> [w]  per-window event census (w ticks/window)
 //   aft_trace diff <a> <b>          structural diff (exit 1 on diff)
 //   aft_trace chrome <trace> [out]  Chrome trace-event JSON export
 //
@@ -28,6 +30,8 @@ int usage(std::ostream& out, int code) {
          "  why <seq> <trace>          causal chain from root to <seq>\n"
          "  summary <trace>            event census and chain counts\n"
          "  latency <trace>            inject->detect/repair latency stats\n"
+         "  slo <trace>                rpc call latency quantiles, worst chain\n"
+         "  timeline <trace> [window]  per-window event census\n"
          "  diff <a> <b>               compare two traces (exit 1 if differ)\n"
          "  chrome <trace> [out.json]  export for chrome://tracing\n";
   return code;
@@ -70,12 +74,33 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  if (cmd == "summary" || cmd == "latency") {
+  if (cmd == "summary" || cmd == "latency" || cmd == "slo") {
     if (argc != 3) return usage(std::cerr, 2);
     const auto trace = load_or_complain(argv[2]);
     if (!trace) return 2;
-    std::cout << (cmd == "summary" ? aft::tools::render_summary(*trace)
-                                   : aft::tools::render_latency(*trace));
+    std::cout << (cmd == "summary"   ? aft::tools::render_summary(*trace)
+                  : cmd == "latency" ? aft::tools::render_latency(*trace)
+                                     : aft::tools::render_slo(*trace));
+    return 0;
+  }
+
+  if (cmd == "timeline") {
+    if (argc != 3 && argc != 4) return usage(std::cerr, 2);
+    std::uint64_t window = 0;
+    if (argc == 4) {
+      const std::string_view w_arg = argv[3];
+      const auto [p, ec] =
+          std::from_chars(w_arg.data(), w_arg.data() + w_arg.size(), window);
+      if (ec != std::errc() || p != w_arg.data() + w_arg.size() ||
+          window == 0) {
+        std::cerr << "aft_trace: '" << w_arg
+                  << "' is not a window width in ticks\n";
+        return 2;
+      }
+    }
+    const auto trace = load_or_complain(argv[2]);
+    if (!trace) return 2;
+    std::cout << aft::tools::render_timeline(*trace, window);
     return 0;
   }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <map>
 #include <sstream>
 #include <unordered_map>
@@ -52,6 +53,8 @@ LatencyStats finalize(std::vector<std::uint64_t>& deltas) {
   s.mean = sum / static_cast<double>(deltas.size());
   s.p50 = deltas[(deltas.size() - 1) / 2];
   s.p95 = deltas[(deltas.size() - 1) * 95 / 100];
+  s.p99 = deltas[(deltas.size() - 1) * 99 / 100];
+  s.p999 = deltas[(deltas.size() - 1) * 999 / 1000];
   return s;
 }
 
@@ -60,7 +63,8 @@ void render_stats(std::ostringstream& out, std::string_view label,
   out << "  " << label << ": n=" << s.count;
   if (s.count > 0) {
     out << " min=" << s.min << " p50=" << s.p50 << " mean=" << s.mean
-        << " p95=" << s.p95 << " max=" << s.max;
+        << " p95=" << s.p95 << " p99=" << s.p99 << " p999=" << s.p999
+        << " max=" << s.max;
   }
   out << "\n";
 }
@@ -265,6 +269,11 @@ LatencyReport compute_latency(const Trace& trace) {
 
 std::string render_latency(const Trace& trace) {
   const LatencyReport report = compute_latency(trace);
+  if (report.inject_to_detect.count == 0 &&
+      report.inject_to_repair.count == 0 && report.orphan_detects == 0 &&
+      report.orphan_repairs == 0) {
+    return "no inject->detect chains found\n";
+  }
   std::ostringstream out;
   out << "latency (ticks, per causal chain, first hit each stage):\n";
   render_stats(out, "inject->detect", report.inject_to_detect);
@@ -272,6 +281,143 @@ std::string render_latency(const Trace& trace) {
   if (report.orphan_detects > 0 || report.orphan_repairs > 0) {
     out << "  unattributed: " << report.orphan_detects << " detections, "
         << report.orphan_repairs << " repairs (no inject ancestor)\n";
+  }
+  return out.str();
+}
+
+SloReport compute_slo(const Trace& trace) {
+  SloReport report;
+  std::vector<std::uint64_t> d_ok, d_fail, d_attempts;
+  // Fallback origin lookup for chains cut by the trace cap: the open
+  // "net.rpc/call" record per (endpoint, id).
+  std::map<std::pair<std::string, std::string>, const TraceEvent*> open_calls;
+  std::uint64_t worst_delta = 0;
+
+  for (const TraceEvent& e : trace.events) {
+    if (e.component != "net.rpc") continue;
+    if (e.event == "call") {
+      const std::string* endpoint = e.field("endpoint");
+      const std::string* id = e.field("id");
+      if (endpoint != nullptr && id != nullptr) {
+        open_calls[{*endpoint, *id}] = &e;
+      }
+      continue;
+    }
+    if (e.event != "done") continue;
+
+    // Walk the cause refs back to the chain's call record; the same walk
+    // `aft_trace why` renders.
+    const TraceEvent* call = nullptr;
+    for (const TraceEvent* link : causal_chain(trace, e.seq)) {
+      if (link->component == "net.rpc" && link->event == "call") {
+        call = link;
+        break;
+      }
+    }
+    if (call == nullptr) {
+      const std::string* endpoint = e.field("endpoint");
+      const std::string* id = e.field("id");
+      if (endpoint != nullptr && id != nullptr) {
+        const auto it = open_calls.find({*endpoint, *id});
+        if (it != open_calls.end()) call = it->second;
+      }
+    }
+    if (call == nullptr) continue;
+
+    const std::uint64_t delta = e.t >= call->t ? e.t - call->t : 0;
+    const std::string* status = e.field("status");
+    const bool ok = status != nullptr && *status == "ok";
+    (ok ? d_ok : d_fail).push_back(delta);
+    if (const std::string* attempts = e.field("attempts")) {
+      d_attempts.push_back(std::strtoull(attempts->c_str(), nullptr, 10));
+    }
+    if (!report.has_worst || delta > worst_delta) {
+      report.has_worst = true;
+      worst_delta = delta;
+      report.worst_seq = e.seq;
+    }
+  }
+
+  report.ok = finalize(d_ok);
+  report.fail = finalize(d_fail);
+  report.attempts = finalize(d_attempts);
+  return report;
+}
+
+std::string render_slo(const Trace& trace) {
+  const SloReport report = compute_slo(trace);
+  if (report.ok.count == 0 && report.fail.count == 0) {
+    return "no rpc call chains found\n";
+  }
+  std::ostringstream out;
+  out << "rpc call latency (ticks, call->done per causal chain):\n";
+  render_stats(out, "ok  ", report.ok);
+  render_stats(out, "fail", report.fail);
+  render_stats(out, "attempts/call", report.attempts);
+  if (report.has_worst) {
+    out << "\nworst chain (done seq " << report.worst_seq << "):\n";
+    out << render_why(trace, report.worst_seq);
+  }
+  return out.str();
+}
+
+std::string render_timeline(const Trace& trace, std::uint64_t window_ticks) {
+  if (trace.events.empty()) {
+    return "no events in trace (nothing to window)\n";
+  }
+  std::uint64_t t_min = trace.events.front().t;
+  std::uint64_t t_max = t_min;
+  for (const TraceEvent& e : trace.events) {
+    t_min = std::min(t_min, e.t);
+    t_max = std::max(t_max, e.t);
+  }
+  if (window_ticks == 0) {
+    window_ticks = std::max<std::uint64_t>(1, (t_max - t_min) / 40 + 1);
+  }
+
+  struct Row {
+    std::uint64_t total = 0;
+    std::uint64_t injects = 0;
+    std::uint64_t detects = 0;
+    std::uint64_t repairs = 0;
+  };
+  std::map<std::uint64_t, Row> rows;
+  for (const TraceEvent& e : trace.events) {
+    Row& row = rows[e.t / window_ticks];
+    ++row.total;
+    switch (classify(e)) {
+      case EventClass::kInject: ++row.injects; break;
+      case EventClass::kDetect: ++row.detects; break;
+      case EventClass::kRepair: ++row.repairs; break;
+      case EventClass::kOther: break;
+    }
+  }
+
+  std::uint64_t peak = 0;
+  for (const auto& [w, row] : rows) peak = std::max(peak, row.total);
+
+  std::ostringstream out;
+  out << "timeline (window=" << window_ticks << " ticks, " << rows.size()
+      << " non-empty windows):\n";
+  out << "window-start  events  inject  detect  repair\n";
+  for (const auto& [w, row] : rows) {
+    const std::string start = std::to_string(w * window_ticks);
+    out << start;
+    for (std::size_t pad = start.size(); pad < 14; ++pad) out << ' ';
+    const auto cell = [&out](std::uint64_t v) {
+      const std::string s = std::to_string(v);
+      out << s;
+      for (std::size_t pad = s.size(); pad < 8; ++pad) out << ' ';
+    };
+    cell(row.total);
+    cell(row.injects);
+    cell(row.detects);
+    cell(row.repairs);
+    // Scaled activity bar: at-a-glance shape of the run.
+    const std::size_t bar =
+        peak == 0 ? 0 : static_cast<std::size_t>(row.total * 32 / peak);
+    for (std::size_t i = 0; i < bar; ++i) out << '#';
+    out << "\n";
   }
   return out.str();
 }

@@ -47,6 +47,8 @@ struct LatencyStats {
   double mean = 0.0;
   std::uint64_t p50 = 0;
   std::uint64_t p95 = 0;
+  std::uint64_t p99 = 0;
+  std::uint64_t p999 = 0;
 };
 
 struct LatencyReport {
@@ -63,6 +65,29 @@ struct LatencyReport {
 /// long repair cascade doesn't swamp the distribution.
 [[nodiscard]] LatencyReport compute_latency(const Trace& trace);
 [[nodiscard]] std::string render_latency(const Trace& trace);
+
+/// `aft_trace slo`: per-call-chain RPC latency quantiles.
+struct SloReport {
+  LatencyStats ok;        ///< call->done latency, status == "ok"
+  LatencyStats fail;      ///< call->done latency, every other status
+  LatencyStats attempts;  ///< attempts per completed call
+  std::uint64_t worst_seq = 0;  ///< `done` seq of the slowest call
+  bool has_worst = false;
+};
+
+/// Pairs every "net.rpc/done" with the "net.rpc/call" at the origin of its
+/// causal chain (falling back to endpoint+id matching when the chain is
+/// cut) and aggregates call latency / attempt distributions.
+[[nodiscard]] SloReport compute_slo(const Trace& trace);
+/// The report rendered as text, with a `why`-style drill-down of the worst
+/// (slowest) chain.  Zero chains: "no rpc call chains found".
+[[nodiscard]] std::string render_slo(const Trace& trace);
+
+/// `aft_trace timeline`: per-window event census (total / inject / detect /
+/// repair counts per window of `window_ticks`; 0 picks a width that splits
+/// the trace's time range into ~40 windows).  Empty trace: a hint line.
+[[nodiscard]] std::string render_timeline(const Trace& trace,
+                                          std::uint64_t window_ticks = 0);
 
 struct DiffResult {
   bool identical = true;
