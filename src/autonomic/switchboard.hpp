@@ -62,6 +62,13 @@ class ReflectiveSwitchboard {
   /// shedding decision to the usual consecutive-high rule.
   void bind_slo(arch::EventBus& bus);
 
+  /// External disturbance notification — a symptom of the same rank as a
+  /// critically low dtof arriving from outside the voting plane (a cluster
+  /// membership eviction, a failed health probe): raises immediately when
+  /// below the ceiling and restarts the high-streak so redundancy is not
+  /// shed while the disturbance lingers.  `origin` labels the trace record.
+  void notify_disturbance(const char* origin);
+
   void set_resize_hook(ResizeHook hook) { hook_ = std::move(hook); }
 
   [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
@@ -70,6 +77,10 @@ class ReflectiveSwitchboard {
   /// Subset of raises() triggered by SLO breach notifications.
   [[nodiscard]] std::uint64_t slo_raises() const noexcept {
     return slo_raises_;
+  }
+  /// Subset of raises() triggered by notify_disturbance().
+  [[nodiscard]] std::uint64_t disturbance_raises() const noexcept {
+    return disturbance_raises_;
   }
   [[nodiscard]] std::uint64_t rounds_observed() const noexcept { return rounds_; }
   [[nodiscard]] std::uint64_t consecutive_high() const noexcept {
@@ -97,6 +108,7 @@ class ReflectiveSwitchboard {
   std::uint64_t raises_ = 0;
   std::uint64_t lowers_ = 0;
   std::uint64_t slo_raises_ = 0;
+  std::uint64_t disturbance_raises_ = 0;
   util::Histogram occupancy_;
 };
 

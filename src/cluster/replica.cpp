@@ -1,0 +1,343 @@
+#include "cluster/replica.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace aft::cluster {
+namespace {
+
+/// Ballots travel as decimal strings (the RPC plane carries opaque string
+/// payloads).  Anything unparsable keeps the slot's no-reply sentinel.
+vote::Ballot parse_ballot(const std::string& text, bool& ok) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  ok = end != text.c_str() && end != nullptr && *end == '\0' && errno == 0;
+  return static_cast<vote::Ballot>(value);
+}
+
+}  // namespace
+
+ReplicatedService::ReplicatedService(sim::Simulator& sim, ClusterParams params,
+                                     Task task, std::uint64_t seed)
+    : sim_(sim),
+      params_(std::move(params)),
+      task_(std::move(task)),
+      farm_(params_.policy.min_replicas,
+            [this](vote::Ballot, std::size_t slot) { return slot_ballot(slot); }),
+      board_(farm_, params_.policy, params_.shared_key),
+      membership_(sim, params_.membership),
+      ballot_disc_(params_.ballot_alpha) {
+  if (!task_) {
+    throw std::invalid_argument("ReplicatedService: null task");
+  }
+  if (params_.pool < params_.policy.min_replicas) {
+    throw std::invalid_argument(
+        "ReplicatedService: pool smaller than policy.min_replicas");
+  }
+  nodes_.reserve(params_.pool);
+  for (std::size_t i = 0; i < params_.pool; ++i) {
+    // 8 seeds of headroom per node: links draw 2, endpoints draw 2.
+    auto node = std::make_unique<Node>(sim_, "replica-" + std::to_string(i),
+                                       params_.wire, seed + 8 * i);
+    if (params_.breaker.has_value()) {
+      node->breaker.emplace(sim_, node->name + ".breaker", *params_.breaker);
+    }
+    node->replica.attach(node->to, node->from);
+    node->coord.attach(node->from, node->to);
+    node->replica.serve(
+        "compute", [this, i](const std::string& request, std::string& response) {
+          bool ok = false;
+          const vote::Ballot input = parse_ballot(request, ok);
+          if (!ok) return false;
+          response = std::to_string(task_(input, i));
+          return true;
+        });
+    node->coord.on_heartbeat([this, i](const std::string&) { on_beat(i); });
+    index_[node->name] = i;
+    nodes_.push_back(std::move(node));
+  }
+  // Post-mortem evidence join: a member-down record's cause is the last
+  // heartbeat frame the member's return wire ate, so `aft_trace why` walks
+  // a raise back to the physical loss.
+  membership_.set_down_evidence([this](const std::string& member) {
+    const auto it = index_.find(member);
+    if (it == index_.end()) return obs::kNoEvent;
+    return nodes_[it->second]->from.last_drop_event(net::FrameKind::kHeartbeat);
+  });
+  membership_.on_change([this](const std::string& member, bool up) {
+    on_member_change(member, up);
+  });
+  ballot_disc_.on_verdict_change(
+      [this](const std::string& channel, detect::FaultJudgment verdict) {
+        on_ballot_verdict(channel, verdict);
+      });
+}
+
+void ReplicatedService::start() {
+  if (started_) return;
+  started_ = true;
+  AFT_TRACE("cluster.coordinator", "start",
+            {{"pool", nodes_.size()}, {"arity", farm_.replicas()}});
+  for (const auto& node : nodes_) membership_.track(node->name);
+  for (const auto& node : nodes_) {
+    node->replica.start_heartbeats(params_.heartbeat_period);
+  }
+}
+
+bool ReplicatedService::eligible(std::size_t i) const {
+  const Node& node = *nodes_.at(i);
+  return !node.suspect && membership_.up(node.name);
+}
+
+std::size_t ReplicatedService::live_count() const {
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) n += eligible(i) ? 1u : 0u;
+  return n;
+}
+
+void ReplicatedService::invoke(vote::Ballot input, Done done) {
+  if (!started_) {
+    throw std::logic_error("ReplicatedService: invoke() before start()");
+  }
+  if (round_in_flight_) {
+    AFT_METRIC_ADD("cluster.rounds_queued", 1);
+    queue_.push_back(Pending{input, std::move(done)});
+    return;
+  }
+  begin_round(input, std::move(done));
+}
+
+void ReplicatedService::begin_round(vote::Ballot input, Done done) {
+  round_in_flight_ = true;
+  Round& r = round_;
+  r.id = ++round_seq_;
+  r.input = input;
+  r.done = std::move(done);
+  r.n = farm_.replicas();
+  r.ballots.clear();
+  for (std::size_t slot = 0; slot < r.n; ++slot) {
+    r.ballots.push_back(no_reply(slot));
+  }
+  // Assignment: the first n live pool members, in pool order.  Evicted and
+  // suspect replicas are skipped, so a degraded prefix is transparently
+  // substituted by spares ("substituted" rounds) and a cluster with fewer
+  // live members than the arity votes short (sentinels fill the gap).
+  r.assignment.clear();
+  for (std::size_t i = 0; i < nodes_.size() && r.assignment.size() < r.n; ++i) {
+    if (eligible(i)) r.assignment.push_back(i);
+  }
+  if (r.assignment.size() < r.n) ++counters_.short_rounds;
+  bool substituted = false;
+  for (std::size_t slot = 0; slot < r.assignment.size(); ++slot) {
+    if (r.assignment[slot] != slot) substituted = true;
+  }
+  if (substituted) ++counters_.substituted_rounds;
+  r.pending = r.assignment.size();
+  r.dispatching = true;
+  AFT_METRIC_ADD("cluster.rounds", 1);
+
+  // The round record is the chain origin of the whole fan-out: every
+  // per-replica net.rpc/call (and its wire hops) walks back to it.
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    const obs::EventId ev =
+        sink->emit("cluster.coordinator", "round",
+                   {{"round", r.id},
+                    {"arity", r.n},
+                    {"live", r.assignment.size()}});
+    if (ev != obs::kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(ev);
+      cause_installed = true;
+    }
+  } else {
+    obs::flight_note("cluster.coordinator", "round");
+  }
+#endif
+  const std::string payload = std::to_string(input);
+  for (std::size_t slot = 0; slot < r.assignment.size(); ++slot) {
+    const std::size_t node = r.assignment[slot];
+    net::CallOptions options = params_.call;
+    options.breaker = nodes_[node]->breaker.has_value()
+                          ? &*nodes_[node]->breaker
+                          : nullptr;
+    nodes_[node]->coord.call(
+        "compute", payload, options,
+        [this, round = r.id, slot, node](const net::RpcResult& result) {
+          on_reply(round, slot, node, result);
+        });
+  }
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
+  round_.dispatching = false;
+  if (round_.pending == 0) finalize_round();
+}
+
+void ReplicatedService::on_reply(std::uint64_t round, std::size_t slot,
+                                 [[maybe_unused]] std::size_t node,
+                                 const net::RpcResult& result) {
+  // A breaker rejection completes synchronously inside the fan-out loop; a
+  // round that died there must not resurrect on the stale replies of calls
+  // the loop kept placing.
+  if (!round_in_flight_ || round != round_.id) return;
+  if (result.status == net::RpcStatus::kOk) {
+    bool ok = false;
+    const vote::Ballot ballot = parse_ballot(result.payload, ok);
+    if (ok) {
+      round_.ballots[slot] = ballot;
+    } else {
+      ++counters_.rpc_failures;
+    }
+  } else {
+    ++counters_.rpc_failures;
+    AFT_TRACE("cluster.coordinator", "no-ballot",
+              {{"round", round},
+               {"replica", nodes_[node]->name},
+               {"status", net::to_string(result.status)}});
+  }
+  if (--round_.pending == 0 && !round_.dispatching) finalize_round();
+}
+
+vote::Ballot ReplicatedService::slot_ballot(std::size_t slot) const {
+  // The farm may have been raised mid-round (an eviction's disturbance
+  // resize): slots beyond what this round collected vote their sentinel.
+  if (round_in_flight_ && slot < round_.ballots.size()) {
+    return round_.ballots[slot];
+  }
+  return no_reply(slot);
+}
+
+void ReplicatedService::finalize_round() {
+  Round& r = round_;
+  ++counters_.rounds;
+  const vote::RoundReport report = farm_.invoke(r.input);
+  if (!report.success) {
+    ++counters_.no_quorum;
+    AFT_METRIC_ADD("cluster.no_quorum", 1);
+  }
+  if (report.dissent > 0) ++counters_.dissent_rounds;
+  AFT_TRACE("cluster.coordinator", "round-done",
+            {{"round", r.id},
+             {"arity", report.n},
+             {"success", report.success},
+             {"dissent", report.dissent},
+             {"distance", report.distance}});
+  // Vote-layer discrimination, real slots only: each assigned replica's
+  // agreement with the majority is one judgment round for its channel.
+  // Sentinel slots of replicas that never answered count as dissent — not
+  // answering a round it was assigned IS that replica's error.
+  if (report.success) {
+    for (std::size_t slot = 0; slot < r.assignment.size(); ++slot) {
+      const std::size_t node = r.assignment[slot];
+      const bool dissented =
+          slot >= r.ballots.size() || r.ballots[slot] != report.value;
+      ballot_disc_.record(nodes_[node]->name, dissented);
+    }
+  }
+  board_.observe(report);
+  round_in_flight_ = false;
+  Done done = std::move(r.done);
+  r.done = nullptr;
+  if (done) done(report);
+  // done() may have begun a new round synchronously; only drain the queue
+  // when the service is actually idle.
+  if (!round_in_flight_ && !queue_.empty()) {
+    Pending next = std::move(queue_.front());
+    queue_.pop_front();
+    begin_round(next.input, std::move(next.done));
+  }
+}
+
+void ReplicatedService::on_beat(std::size_t i) {
+  Node& node = *nodes_[i];
+  membership_.beat(node.name);
+  if (membership_.up(node.name)) return;
+  // Beats arriving from a down member are themselves the heal evidence:
+  // after enough of them, administratively reinstate it (the Sect. 3.2
+  // unit-replacement treatment, triggered by observation instead of an
+  // operator).
+  if (++node.resumed_beats >= params_.reinstate_after_beats) {
+    AFT_TRACE("cluster.replica", "auto-reinstate",
+              {{"replica", node.name}, {"beats", node.resumed_beats}});
+    membership_.reinstate(node.name);  // -> member-up -> on_member_change
+  }
+}
+
+void ReplicatedService::on_member_change(const std::string& member, bool up) {
+  const auto it = index_.find(member);
+  if (it == index_.end()) return;
+  Node& node = *nodes_[it->second];
+  node.resumed_beats = 0;
+  if (up) {
+    ++counters_.reinstatements;
+    AFT_METRIC_ADD("cluster.reinstatements", 1);
+    AFT_TRACE("cluster.replica", "rejoin", {{"replica", member}});
+    return;
+  }
+  ++counters_.evictions;
+  AFT_METRIC_ADD("cluster.evictions", 1);
+  // The evict record inherits the member-down verdict as its cause
+  // (installed by Membership during handler fan-out) and becomes, in turn,
+  // the cause of the disturbance/raise it pushes to the switchboard.
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    const obs::EventId ev =
+        sink->emit("cluster.replica", "evict", {{"replica", member}});
+    if (ev != obs::kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(ev);
+      cause_installed = true;
+    }
+  } else {
+    obs::flight_note("cluster.replica", "evict");
+  }
+#endif
+  board_.notify_disturbance("member-down");
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
+}
+
+void ReplicatedService::on_ballot_verdict(const std::string& channel,
+                                          detect::FaultJudgment verdict) {
+  const auto it = index_.find(channel);
+  if (it == index_.end()) return;
+  Node& node = *nodes_[it->second];
+  const bool now_suspect =
+      verdict == detect::FaultJudgment::kPermanentOrIntermittent;
+  if (now_suspect == node.suspect) return;
+  node.suspect = now_suspect;
+  if (now_suspect) {
+    ++counters_.suspects;
+    AFT_METRIC_ADD("cluster.suspects", 1);
+    AFT_TRACE("cluster.replica", "suspect", {{"replica", channel}});
+  } else {
+    ++counters_.cleared;
+    AFT_METRIC_ADD("cluster.cleared", 1);
+    AFT_TRACE("cluster.replica", "clear", {{"replica", channel}});
+  }
+}
+
+void ReplicatedService::repair(std::size_t i) {
+  Node& node = *nodes_.at(i);
+  AFT_TRACE("cluster.replica", "repair", {{"replica", node.name}});
+  // Unit replacement: fresh ballot evidence (the reset's verdict change
+  // clears the suspect flag via on_ballot_verdict) and, if the member was
+  // evicted, a membership reinstate.
+  ballot_disc_.reset_channel(node.name);
+  if (started_ && !membership_.up(node.name)) membership_.reinstate(node.name);
+}
+
+}  // namespace aft::cluster

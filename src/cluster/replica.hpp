@@ -1,0 +1,244 @@
+// A replicated service on the net substrate — ROADMAP item 2, the paper's
+// Sect. 3.3 autonomic-redundancy loop re-run at distributed-system scale.
+// Every piece already exists; this module only composes them:
+//
+//   pool        N replica nodes, each a net::Endpoint behind its own pair
+//               of faulty net::Links (coordinator->replica and back), so
+//               loss, partitions, and asymmetric degradation hit each
+//               replica independently.
+//   fan-out     invoke() sends one RPC per *live* replica; responses are
+//               collected as vote::Ballots (no-reply slots get per-slot
+//               sentinel ballots that can never form a majority).
+//   voting      the collected ballots feed a vote::VotingFarm round, so
+//               dtof and dissent are computed over network replicas; a
+//               second detect::FaultDiscriminator judges each replica's
+//               ballot stream and retires persistent dissenters
+//               ("suspect") until repair().
+//   liveness    replicas heartbeat the coordinator; net::Membership turns
+//               miss patterns into evict/reinstate transitions.  A member
+//               that resumes beating is auto-reinstated after
+//               `reinstate_after_beats` beats — arriving beats ARE the
+//               evidence the unit healed.
+//   adaptation  every round report flows into the
+//               autonomic::ReflectiveSwitchboard (dissent raises, calm
+//               lowers), and every eviction is pushed to it as an external
+//               disturbance (notify_disturbance) so redundancy grows the
+//               moment a replica is lost — not only after its absence
+//               shows up as dissent.
+//
+// Causality plane: an eviction's trace ancestry reads, root first,
+//   net.link/drop (the heartbeat the wire ate)
+//     -> net.membership/member-down (verdict transition)
+//       -> cluster.replica/evict
+//         -> autonomic.switchboard/disturbance -> raise
+// so `aft_trace why <raise>` explains a cluster-wide resize from the
+// physical frame loss that provoked it.
+//
+// Everything is driven by the deterministic sim kernel and seeded RNG
+// streams: a (seed, fault-model, schedule) triple reproduces an identical
+// cluster history, and campaign traces merge byte-identically for any
+// AFT_THREADS.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <limits>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "autonomic/switchboard.hpp"
+#include "detect/alpha_count.hpp"
+#include "detect/discriminator.hpp"
+#include "net/breaker.hpp"
+#include "net/endpoint.hpp"
+#include "net/link.hpp"
+#include "net/membership.hpp"
+#include "sim/simulator.hpp"
+#include "vote/voting_farm.hpp"
+
+namespace aft::cluster {
+
+/// Fault models of one replica's two wires.
+struct ReplicaWire {
+  net::LinkFaults to_replica{};    ///< coordinator -> replica direction
+  net::LinkFaults from_replica{};  ///< replica -> coordinator direction
+};
+
+struct ClusterParams {
+  /// Replica nodes provisioned.  The switchboard works the live subset:
+  /// keep pool >= policy.max_replicas so a raise always has spares.
+  std::size_t pool = 9;
+  /// Wire model every replica starts with; experiments degrade individual
+  /// links afterwards via link_to()/link_from() + set_faults()/partition().
+  ReplicaWire wire{};
+  autonomic::ReflectiveSwitchboard::Policy policy{};
+  /// Per-fan-out-call RPC options (deadline/retry).  `breaker` is ignored:
+  /// per-replica breakers are configured via `breaker` below.
+  net::CallOptions call{};
+  /// When set, each replica channel gets its own CircuitBreaker.
+  std::optional<net::CircuitBreaker::Params> breaker{};
+  sim::SimTime heartbeat_period = 4;
+  net::Membership::Params membership{};
+  /// Evidence filter judging each replica's *ballot* stream (dissent from
+  /// the majority = one error).  Latches like any alpha-count: a persistent
+  /// dissenter is retired until repair().
+  detect::AlphaCount::Params ballot_alpha{};
+  /// Beats a down member must deliver before it is auto-reinstated.
+  std::uint32_t reinstate_after_beats = 3;
+  /// Key authenticating switchboard resize commands.
+  std::uint64_t shared_key = 0xAF7C1;
+};
+
+/// Lifetime tallies of the coordinator's view of the cluster.
+struct ClusterCounters {
+  std::uint64_t rounds = 0;             ///< invoke() rounds completed
+  std::uint64_t no_quorum = 0;          ///< rounds without a majority
+  std::uint64_t dissent_rounds = 0;     ///< rounds with >= 1 dissenting ballot
+  std::uint64_t evictions = 0;          ///< member-down transitions
+  std::uint64_t reinstatements = 0;     ///< member-up transitions
+  std::uint64_t suspects = 0;           ///< ballot-verdict retirements
+  std::uint64_t cleared = 0;            ///< suspects cleared (repair)
+  std::uint64_t short_rounds = 0;       ///< rounds with fewer live replicas than arity
+  std::uint64_t substituted_rounds = 0; ///< rounds using non-prefix pool members
+  std::uint64_t rpc_failures = 0;       ///< fan-out calls that missed their ballot
+};
+
+class ReplicatedService {
+ public:
+  /// The replicated computation, same contract as vote::VotingFarm::Task:
+  /// a correct, undisturbed replica returns the same value for every
+  /// `replica` index; experiments make replicas diverge.
+  using Task = std::function<vote::Ballot(vote::Ballot input, std::size_t replica)>;
+  /// Completion callback of one invoke() round.
+  using Done = std::function<void(const vote::RoundReport&)>;
+
+  ReplicatedService(sim::Simulator& sim, ClusterParams params, Task task,
+                    std::uint64_t seed);
+
+  /// Registers all pool members with Membership and starts their
+  /// heartbeats.  Must be called (once) before invoke().
+  void start();
+
+  /// Runs one replicate-and-vote round over the live replica set.  Rounds
+  /// are strictly sequential: an invoke() while one is in flight is queued
+  /// and dispatched when the current round completes.
+  void invoke(vote::Ballot input, Done done = nullptr);
+
+  /// Administrative unit replacement (Sect. 3.2): clears replica `i`'s
+  /// ballot-stream evidence (un-suspecting it) and reinstates its
+  /// membership if it was down.
+  void repair(std::size_t i);
+
+  /// Replica `i` is live: membership-up and not a ballot suspect.
+  [[nodiscard]] bool eligible(std::size_t i) const;
+  [[nodiscard]] bool suspect(std::size_t i) const {
+    return nodes_.at(i)->suspect;
+  }
+  [[nodiscard]] const std::string& replica_name(std::size_t i) const {
+    return nodes_.at(i)->name;
+  }
+  [[nodiscard]] std::size_t pool() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t live_count() const;
+
+  /// The wires of replica `i`, for experiments to degrade/partition/heal.
+  [[nodiscard]] net::Link& link_to(std::size_t i) { return nodes_.at(i)->to; }
+  [[nodiscard]] net::Link& link_from(std::size_t i) {
+    return nodes_.at(i)->from;
+  }
+  /// Coordinator-side RPC tallies of replica `i`'s channel.
+  [[nodiscard]] const net::RpcCounters& rpc_counters(std::size_t i) const {
+    return nodes_.at(i)->coord.counters();
+  }
+
+  [[nodiscard]] net::Membership& membership() noexcept { return membership_; }
+  [[nodiscard]] autonomic::ReflectiveSwitchboard& switchboard() noexcept {
+    return board_;
+  }
+  [[nodiscard]] vote::VotingFarm& farm() noexcept { return farm_; }
+  [[nodiscard]] const ClusterCounters& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const detect::FaultDiscriminator& ballot_discriminator()
+      const noexcept {
+    return ballot_disc_;
+  }
+
+  /// The sentinel ballot slot `slot` reports when its replica never
+  /// answered.  Distinct per slot, so missing replicas can never
+  /// accidentally agree into a majority.
+  [[nodiscard]] static constexpr vote::Ballot no_reply(
+      std::size_t slot) noexcept {
+    return std::numeric_limits<vote::Ballot>::min() +
+           static_cast<vote::Ballot>(slot);
+  }
+
+ private:
+  /// One replica node plus the coordinator's private channel to it.
+  struct Node {
+    Node(sim::Simulator& sim, std::string node_name, const ReplicaWire& wire,
+         std::uint64_t seed)
+        : name(std::move(node_name)),
+          to(sim, "coord->" + name, wire.to_replica, seed),
+          from(sim, name + "->coord", wire.from_replica, seed + 1),
+          replica(sim, name, seed + 2),
+          coord(sim, "coord:" + name, seed + 3) {}
+
+    std::string name;
+    net::Link to;    ///< coordinator -> replica
+    net::Link from;  ///< replica -> coordinator
+    net::Endpoint replica;  ///< replica side: serves "compute", beats
+    net::Endpoint coord;    ///< coordinator side: fans out calls
+    std::optional<net::CircuitBreaker> breaker;
+    bool suspect = false;          ///< retired by the ballot discriminator
+    std::uint32_t resumed_beats = 0;  ///< beats received while down
+  };
+
+  struct Pending {
+    vote::Ballot input = 0;
+    Done done;
+  };
+
+  /// One fan-out round in flight.
+  struct Round {
+    std::uint64_t id = 0;
+    vote::Ballot input = 0;
+    Done done;
+    std::size_t n = 0;         ///< farm arity when the round started
+    std::vector<vote::Ballot> ballots;    ///< per slot, sentinel-prefilled
+    std::vector<std::size_t> assignment;  ///< slot -> pool index
+    std::size_t pending = 0;   ///< replies still outstanding
+    bool dispatching = false;  ///< fan-out loop still placing calls
+  };
+
+  void begin_round(vote::Ballot input, Done done);
+  void on_reply(std::uint64_t round, std::size_t slot, std::size_t node,
+                const net::RpcResult& result);
+  void finalize_round();
+  void on_beat(std::size_t i);
+  void on_member_change(const std::string& member, bool up);
+  void on_ballot_verdict(const std::string& channel,
+                         detect::FaultJudgment verdict);
+  [[nodiscard]] vote::Ballot slot_ballot(std::size_t slot) const;
+
+  sim::Simulator& sim_;
+  ClusterParams params_;
+  Task task_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::map<std::string, std::size_t> index_;  ///< replica name -> pool index
+  vote::VotingFarm farm_;
+  autonomic::ReflectiveSwitchboard board_;
+  net::Membership membership_;
+  detect::FaultDiscriminator ballot_disc_;
+  Round round_;
+  bool round_in_flight_ = false;
+  std::deque<Pending> queue_;
+  std::uint64_t round_seq_ = 0;
+  bool started_ = false;
+  ClusterCounters counters_;
+};
+
+}  // namespace aft::cluster

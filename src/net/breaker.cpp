@@ -22,14 +22,17 @@ CircuitBreaker::CircuitBreaker(sim::Simulator& sim, std::string name,
       params_(params),
       alpha_(params.alpha) {}
 
-bool CircuitBreaker::allow() {
+bool CircuitBreaker::allow(ProbeToken* probe) {
+  if (probe != nullptr) *probe = kNotAProbe;
   switch (state_) {
     case State::kClosed:
       return true;
     case State::kOpen:
       if (sim_.now() >= opened_at_ + params_.cooldown) {
         state_ = State::kHalfOpen;
+        ++probe_episode_;
         probes_in_flight_ = 1;  // this caller takes the first probe slot
+        if (probe != nullptr) *probe = probe_episode_;
         AFT_TRACE("net.breaker", "half-open", {{"breaker", name_}});
         return true;
       }
@@ -39,6 +42,7 @@ bool CircuitBreaker::allow() {
     case State::kHalfOpen:
       if (probes_in_flight_ < params_.probes) {
         ++probes_in_flight_;
+        if (probe != nullptr) *probe = probe_episode_;
         return true;
       }
       ++rejected_;
@@ -48,8 +52,14 @@ bool CircuitBreaker::allow() {
   return false;
 }
 
-void CircuitBreaker::record(bool success) {
-  if (state_ == State::kHalfOpen && probes_in_flight_ > 0) {
+void CircuitBreaker::record(bool success, ProbeToken probe) {
+  // Only a completion holding the *current* episode's token releases a
+  // probe slot.  Stragglers from calls admitted while closed (or probes of
+  // an earlier, abandoned half-open episode) would otherwise free slots
+  // they never took, letting more than params_.probes concurrent probes
+  // through.
+  if (state_ == State::kHalfOpen && probe == probe_episode_ &&
+      probe != kNotAProbe && probes_in_flight_ > 0) {
     --probes_in_flight_;
   }
   alpha_.record(!success);

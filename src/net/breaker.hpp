@@ -42,14 +42,26 @@ class CircuitBreaker {
     std::uint32_t probes = 1;
   };
 
+  /// Identity of a half-open probe admission, to be echoed back to the
+  /// matching record().  kNotAProbe marks calls admitted while closed (or
+  /// before this breaker existed); any other value names the half-open
+  /// episode whose slot the call holds.
+  using ProbeToken = std::uint64_t;
+  static constexpr ProbeToken kNotAProbe = 0;
+
   CircuitBreaker(sim::Simulator& sim, std::string name, Params params);
 
-  /// Asks to place one call.  True admits it (and, half-open, consumes a
-  /// probe slot the matching record() releases); false = fail fast.
-  [[nodiscard]] bool allow();
+  /// Asks to place one call.  True admits it; false = fail fast.  When
+  /// `probe` is non-null it receives the admission's ProbeToken (kNotAProbe
+  /// unless the call was admitted as a half-open probe); pass it back to
+  /// record() so only genuine probes release probe slots.
+  [[nodiscard]] bool allow(ProbeToken* probe = nullptr);
 
-  /// Reports one admitted call's outcome.
-  void record(bool success);
+  /// Reports one admitted call's outcome.  `probe` must be the token the
+  /// admitting allow() produced: a straggler from a call admitted while
+  /// closed completes with kNotAProbe and cannot free a probe slot it never
+  /// took.
+  void record(bool success, ProbeToken probe = kNotAProbe);
 
   [[nodiscard]] State state() const noexcept { return state_; }
   [[nodiscard]] double score() const noexcept { return alpha_.score(); }
@@ -69,6 +81,10 @@ class CircuitBreaker {
   State state_ = State::kClosed;
   sim::SimTime opened_at_ = 0;
   std::uint32_t probes_in_flight_ = 0;
+  /// Current half-open episode (== the token handed to its probes).  Bumped
+  /// on every open -> half-open transition, so probes from an abandoned
+  /// episode cannot release slots in a later one.  Starts past kNotAProbe.
+  ProbeToken probe_episode_ = kNotAProbe;
   std::uint64_t opens_ = 0;
   std::uint64_t closes_ = 0;
   std::uint64_t rejected_ = 0;

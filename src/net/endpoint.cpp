@@ -76,13 +76,15 @@ void Endpoint::call(const std::string& method, const std::string& payload,
 
 void Endpoint::start_attempt(std::uint64_t id) {
   Call& c = calls_.at(id);
-  if (c.options.breaker != nullptr && !c.options.breaker->allow()) {
+  c.probe = CircuitBreaker::kNotAProbe;
+  if (c.options.breaker != nullptr && !c.options.breaker->allow(&c.probe)) {
     AFT_TRACE("net.rpc", "rejected",
               {{"endpoint", name_}, {"id", id}, {"attempt", c.attempt + 1}});
     finish(id, RpcStatus::kCircuitOpen, {});
     return;
   }
   ++c.attempt;
+  c.failed = false;
   ++counters_.attempts;
   AFT_METRIC_ADD("net.rpc.attempts", 1);
   AFT_TRACE("net.rpc", "attempt",
@@ -117,7 +119,14 @@ void Endpoint::attempt_timed_out(std::uint64_t id, std::uint32_t attempt) {
 void Endpoint::attempt_failed(std::uint64_t id,
                               [[maybe_unused]] const char* reason) {
   Call& c = calls_.at(id);
-  if (c.options.breaker != nullptr) c.options.breaker->record(false);
+  // One failure per attempt: an app-error response leaves the attempt's
+  // deadline timer armed, and a duplicated failing response can arrive
+  // twice — either would fail the same attempt again during the backoff,
+  // double-counting breaker/failure evidence and possibly finishing the
+  // call while its retry is scheduled.
+  if (c.failed) return;
+  c.failed = true;
+  if (c.options.breaker != nullptr) c.options.breaker->record(false, c.probe);
   ++counters_.attempt_failures;
   AFT_METRIC_ADD("net.rpc.attempt_failures", 1);
   AFT_TRACE("net.rpc", "attempt-failed",
@@ -170,12 +179,20 @@ void Endpoint::finish(std::uint64_t id, RpcStatus status,
   result.attempts = c.attempt;
   result.elapsed = sim_.now() - c.started;
   // Tail-latency evidence (the "quantiles" JSON export): call latency split
-  // by outcome, plus the attempt count distribution.
-  AFT_METRIC_OBSERVE(status == RpcStatus::kOk ? "net.rpc.latency.ok"
-                                              : "net.rpc.latency.fail",
-                     static_cast<double>(result.elapsed));
-  AFT_METRIC_OBSERVE("net.rpc.attempts_per_call",
-                     static_cast<double>(c.attempt));
+  // by outcome, plus the attempt count distribution.  Breaker rejections
+  // complete with zero wire attempts and near-zero elapsed — folding them
+  // into latency.fail would drag its quantiles toward zero, so they get
+  // their own stat and stay out of attempts_per_call.
+  if (status == RpcStatus::kCircuitOpen) {
+    AFT_METRIC_OBSERVE("net.rpc.latency.rejected",
+                       static_cast<double>(result.elapsed));
+  } else {
+    AFT_METRIC_OBSERVE(status == RpcStatus::kOk ? "net.rpc.latency.ok"
+                                                : "net.rpc.latency.fail",
+                       static_cast<double>(result.elapsed));
+    AFT_METRIC_OBSERVE("net.rpc.attempts_per_call",
+                       static_cast<double>(c.attempt));
+  }
   // The entry is already extracted: a callback that re-enters call() (or
   // even retries the same workload) cannot invalidate this completion.
   if (c.callback) c.callback(result);
@@ -234,7 +251,7 @@ void Endpoint::handle_response(Frame&& frame) {
     return;
   }
   if (it->second.options.breaker != nullptr && frame.ok) {
-    it->second.options.breaker->record(true);
+    it->second.options.breaker->record(true, it->second.probe);
   }
   if (frame.ok) {
     finish(frame.id, RpcStatus::kOk, std::move(frame.payload));

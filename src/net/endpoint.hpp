@@ -132,6 +132,14 @@ class Endpoint {
     Callback callback;
     std::uint32_t attempt = 0;  ///< current attempt number (1-based)
     sim::SimTime started = 0;
+    /// The current attempt already failed and its retry is pending.  The
+    /// attempt number alone cannot epoch-guard this window: an app-error
+    /// failure leaves the attempt's deadline timer armed, and if it fires
+    /// during the backoff `attempt` still matches.
+    bool failed = false;
+    /// Breaker admission token of the current attempt (kNotAProbe when the
+    /// call has no breaker or was not admitted as a half-open probe).
+    CircuitBreaker::ProbeToken probe = CircuitBreaker::kNotAProbe;
   };
 
   void receive(Frame&& frame);

@@ -25,6 +25,27 @@ Link::Link(sim::Simulator& sim, std::string name, LinkFaults faults,
   }
 }
 
+void Link::note_drop([[maybe_unused]] const Frame& frame,
+                     [[maybe_unused]] const char* reason) {
+  ++counters_.dropped;
+  AFT_METRIC_ADD("net.link.dropped", 1);
+#if !defined(AFT_OBS_DISABLED)
+  // Manual emit (not AFT_TRACE) so the record's id can be remembered: a
+  // later member-down verdict joins back to the exact frame the wire ate.
+  if (obs::TraceSink* const sink = obs::trace(); sink != nullptr) {
+    const obs::EventId id = sink->emit("net.link", "drop",
+                                       {{"link", name_},
+                                        {"kind", to_string(frame.kind)},
+                                        {"reason", reason}});
+    if (id != obs::kNoEvent) {
+      last_drop_[static_cast<std::size_t>(frame.kind)] = id;
+    }
+  } else {
+    obs::flight_note("net.link", "drop");
+  }
+#endif
+}
+
 sim::SimTime Link::draw_delay() {
   sim::SimTime delay = faults_.latency;
   if (faults_.jitter > 0) delay += rng_.uniform_int(0, faults_.jitter);
@@ -41,22 +62,12 @@ sim::SimTime Link::draw_delay() {
 bool Link::send(Frame frame) {
   ++counters_.sent;
   if (partitioned_) {
-    ++counters_.dropped;
     ++counters_.partition_drops;
-    AFT_METRIC_ADD("net.link.dropped", 1);
-    AFT_TRACE("net.link", "drop",
-              {{"link", name_},
-               {"kind", to_string(frame.kind)},
-               {"reason", "partition"}});
+    note_drop(frame, "partition");
     return false;
   }
   if (faults_.drop > 0.0 && rng_.bernoulli(faults_.drop)) {
-    ++counters_.dropped;
-    AFT_METRIC_ADD("net.link.dropped", 1);
-    AFT_TRACE("net.link", "drop",
-              {{"link", name_},
-               {"kind", to_string(frame.kind)},
-               {"reason", "loss"}});
+    note_drop(frame, "loss");
     return false;
   }
   AFT_METRIC_ADD("net.link.sent", 1);
@@ -118,12 +129,7 @@ void Link::deliver(std::uint32_t slot) {
   Frame& frame = pool_[slot];
   --in_flight_;
   if (!receiver_) {
-    ++counters_.dropped;
-    AFT_METRIC_ADD("net.link.dropped", 1);
-    AFT_TRACE("net.link", "drop",
-              {{"link", name_},
-               {"kind", to_string(frame.kind)},
-               {"reason", "no-receiver"}});
+    note_drop(frame, "no-receiver");
     pool_.release(slot);
     return;
   }

@@ -31,11 +31,13 @@
 // kernel's 64-byte allocation-free inline budget.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <string>
 
 #include "net/frame.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "util/pool.hpp"
 #include "util/rng.hpp"
@@ -99,6 +101,15 @@ class Link {
   [[nodiscard]] const LinkCounters& counters() const noexcept {
     return counters_;
   }
+  /// Trace id of this link's most recent "drop" record for frames of
+  /// `kind` (loss, partition swallow, or no-receiver), obs::kNoEvent when
+  /// none was recorded (including all obs-disabled builds).  Post-mortem
+  /// evidence join: net::Membership's down-evidence hook points a
+  /// member-down verdict at the heartbeat frame the wire actually ate, so
+  /// `aft_trace why` walks a switchboard raise back to the physical loss.
+  [[nodiscard]] obs::EventId last_drop_event(FrameKind kind) const noexcept {
+    return last_drop_[static_cast<std::size_t>(kind)];
+  }
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] const LinkFaults& faults() const noexcept { return faults_; }
   /// Frames scheduled but not yet handed to the receiver.
@@ -106,6 +117,9 @@ class Link {
 
  private:
   void deliver(std::uint32_t slot);
+  /// Emits the drop trace record (counting it in the metrics plane) and
+  /// remembers its id for last_drop_event().
+  void note_drop(const Frame& frame, const char* reason);
   /// One copy's delay: jitter then reorder holdback, in that draw order.
   [[nodiscard]] sim::SimTime draw_delay();
 
@@ -121,6 +135,9 @@ class Link {
   /// pool is warm.
   util::SlotPool<Frame> pool_;
   LinkCounters counters_;
+  /// Most recent drop record per FrameKind (indexed by the enum value).
+  std::array<obs::EventId, 4> last_drop_{obs::kNoEvent, obs::kNoEvent,
+                                         obs::kNoEvent, obs::kNoEvent};
 };
 
 }  // namespace aft::net

@@ -44,6 +44,10 @@ void Membership::on_change(ChangeHandler handler) {
   handlers_.push_back(std::move(handler));
 }
 
+void Membership::set_down_evidence(EvidenceProvider provider) {
+  down_evidence_ = std::move(provider);
+}
+
 bool Membership::up(const std::string& member) const {
   const auto it = members_.find(member);
   return it != members_.end() && it->second;
@@ -69,13 +73,41 @@ void Membership::verdict_changed(const std::string& member,
     ++downs_;
     AFT_METRIC_ADD("net.membership.downs", 1);
   }
-  AFT_TRACE("net.membership", now_up ? "member-up" : "member-down",
-            {{"member", member}});
+  // Manual emit rather than AFT_TRACE, for the causality plane: a
+  // member-down record's cause is joined to the physical evidence (the
+  // heartbeat frame the wire last ate, via the down_evidence_ hook), and
+  // the record itself becomes the current cause while change handlers run —
+  // so an evict/raise reaction walks back through the verdict to the drop.
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr) {
+    obs::EventId evidence = obs::kNoEvent;
+    if (!now_up && down_evidence_) evidence = down_evidence_(member);
+    const obs::EventId ambient = sink->cause();
+    if (evidence != obs::kNoEvent) sink->set_cause(evidence);
+    const obs::EventId ev = sink->emit(
+        "net.membership", now_up ? "member-up" : "member-down",
+        {{"member", member}});
+    if (evidence != obs::kNoEvent) sink->set_cause(ambient);
+    if (ev != obs::kNoEvent) {
+      prev_cause = sink->cause();
+      sink->set_cause(ev);
+      cause_installed = true;
+    }
+  } else {
+    obs::flight_note("net.membership", now_up ? "member-up" : "member-down");
+  }
+#endif
   // Index loop: a change handler may subscribe further handlers
   // re-entrantly (same hazard the discriminator fix covers).
   for (std::size_t i = 0; i < handlers_.size(); ++i) {
     handlers_[i](member, now_up);
   }
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
 }
 
 }  // namespace aft::net

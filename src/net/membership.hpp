@@ -24,6 +24,7 @@
 #include "detect/alpha_count.hpp"
 #include "detect/discriminator.hpp"
 #include "detect/heartbeat.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace aft::net {
@@ -40,6 +41,13 @@ class Membership {
   /// `on_change(member, up)` fires on every up/down transition.
   using ChangeHandler = std::function<void(const std::string&, bool)>;
 
+  /// Post-mortem evidence join for the trace plane: asked for the trace id
+  /// of the physical evidence behind a member going down (typically
+  /// Link::last_drop_event(kHeartbeat) on the member's return wire).
+  /// Return obs::kNoEvent to keep the detector-side ancestry.  Purely
+  /// observational — never consulted for the membership decision itself.
+  using EvidenceProvider = std::function<obs::EventId(const std::string&)>;
+
   Membership(sim::Simulator& sim, Params params);
 
   /// Registers `member` (initially up) and starts its heartbeat windows.
@@ -54,6 +62,13 @@ class Membership {
   void reinstate(const std::string& member);
 
   void on_change(ChangeHandler handler);
+
+  /// Installs the down-evidence hook (see EvidenceProvider).  The
+  /// member-down trace record's cause is taken from it, and the record is
+  /// installed as the current cause while change handlers run — so a
+  /// handler's reaction (evict, switchboard raise) chains back through the
+  /// verdict to the dropped frame.
+  void set_down_evidence(EvidenceProvider provider);
 
   [[nodiscard]] bool up(const std::string& member) const;
   [[nodiscard]] std::size_t up_count() const noexcept;
@@ -78,6 +93,7 @@ class Membership {
   detect::HeartbeatMonitor monitor_;
   std::map<std::string, bool> members_;  ///< member -> up
   std::vector<ChangeHandler> handlers_;
+  EvidenceProvider down_evidence_;
   std::uint64_t downs_ = 0;
   std::uint64_t ups_ = 0;
   std::uint64_t unknown_beats_ = 0;

@@ -50,8 +50,8 @@ void SloTracker::evaluate() {
   const std::uint64_t burn_permille =
       total_ == 0 ? 0
                   : over_ * 1000000u / (total_ * policy_.budget_permille);
-  const std::uint64_t over = over_;
-  const std::uint64_t total = total_;
+  [[maybe_unused]] const std::uint64_t over = over_;
+  [[maybe_unused]] const std::uint64_t total = total_;
   over_ = 0;
   total_ = 0;
   const bool breach = !breached_ && burn_permille >= policy_.burn_alert_permille;

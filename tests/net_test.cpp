@@ -5,7 +5,9 @@
 //
 // Everything asserts on plain counters (LinkCounters, RpcCounters, breaker
 // tallies), never on metrics or trace contents, so the whole file also runs
-// under -DAFT_OBS=OFF.
+// under -DAFT_OBS=OFF.  One exception: the breaker-rejection quantile
+// regression is about metric routing itself, so it is compiled only when
+// obs is on.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -25,6 +27,11 @@
 #include "net/retry.hpp"
 #include "sim/simulator.hpp"
 #include "util/rng.hpp"
+
+#if !defined(AFT_OBS_DISABLED)
+#include "obs/metrics.hpp"
+#include "obs/obs.hpp"
+#endif
 
 namespace {
 
@@ -299,17 +306,92 @@ TEST(BreakerTest, LifecycleClosedOpenHalfOpenClosed) {
   EXPECT_FALSE(breaker.allow());
 
   // Sustained probe successes decay the evidence below the low threshold.
+  // Each probe completion hands back its own token — only that releases
+  // the probe slot for the next one.
   sim.advance_to(20);
   int probes = 0;
   while (breaker.state() != CircuitBreaker::State::kClosed && probes < 32) {
-    ASSERT_TRUE(breaker.allow());
-    breaker.record(true);
+    CircuitBreaker::ProbeToken token = CircuitBreaker::kNotAProbe;
+    ASSERT_TRUE(breaker.allow(&token));
+    EXPECT_NE(token, CircuitBreaker::kNotAProbe);
+    breaker.record(true, token);
     ++probes;
   }
   EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
   EXPECT_GT(probes, 1);  // one good probe is not enough
   EXPECT_EQ(breaker.closes(), 1u);
   EXPECT_TRUE(breaker.allow());
+}
+
+TEST(BreakerTest, StragglerFromClosedStateDoesNotFreeAProbeSlot) {
+  // Regression: record() used to decrement the half-open probe budget for
+  // *any* completion.  A call admitted while the breaker was still closed
+  // could straggle in after the open -> half-open transition and free a
+  // probe slot it never took, letting two probes fly where the budget
+  // allows one.
+  Simulator sim;
+  CircuitBreaker::Params params;
+  params.cooldown = 10;
+  params.probes = 1;
+  CircuitBreaker breaker(sim, "to-b", params);
+
+  // A call admitted while closed: no probe token.
+  CircuitBreaker::ProbeToken straggler = 99;
+  ASSERT_TRUE(breaker.allow(&straggler));
+  EXPECT_EQ(straggler, CircuitBreaker::kNotAProbe);
+
+  // Four other calls fail and open the breaker; cooldown elapses.
+  for (int i = 0; i < 4; ++i) breaker.record(false);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  sim.advance_to(10);
+
+  // The first caller after cooldown takes the single probe slot.
+  CircuitBreaker::ProbeToken probe = CircuitBreaker::kNotAProbe;
+  ASSERT_TRUE(breaker.allow(&probe));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_NE(probe, CircuitBreaker::kNotAProbe);
+  EXPECT_FALSE(breaker.allow());  // budget spent
+
+  // The straggler finally completes.  Its success feeds the alpha-count as
+  // evidence, but it must NOT release the slot the real probe still holds.
+  breaker.record(true, straggler);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_FALSE(breaker.allow());  // used to pass: the slot was wrongly freed
+
+  // Only the probe's own completion frees the budget.
+  breaker.record(true, probe);
+  EXPECT_TRUE(breaker.allow(&probe));
+  EXPECT_NE(probe, CircuitBreaker::kNotAProbe);
+}
+
+TEST(BreakerTest, StaleProbeTokenFromEarlierEpisodeDoesNotFreeASlot) {
+  // A probe launched in one half-open episode may outlive it (the breaker
+  // re-opens, cools down, half-opens again).  Its late completion carries a
+  // token from the previous episode and must not free the new episode's
+  // slot.
+  Simulator sim;
+  CircuitBreaker::Params params;
+  params.cooldown = 10;
+  params.probes = 1;
+  CircuitBreaker breaker(sim, "to-b", params);
+  for (int i = 0; i < 4; ++i) breaker.record(false);
+  sim.advance_to(10);
+
+  CircuitBreaker::ProbeToken old_probe = CircuitBreaker::kNotAProbe;
+  ASSERT_TRUE(breaker.allow(&old_probe));
+  // A *different* in-flight attempt fails conclusively: back to open.
+  breaker.record(false);
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  sim.advance_to(20);
+
+  CircuitBreaker::ProbeToken new_probe = CircuitBreaker::kNotAProbe;
+  ASSERT_TRUE(breaker.allow(&new_probe));
+  ASSERT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+  EXPECT_NE(new_probe, old_probe);
+  EXPECT_FALSE(breaker.allow());
+
+  breaker.record(true, old_probe);  // the first episode's probe straggles in
+  EXPECT_FALSE(breaker.allow());    // the new episode's slot is still taken
 }
 
 // --- Endpoint RPC --------------------------------------------------------------
@@ -446,6 +528,32 @@ TEST(RpcTest, UnknownMethodIsAnAppErrorAndRetriesUntilExhausted) {
   EXPECT_EQ(w.client.counters().attempt_failures, 2u);
 }
 
+TEST(RpcTest, DeadlineFiringDuringBackoffDoesNotDoubleFailTheAttempt) {
+  // Regression: an app-error response fails the attempt early but used to
+  // leave its deadline timer armed.  With the retry backoff longer than the
+  // remaining deadline, the timer fired mid-backoff, saw the attempt
+  // counter unchanged (the epoch guard can't tell "still in flight" from
+  // "failed, awaiting retry"), and failed the same attempt a second time —
+  // double-counting breaker evidence and burning an extra attempt slot.
+  RpcWorld w;
+  CallOptions options;
+  options.deadline = 10;                   // timer armed for t=10
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff = 20;      // app error at t=2, retry at t=22
+  std::vector<RpcResult> results;
+  w.client.call("no-such-method", "x", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kExhausted);
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_EQ(w.server.counters().served, 2u);
+  // Exactly one failure per attempt.  The buggy path recorded three: the
+  // t=2 app error, the t=10 deadline re-fail of the same attempt, and the
+  // second attempt's app error.
+  EXPECT_EQ(w.client.counters().attempt_failures, 2u);
+}
+
 TEST(RpcTest, ResponsesForSupersededAttemptsAreStale) {
   // RTT (20) far exceeds the per-attempt deadline (5): both attempts time
   // out before their responses come back, and both responses must be
@@ -532,6 +640,54 @@ TEST(RpcTest, RepeatedTimeoutsOpenTheBreaker) {
   EXPECT_EQ(breaker.opens(), 1u);
   EXPECT_EQ(w.fwd.counters().sent, 4u);
 }
+
+#if !defined(AFT_OBS_DISABLED)
+TEST(RpcTest, BreakerRejectionsStayOutOfTheLatencyQuantiles) {
+  // Regression: finish() used to observe kCircuitOpen completions under
+  // net.rpc.latency.fail and net.rpc.attempts_per_call.  Rejections take
+  // zero ticks and zero attempts, so a burst of them dragged the failure
+  // quantiles (and the attempts histogram) toward zero exactly when the
+  // breaker was doing its job.  They now land in their own stat.
+  aft::obs::MetricsRegistry metrics;
+  const aft::obs::ScopedObs scope(nullptr, &metrics);
+
+  RpcWorld w;
+  w.fwd.partition();
+  CircuitBreaker::Params params;
+  params.cooldown = 1000;
+  CircuitBreaker breaker(w.sim, "to-server", params);
+  CallOptions options;
+  options.deadline = 5;
+  options.retry = RetryPolicy::none();
+  options.breaker = &breaker;
+
+  // Four timeouts open the breaker; the next three calls are rejections.
+  for (int i = 0; i < 7; ++i) {
+    w.client.call("echo", "x", options, nullptr);
+    w.sim.run_all();
+  }
+  EXPECT_EQ(w.client.counters().exhausted, 4u);
+  EXPECT_EQ(w.client.counters().circuit_open, 3u);
+
+  const aft::obs::Stat* fail = metrics.find_stat("net.rpc.latency.fail");
+  const aft::obs::Stat* attempts =
+      metrics.find_stat("net.rpc.attempts_per_call");
+  const aft::obs::Stat* rejected =
+      metrics.find_stat("net.rpc.latency.rejected");
+  ASSERT_NE(fail, nullptr);
+  ASSERT_NE(attempts, nullptr);
+  ASSERT_NE(rejected, nullptr);
+  // Only the four genuine failures feed the fail/attempts distributions...
+  EXPECT_EQ(fail->count(), 4u);
+  EXPECT_EQ(attempts->count(), 4u);
+  // ...so their minima reflect real calls (5-tick deadline, 1 attempt), not
+  // the 0-tick/0-attempt rejections that used to pollute them.
+  EXPECT_GE(fail->min(), 5.0);
+  EXPECT_GE(attempts->min(), 1.0);
+  // The rejections are still accounted for — under their own name.
+  EXPECT_EQ(rejected->count(), 3u);
+}
+#endif  // !defined(AFT_OBS_DISABLED)
 
 // --- BusBridge -----------------------------------------------------------------
 

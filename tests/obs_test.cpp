@@ -215,7 +215,7 @@ TEST(MetricsRegistryTest, EmptyStatOmitsMinMaxInJson) {
   // registration) but never fed must not export RunningStats' 0.0
   // placeholder as if it were a real extreme.
   MetricsRegistry reg;
-  reg.stat("registered.but.empty");
+  static_cast<void>(reg.stat("registered.but.empty"));
   const std::string json = reg.json();
   EXPECT_NE(
       json.find(R"("registered.but.empty":{"count":0,"mean":0,"stddev":0})"),
