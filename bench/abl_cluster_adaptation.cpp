@@ -163,7 +163,8 @@ Outcome run(const EnvCase& env, std::uint64_t seed) {
 
   service.start();
 
-  auto on_round = [&out](const aft::vote::RoundReport& report) {
+  auto on_round = [&out](aft::cluster::InvokeOutcome,
+                         const aft::vote::RoundReport& report) {
     ++out.rounds;
     if (!report.success) ++out.no_quorum;
     if (report.dissent > 0) ++out.dissent_rounds;

@@ -1,0 +1,337 @@
+// Ablation: open-system traffic — deterministic client populations driving
+// the replicated service through its front door, with and without admission
+// control (ROADMAP item 1).
+//
+// Every prior harness is closed-loop: a figure script issues the next round
+// when the previous one finishes, so the service can never be *offered*
+// more than it can do.  De Florio's treatment of assumption failures is
+// about open systems — load arrives on its own clock, and the "the service
+// keeps up" assumption fails exactly when arrivals outpace the sequential
+// round rate.  This bench offers each arrival×policy cell the same 20/60/20
+// warm/overload/recovery client schedule and reports what the admission
+// plane buys: with a bounded invoke queue the overload-phase p999 stays at
+// queue-depth scale and the excess surfaces as *sheds* (a distinct
+// client-visible outcome, not a timeout); the no-admission baseline lets
+// the queue grow without bound and every overload client burns its full
+// deadline — the p999 collapse the admission rows avoid.
+//
+// Sheds feed the latency SLO at the full call deadline, so overload also
+// drives the SloTracker -> "obs.slo/breach" -> ReflectiveSwitchboard raise
+// loop — the autonomic plane reacts to *load* exactly as it reacts to value
+// faults and slow wires in the sibling benches.
+//
+// Scale: AFT_TRAFFIC_CLIENTS logical clients per cell (default 100000);
+// active sessions are pooled, so the run costs the concurrency high-water
+// mark, not the client count.  Per-job Simulator/RNG, so the campaign fans
+// out over AFT_THREADS with bit-identical output, and the whole matrix is
+// byte-identical for any thread count.
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/event_bus.hpp"
+#include "bench_util.hpp"
+#include "cluster/replica.hpp"
+#include "load/traffic.hpp"
+#include "net/link.hpp"
+#include "obs/cli.hpp"
+#include "obs/obs.hpp"
+#include "obs/slo.hpp"
+#include "sim/simulator.hpp"
+#include "util/campaign.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using aft::cluster::ClusterParams;
+using aft::cluster::ReplicatedService;
+using aft::cluster::ShedPolicy;
+using aft::load::Arrival;
+using aft::load::ClientPopulation;
+using aft::load::PhaseStats;
+using aft::load::TrafficParams;
+using aft::net::LinkFaults;
+
+/// Bounded invoke queue for the admission rows; 0 = no admission (baseline).
+constexpr std::size_t kQueueLimit = 64;
+constexpr std::uint64_t kTimelineWindow = 20000;
+
+std::size_t traffic_clients() {
+  const char* env = std::getenv("AFT_TRAFFIC_CLIENTS");
+  if (env != nullptr && env[0] != '\0') {
+    const unsigned long long parsed = std::strtoull(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return 100000;
+}
+
+struct EnvCase {
+  const char* name;
+  Arrival arrival;
+  /// 0 disables admission control entirely (the baseline row).
+  std::size_t queue_limit;
+  ShedPolicy policy;
+};
+
+std::vector<EnvCase> environments() {
+  std::vector<EnvCase> out;
+  const Arrival arrivals[] = {Arrival::kPoisson, Arrival::kBursty,
+                              Arrival::kDiurnal};
+  const ShedPolicy policies[] = {ShedPolicy::kRejectNewest,
+                                 ShedPolicy::kRejectOldest,
+                                 ShedPolicy::kProbabilistic};
+  static std::vector<std::string> names;  // stable storage for c_str()
+  names.clear();
+  names.reserve(10);
+  for (const Arrival arrival : arrivals) {
+    for (const ShedPolicy policy : policies) {
+      names.emplace_back(std::string(to_string(arrival)) + "/" +
+                         aft::cluster::to_string(policy));
+      out.push_back({names.back().c_str(), arrival, kQueueLimit, policy});
+    }
+  }
+  names.emplace_back("poisson/no-admission");
+  out.push_back({names.back().c_str(), Arrival::kPoisson, 0,
+                 ShedPolicy::kRejectNewest});
+  return out;
+}
+
+LinkFaults quiet_wire() {
+  LinkFaults f;
+  f.latency = 2;
+  f.jitter = 1;
+  return f;
+}
+
+struct Outcome {
+  std::array<PhaseStats, ClientPopulation::kPhases> phases{};
+  std::uint64_t admitted = 0;
+  std::uint64_t shed = 0;
+  std::size_t queue_peak = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t breaches = 0;
+  std::uint64_t recoveries = 0;
+  std::uint64_t slo_raises = 0;
+  std::size_t peak_replicas = 0;
+  std::size_t peak_sessions = 0;
+};
+
+Outcome run(const EnvCase& env, std::size_t clients, std::uint64_t seed) {
+  aft::sim::Simulator sim;
+
+  ClusterParams params;
+  params.pool = 5;
+  params.wire.to_replica = quiet_wire();
+  params.wire.from_replica = quiet_wire();
+  params.policy.min_replicas = 3;
+  params.policy.max_replicas = 5;
+  params.policy.step = 2;
+  params.policy.lower_after = 1u << 20;  // overload never calms mid-run
+  params.call.deadline = 15;
+  params.call.retry.max_attempts = 2;
+  params.call.retry.initial_backoff = 4;
+  params.call.retry.max_backoff = 8;
+  params.heartbeat_period = 4;
+  params.membership.deadline = 10;
+  params.admission.queue_limit = env.queue_limit;
+  params.admission.policy = env.policy;
+
+  ReplicatedService service(
+      sim, params,
+      [](aft::vote::Ballot input, std::size_t) { return input * 2 + 1; },
+      seed);
+
+  // Sheds burn the SLO at the full client deadline, so sustained overload
+  // breaches within a window or two and the switchboard raises — load is
+  // just another disturbance to the autonomic plane.
+  aft::arch::EventBus bus;
+  service.switchboard().bind_slo(bus);
+  aft::obs::SloPolicy slo;
+  slo.budget_permille = 100;
+  slo.threshold_ticks = 400;
+  slo.window_ticks = 4000;
+  aft::obs::SloTracker tracker("traffic-invoke", slo);
+  tracker.set_publisher([&bus](bool breach) {
+    aft::arch::Message msg;
+    msg.topic = breach ? "obs.slo/breach" : "obs.slo/recover";
+    msg.source = "obs.slo";
+    msg.payload = "traffic-invoke";
+    bus.publish(msg);
+  });
+
+  Outcome out;
+  out.peak_replicas = service.farm().replicas();
+  service.switchboard().set_resize_hook(
+      [&out](std::size_t replicas, bool) {
+        out.peak_replicas = std::max(out.peak_replicas, replicas);
+      });
+
+#if !defined(AFT_OBS_DISABLED)
+  // Windowed series: offered load, queue depth, and sheds on one time
+  // axis — cause, pressure, and relief valve for `aft_trace timeline`.
+  if (auto* reg = aft::obs::metrics()) {
+    reg->timeline("net.rpc.latency.ok", kTimelineWindow);
+    reg->timeline_counter("load.requests", kTimelineWindow);
+    reg->timeline_counter("cluster.admission.shed", kTimelineWindow);
+    reg->timeline_gauge("cluster.admission.queue_depth", kTimelineWindow);
+  }
+#endif
+
+  TrafficParams traffic;
+  traffic.clients = clients;
+  traffic.arrival = env.arrival;
+  traffic.warm_gap = 24.0;
+  traffic.overload_gap = 4.0;
+  traffic.recovery_gap = 24.0;
+  // Open-system calls: one attempt, generous deadline.  A queued request
+  // that waits out the bounded queue still completes far inside it; only
+  // the unbounded baseline makes clients burn the whole budget.
+  traffic.call.deadline = 5000;
+  traffic.call.retry.max_attempts = 1;
+  traffic.slo = &tracker;
+  ClientPopulation population(sim, service, traffic, seed + 100);
+
+  service.start();
+  population.start();
+  // Heartbeats re-arm forever, so drain by population completion, not by
+  // queue exhaustion.
+  while (!population.done() && sim.step()) {
+  }
+  tracker.flush(sim.now());
+
+  for (std::size_t p = 0; p < ClientPopulation::kPhases; ++p) {
+    out.phases[p] = population.phase(p);
+  }
+  out.admitted = service.counters().admitted;
+  out.shed = service.counters().shed;
+  out.queue_peak = service.counters().queue_peak;
+  out.rounds = service.counters().rounds;
+  out.breaches = tracker.breaches();
+  out.recoveries = tracker.recoveries();
+  out.slo_raises = service.switchboard().slo_raises();
+  out.peak_sessions = population.peak_sessions();
+  return out;
+}
+
+std::string shed_frac(const PhaseStats& p) {
+  if (p.requests == 0) return "0%";
+  const double frac =
+      static_cast<double>(p.shed) / static_cast<double>(p.requests);
+  return aft::bench::json_number(frac * 100) + "%";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aft::obs::ObsCli obs(argc, argv);
+  AFT_SPAN("bench", "abl_open_loop");
+  const std::size_t clients = traffic_clients();
+  const std::vector<EnvCase> kEnvs = environments();
+  std::cout << "=== Ablation: open-system traffic (" << clients
+            << " logical clients per cell, 20/60/20 warm/overload/recovery; "
+               "queue limit "
+            << kQueueLimit << " on admission rows) ===\n\n";
+
+  const unsigned threads = aft::util::campaign_threads();
+  std::cerr << "[campaign] " << kEnvs.size() << " jobs on " << threads
+            << " thread(s)\n";
+  const std::vector<Outcome> outcomes = aft::util::run_campaigns(
+      kEnvs.size(),
+      [&](std::size_t i) {
+        return run(kEnvs[i], clients,
+                   530000 + 97 * static_cast<std::uint64_t>(i));
+      },
+      threads);
+
+  aft::util::TextTable table;
+  table.header({"environment", "requests", "ok", "shed", "failed",
+                "warm p99", "over p50", "over p99", "over p999",
+                "over shed", "rec p99", "queue peak", "breaches",
+                "slo raises", "peak sessions"});
+  for (std::size_t i = 0; i < kEnvs.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    std::uint64_t requests = 0;
+    std::uint64_t ok = 0;
+    std::uint64_t failed = 0;
+    for (const PhaseStats& p : o.phases) {
+      requests += p.requests;
+      ok += p.ok;
+      failed += p.failed;
+    }
+    const PhaseStats& warm = o.phases[0];
+    const PhaseStats& over = o.phases[1];
+    const PhaseStats& rec = o.phases[2];
+    table.row({kEnvs[i].name, std::to_string(requests), std::to_string(ok),
+               std::to_string(o.shed), std::to_string(failed),
+               std::to_string(warm.latency.quantile(0.99)),
+               std::to_string(over.latency.quantile(0.5)),
+               std::to_string(over.latency.quantile(0.99)),
+               std::to_string(over.latency.quantile(0.999)), shed_frac(over),
+               std::to_string(rec.latency.quantile(0.99)),
+               std::to_string(o.queue_peak), std::to_string(o.breaches),
+               std::to_string(o.slo_raises),
+               std::to_string(o.peak_sessions)});
+  }
+  std::cout << table.render() << "\n";
+
+  // The headline comparison: bounded queue vs unbounded, same offered load.
+  const Outcome& admission = outcomes.front();  // poisson/reject-newest
+  const Outcome& baseline = outcomes.back();    // poisson/no-admission
+  const std::uint64_t adm_p999 = admission.phases[1].latency.quantile(0.999);
+  const std::uint64_t base_p999 = baseline.phases[1].latency.quantile(0.999);
+  const bool gate_admission = adm_p999 * 10 <= base_p999 &&
+                              baseline.queue_peak >= 4 * kQueueLimit &&
+                              admission.queue_peak <= kQueueLimit &&
+                              admission.shed > 0;
+  std::cout
+      << "expected shape: every admission row keeps the overload p999 at\n"
+         "queue-depth scale (queue peak == limit) and converts the excess\n"
+         "into sheds — a distinct, immediate client outcome.  The\n"
+         "no-admission baseline accepts everything: its queue grows to\n"
+         "thousands and the overload p999 collapses to the full client\n"
+         "deadline.  Overload burns the SLO in every cell (breaches > 0,\n"
+         "slo raises > 0): the switchboard treats load as a disturbance.\n\n"
+      << "admission overload p999 " << adm_p999 << " vs baseline " << base_p999
+      << " (queue peak " << admission.queue_peak << " vs "
+      << baseline.queue_peak << "): gate_admission "
+      << (gate_admission ? "true" : "false") << "\n";
+
+  const char* path = std::getenv("AFT_BENCH_JSON");
+  if (path == nullptr || path[0] == '\0') path = "BENCH_traffic.json";
+  std::ofstream json(path);
+  json << "{\n"
+       << "  \"bench\": \"abl_open_loop\",\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"queue_limit\": " << kQueueLimit << ",\n"
+       << "  \"cpu\": \"" << aft::bench::cpu_model() << "\",\n"
+       << "  \"gate_admission\": " << (gate_admission ? "true" : "false")
+       << ",\n"
+       << "  \"rows\": [\n";
+  for (std::size_t i = 0; i < kEnvs.size(); ++i) {
+    const Outcome& o = outcomes[i];
+    json << "    {\"environment\": \"" << kEnvs[i].name
+         << "\", \"admitted\": " << o.admitted << ", \"shed\": " << o.shed
+         << ", \"queue_peak\": " << o.queue_peak
+         << ", \"rounds\": " << o.rounds << ", \"breaches\": " << o.breaches
+         << ", \"slo_raises\": " << o.slo_raises
+         << ", \"peak_sessions\": " << o.peak_sessions << ",\n"
+         << "     \"phases\": {";
+    for (std::size_t p = 0; p < ClientPopulation::kPhases; ++p) {
+      const PhaseStats& s = o.phases[p];
+      json << (p == 0 ? "" : ", ") << "\"" << ClientPopulation::phase_name(p)
+           << "\": {\"requests\": " << s.requests << ", \"ok\": " << s.ok
+           << ", \"shed\": " << s.shed << ", \"failed\": " << s.failed
+           << ", \"p50\": " << s.latency.quantile(0.5)
+           << ", \"p99\": " << s.latency.quantile(0.99)
+           << ", \"p999\": " << s.latency.quantile(0.999) << "}";
+    }
+    json << "}}" << (i + 1 < kEnvs.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+  return 0;
+}

@@ -146,6 +146,7 @@ Outcome run(const PolicyCase& policy, const EnvCase& env, std::uint64_t seed) {
                 ++out_ptr->deadline_exceeded;
                 break;
               case RpcStatus::kExhausted: ++out_ptr->exhausted; break;
+              case RpcStatus::kRejected: break;  // no admission plane here
             }
           });
         });

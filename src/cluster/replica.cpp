@@ -20,7 +20,19 @@ vote::Ballot parse_ballot(const std::string& text, bool& ok) {
   return static_cast<vote::Ballot>(value);
 }
 
+/// The report a shed invoke's Done receives: nothing ran, nothing voted.
+const vote::RoundReport kShedReport{};
+
 }  // namespace
+
+const char* to_string(ShedPolicy policy) noexcept {
+  switch (policy) {
+    case ShedPolicy::kRejectNewest: return "reject-newest";
+    case ShedPolicy::kRejectOldest: return "reject-oldest";
+    case ShedPolicy::kProbabilistic: return "probabilistic";
+  }
+  return "?";
+}
 
 ReplicatedService::ReplicatedService(sim::Simulator& sim, ClusterParams params,
                                      Task task, std::uint64_t seed)
@@ -31,7 +43,8 @@ ReplicatedService::ReplicatedService(sim::Simulator& sim, ClusterParams params,
             [this](vote::Ballot, std::size_t slot) { return slot_ballot(slot); }),
       board_(farm_, params_.policy, params_.shared_key),
       membership_(sim, params_.membership),
-      ballot_disc_(params_.ballot_alpha) {
+      ballot_disc_(params_.ballot_alpha),
+      admit_rng_(seed + 8 * params_.pool) {
   if (!task_) {
     throw std::invalid_argument("ReplicatedService: null task");
   }
@@ -72,6 +85,20 @@ ReplicatedService::ReplicatedService(sim::Simulator& sim, ClusterParams params,
   membership_.on_change([this](const std::string& member, bool up) {
     on_member_change(member, up);
   });
+  // A missed window while down restarts the heal count: reinstatement
+  // demands `reinstate_after_beats` *consecutive* beats, so a flapping
+  // member (N-1 beats, a miss, more beats) starts over from zero instead
+  // of carrying stale credit across the gap.
+  membership_.on_miss([this](const std::string& member, std::uint64_t) {
+    const auto it = index_.find(member);
+    if (it == index_.end()) return;
+    Node& node = *nodes_[it->second];
+    if (node.resumed_beats > 0 && !membership_.up(node.name)) {
+      AFT_TRACE("cluster.replica", "heal-reset",
+                {{"replica", node.name}, {"beats", node.resumed_beats}});
+      node.resumed_beats = 0;
+    }
+  });
   ballot_disc_.on_verdict_change(
       [this](const std::string& channel, detect::FaultJudgment verdict) {
         on_ballot_verdict(channel, verdict);
@@ -104,12 +131,92 @@ void ReplicatedService::invoke(vote::Ballot input, Done done) {
   if (!started_) {
     throw std::logic_error("ReplicatedService: invoke() before start()");
   }
-  if (round_in_flight_) {
-    AFT_METRIC_ADD("cluster.rounds_queued", 1);
-    queue_.push_back(Pending{input, std::move(done)});
+  if (!round_in_flight_) {
+    ++counters_.admitted;
+    AFT_METRIC_ADD("cluster.admission.admitted", 1);
+    begin_round(input, std::move(done));
     return;
   }
-  begin_round(input, std::move(done));
+  const std::size_t limit = params_.admission.queue_limit;
+  if (limit > 0) {
+    switch (params_.admission.policy) {
+      case ShedPolicy::kRejectNewest:
+        if (queue_.size() >= limit) {
+          shed(std::move(done));
+          return;
+        }
+        break;
+      case ShedPolicy::kRejectOldest:
+        // Admit the fresh work; the head has waited longest and is the
+        // most likely to have outlived its caller's patience.
+        if (queue_.size() >= limit) {
+          Pending oldest = std::move(queue_.front());
+          queue_.pop_front();
+          shed(std::move(oldest.done), oldest.cause);
+        }
+        break;
+      case ShedPolicy::kProbabilistic:
+        // Early pushback: shed with P = depth/limit, so pressure rises
+        // smoothly instead of cliff-dropping at the bound (and P = 1 at
+        // the bound keeps the queue hard-limited).
+        if (admit_rng_.bernoulli(static_cast<double>(queue_.size()) /
+                                 static_cast<double>(limit))) {
+          shed(std::move(done));
+          return;
+        }
+        break;
+    }
+  }
+  ++counters_.admitted;
+  AFT_METRIC_ADD("cluster.admission.admitted", 1);
+  enqueue(input, std::move(done));
+}
+
+void ReplicatedService::enqueue(vote::Ballot input, Done done) {
+  AFT_METRIC_ADD("cluster.rounds_queued", 1);
+  Pending pending;
+  pending.input = input;
+  pending.done = std::move(done);
+#if !defined(AFT_OBS_DISABLED)
+  if (obs::TraceSink* const sink = obs::trace()) pending.cause = sink->cause();
+#endif
+  queue_.push_back(std::move(pending));
+  if (queue_.size() > counters_.queue_peak) {
+    counters_.queue_peak = queue_.size();
+  }
+#if !defined(AFT_OBS_DISABLED)
+  if (obs::MetricsRegistry* const reg = obs::metrics()) {
+    reg->set_gauge("cluster.admission.queue_depth",
+                   static_cast<double>(queue_.size()));
+  }
+#endif
+}
+
+void ReplicatedService::shed(Done done,
+                             [[maybe_unused]] obs::EventId cause) {
+  ++counters_.shed;
+  AFT_METRIC_ADD("cluster.admission.shed", 1);
+  // The shed record chains to the invoke it refuses: the ambient cause for
+  // a synchronous shed (the caller's context), or the evicted invoke's
+  // snapshotted cause for reject-oldest.
+#if !defined(AFT_OBS_DISABLED)
+  obs::TraceSink* const sink = obs::trace();
+  obs::EventId prev_cause = obs::kNoEvent;
+  bool cause_installed = false;
+  if (sink != nullptr && cause != obs::kNoEvent) {
+    prev_cause = sink->cause();
+    sink->set_cause(cause);
+    cause_installed = true;
+  }
+#endif
+  AFT_TRACE("cluster.admission", "shed",
+            {{"queue", queue_.size()},
+             {"limit", params_.admission.queue_limit},
+             {"policy", to_string(params_.admission.policy)}});
+  if (done) done(InvokeOutcome::kShed, kShedReport);
+#if !defined(AFT_OBS_DISABLED)
+  if (cause_installed) sink->set_cause(prev_cause);
+#endif
 }
 
 void ReplicatedService::begin_round(vote::Ballot input, Done done) {
@@ -169,10 +276,17 @@ void ReplicatedService::begin_round(vote::Ballot input, Done done) {
     options.breaker = nodes_[node]->breaker.has_value()
                           ? &*nodes_[node]->breaker
                           : nullptr;
+    // Pack (round, slot, node) into one word so the capture fits
+    // std::function's 16-byte inline buffer: the fan-out is the traffic
+    // plane's per-request hot path and must not allocate per call.
+    // 40/12/12 bits bound nothing real (pools are tens, not thousands).
+    const std::uint64_t tag = (r.id << 24) |
+                              (static_cast<std::uint64_t>(slot) << 12) |
+                              static_cast<std::uint64_t>(node);
     nodes_[node]->coord.call(
         "compute", payload, options,
-        [this, round = r.id, slot, node](const net::RpcResult& result) {
-          on_reply(round, slot, node, result);
+        [this, tag](const net::RpcResult& result) {
+          on_reply(tag >> 24, (tag >> 12) & 0xFFF, tag & 0xFFF, result);
         });
   }
 #if !defined(AFT_OBS_DISABLED)
@@ -247,13 +361,34 @@ void ReplicatedService::finalize_round() {
   round_in_flight_ = false;
   Done done = std::move(r.done);
   r.done = nullptr;
-  if (done) done(report);
+  if (done) done(InvokeOutcome::kCompleted, report);
   // done() may have begun a new round synchronously; only drain the queue
   // when the service is actually idle.
   if (!round_in_flight_ && !queue_.empty()) {
     Pending next = std::move(queue_.front());
     queue_.pop_front();
+#if !defined(AFT_OBS_DISABLED)
+    if (obs::MetricsRegistry* const reg = obs::metrics()) {
+      reg->set_gauge("cluster.admission.queue_depth",
+                     static_cast<double>(queue_.size()));
+    }
+    // Reinstate the queued caller's causal context (snapshotted at
+    // enqueue): without this the dequeued round chained to whatever
+    // happened to complete the previous round — `aft_trace why` blamed an
+    // unrelated caller for the queued work.
+    obs::TraceSink* const sink = obs::trace();
+    obs::EventId prev_cause = obs::kNoEvent;
+    bool cause_installed = false;
+    if (sink != nullptr) {
+      prev_cause = sink->cause();
+      sink->set_cause(next.cause);
+      cause_installed = true;
+    }
+#endif
     begin_round(next.input, std::move(next.done));
+#if !defined(AFT_OBS_DISABLED)
+    if (cause_installed) sink->set_cause(prev_cause);
+#endif
   }
 }
 

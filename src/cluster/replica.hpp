@@ -41,7 +41,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <limits>
 #include <map>
@@ -57,7 +56,11 @@
 #include "net/endpoint.hpp"
 #include "net/link.hpp"
 #include "net/membership.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
+#include "util/inline_fn.hpp"
+#include "util/ring_queue.hpp"
+#include "util/rng.hpp"
 #include "vote/voting_farm.hpp"
 
 namespace aft::cluster {
@@ -66,6 +69,24 @@ namespace aft::cluster {
 struct ReplicaWire {
   net::LinkFaults to_replica{};    ///< coordinator -> replica direction
   net::LinkFaults from_replica{};  ///< replica -> coordinator direction
+};
+
+/// What a bounded invoke queue does when another invoke() arrives full —
+/// the explicit version of the "load is bounded" assumption the unbounded
+/// queue silently made (the paper's Sect. 2 failed-assumption archetype).
+enum class ShedPolicy : std::uint8_t {
+  kRejectNewest,    ///< shed the incoming invoke (tail drop)
+  kRejectOldest,    ///< shed the head of the queue, admit the incoming
+  kProbabilistic,   ///< shed incoming with P = depth/limit (early pushback)
+};
+
+[[nodiscard]] const char* to_string(ShedPolicy policy) noexcept;
+
+struct AdmissionParams {
+  /// Maximum invokes queued behind the in-flight round; 0 = unbounded (the
+  /// legacy behavior, kept for closed-loop experiments that self-limit).
+  std::size_t queue_limit = 0;
+  ShedPolicy policy = ShedPolicy::kRejectNewest;
 };
 
 struct ClusterParams {
@@ -87,8 +108,12 @@ struct ClusterParams {
   /// the majority = one error).  Latches like any alpha-count: a persistent
   /// dissenter is retired until repair().
   detect::AlphaCount::Params ballot_alpha{};
-  /// Beats a down member must deliver before it is auto-reinstated.
+  /// Beats a down member must deliver before it is auto-reinstated.  The
+  /// beats must be consecutive: a missed window while down restarts the
+  /// count (a flapping member has not demonstrated a heal).
   std::uint32_t reinstate_after_beats = 3;
+  /// Backpressure on the strictly-sequential invoke queue.
+  AdmissionParams admission{};
   /// Key authenticating switchboard resize commands.
   std::uint64_t shared_key = 0xAF7C1;
 };
@@ -105,6 +130,15 @@ struct ClusterCounters {
   std::uint64_t short_rounds = 0;       ///< rounds with fewer live replicas than arity
   std::uint64_t substituted_rounds = 0; ///< rounds using non-prefix pool members
   std::uint64_t rpc_failures = 0;       ///< fan-out calls that missed their ballot
+  std::uint64_t admitted = 0;           ///< invokes accepted (run or queued)
+  std::uint64_t shed = 0;               ///< invokes shed by admission control
+  std::size_t queue_peak = 0;           ///< high-water mark of the invoke queue
+};
+
+/// How one invoke() ended, from the caller's point of view.
+enum class InvokeOutcome : std::uint8_t {
+  kCompleted,  ///< a round ran; the report is meaningful
+  kShed,       ///< admission control refused it; the report is empty
 };
 
 class ReplicatedService {
@@ -113,8 +147,12 @@ class ReplicatedService {
   /// a correct, undisturbed replica returns the same value for every
   /// `replica` index; experiments make replicas diverge.
   using Task = std::function<vote::Ballot(vote::Ballot input, std::size_t replica)>;
-  /// Completion callback of one invoke() round.
-  using Done = std::function<void(const vote::RoundReport&)>;
+  /// Completion callback of one invoke(): a completed round's report, or a
+  /// shed notification (kShed, empty report).  Inline-stored so queueing
+  /// and dispatching invokes at traffic-plane rates never allocates —
+  /// callers' captures (a net::Endpoint::Responder, a couple of pointers)
+  /// must fit 64 bytes, same contract as the sim kernel's actions.
+  using Done = util::InlineFn<void(InvokeOutcome, const vote::RoundReport&), 64>;
 
   ReplicatedService(sim::Simulator& sim, ClusterParams params, Task task,
                     std::uint64_t seed);
@@ -125,8 +163,15 @@ class ReplicatedService {
 
   /// Runs one replicate-and-vote round over the live replica set.  Rounds
   /// are strictly sequential: an invoke() while one is in flight is queued
-  /// and dispatched when the current round completes.
+  /// — subject to admission control (ClusterParams::admission) — and
+  /// dispatched, under the caller's causal context, when the current round
+  /// completes.  A shed invoke's `done` fires synchronously with kShed.
   void invoke(vote::Ballot input, Done done = nullptr);
+
+  /// Invokes queued behind the in-flight round right now.
+  [[nodiscard]] std::size_t queue_depth() const noexcept {
+    return queue_.size();
+  }
 
   /// Administrative unit replacement (Sect. 3.2): clears replica `i`'s
   /// ballot-stream evidence (un-suspecting it) and reinstates its
@@ -200,6 +245,11 @@ class ReplicatedService {
   struct Pending {
     vote::Ballot input = 0;
     Done done;
+    /// The caller's causal context, snapshotted at enqueue and reinstated
+    /// when the round finally dispatches — the sim::Simulator treatment of
+    /// scheduled entries, without which a queued invoke's round would chain
+    /// to whatever completed the previous round instead of to its caller.
+    obs::EventId cause = obs::kNoEvent;
   };
 
   /// One fan-out round in flight.
@@ -218,6 +268,13 @@ class ReplicatedService {
   void on_reply(std::uint64_t round, std::size_t slot, std::size_t node,
                 const net::RpcResult& result);
   void finalize_round();
+  /// Queues an invoke behind the in-flight round (cause snapshot included).
+  void enqueue(vote::Ballot input, Done done);
+  /// Completes `done` with kShed and records the shed.  `cause` (when not
+  /// kNoEvent) is installed around the shed record and callback — the
+  /// snapshotted context of a *queued* invoke evicted by reject-oldest;
+  /// synchronous sheds inherit the ambient (caller's) cause instead.
+  void shed(Done done, obs::EventId cause = obs::kNoEvent);
   void on_beat(std::size_t i);
   void on_member_change(const std::string& member, bool up);
   void on_ballot_verdict(const std::string& channel,
@@ -235,7 +292,10 @@ class ReplicatedService {
   detect::FaultDiscriminator ballot_disc_;
   Round round_;
   bool round_in_flight_ = false;
-  std::deque<Pending> queue_;
+  util::RingQueue<Pending> queue_;
+  /// Dedicated stream for probabilistic shedding, so admission decisions
+  /// never perturb the node RNGs (seed layout: nodes use seed + 8*i).
+  util::Xoshiro256 admit_rng_;
   std::uint64_t round_seq_ = 0;
   bool started_ = false;
   ClusterCounters counters_;

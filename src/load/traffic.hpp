@@ -1,0 +1,161 @@
+// Open-system traffic plane (ROADMAP item 1): deterministic client
+// populations driving a cluster::ReplicatedService through a front-door
+// RPC, so assumption failures are exercised under realistic load instead
+// of closed-loop figure scripts.  De Florio's application-layer FT line
+// treats live client traffic as the real test of a fault-tolerant
+// service; this module generates it at 1e5–1e6 logical clients on the sim
+// kernel.
+//
+//   arrivals   sessions arrive by a seeded arrival process
+//              (util/arrival.hpp): Poisson, bursty on/off, or a diurnal
+//              rate curve; session lengths are heavy-tail Pareto.
+//   sessions   each logical client is a tiny pooled record (a few bytes)
+//              multiplexed over ONE client endpoint — the population holds
+//              only the concurrently active sessions, so a million-client
+//              run costs the high-water mark, not a million objects.
+//   front door the population owns a frontend endpoint that serves
+//              "invoke" asynchronously: each request becomes a
+//              ReplicatedService::invoke(), and the service's admission
+//              verdict flows back as a distinct rejected response (NOT a
+//              timeout) — net::RpcStatus::kRejected client-side.
+//   phases     clients split 20/60/20 into warm / overload / recovery
+//              phases with per-phase arrival intensity, and every
+//              completion is tallied into per-phase latency histograms —
+//              the p50/p99/p999 rows bench/abl_open_loop reports.
+//
+// Everything runs on the deterministic kernel from one seed: traces and
+// metrics are byte-identical for any AFT_THREADS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "cluster/replica.hpp"
+#include "net/endpoint.hpp"
+#include "net/link.hpp"
+#include "obs/slo.hpp"
+#include "sim/simulator.hpp"
+#include "util/arrival.hpp"
+#include "util/log_histogram.hpp"
+#include "util/pool.hpp"
+#include "util/rng.hpp"
+
+namespace aft::load {
+
+enum class Arrival : std::uint8_t {
+  kPoisson,  ///< exponential inter-arrival gaps at the phase mean
+  kBursty,   ///< on/off-modulated Poisson (util::OnOffModulator)
+  kDiurnal,  ///< Poisson with a smooth mid-run rate peak
+};
+
+[[nodiscard]] const char* to_string(Arrival arrival) noexcept;
+
+struct TrafficParams {
+  /// Logical client sessions over the whole run.
+  std::size_t clients = 1000;
+  Arrival arrival = Arrival::kPoisson;
+  /// Mean session inter-arrival gap (ticks) per phase: warm 20% of the
+  /// clients, overload 60%, recovery 20%.
+  double warm_gap = 50.0;
+  double overload_gap = 4.0;
+  double recovery_gap = 50.0;
+  /// kDiurnal: rate = (1/warm_gap) * diurnal_factor(progress, amplitude) —
+  /// the phase gaps are ignored; the curve itself makes the mid-run peak.
+  double diurnal_amplitude = 10.0;
+  util::OnOffModulator::Params bursty{};
+  /// Mean think time (ticks) between one session's requests.
+  double think_mean = 20.0;
+  /// Requests per session ~ Pareto(session_xm, session_alpha), capped.
+  double session_xm = 1.0;
+  double session_alpha = 2.0;
+  std::uint64_t session_cap = 64;
+  /// Client->frontend RPC options.  Keep retry.max_attempts = 1 for
+  /// open-system runs: a timed-out request is abandoned, not re-offered.
+  net::CallOptions call{};
+  /// Optional latency SLO fed by every completion; sheds are recorded at
+  /// the call deadline (a shed burns budget — the service IS failing its
+  /// objective for that client), so overload drives the
+  /// SloTracker -> ReflectiveSwitchboard::bind_slo adaptation loop.
+  obs::SloTracker* slo = nullptr;
+};
+
+/// Per-phase outcome tallies.  `latency` holds completed requests (ok and
+/// failed — a timeout's latency is its deadline); sheds are excluded from
+/// the histogram and reported as a count, which is exactly the
+/// shed-vs-timeout distinction the admission plane exists to make.
+struct PhaseStats {
+  std::uint64_t sessions = 0;
+  std::uint64_t requests = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t failed = 0;
+  util::LogHistogram latency;
+};
+
+class ClientPopulation {
+ public:
+  static constexpr std::size_t kPhases = 3;
+
+  /// The population attaches a private clean link pair between its client
+  /// endpoint and its frontend endpoint; `service` must outlive it.
+  ClientPopulation(sim::Simulator& sim, cluster::ReplicatedService& service,
+                   TrafficParams params, std::uint64_t seed);
+
+  /// Schedules the first arrival.  The service must already be start()ed.
+  void start();
+
+  /// Every session has arrived and completed its last request.
+  [[nodiscard]] bool done() const noexcept {
+    return completed_sessions_ >= params_.clients;
+  }
+
+  [[nodiscard]] const PhaseStats& phase(std::size_t i) const {
+    return stats_.at(i);
+  }
+  [[nodiscard]] static const char* phase_name(std::size_t i) noexcept;
+  [[nodiscard]] std::size_t started_sessions() const noexcept {
+    return started_sessions_;
+  }
+  /// Sessions concurrently active right now / at the run's high-water mark.
+  [[nodiscard]] std::size_t active_sessions() const noexcept {
+    return sessions_.in_use();
+  }
+  [[nodiscard]] std::size_t peak_sessions() const noexcept {
+    return sessions_.capacity();
+  }
+  [[nodiscard]] const net::RpcCounters& client_counters() const noexcept {
+    return client_.counters();
+  }
+
+ private:
+  /// One logical client: requests left and the phase it arrived in.
+  struct Session {
+    std::uint32_t remaining = 0;
+    std::uint8_t phase = 0;
+  };
+
+  void schedule_next_arrival();
+  void start_session();
+  void issue(std::uint32_t slot);
+  void on_result(std::uint32_t slot, const net::RpcResult& result);
+  [[nodiscard]] std::uint8_t phase_of(std::size_t k) const noexcept;
+  [[nodiscard]] std::uint64_t next_arrival_gap();
+
+  sim::Simulator& sim_;
+  cluster::ReplicatedService& service_;
+  TrafficParams params_;
+  util::Xoshiro256 rng_;
+  util::OnOffModulator onoff_;
+  net::Link to_front_;
+  net::Link from_front_;
+  net::Endpoint client_;
+  net::Endpoint front_;
+  util::SlotPool<Session> sessions_;
+  std::string request_payload_;
+  std::size_t started_sessions_ = 0;
+  std::size_t completed_sessions_ = 0;
+  std::array<PhaseStats, kPhases> stats_{};
+};
+
+}  // namespace aft::load

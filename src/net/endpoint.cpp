@@ -13,6 +13,7 @@ const char* to_string(RpcStatus status) noexcept {
     case RpcStatus::kCircuitOpen: return "circuit-open";
     case RpcStatus::kDeadlineExceeded: return "deadline-exceeded";
     case RpcStatus::kExhausted: return "exhausted";
+    case RpcStatus::kRejected: return "rejected";
   }
   return "?";
 }
@@ -29,6 +30,19 @@ void Endpoint::serve(const std::string& method, Handler handler) {
   handlers_[method] = std::move(handler);
 }
 
+void Endpoint::serve_async(const std::string& method, AsyncHandler handler) {
+  async_handlers_[method] = std::move(handler);
+}
+
+Endpoint::Call* Endpoint::find_call(std::uint64_t id) noexcept {
+  const auto slot = static_cast<std::uint32_t>(id & 0xffffffffu);
+  const auto generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= calls_.size()) return nullptr;
+  Call& c = calls_[slot];
+  if (!c.active || c.generation != generation) return nullptr;
+  return &c;
+}
+
 void Endpoint::call(const std::string& method, const std::string& payload,
                     const CallOptions& options, Callback callback) {
   if (out_ == nullptr) throw std::logic_error("Endpoint: not attached");
@@ -38,13 +52,26 @@ void Endpoint::call(const std::string& method, const std::string& payload,
   if (options.retry.max_attempts == 0) {
     throw std::invalid_argument("Endpoint: retry.max_attempts must be >= 1");
   }
-  const std::uint64_t id = next_call_id_++;
-  Call& c = calls_[id];
+  std::uint32_t slot;
+  if (free_calls_.empty()) {
+    calls_.emplace_back();
+    slot = static_cast<std::uint32_t>(calls_.size() - 1);
+  } else {
+    slot = free_calls_.back();
+    free_calls_.pop_back();
+  }
+  Call& c = calls_[slot];
+  const std::uint64_t id =
+      (static_cast<std::uint64_t>(c.generation) << 32) | slot;
+  c.active = true;
+  c.attempt = 0;
+  c.failed = false;
   c.method = method;
   c.payload = payload;
   c.options = options;
   c.callback = std::move(callback);
   c.started = sim_.now();
+  ++outstanding_;
   ++counters_.calls;
   AFT_METRIC_ADD("net.rpc.calls", 1);
 
@@ -75,7 +102,7 @@ void Endpoint::call(const std::string& method, const std::string& payload,
 }
 
 void Endpoint::start_attempt(std::uint64_t id) {
-  Call& c = calls_.at(id);
+  Call& c = *find_call(id);
   c.probe = CircuitBreaker::kNotAProbe;
   if (c.options.breaker != nullptr && !c.options.breaker->allow(&c.probe)) {
     AFT_TRACE("net.rpc", "rejected",
@@ -109,16 +136,16 @@ void Endpoint::start_attempt(std::uint64_t id) {
 }
 
 void Endpoint::attempt_timed_out(std::uint64_t id, std::uint32_t attempt) {
-  const auto it = calls_.find(id);
+  const Call* c = find_call(id);
   // Completed, or already retried past this attempt: the deadline event is
-  // stale (epoch-guarded by the attempt number).
-  if (it == calls_.end() || it->second.attempt != attempt) return;
+  // stale (epoch-guarded by the attempt number + slot generation).
+  if (c == nullptr || c->attempt != attempt) return;
   attempt_failed(id, "deadline");
 }
 
 void Endpoint::attempt_failed(std::uint64_t id,
                               [[maybe_unused]] const char* reason) {
-  Call& c = calls_.at(id);
+  Call& c = *find_call(id);
   // One failure per attempt: an app-error response leaves the attempt's
   // deadline timer armed, and a duplicated failing response can arrive
   // twice — either would fail the same attempt again during the backoff,
@@ -149,7 +176,7 @@ void Endpoint::attempt_failed(std::uint64_t id,
             {{"endpoint", name_}, {"id", id}, {"delay", backoff}});
   auto retry = [this, id] {
     // A late success may have completed the call during the backoff.
-    if (calls_.find(id) != calls_.end()) start_attempt(id);
+    if (find_call(id) != nullptr) start_attempt(id);
   };
   static_assert(sim::Simulator::fits_inline<decltype(retry)>,
                 "rpc retry must schedule allocation-free");
@@ -158,13 +185,13 @@ void Endpoint::attempt_failed(std::uint64_t id,
 
 void Endpoint::finish(std::uint64_t id, RpcStatus status,
                       std::string payload) {
-  auto node = calls_.extract(id);
-  Call& c = node.mapped();
+  Call& c = *find_call(id);
   switch (status) {
     case RpcStatus::kOk: ++counters_.ok; break;
     case RpcStatus::kCircuitOpen: ++counters_.circuit_open; break;
     case RpcStatus::kDeadlineExceeded: ++counters_.deadline_exceeded; break;
     case RpcStatus::kExhausted: ++counters_.exhausted; break;
+    case RpcStatus::kRejected: ++counters_.rejected; break;
   }
   AFT_METRIC_ADD(status == RpcStatus::kOk ? "net.rpc.ok" : "net.rpc.failed",
                  1);
@@ -179,11 +206,11 @@ void Endpoint::finish(std::uint64_t id, RpcStatus status,
   result.attempts = c.attempt;
   result.elapsed = sim_.now() - c.started;
   // Tail-latency evidence (the "quantiles" JSON export): call latency split
-  // by outcome, plus the attempt count distribution.  Breaker rejections
-  // complete with zero wire attempts and near-zero elapsed — folding them
-  // into latency.fail would drag its quantiles toward zero, so they get
-  // their own stat and stay out of attempts_per_call.
-  if (status == RpcStatus::kCircuitOpen) {
+  // by outcome, plus the attempt count distribution.  Breaker and admission
+  // rejections complete fast by design — folding them into latency.fail
+  // would drag its quantiles toward zero, so they share their own stat and
+  // stay out of attempts_per_call.
+  if (status == RpcStatus::kCircuitOpen || status == RpcStatus::kRejected) {
     AFT_METRIC_OBSERVE("net.rpc.latency.rejected",
                        static_cast<double>(result.elapsed));
   } else {
@@ -193,9 +220,18 @@ void Endpoint::finish(std::uint64_t id, RpcStatus status,
     AFT_METRIC_OBSERVE("net.rpc.attempts_per_call",
                        static_cast<double>(c.attempt));
   }
-  // The entry is already extracted: a callback that re-enters call() (or
-  // even retries the same workload) cannot invalidate this completion.
-  if (c.callback) c.callback(result);
+  // Release the slot *before* the callback runs: moving the callback out
+  // first means a callback that re-enters call() — possibly growing the
+  // pool vector or reusing this very slot under a fresh generation — can
+  // invalidate neither this completion nor the Call reference (which must
+  // not be touched past this point).
+  Callback callback = std::move(c.callback);
+  c.callback = nullptr;
+  c.active = false;
+  ++c.generation;
+  free_calls_.push_back(static_cast<std::uint32_t>(id & 0xffffffffu));
+  --outstanding_;
+  if (callback) callback(result);
 }
 
 void Endpoint::receive(Frame&& frame) {
@@ -217,6 +253,18 @@ void Endpoint::receive(Frame&& frame) {
 }
 
 void Endpoint::handle_request(Frame&& frame) {
+  const auto async_it = async_handlers_.find(frame.method);
+  if (async_it != async_handlers_.end()) {
+    ++counters_.served;
+    AFT_METRIC_ADD("net.rpc.served", 1);
+    AFT_TRACE("net.rpc", "serve",
+              {{"endpoint", name_},
+               {"id", frame.id},
+               {"method", frame.method},
+               {"async", true}});
+    async_it->second(frame.payload, Responder(this, frame.id, frame.aux));
+    return;
+  }
   Frame response;
   response.kind = FrameKind::kResponse;
   response.id = frame.id;
@@ -240,8 +288,8 @@ void Endpoint::handle_request(Frame&& frame) {
 }
 
 void Endpoint::handle_response(Frame&& frame) {
-  const auto it = calls_.find(frame.id);
-  if (it == calls_.end() || it->second.attempt != frame.aux) {
+  Call* const c = find_call(frame.id);
+  if (c == nullptr || c->attempt != frame.aux) {
     // Late (the call completed, or this attempt was superseded by a retry)
     // or duplicated on the wire: honoring it could complete a call twice.
     ++counters_.stale_responses;
@@ -250,14 +298,38 @@ void Endpoint::handle_response(Frame&& frame) {
               {{"endpoint", name_}, {"id", frame.id}, {"attempt", frame.aux}});
     return;
   }
-  if (it->second.options.breaker != nullptr && frame.ok) {
-    it->second.options.breaker->record(true, it->second.probe);
+  if (c->options.breaker != nullptr && (frame.ok || frame.rejected)) {
+    // The wire and the server both worked; an admission shed is a healthy
+    // channel saying no, not channel evidence.
+    c->options.breaker->record(true, c->probe);
   }
-  if (frame.ok) {
+  if (frame.rejected) {
+    // Deliberate server pushback is terminal: retrying a shed request into
+    // the same overload would only deepen it.
+    finish(frame.id, RpcStatus::kRejected, std::move(frame.payload));
+  } else if (frame.ok) {
     finish(frame.id, RpcStatus::kOk, std::move(frame.payload));
   } else {
     attempt_failed(frame.id, "app-error");
   }
+}
+
+void Endpoint::async_respond(std::uint64_t id, std::uint32_t aux, bool ok,
+                             bool rejected, std::string&& payload) {
+  Frame response;
+  response.kind = FrameKind::kResponse;
+  response.id = id;
+  response.aux = aux;
+  response.ok = ok;
+  response.rejected = rejected;
+  response.payload = std::move(payload);
+  response.origin = name_;
+  AFT_TRACE("net.rpc", "respond",
+            {{"endpoint", name_},
+             {"id", id},
+             {"ok", ok},
+             {"rejected", rejected}});
+  if (out_ != nullptr) out_->send(std::move(response));
 }
 
 void Endpoint::send_data(Frame frame) {

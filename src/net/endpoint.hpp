@@ -13,6 +13,8 @@
 //
 // Failure semantics of a call, in precedence order:
 //   kCircuitOpen       the breaker refused an attempt (fail fast, no wire)
+//   kRejected          the server shed the request (admission control);
+//                      terminal — a deliberate verdict is never retried
 //   kDeadlineExceeded  the retry time budget ran out
 //   kExhausted         the attempt budget ran out (timeouts or app errors)
 //   kOk                a response for the *current* attempt arrived in time
@@ -29,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "net/breaker.hpp"
 #include "net/frame.hpp"
@@ -44,6 +47,7 @@ enum class RpcStatus : std::uint8_t {
   kCircuitOpen,
   kDeadlineExceeded,
   kExhausted,
+  kRejected,
 };
 
 [[nodiscard]] const char* to_string(RpcStatus status) noexcept;
@@ -76,6 +80,7 @@ struct RpcCounters {
   std::uint64_t attempt_failures = 0;  ///< timeouts + app-error responses
   std::uint64_t stale_responses = 0;   ///< late/duplicate responses ignored
   std::uint64_t served = 0;            ///< requests handled server-side
+  std::uint64_t rejected = 0;          ///< calls the server shed (admission)
 };
 
 class Endpoint {
@@ -88,6 +93,44 @@ class Endpoint {
   using DataHandler = std::function<void(Frame&&)>;
   using HeartbeatHandler = std::function<void(const std::string& origin)>;
 
+  /// One-shot reply capability handed to an async handler (serve_async):
+  /// a trivially copyable {endpoint, call id, attempt} triple, cheap to
+  /// park in queues or completion callbacks until the service decides.
+  /// Exactly one of respond()/fail()/reject() should be called, once.
+  class Responder {
+   public:
+    /// Successful response carrying `payload`.
+    void respond(std::string payload) const {
+      ep_->async_respond(id_, aux_, /*ok=*/true, /*rejected=*/false,
+                         std::move(payload));
+    }
+    /// Application error: the caller retries it like a timeout.
+    void fail(std::string payload = {}) const {
+      ep_->async_respond(id_, aux_, /*ok=*/false, /*rejected=*/false,
+                         std::move(payload));
+    }
+    /// Admission shed: completes the caller with kRejected, terminally.
+    void reject(std::string payload = {}) const {
+      ep_->async_respond(id_, aux_, /*ok=*/false, /*rejected=*/true,
+                         std::move(payload));
+    }
+
+   private:
+    friend class Endpoint;
+    Responder(Endpoint* ep, std::uint64_t id, std::uint32_t aux) noexcept
+        : ep_(ep), id_(id), aux_(aux) {}
+    Endpoint* ep_;
+    std::uint64_t id_;
+    std::uint32_t aux_;
+  };
+
+  /// Async server handler: decides *when* to reply via the Responder
+  /// (possibly ticks later).  Note that a duplicated request frame invokes
+  /// the handler once per copy — the duplicate's response is epoch-guarded
+  /// away client-side, but server-side work is not deduplicated.
+  using AsyncHandler =
+      std::function<void(const std::string& request, Responder responder)>;
+
   Endpoint(sim::Simulator& sim, std::string name, std::uint64_t seed);
 
   /// Wires the endpoint to its peer: frames sent here leave on `outbound`,
@@ -96,6 +139,11 @@ class Endpoint {
 
   /// Registers the server-side handler for `method` (replaces any prior).
   void serve(const std::string& method, Handler handler);
+
+  /// Registers an asynchronous handler for `method`: the response is sent
+  /// whenever the handler (or whoever it hands the Responder to) decides.
+  /// An async registration shadows any serve() handler of the same name.
+  void serve_async(const std::string& method, AsyncHandler handler);
 
   /// Starts one RPC.  The callback fires exactly once, at completion.
   void call(const std::string& method, const std::string& payload,
@@ -118,13 +166,21 @@ class Endpoint {
   }
   /// Calls started but not yet completed.
   [[nodiscard]] std::size_t outstanding() const noexcept {
-    return calls_.size();
+    return outstanding_;
   }
   [[nodiscard]] std::uint64_t heartbeats_received() const noexcept {
     return heartbeats_received_;
   }
 
  private:
+  /// In-flight call state, parked in a freelist-recycled slot vector (the
+  /// util::SlotPool idiom, inlined here because slots carry a generation):
+  /// the wire call id is (generation << 32) | slot, so a recycled slot
+  /// invalidates every stale reference to its previous occupant — late
+  /// timers and duplicate responses fail the generation check exactly like
+  /// they used to fail the map lookup, but steady-state call traffic no
+  /// longer allocates a map node per call, and recycled slots keep their
+  /// method/payload string capacity.
   struct Call {
     std::string method;
     std::string payload;
@@ -140,6 +196,8 @@ class Endpoint {
     /// Breaker admission token of the current attempt (kNotAProbe when the
     /// call has no breaker or was not admitted as a half-open probe).
     CircuitBreaker::ProbeToken probe = CircuitBreaker::kNotAProbe;
+    std::uint32_t generation = 0;  ///< bumped on release; half the call id
+    bool active = false;
   };
 
   void receive(Frame&& frame);
@@ -150,14 +208,21 @@ class Endpoint {
   void attempt_failed(std::uint64_t id, const char* reason);
   void finish(std::uint64_t id, RpcStatus status, std::string payload);
   void heartbeat_tick(std::uint64_t epoch);
+  void async_respond(std::uint64_t id, std::uint32_t aux, bool ok,
+                     bool rejected, std::string&& payload);
+  /// The live Call behind `id`, or nullptr when the id is stale (completed
+  /// call, recycled slot) — the replacement for map find()/end().
+  [[nodiscard]] Call* find_call(std::uint64_t id) noexcept;
 
   sim::Simulator& sim_;
   std::string name_;
   util::Xoshiro256 rng_;
   Link* out_ = nullptr;
   std::map<std::string, Handler> handlers_;
-  std::map<std::uint64_t, Call> calls_;
-  std::uint64_t next_call_id_ = 1;
+  std::map<std::string, AsyncHandler> async_handlers_;
+  std::vector<Call> calls_;         ///< slot-indexed in-flight call pool
+  std::vector<std::uint32_t> free_calls_;  ///< recycled slots, LIFO
+  std::size_t outstanding_ = 0;
   DataHandler data_handler_;
   HeartbeatHandler heartbeat_handler_;
   sim::SimTime hb_period_ = 0;

@@ -27,6 +27,11 @@ enum class FrameKind : std::uint8_t {
 struct Frame {
   FrameKind kind = FrameKind::kData;
   bool ok = true;           ///< response verdict (meaningful for kResponse)
+  /// Server pushback (kResponse only): the request was admitted to the wire
+  /// but the service shed it (admission control / overload).  Distinct from
+  /// ok == false — a rejection is a deliberate verdict the caller must not
+  /// retry, not an application error.
+  bool rejected = false;
   std::uint32_t aux = 0;    ///< RPC attempt number (request/response)
   std::uint64_t id = 0;     ///< RPC call id / beat sequence / data sequence
   std::string method;       ///< RPC method name / bus topic

@@ -41,6 +41,13 @@ class Membership {
   /// `on_change(member, up)` fires on every up/down transition.
   using ChangeHandler = std::function<void(const std::string&, bool)>;
 
+  /// `on_miss(member, consecutive)` fires on every missed heartbeat window
+  /// — raw monitor evidence, below the judgment layer.  Down-member
+  /// bookkeeping (e.g. the cluster's reinstatement beat count, which a
+  /// flapping member must restart) hangs off this; membership decisions
+  /// themselves still only follow judgment transitions.
+  using MissHandler = detect::HeartbeatMonitor::MissHandler;
+
   /// Post-mortem evidence join for the trace plane: asked for the trace id
   /// of the physical evidence behind a member going down (typically
   /// Link::last_drop_event(kHeartbeat) on the member's return wire).
@@ -62,6 +69,11 @@ class Membership {
   void reinstate(const std::string& member);
 
   void on_change(ChangeHandler handler);
+
+  /// Installs the missed-window observer (replaces any prior).
+  void on_miss(MissHandler handler) {
+    monitor_.set_miss_handler(std::move(handler));
+  }
 
   /// Installs the down-evidence hook (see EvidenceProvider).  The
   /// member-down trace record's cause is taken from it, and the record is

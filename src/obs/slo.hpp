@@ -41,11 +41,17 @@ class SloTracker {
 
   /// Feeds one latency sample observed at logical time `t`.  Crossing into a
   /// new window first evaluates every window up to it (empty windows burn
-  /// nothing, so a silent stream recovers).
+  /// nothing, so a silent stream recovers).  Windows closed by one crossing
+  /// — the accumulated window plus any idle gap behind it — are judged as a
+  /// batch, and only the NET state change across the batch is published:
+  /// the intermediate states were never current while an observer could
+  /// have acted on them, so surfacing them at traffic-resumption time would
+  /// drive adaptation from stale evidence.
   void record(std::uint64_t t, std::uint64_t latency_ticks);
 
   /// Evaluates the still-open window as of time `t` (end-of-run flush so a
-  /// burning final window is not lost).
+  /// burning final window is not lost), including any idle windows between
+  /// the last sample and `t` — same net-transition batching as record().
   void flush(std::uint64_t t);
 
   /// Invoked on each transition: breach (true) / recover (false).
@@ -62,8 +68,19 @@ class SloTracker {
   [[nodiscard]] const SloPolicy& policy() const noexcept { return policy_; }
 
  private:
-  /// Closes the current window: integer-permille burn verdict + hysteresis.
-  void evaluate();
+  /// Closes every window up to (exclusive) `w`: the accumulated counters
+  /// first, then — when the crossing spans further, traffic-free windows —
+  /// one idle verdict covering them all (idle windows burn nothing, and
+  /// hysteresis state is monotone over a run of zero-burn windows, so a
+  /// single verdict is exact).  Publishes only the net transition.
+  void close_windows(std::uint64_t w);
+  /// Applies one window's burn verdict to the hysteresis state (no
+  /// publishing — close_windows/flush publish the batch's net change).
+  void apply(std::uint64_t burn_permille) noexcept;
+  /// Emits the transition record/metrics and calls the publisher for the
+  /// current breached_ state.
+  void publish(std::uint64_t burn_permille, std::uint64_t over,
+               std::uint64_t total);
 
   std::string name_;
   SloPolicy policy_;

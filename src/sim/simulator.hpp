@@ -74,6 +74,12 @@ class Simulator {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// Pre-sizes the event pool/heap/freelist for `n` concurrently pending
+  /// actions, so a run whose peak backlog is known (or bounded) up front
+  /// never grows the queue mid-flight — the same contract as
+  /// obs::Timeline::reserve for the metrics plane.
+  void reserve(std::size_t n) { queue_.reserve(n); }
+
   /// Events executed since construction (lifetime counter; the obs layer
   /// reads it for the "sim.events" metric).
   [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }

@@ -1,0 +1,85 @@
+// Seeded arrival-process samplers for the open-system traffic plane
+// (src/load): the client populations De Florio's application-layer FT
+// protocols book treats as the real test of a fault-tolerant service are
+// generated here — Poisson streams (exponential inter-arrival gaps),
+// bursty on/off modulation, a diurnal rate curve, and heavy-tail Pareto
+// session lengths.
+//
+// Everything is a pure function of a util::Xoshiro256 stream (plus the
+// sampler's own POD state), so a single 64-bit seed reproduces an entire
+// population bit-for-bit and campaign traces stay byte-identical for any
+// AFT_THREADS.  All samplers return integer ticks >= 1 — logical time must
+// always advance — and are allocation-free.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace aft::util {
+
+/// Exponential inter-arrival gap with the given mean, floored to ticks and
+/// clamped to >= 1: consecutive draws form a (discretized) Poisson process.
+/// Inverse-CDF on a [0,1) uniform; -log1p(-u) is exact at both ends.
+[[nodiscard]] inline std::uint64_t exponential_gap(Xoshiro256& rng,
+                                                   double mean_ticks) {
+  const double gap = -mean_ticks * std::log1p(-rng.uniform01());
+  return gap < 1.0 ? 1u : static_cast<std::uint64_t>(gap);
+}
+
+/// Pareto-distributed integer with scale `xm` and shape `alpha`, clamped to
+/// [1, cap] — the heavy-tail session-length law (most sessions are short, a
+/// few are very long).  `cap` bounds the tail so one draw cannot dominate a
+/// whole campaign job.
+[[nodiscard]] inline std::uint64_t pareto_int(Xoshiro256& rng, double xm,
+                                              double alpha,
+                                              std::uint64_t cap) {
+  const double u = rng.uniform01();
+  const double value = xm / std::pow(1.0 - u, 1.0 / alpha);
+  if (value < 1.0) return 1;
+  if (value >= static_cast<double>(cap)) return cap;
+  return static_cast<std::uint64_t>(value);
+}
+
+/// Diurnal rate multiplier over run progress `f` in [0, 1]: a smooth bump
+/// peaking mid-run at 1 + amplitude and returning to 1 at both ends.  A
+/// pure-arithmetic quadratic (4f(1-f)) rather than a sinusoid, so the curve
+/// is bit-identical on any libm.  Divide a base mean gap by this factor.
+[[nodiscard]] inline double diurnal_factor(double f, double amplitude) {
+  if (f < 0.0) f = 0.0;
+  if (f > 1.0) f = 1.0;
+  return 1.0 + amplitude * (4.0 * f * (1.0 - f));
+}
+
+/// Bursty on/off arrival modulation: trains of closely spaced arrivals
+/// (gap = base / burst_speedup) separated by long exponential silences
+/// (gap = base * idle_stretch).  Burst lengths are themselves exponential,
+/// so the process is a discretized interrupted Poisson process.
+class OnOffModulator {
+ public:
+  struct Params {
+    double burst_speedup = 8.0;   ///< in-burst gaps are base/speedup
+    double idle_stretch = 8.0;    ///< the off-gap is base*stretch
+    double mean_burst_len = 24.0; ///< mean arrivals per burst
+  };
+
+  explicit OnOffModulator(Params params) noexcept : params_(params) {}
+
+  /// Next inter-arrival gap given the phase's base mean gap.
+  [[nodiscard]] std::uint64_t next_gap(Xoshiro256& rng, double base_mean) {
+    if (burst_left_ == 0) {
+      // Off period, then a fresh burst.
+      burst_left_ = exponential_gap(rng, params_.mean_burst_len);
+      return exponential_gap(rng, base_mean * params_.idle_stretch);
+    }
+    --burst_left_;
+    return exponential_gap(rng, base_mean / params_.burst_speedup);
+  }
+
+ private:
+  Params params_;
+  std::uint64_t burst_left_ = 0;  ///< arrivals left in the current burst
+};
+
+}  // namespace aft::util

@@ -25,7 +25,9 @@
 #include <vector>
 
 #include "arch/event_bus.hpp"
+#include "cluster/replica.hpp"
 #include "hw/memory_chip.hpp"
+#include "load/traffic.hpp"
 #include "mem/method_ecc.hpp"
 #include "net/link.hpp"
 #include "obs/metrics.hpp"
@@ -340,6 +342,67 @@ TEST(AllocTest, BatchScrubSteadyStateIsAllocationFree) {
   });
   EXPECT_EQ(allocs, 0u);
   EXPECT_GE(method.stats().corrected_singles, 150u);  // most rounds corrected
+}
+
+TEST(AllocTest, OpenLoopTrafficSteadyStateIsAllocationFree) {
+  // The whole arrival -> RPC -> vote-round -> completion loop of the
+  // open-system traffic plane, including the admission shed path: once the
+  // pools (session slots, endpoint call tables, the invoke ring, message
+  // arenas) reach their high-water marks, a million-client campaign run
+  // costs zero heap traffic per request.
+  aft::sim::Simulator sim;
+  sim.reserve(512);  // peak backlog is a few dozen; 512 is comfortable slack
+  aft::cluster::ClusterParams params;
+  params.pool = 5;
+  params.wire.to_replica.latency = 2;
+  params.wire.to_replica.jitter = 1;
+  params.wire.from_replica.latency = 2;
+  params.wire.from_replica.jitter = 1;
+  params.policy.min_replicas = 3;
+  params.policy.max_replicas = 5;
+  params.policy.step = 2;
+  params.policy.lower_after = 1u << 20;
+  params.call.deadline = 15;
+  params.call.retry.max_attempts = 2;
+  params.call.retry.initial_backoff = 4;
+  params.call.retry.max_backoff = 8;
+  params.heartbeat_period = 4;
+  params.membership.deadline = 10;
+  params.admission.queue_limit = 8;
+  params.admission.policy = aft::cluster::ShedPolicy::kRejectNewest;
+  aft::cluster::ReplicatedService service(
+      sim, params,
+      [](aft::vote::Ballot input, std::size_t) { return input * 2 + 1; }, 21);
+
+  aft::load::TrafficParams tp;
+  tp.clients = 4000;
+  tp.warm_gap = 8.0;
+  tp.overload_gap = 2.0;
+  tp.recovery_gap = 8.0;
+  tp.think_mean = 6.0;
+  tp.session_cap = 16;
+  tp.call.deadline = 2000;
+  tp.call.retry.max_attempts = 1;
+  aft::load::ClientPopulation population(sim, service, tp, 22);
+  service.start();
+  population.start();
+
+  // Warm deep into the overload phase (clients 800..3200) so every pool is
+  // at its high-water mark before measuring.
+  while (population.started_sessions() < 2800 && sim.step()) {
+  }
+  const std::uint64_t shed_before = service.counters().shed;
+  const std::uint64_t rounds_before = service.counters().rounds;
+
+  const std::uint64_t allocs = allocations_during([&] {
+    while (population.started_sessions() < 3100 && sim.step()) {
+    }
+  });
+  EXPECT_EQ(allocs, 0u);
+  // The measured stretch exercised both outcomes: completed rounds AND
+  // admission sheds.
+  EXPECT_GT(service.counters().rounds, rounds_before);
+  EXPECT_GT(service.counters().shed, shed_before);
 }
 
 }  // namespace

@@ -30,6 +30,7 @@
 namespace {
 
 using aft::cluster::ClusterParams;
+using aft::cluster::InvokeOutcome;
 using aft::cluster::ReplicatedService;
 using aft::net::LinkFaults;
 using aft::sim::SimTime;
@@ -94,9 +95,10 @@ TEST(ClusterTest, CleanRoundsReachConsensusWithoutDissent) {
   std::vector<RoundReport> reports;
   for (std::uint64_t k = 0; k < 5; ++k) {
     sim.schedule_at(k * kRoundInterval, [&service, &reports, k] {
-      service.invoke(static_cast<Ballot>(k), [&reports](const RoundReport& r) {
-        reports.push_back(r);
-      });
+      service.invoke(static_cast<Ballot>(k),
+                     [&reports](InvokeOutcome, const RoundReport& r) {
+                       reports.push_back(r);
+                     });
     });
   }
   sim.run_until(5 * kRoundInterval + 200);
@@ -131,7 +133,7 @@ TEST(ClusterTest, PartiallyResponsiveReplicaSetStillVotesAMajority) {
   constexpr std::uint64_t kRounds = 12;
   for (std::uint64_t k = 0; k < kRounds; ++k) {
     sim.schedule_at(k * kRoundInterval, [&service, &reports] {
-      service.invoke(42, [&reports](const RoundReport& r) {
+      service.invoke(42, [&reports](InvokeOutcome, const RoundReport& r) {
         reports.push_back(r);
       });
     });
@@ -170,7 +172,7 @@ TEST(ClusterTest, NoQuorumWhenTheMajorityIsPartitioned) {
 
   std::vector<RoundReport> reports;
   sim.schedule_at(1, [&service, &reports] {
-    service.invoke(42, [&reports](const RoundReport& r) {
+    service.invoke(42, [&reports](InvokeOutcome, const RoundReport& r) {
       reports.push_back(r);
     });
   });
@@ -210,6 +212,64 @@ TEST(ClusterTest, EvictedMemberIsAutoReinstatedOnceItsBeatsResume) {
   EXPECT_TRUE(service.eligible(0));
   EXPECT_EQ(service.counters().reinstatements, 1u);
   EXPECT_EQ(service.live_count(), 5u);
+}
+
+TEST(ClusterTest, FlappingMemberRestartsItsReinstatementBeatCount) {
+  // Regression: auto-reinstatement demands `reinstate_after_beats`
+  // *consecutive* beats.  Pre-fix the resumed-beat count survived misses
+  // while the member stayed down, so a flapping wire (a few beats leak
+  // through, silence, a few more) accumulated stale credit across the gaps
+  // and readmitted a member that never actually sustained a heartbeat
+  // stream.
+#if !defined(AFT_OBS_DISABLED)
+  aft::obs::TraceSink sink;
+  const aft::obs::ScopedObs scope(&sink, nullptr);
+#endif
+  Simulator sim;
+  ClusterParams params = small_params(5);
+  // High enough that one brief heal window (10 ticks ~ 2-3 beats) can
+  // never legitimately reinstate, but three windows' stale credit would.
+  params.reinstate_after_beats = 5;
+  ReplicatedService service(
+      sim, params,
+      [](Ballot input, std::size_t) { return correct_value(input); }, 29);
+  service.start();
+  service.link_to(0).partition();
+  service.link_from(0).partition();
+  sim.run_until(100);
+  ASSERT_FALSE(service.membership().up(service.replica_name(0)));
+  ASSERT_EQ(service.counters().evictions, 1u);
+
+  // Three flap cycles: heal for 10 ticks (a couple of beats leak through),
+  // then 40 silent ticks (guaranteed missed windows at deadline 10).
+  for (SimTime cycle = 0; cycle < 3; ++cycle) {
+    sim.schedule_at(100 + cycle * 50, [&service] {
+      service.link_to(0).heal();
+      service.link_from(0).heal();
+    });
+    sim.schedule_at(110 + cycle * 50, [&service] {
+      service.link_to(0).partition();
+      service.link_from(0).partition();
+    });
+  }
+  sim.run_until(248);
+  // The count restarted at every miss: no cycle reached 5 consecutive
+  // beats, so the flapping member is still out (pre-fix, the stale
+  // credit summed across cycles and reinstated it here).
+  EXPECT_EQ(service.counters().reinstatements, 0u);
+  EXPECT_FALSE(service.membership().up(service.replica_name(0)));
+
+  // A sustained heal is still the legitimate path back in.
+  service.link_to(0).heal();
+  service.link_from(0).heal();
+  sim.run_until(400);
+  EXPECT_EQ(service.counters().reinstatements, 1u);
+  EXPECT_TRUE(service.membership().up(service.replica_name(0)));
+  EXPECT_TRUE(service.eligible(0));
+#if !defined(AFT_OBS_DISABLED)
+  // The resets themselves are visible in the trace plane.
+  EXPECT_NE(sink.jsonl().find(R"("event":"heal-reset")"), std::string::npos);
+#endif
 }
 
 TEST(ClusterTest, PersistentValueCorrupterIsSuspectedUntilRepaired) {
@@ -253,7 +313,7 @@ TEST(ClusterTest, PersistentValueCorrupterIsSuspectedUntilRepaired) {
   // The repaired replica votes with the majority again.
   std::vector<RoundReport> reports;
   sim.schedule_at(sim.now() + kRoundInterval, [&service, &reports] {
-    service.invoke(7, [&reports](const RoundReport& r) {
+    service.invoke(7, [&reports](InvokeOutcome, const RoundReport& r) {
       reports.push_back(r);
     });
   });
@@ -435,6 +495,74 @@ TEST(ClusterTraceTest, RaiseChainsBackToTheDroppedHeartbeatFrame) {
   const std::string why = aft::tools::render_why(*trace, raise->seq);
   EXPECT_NE(why.find("member-down"), std::string::npos);
   EXPECT_NE(why.find("drop"), std::string::npos);
+}
+
+TEST(ClusterTraceTest, QueuedInvokeRoundChainsToItsOriginalCaller) {
+  // Regression: a queued invoke()'s round must carry the causal context of
+  // the caller that enqueued it.  Pre-fix the dequeued round ran under
+  // whatever context happened to complete the *previous* round, so
+  // `aft_trace why` blamed an unrelated caller for the queued work.
+  aft::obs::TraceSink sink;
+  std::string jsonl;
+  {
+    const aft::obs::ScopedObs scope(&sink, nullptr);
+    Simulator sim;
+    ReplicatedService service(
+        sim, small_params(5),
+        [](Ballot input, std::size_t) { return correct_value(input); }, 31);
+    service.start();
+    sim.schedule_at(5, [&service] {
+      aft::obs::TraceSink* const s = aft::obs::trace();
+      ASSERT_NE(s, nullptr);
+      const aft::obs::EventId ambient = s->cause();
+      // Caller alpha starts a round immediately.
+      const aft::obs::EventId alpha =
+          s->emit("test.caller", "alpha", {{"caller", "alpha"}});
+      s->set_cause(alpha);
+      service.invoke(1);
+      s->set_cause(ambient);
+      // Caller beta arrives while alpha's round is in flight: queued.
+      const aft::obs::EventId beta =
+          s->emit("test.caller", "beta", {{"caller", "beta"}});
+      s->set_cause(beta);
+      service.invoke(2);
+      s->set_cause(ambient);
+    });
+    sim.run_until(300);
+    EXPECT_EQ(service.counters().rounds, 2u);
+    jsonl = sink.jsonl();
+  }
+
+  std::string error;
+  const auto trace = aft::tools::parse_trace_data(jsonl, error);
+  ASSERT_TRUE(trace.has_value()) << error;
+
+  const aft::tools::TraceEvent* second_round = nullptr;
+  for (const aft::tools::TraceEvent& e : trace->events) {
+    if (e.component != "cluster.coordinator" || e.event != "round") continue;
+    const std::string* round = e.field("round");
+    if (round != nullptr && *round == "2") {
+      second_round = &e;
+      break;
+    }
+  }
+  ASSERT_NE(second_round, nullptr);
+
+  const std::vector<const aft::tools::TraceEvent*> chain =
+      aft::tools::causal_chain(*trace, second_round->seq);
+  bool saw_beta = false;
+  bool saw_alpha = false;
+  for (const aft::tools::TraceEvent* e : chain) {
+    if (e->component != "test.caller") continue;
+    saw_beta = saw_beta || e->event == "beta";
+    saw_alpha = saw_alpha || e->event == "alpha";
+  }
+  EXPECT_TRUE(saw_beta);    // the round chains to the caller that queued it
+  EXPECT_FALSE(saw_alpha);  // ...and not to the earlier, unrelated caller
+  // `aft_trace why` tells the same story.
+  const std::string why = aft::tools::render_why(*trace, second_round->seq);
+  EXPECT_NE(why.find("beta"), std::string::npos);
+  EXPECT_EQ(why.find("alpha"), std::string::npos);
 }
 
 #else  // AFT_OBS_DISABLED

@@ -87,6 +87,7 @@ Outcome run_job(std::size_t job) {
               case RpcStatus::kCircuitOpen: ++(*out_ptr)[1]; break;
               case RpcStatus::kDeadlineExceeded: ++(*out_ptr)[2]; break;
               case RpcStatus::kExhausted: ++(*out_ptr)[3]; break;
+              case RpcStatus::kRejected: break;  // no admission plane here
             }
           });
         });

@@ -689,6 +689,123 @@ TEST(RpcTest, BreakerRejectionsStayOutOfTheLatencyQuantiles) {
 }
 #endif  // !defined(AFT_OBS_DISABLED)
 
+// --- Async serving + admission pushback ----------------------------------------
+
+TEST(AsyncServeTest, ResponderCompletesTheCallAfterAQueuedDelay) {
+  RpcWorld w;
+  std::vector<Endpoint::Responder> parked;
+  w.server.serve_async("work", [&parked](const std::string& request,
+                                         Endpoint::Responder responder) {
+    EXPECT_EQ(request, "job");
+    parked.push_back(responder);
+  });
+
+  std::vector<RpcResult> results;
+  CallOptions options;
+  options.deadline = 100;
+  w.client.call("work", "job", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_until(10);
+  // The server holds the responder; the client is still waiting.
+  ASSERT_EQ(parked.size(), 1u);
+  EXPECT_TRUE(results.empty());
+  EXPECT_EQ(w.client.outstanding(), 1u);
+  EXPECT_EQ(w.server.counters().served, 1u);
+
+  parked[0].respond("done");
+  w.sim.run_until(20);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kOk);
+  EXPECT_EQ(results[0].payload, "done");
+  EXPECT_GE(results[0].elapsed, 10u);  // the parked wait is part of the call
+  EXPECT_EQ(w.client.outstanding(), 0u);
+}
+
+TEST(AsyncServeTest, RejectIsADistinctImmediateOutcomeNotATimeout) {
+  RpcWorld w;
+  w.server.serve_async("work", [](const std::string&,
+                                  Endpoint::Responder responder) {
+    responder.reject();
+  });
+
+  std::vector<RpcResult> results;
+  CallOptions options;
+  options.deadline = 500;
+  options.retry.max_attempts = 3;  // pushback must NOT be retried
+  w.client.call("work", "job", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kRejected);
+  EXPECT_EQ(results[0].attempts, 1u);
+  EXPECT_LT(results[0].elapsed, 10u);  // one RTT, nothing like the deadline
+  EXPECT_EQ(w.client.counters().rejected, 1u);
+  EXPECT_EQ(w.client.counters().exhausted, 0u);
+  EXPECT_EQ(w.client.counters().deadline_exceeded, 0u);
+  EXPECT_EQ(w.server.counters().served, 1u);
+}
+
+TEST(AsyncServeTest, AsyncFailIsAnAppErrorAndRetries) {
+  RpcWorld w;
+  std::uint64_t requests = 0;
+  w.server.serve_async("work", [&requests](const std::string&,
+                                           Endpoint::Responder responder) {
+    // First attempt fails (an app error, retried); the retry succeeds.
+    if (++requests == 1) {
+      responder.fail();
+    } else {
+      responder.respond("second-time");
+    }
+  });
+
+  std::vector<RpcResult> results;
+  CallOptions options;
+  options.deadline = 200;
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff = 4;
+  w.client.call("work", "job", options,
+                [&](const RpcResult& r) { results.push_back(r); });
+  w.sim.run_all();
+
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_EQ(results[0].status, RpcStatus::kOk);
+  EXPECT_EQ(results[0].payload, "second-time");
+  EXPECT_EQ(results[0].attempts, 2u);
+  EXPECT_EQ(requests, 2u);
+}
+
+#if !defined(AFT_OBS_DISABLED)
+TEST(AsyncServeTest, RejectionsLandInTheRejectedQuantileStream) {
+  // Metric-routing regression (mirrors the breaker one): server pushback
+  // must never pollute the ok-latency quantiles the SLO plane consumes.
+  aft::obs::MetricsRegistry reg;
+  aft::obs::ScopedObs scope(nullptr, &reg);
+  RpcWorld w;
+  bool shed = true;
+  w.server.serve_async("work", [&shed](const std::string&,
+                                       Endpoint::Responder responder) {
+    if (shed) {
+      responder.reject();
+    } else {
+      responder.respond("ok");
+    }
+  });
+  w.client.call("work", "a", CallOptions{}, nullptr);
+  w.sim.run_all();
+  shed = false;
+  w.client.call("work", "b", CallOptions{}, nullptr);
+  w.sim.run_all();
+
+  const auto* rejected = reg.find_stat("net.rpc.latency.rejected");
+  ASSERT_NE(rejected, nullptr);
+  EXPECT_EQ(rejected->count(), 1u);
+  const auto* ok = reg.find_stat("net.rpc.latency.ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_EQ(ok->count(), 1u);
+}
+#endif
+
 // --- BusBridge -----------------------------------------------------------------
 
 /// Two nodes, each with a bus, an endpoint, and a bridge, joined by a link
@@ -861,5 +978,67 @@ TEST(MembershipTest, StoppedHeartbeatsNoLongerArrive) {
   // At most the already in-flight beat arrives after the stop.
   EXPECT_LE(server.heartbeats_received(), before + 1);
 }
+
+TEST(MembershipTest, OnMissSurfacesRawMonitorEvidenceWithConsecutiveCounts) {
+  Simulator sim;
+  Membership::Params params;
+  params.deadline = 10;
+  Membership membership(sim, params);
+  std::vector<std::pair<std::string, std::uint64_t>> misses;
+  membership.on_miss([&](const std::string& member, std::uint64_t consecutive) {
+    misses.emplace_back(member, consecutive);
+  });
+  membership.track("b");
+  // No beats at all: windows at t=10,20,30 each miss, counting up.
+  sim.run_until(35);
+  ASSERT_EQ(misses.size(), 3u);
+  for (std::size_t i = 0; i < misses.size(); ++i) {
+    EXPECT_EQ(misses[i].first, "b");
+    EXPECT_EQ(misses[i].second, i + 1);
+  }
+  // The miss stream is below the judgment layer: all three misses fired
+  // even though the alpha-count verdict has not flipped the member yet.
+  EXPECT_TRUE(membership.up("b"));
+  // Once the evidence does cross the threshold the stream keeps counting.
+  sim.run_until(60);
+  EXPECT_FALSE(membership.up("b"));
+  EXPECT_GE(misses.size(), 5u);
+  EXPECT_EQ(misses.back().second, misses.size());  // still consecutive
+}
+
+#if !defined(AFT_OBS_DISABLED)
+TEST(MembershipTest, DownEvidenceIsReQueriedFreshOnEverySecondDownTransition) {
+  // Pin: the evidence hook runs once per down transition, never cached —
+  // the second outage's member-down record must join to the *second*
+  // outage's physical evidence.
+  aft::obs::TraceSink sink;
+  aft::obs::ScopedObs scope(&sink, nullptr);
+  Simulator sim;
+  Membership::Params params;
+  params.deadline = 10;
+  Membership membership(sim, params);
+  std::vector<std::string> queries;
+  membership.set_down_evidence([&queries](const std::string& member) {
+    queries.push_back(member);
+    return aft::obs::kNoEvent;
+  });
+  membership.track("b");
+
+  sim.run_until(60);  // first outage
+  EXPECT_FALSE(membership.up("b"));
+  ASSERT_EQ(queries.size(), 1u);
+  EXPECT_EQ(queries[0], "b");
+
+  membership.reinstate("b");
+  EXPECT_TRUE(membership.up("b"));
+  EXPECT_EQ(queries.size(), 1u);  // up transitions never consult it
+
+  sim.run_until(160);  // second outage: a fresh query, not a cached id
+  EXPECT_FALSE(membership.up("b"));
+  ASSERT_EQ(queries.size(), 2u);
+  EXPECT_EQ(queries[1], "b");
+  EXPECT_EQ(membership.downs(), 2u);
+}
+#endif
 
 }  // namespace

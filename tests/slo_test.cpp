@@ -331,6 +331,72 @@ TEST(SloTrackerTest, SilentStreamRecoversAcrossEmptyWindows) {
   EXPECT_EQ(slo.recoveries(), 1u);
 }
 
+TEST(SloTrackerTest, GapAfterABurningWindowPublishesNoSpuriousPair) {
+  // Regression: a hot window followed by an idle gap that straddles window
+  // boundaries.  At traffic resumption the batch closes the hot window
+  // (breach) AND collapses the idle windows (recover) in one step; the net
+  // state never changed while anyone could observe it, so publishing the
+  // breach+recover pair here — arbitrarily after the overload ended —
+  // would raise redundancy against history.  Pre-fix, the pair leaked.
+  SloTracker slo("lat", p99_under(10, 100));
+  std::vector<bool> published;
+  slo.set_publisher([&](bool breach) { published.push_back(breach); });
+
+  for (std::uint64_t i = 0; i < 10; ++i) slo.record(i * 10, 50);  // hot
+  slo.record(5000, 5);  // idle gap [100, 5000), then traffic resumes
+
+  EXPECT_FALSE(slo.breached());
+  EXPECT_TRUE(published.empty());
+  EXPECT_EQ(slo.breaches(), 0u);
+  EXPECT_EQ(slo.recoveries(), 0u);
+}
+
+TEST(SloTrackerTest, SingleBoundaryGapStillPublishesALegitimateBreach) {
+  // The counterpart guard: when the next sample lands in the immediately
+  // following window there IS no idle stretch — the hot verdict is the
+  // tracker's live state and must publish.
+  SloTracker slo("lat", p99_under(10, 100));
+  std::vector<bool> published;
+  slo.set_publisher([&](bool breach) { published.push_back(breach); });
+
+  for (std::uint64_t i = 0; i < 10; ++i) slo.record(i * 10, 50);
+  slo.record(105, 5);  // next window over: evaluate window 0 now
+
+  EXPECT_TRUE(slo.breached());
+  ASSERT_EQ(published.size(), 1u);
+  EXPECT_TRUE(published[0]);
+}
+
+TEST(SloTrackerTest, BreachedThenFlushedTrackerRecoversWhenTrafficResumes) {
+  // Regression: breach via flush(), then an idle gap, then traffic again.
+  // Pre-fix the reopen leg skipped the gap collapse entirely, so a
+  // breached-then-flushed tracker stayed breached across an arbitrarily
+  // long silence — the switchboard never saw the recover.
+  SloTracker slo("lat", p99_under(10, 100));
+  std::vector<bool> published;
+  slo.set_publisher([&](bool breach) { published.push_back(breach); });
+
+  for (std::uint64_t i = 0; i < 10; ++i) slo.record(i * 10, 50);
+  slo.flush(95);  // evaluates the hot window: breach
+  ASSERT_TRUE(slo.breached());
+  ASSERT_EQ(published.size(), 1u);
+  EXPECT_TRUE(published[0]);
+
+  slo.record(5000, 5);  // idle windows in between recover the tracker
+  EXPECT_FALSE(slo.breached());
+  ASSERT_EQ(published.size(), 2u);
+  EXPECT_FALSE(published[1]);
+  EXPECT_EQ(slo.recoveries(), 1u);
+
+  // The tracker is fully live again: a fresh hot window re-breaches at the
+  // next boundary crossing (5199 is still in the immediately next window —
+  // no idle stretch, so the verdict publishes).
+  for (std::uint64_t i = 0; i < 10; ++i) slo.record(5000 + i * 10, 50);
+  slo.record(5199, 5);
+  EXPECT_TRUE(slo.breached());
+  EXPECT_EQ(slo.breaches(), 2u);
+}
+
 TEST(SloTrackerTest, FlushEvaluatesTheOpenWindow) {
   SloTracker slo("lat", p99_under(10, 1000));
   for (std::uint64_t i = 0; i < 5; ++i) slo.record(i, 99);
